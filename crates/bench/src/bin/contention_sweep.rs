@@ -1,0 +1,43 @@
+//! Characterizes the `m`-obstruction-freedom progress condition: for each
+//! algorithm, how long the surviving processes need to decide as a function
+//! of how many of them keep running. The paper guarantees termination
+//! exactly when the survivor count is at most `m`; above `m` the run may
+//! exhaust its step budget without every survivor deciding.
+//!
+//! ```text
+//! cargo run -p sa-bench --bin contention_sweep
+//! ```
+
+use sa_bench::obstruction_series;
+use sa_model::Params;
+use set_agreement::Algorithm;
+
+fn main() {
+    let cases = [
+        (Params::new(6, 1, 3).unwrap(), Algorithm::OneShot),
+        (Params::new(6, 2, 3).unwrap(), Algorithm::OneShot),
+        (Params::new(6, 3, 3).unwrap(), Algorithm::OneShot),
+        (Params::new(6, 2, 3).unwrap(), Algorithm::Repeated(2)),
+        (Params::new(6, 2, 3).unwrap(), Algorithm::AnonymousOneShot),
+    ];
+    println!(
+        "{:<24} {:>3} {:>3} {:>3} {:>10} {:>10} {:>8}",
+        "algorithm", "n", "m", "k", "survivors", "steps", "decided"
+    );
+    for (params, algorithm) in cases {
+        // Sweep survivor counts past m to show where the guarantee stops.
+        let series = obstruction_series(params, algorithm, params.k() + 1, 400_000, 13);
+        for point in series {
+            println!(
+                "{:<24} {:>3} {:>3} {:>3} {:>10} {:>10} {:>8}",
+                algorithm.label(),
+                params.n(),
+                params.m(),
+                params.k(),
+                point.survivors,
+                point.steps,
+                point.decided
+            );
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Regenerates **Figure 1** of the paper: the table of lower and upper
+//! bounds on the number of registers for m-obstruction-free k-set agreement,
+//! with an extra "measured" column showing the distinct locations the
+//! implementations actually wrote in a run under the obstruction adversary.
+//!
+//! ```text
+//! cargo run -p sa-bench --bin figure1 [max_n]
+//! ```
+
+use sa_bench::{default_sweep, figure1_report, space_rows};
+use sa_model::ParamSweep;
+
+fn main() {
+    let max_n: Option<usize> = std::env::args().nth(1).and_then(|s| s.parse().ok());
+
+    println!("=== Figure 1 with measured space, representative parameters ===\n");
+    for params in default_sweep() {
+        println!("{}", figure1_report(params, 7));
+    }
+
+    println!("=== Per-algorithm space usage ===\n");
+    println!(
+        "{:<24} {:>3} {:>3} {:>3} {:>8} {:>9} {:>6} {:>6}",
+        "algorithm", "n", "m", "k", "bound", "measured", "steps", "safe"
+    );
+    for params in default_sweep() {
+        for row in space_rows(params, 7) {
+            println!(
+                "{:<24} {:>3} {:>3} {:>3} {:>8} {:>9} {:>6} {:>6}",
+                row.algorithm.label(),
+                row.params.n(),
+                row.params.m(),
+                row.params.k(),
+                row.bound,
+                row.measured,
+                row.steps,
+                row.safe
+            );
+        }
+    }
+
+    if let Some(max_n) = max_n {
+        println!("\n=== Bound formulas for every valid (n, m, k) with n <= {max_n} ===\n");
+        println!(
+            "{:>3} {:>3} {:>3} | {:>10} {:>10} | {:>10} {:>10} | {:>12} {:>12}",
+            "n",
+            "m",
+            "k",
+            "rep lower",
+            "rep upper",
+            "1shot low",
+            "1shot up",
+            "anon 1s low",
+            "anon rep up"
+        );
+        for params in ParamSweep::up_to(max_n) {
+            let fig = sa_lowerbound::bounds::Figure1::for_params(params);
+            use sa_lowerbound::bounds::{Naming, Setting};
+            println!(
+                "{:>3} {:>3} {:>3} | {:>10} {:>10} | {:>10} {:>10} | {:>12} {:>12}",
+                params.n(),
+                params.m(),
+                params.k(),
+                fig.cell(Setting::Repeated, Naming::NonAnonymous).lower.registers,
+                fig.cell(Setting::Repeated, Naming::NonAnonymous).upper.registers,
+                fig.cell(Setting::OneShot, Naming::NonAnonymous).lower.registers,
+                fig.cell(Setting::OneShot, Naming::NonAnonymous).upper.registers,
+                fig.cell(Setting::OneShot, Naming::Anonymous).lower.registers,
+                fig.cell(Setting::Repeated, Naming::Anonymous).upper.registers,
+            );
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates the lower-bound evidence of the paper (Theorems 2 and 10) in
+//! executable form: the covering attack against under-provisioned instances
+//! of the Figure 3 algorithm and the cloning attack against
+//! under-provisioned instances of the Figure 5 algorithm, swept over every
+//! width up to the paper's.
+//!
+//! ```text
+//! cargo run -p sa-bench --bin lower_bound_witness
+//! ```
+
+use sa_bench::lower_bound_report;
+use sa_model::Params;
+
+fn main() {
+    let triples = [(3, 1, 1), (4, 1, 2), (5, 2, 3), (6, 1, 3), (6, 2, 4), (8, 2, 3)];
+    for (n, m, k) in triples {
+        let params = Params::new(n, m, k).expect("triples are valid");
+        let report = lower_bound_report(params, 2_000_000);
+        println!("{}", report.render());
+    }
+}

@@ -1,0 +1,72 @@
+//! Errors reported by algorithm constructors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced when configuring an algorithm instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgorithmError {
+    /// The requested snapshot width is below what the algorithm's correctness
+    /// proof requires.
+    TooFewComponents {
+        /// The minimum width required by the proof (`n + 2m − k` for
+        /// Figures 3 and 4, `(m+1)(n−k) + m²` for Figure 5).
+        required: usize,
+        /// The requested width.
+        requested: usize,
+    },
+    /// The process identifier is outside `0..n`.
+    UnknownProcess {
+        /// The offending identifier index.
+        id: usize,
+        /// The number of processes `n`.
+        n: usize,
+    },
+    /// A repeated-agreement automaton needs at least one input to propose.
+    EmptyInputSequence,
+}
+
+impl fmt::Display for AlgorithmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgorithmError::TooFewComponents {
+                required,
+                requested,
+            } => write!(
+                f,
+                "snapshot width {requested} is below the {required} components required for correctness"
+            ),
+            AlgorithmError::UnknownProcess { id, n } => {
+                write!(f, "process id {id} is out of range for {n} processes")
+            }
+            AlgorithmError::EmptyInputSequence => {
+                write!(f, "at least one input value must be supplied")
+            }
+        }
+    }
+}
+
+impl Error for AlgorithmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = AlgorithmError::TooFewComponents {
+            required: 9,
+            requested: 4,
+        };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+        let e = AlgorithmError::UnknownProcess { id: 5, n: 4 };
+        assert!(e.to_string().contains('5'));
+        assert!(!AlgorithmError::EmptyInputSequence.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<AlgorithmError>();
+    }
+}

@@ -1,0 +1,249 @@
+//! The values the paper's algorithms store in shared memory.
+//!
+//! * Figure 3 stores pairs `(pref, id)` — [`Pair`].
+//! * Figure 4 stores tuples `(pref, id, t, history)` — [`Tuple`].
+//! * Figure 5 stores anonymous tuples `(pref, t, history)` in the snapshot
+//!   object — [`AnonTuple`] — and output histories in the helper register
+//!   `H`; both are carried by [`AnonValue`] because a memory is homogeneous
+//!   in its value type.
+//!
+//! Histories (sequences of outputs of earlier instances) are shared
+//! structurally via [`History`], a cheaply clonable immutable sequence.
+
+use sa_model::{InputValue, InstanceId, ProcessId};
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable sequence of output values, one per completed instance of
+/// repeated set agreement. Cloning is O(1).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct History(Arc<[InputValue]>);
+
+impl History {
+    /// The empty history.
+    pub fn empty() -> Self {
+        History(Arc::from(Vec::new()))
+    }
+
+    /// Builds a history from a vector of outputs (index 0 is instance 1).
+    pub fn from_vec(values: Vec<InputValue>) -> Self {
+        History(Arc::from(values))
+    }
+
+    /// The number of instances covered by this history.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if no instance has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The output of instance `instance` (1-based), if recorded.
+    pub fn get(&self, instance: InstanceId) -> Option<InputValue> {
+        if instance == 0 {
+            return None;
+        }
+        self.0.get((instance - 1) as usize).copied()
+    }
+
+    /// Returns a new history extended with the output of the next instance.
+    pub fn appended(&self, value: InputValue) -> History {
+        let mut values = self.0.to_vec();
+        values.push(value);
+        History(Arc::from(values))
+    }
+
+    /// The recorded outputs as a slice (index 0 is instance 1).
+    pub fn as_slice(&self) -> &[InputValue] {
+        &self.0
+    }
+}
+
+impl Default for History {
+    fn default() -> Self {
+        History::empty()
+    }
+}
+
+impl fmt::Debug for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "History{:?}", &self.0[..])
+    }
+}
+
+impl FromIterator<InputValue> for History {
+    fn from_iter<T: IntoIterator<Item = InputValue>>(iter: T) -> Self {
+        History(iter.into_iter().collect::<Vec<_>>().into())
+    }
+}
+
+/// The pair `(pref, id)` stored by the one-shot algorithm of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pair {
+    /// The preferred value.
+    pub value: InputValue,
+    /// The identifier of the process that stored the pair.
+    pub id: ProcessId,
+}
+
+impl Pair {
+    /// Convenience constructor.
+    pub fn new(value: InputValue, id: ProcessId) -> Self {
+        Pair { value, id }
+    }
+}
+
+/// The tuple `(pref, id, t, history)` stored by the repeated algorithm of
+/// Figure 4.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    /// The preferred value for instance `instance`.
+    pub value: InputValue,
+    /// The identifier of the process that stored the tuple.
+    pub id: ProcessId,
+    /// The instance the process is working on.
+    pub instance: InstanceId,
+    /// The outputs of all instances the process has already completed.
+    pub history: History,
+}
+
+impl Tuple {
+    /// Convenience constructor.
+    pub fn new(value: InputValue, id: ProcessId, instance: InstanceId, history: History) -> Self {
+        Tuple {
+            value,
+            id,
+            instance,
+            history,
+        }
+    }
+
+    /// `true` if this is a *t-tuple*, i.e. was stored by a process working on
+    /// `instance`.
+    pub fn is_for(&self, instance: InstanceId) -> bool {
+        self.instance == instance
+    }
+}
+
+/// The anonymous tuple `(pref, t, history)` stored in the snapshot object by
+/// the algorithm of Figure 5. It carries no process identifier.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AnonTuple {
+    /// The preferred value for instance `instance`.
+    pub value: InputValue,
+    /// The instance the process is working on.
+    pub instance: InstanceId,
+    /// The outputs of all instances the process has already completed.
+    pub history: History,
+}
+
+impl AnonTuple {
+    /// Convenience constructor.
+    pub fn new(value: InputValue, instance: InstanceId, history: History) -> Self {
+        AnonTuple {
+            value,
+            instance,
+            history,
+        }
+    }
+
+    /// `true` if this tuple was stored by a process working on `instance`.
+    pub fn is_for(&self, instance: InstanceId) -> bool {
+        self.instance == instance
+    }
+}
+
+/// The value type of the anonymous algorithm's shared memory: snapshot
+/// components hold [`AnonTuple`]s, while the helper register `H` holds a
+/// [`History`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AnonValue {
+    /// A tuple stored in the snapshot object.
+    Cell(AnonTuple),
+    /// An output history stored in the helper register `H`.
+    Outputs(History),
+}
+
+impl AnonValue {
+    /// The tuple carried by this value, if it is a snapshot cell.
+    pub fn as_cell(&self) -> Option<&AnonTuple> {
+        match self {
+            AnonValue::Cell(t) => Some(t),
+            AnonValue::Outputs(_) => None,
+        }
+    }
+
+    /// The history carried by this value, if it is a helper-register entry.
+    pub fn as_outputs(&self) -> Option<&History> {
+        match self {
+            AnonValue::Outputs(h) => Some(h),
+            AnonValue::Cell(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_appended_is_persistent() {
+        let h0 = History::empty();
+        let h1 = h0.appended(10);
+        let h2 = h1.appended(20);
+        assert!(h0.is_empty());
+        assert_eq!(h1.len(), 1);
+        assert_eq!(h2.len(), 2);
+        assert_eq!(h2.get(1), Some(10));
+        assert_eq!(h2.get(2), Some(20));
+        assert_eq!(h2.get(3), None);
+        assert_eq!(h2.get(0), None);
+        assert_eq!(h1.as_slice(), &[10]);
+    }
+
+    #[test]
+    fn history_from_iter_and_vec_agree() {
+        let a: History = vec![1, 2, 3].into_iter().collect();
+        let b = History::from_vec(vec![1, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), "History[1, 2, 3]");
+    }
+
+    #[test]
+    fn history_equality_is_structural() {
+        let a = History::from_vec(vec![5, 6]);
+        let b = History::empty().appended(5).appended(6);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |h: &History| {
+            let mut s = DefaultHasher::new();
+            h.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn pair_and_tuple_equality() {
+        let p1 = Pair::new(1, ProcessId(0));
+        let p2 = Pair::new(1, ProcessId(1));
+        assert_ne!(p1, p2);
+        let t = Tuple::new(1, ProcessId(0), 3, History::empty());
+        assert!(t.is_for(3));
+        assert!(!t.is_for(2));
+    }
+
+    #[test]
+    fn anon_value_projections() {
+        let cell = AnonValue::Cell(AnonTuple::new(7, 2, History::empty()));
+        assert!(cell.as_cell().is_some());
+        assert!(cell.as_outputs().is_none());
+        let outs = AnonValue::Outputs(History::from_vec(vec![1]));
+        assert!(outs.as_cell().is_none());
+        assert_eq!(outs.as_outputs().unwrap().len(), 1);
+        assert!(AnonTuple::new(7, 2, History::empty()).is_for(2));
+    }
+}

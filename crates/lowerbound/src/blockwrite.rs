@@ -1,0 +1,397 @@
+//! Block writes, covering configurations and obliteration — the executable
+//! core of the Theorem 2 argument.
+//!
+//! The covering lower bound rests on one mechanical fact: if a set `P` of
+//! processes is *poised* to write to a set `A` of locations (it "covers"
+//! `A`), and another group `Q` runs a fragment that only writes inside `A`,
+//! then releasing `P`'s pending writes (a *block write*) leaves the shared
+//! memory in exactly the state it would have had if `Q`'s fragment had never
+//! happened. The fragment can therefore be spliced into the execution without
+//! any later process being able to tell — which is how the proof collects
+//! `k + 1` outputs from an algorithm that uses too few registers.
+//!
+//! This module provides those mechanics over real executors:
+//!
+//! * [`poised_write_location`] — what a process is about to write, if
+//!   anything (the observation the adversary of Figure 2 relies on).
+//! * [`run_until_poised_outside`] — advance a group until some member is
+//!   about to write outside a covered set (the loop body of Figure 2).
+//! * [`block_write`] — release one pending write of every covering process.
+//! * [`obliterates`] — check, by running both branches, that a fragment's
+//!   traces are erased by the block write.
+//! * [`splice_is_invisible`] — check that a later observer decides the same
+//!   values whether or not the fragment was spliced in.
+
+use sa_memory::Location;
+use sa_model::{Automaton, Op, ProcessId};
+use sa_runtime::Executor;
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// The location `process` is poised to write, or `None` if it is halted, or
+/// poised to a read, a scan or a local step.
+pub fn poised_write_location<A>(executor: &Executor<A>, process: ProcessId) -> Option<Location>
+where
+    A: Automaton,
+    A::Value: Clone + Eq + Debug,
+{
+    match executor.poised(process)? {
+        Op::Write { register, .. } => Some(Location::Register(register)),
+        Op::Update {
+            snapshot,
+            component,
+            ..
+        } => Some(Location::Component {
+            snapshot,
+            component,
+        }),
+        _ => None,
+    }
+}
+
+/// The locations covered by `processes` in the current configuration: the
+/// pending-write targets of those that are poised to write.
+pub fn covered_locations<A>(executor: &Executor<A>, processes: &[ProcessId]) -> BTreeSet<Location>
+where
+    A: Automaton,
+    A::Value: Clone + Eq + Debug,
+{
+    processes
+        .iter()
+        .filter_map(|p| poised_write_location(executor, *p))
+        .collect()
+}
+
+/// The outcome of [`run_until_poised_outside`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupRun {
+    /// Some process of the group is poised to write to a location outside the
+    /// covered set (and has **not** performed that write yet).
+    PoisedOutside {
+        /// The process about to write.
+        process: ProcessId,
+        /// The location it is about to write.
+        location: Location,
+        /// Steps executed before it became poised.
+        steps: u64,
+    },
+    /// Every process of the group halted without ever being poised to write
+    /// outside the covered set.
+    Halted {
+        /// Steps executed.
+        steps: u64,
+    },
+    /// The step budget ran out first.
+    Exhausted {
+        /// Steps executed (equals the budget).
+        steps: u64,
+    },
+}
+
+/// Runs the processes of `group` (one at a time, in group order, exactly like
+/// the fragments of the Theorem 2 construction) until one of them is poised
+/// to write to a location **outside** `covered`, leaving it poised. Reads,
+/// scans, local steps and writes *inside* `covered` are allowed to proceed.
+pub fn run_until_poised_outside<A>(
+    executor: &mut Executor<A>,
+    group: &[ProcessId],
+    covered: &BTreeSet<Location>,
+    max_steps: u64,
+) -> GroupRun
+where
+    A: Automaton,
+    A::Value: Clone + Eq + Debug,
+{
+    let mut steps = 0;
+    loop {
+        // The next runnable process in group order.
+        let Some(process) = group
+            .iter()
+            .copied()
+            .find(|p| !executor.automaton(*p).is_halted())
+        else {
+            return GroupRun::Halted { steps };
+        };
+        if let Some(location) = poised_write_location(executor, process) {
+            if !covered.contains(&location) {
+                return GroupRun::PoisedOutside {
+                    process,
+                    location,
+                    steps,
+                };
+            }
+        }
+        if steps >= max_steps {
+            return GroupRun::Exhausted { steps };
+        }
+        executor.step(process);
+        steps += 1;
+    }
+}
+
+/// Performs a block write: every process of `writers` takes exactly one step,
+/// which must be a pending write (the caller established the covering). The
+/// set of locations written is returned.
+///
+/// # Panics
+///
+/// Panics if some writer is not poised to a write-like operation — that means
+/// the covering was not established and the caller's adversary is buggy.
+pub fn block_write<A>(executor: &mut Executor<A>, writers: &[ProcessId]) -> BTreeSet<Location>
+where
+    A: Automaton,
+    A::Value: Clone + Eq + Debug,
+{
+    let mut written = BTreeSet::new();
+    for process in writers {
+        let location = poised_write_location(executor, *process)
+            .unwrap_or_else(|| panic!("{process} is not poised to write; no covering established"));
+        executor.step(*process);
+        written.insert(location);
+    }
+    written
+}
+
+/// Checks the obliteration property at the current configuration: running the
+/// fragment `fragment` (a schedule over non-covering processes) and then
+/// releasing the block write of `coverers` leaves the shared memory in
+/// exactly the same state as releasing the block write alone.
+///
+/// This is the step of the Theorem 2 proof that makes spliced fragments
+/// invisible. It holds whenever the fragment writes only to locations covered
+/// by `coverers`; it fails (returns `false`) as soon as the fragment touches
+/// an uncovered location.
+pub fn obliterates<A>(
+    executor: &Executor<A>,
+    coverers: &[ProcessId],
+    fragment: &[ProcessId],
+) -> bool
+where
+    A: Automaton + Clone,
+    A::Value: Clone + Eq + Debug + Hash,
+{
+    // Branch 1: fragment, then block write.
+    let mut with_fragment = executor.clone();
+    for process in fragment {
+        if !with_fragment.automaton(*process).is_halted() {
+            with_fragment.step(*process);
+        }
+    }
+    block_write(&mut with_fragment, coverers);
+
+    // Branch 2: block write alone.
+    let mut without_fragment = executor.clone();
+    block_write(&mut without_fragment, coverers);
+
+    with_fragment.memory().content_fingerprint() == without_fragment.memory().content_fingerprint()
+}
+
+/// Checks that an observer cannot tell whether the fragment was spliced in:
+/// starting from the current configuration, run `fragment`, block-write the
+/// coverers, then let `observer` run alone to completion — and compare its
+/// decisions with the branch where the fragment never happened.
+///
+/// Returns `true` when the observer's decisions are identical in both
+/// branches (the splice is invisible).
+pub fn splice_is_invisible<A>(
+    executor: &Executor<A>,
+    coverers: &[ProcessId],
+    fragment: &[ProcessId],
+    observer: ProcessId,
+    max_steps: u64,
+) -> bool
+where
+    A: Automaton + Clone,
+    A::Value: Clone + Eq + Debug + Hash,
+{
+    let run_observer = |mut exec: Executor<A>| {
+        let mut steps = 0;
+        while !exec.automaton(observer).is_halted() && steps < max_steps {
+            exec.step(observer);
+            steps += 1;
+        }
+        let decisions = exec.decisions().clone();
+        (0u64..)
+            .map_while(|i| decisions.decision_of(observer, i + 1).map(|v| (i + 1, v)))
+            .collect::<Vec<_>>()
+    };
+
+    let mut with_fragment = executor.clone();
+    for process in fragment {
+        if !with_fragment.automaton(*process).is_halted() {
+            with_fragment.step(*process);
+        }
+    }
+    block_write(&mut with_fragment, coverers);
+
+    let mut without_fragment = executor.clone();
+    block_write(&mut without_fragment, coverers);
+
+    run_observer(with_fragment) == run_observer(without_fragment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::OneShotSetAgreement;
+    use sa_model::Params;
+
+    /// A deficient width-1 instance: every process only ever writes component
+    /// 0, so covering that single location covers everything.
+    fn width_one_executor(params: Params) -> Executor<OneShotSetAgreement> {
+        let automata: Vec<_> = (0..params.n())
+            .map(|p| {
+                OneShotSetAgreement::deficient(params, ProcessId(p), 100 + p as u64, 1).unwrap()
+            })
+            .collect();
+        Executor::new(automata)
+    }
+
+    fn full_width_executor(params: Params) -> Executor<OneShotSetAgreement> {
+        let automata: Vec<_> = (0..params.n())
+            .map(|p| OneShotSetAgreement::new(params, ProcessId(p), 100 + p as u64))
+            .collect();
+        Executor::new(automata)
+    }
+
+    const COMPONENT_0: Location = Location::Component {
+        snapshot: 0,
+        component: 0,
+    };
+
+    #[test]
+    fn poised_write_location_reports_the_update_target() {
+        let params = Params::new(3, 1, 1).unwrap();
+        let exec = full_width_executor(params);
+        // Initially every Figure 3 process is poised to update component 0.
+        for p in 0..3 {
+            assert_eq!(
+                poised_write_location(&exec, ProcessId(p)),
+                Some(COMPONENT_0)
+            );
+        }
+        assert_eq!(
+            covered_locations(&exec, &[ProcessId(0), ProcessId(2)]),
+            BTreeSet::from([COMPONENT_0])
+        );
+    }
+
+    #[test]
+    fn run_until_poised_outside_finds_the_second_location() {
+        // With nothing covered, the group is immediately poised outside; with
+        // component 0 covered, it runs until poised to component 1.
+        let params = Params::new(3, 1, 1).unwrap();
+        let mut exec = full_width_executor(params);
+        let group = vec![ProcessId(1)];
+        let outcome = run_until_poised_outside(&mut exec, &group, &BTreeSet::new(), 1_000);
+        assert!(matches!(
+            outcome,
+            GroupRun::PoisedOutside {
+                location: COMPONENT_0,
+                ..
+            }
+        ));
+        let covered = BTreeSet::from([COMPONENT_0]);
+        let outcome = run_until_poised_outside(&mut exec, &group, &covered, 1_000);
+        match outcome {
+            GroupRun::PoisedOutside { location, process, .. } => {
+                assert_eq!(process, ProcessId(1));
+                assert_eq!(
+                    location,
+                    Location::Component {
+                        snapshot: 0,
+                        component: 1
+                    }
+                );
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_until_poised_outside_reports_halting_groups() {
+        // A width-1 process can never write outside {component 0}, so it runs
+        // to completion (it decides) without ever being poised outside.
+        let params = Params::new(3, 1, 1).unwrap();
+        let mut exec = width_one_executor(params);
+        let covered = BTreeSet::from([COMPONENT_0]);
+        let outcome =
+            run_until_poised_outside(&mut exec, &[ProcessId(0)], &covered, 10_000);
+        assert!(matches!(outcome, GroupRun::Halted { .. }), "{outcome:?}");
+    }
+
+    #[test]
+    fn block_write_steps_every_coverer_once() {
+        let params = Params::new(4, 1, 2).unwrap();
+        let mut exec = full_width_executor(params);
+        let writers = vec![ProcessId(2), ProcessId(3)];
+        let written = block_write(&mut exec, &writers);
+        assert_eq!(written, BTreeSet::from([COMPONENT_0]));
+        assert_eq!(exec.steps(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not poised to write")]
+    fn block_write_rejects_non_covering_processes() {
+        let params = Params::new(3, 1, 1).unwrap();
+        let mut exec = full_width_executor(params);
+        // After its update, p0 is poised to scan — not a covering process.
+        exec.step(ProcessId(0));
+        block_write(&mut exec, &[ProcessId(0)]);
+    }
+
+    #[test]
+    fn block_write_obliterates_fragments_confined_to_covered_locations() {
+        // Width-1 algorithm: p0 covers component 0; any fragment by p1 writes
+        // only component 0, so the block write erases it.
+        let params = Params::new(3, 1, 1).unwrap();
+        let exec = width_one_executor(params);
+        let fragment: Vec<ProcessId> = std::iter::repeat(ProcessId(1)).take(12).collect();
+        assert!(obliterates(&exec, &[ProcessId(0)], &fragment));
+    }
+
+    #[test]
+    fn block_write_does_not_obliterate_uncovered_writes() {
+        // Full-width algorithm: p1's fragment eventually writes component 1,
+        // which p0 does not cover, so the memories differ.
+        let params = Params::new(3, 1, 1).unwrap();
+        let exec = full_width_executor(params);
+        let fragment: Vec<ProcessId> = std::iter::repeat(ProcessId(1)).take(12).collect();
+        assert!(!obliterates(&exec, &[ProcessId(0)], &fragment));
+    }
+
+    #[test]
+    fn spliced_fragments_are_invisible_to_later_observers() {
+        // The heart of Theorem 2: with the width-1 algorithm, whether or not
+        // p1 ran (and decided!) before the block write, the later solo
+        // observer p2 decides exactly the same values.
+        let params = Params::new(3, 1, 1).unwrap();
+        let exec = width_one_executor(params);
+        let fragment: Vec<ProcessId> = std::iter::repeat(ProcessId(1)).take(30).collect();
+        assert!(splice_is_invisible(
+            &exec,
+            &[ProcessId(0)],
+            &fragment,
+            ProcessId(2),
+            10_000
+        ));
+    }
+
+    #[test]
+    fn splice_visibility_returns_false_when_traces_survive() {
+        // With the full-width algorithm the fragment's writes to uncovered
+        // locations survive the block write and change what the observer
+        // decides (p2 adopts p1's value instead of its own in one branch).
+        let params = Params::new(3, 1, 1).unwrap();
+        let exec = full_width_executor(params);
+        let fragment: Vec<ProcessId> = std::iter::repeat(ProcessId(1)).take(40).collect();
+        assert!(!splice_is_invisible(
+            &exec,
+            &[ProcessId(0)],
+            &fragment,
+            ProcessId(2),
+            10_000
+        ));
+    }
+}

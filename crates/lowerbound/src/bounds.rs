@@ -1,0 +1,422 @@
+//! The register bounds of Figure 1 of the paper, as executable formulas.
+//!
+//! Figure 1 tabulates, for `m`-obstruction-free `k`-set agreement among `n`
+//! processes, lower and upper bounds on the number of MWMR registers in four
+//! settings: {repeated, one-shot} × {non-anonymous, anonymous}. This module
+//! evaluates every cell for arbitrary parameters, renders the table, and
+//! exposes the consistency relations between cells that the bench harness
+//! and property tests check.
+
+use sa_model::{ParamSweep, Params};
+use std::fmt;
+
+/// Whether processes solve a single instance or an infinite sequence of
+/// instances of set agreement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Setting {
+    /// Every process invokes `Propose` at most once.
+    OneShot,
+    /// Processes access an infinite sequence of independent instances.
+    Repeated,
+}
+
+impl fmt::Display for Setting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Setting::OneShot => f.write_str("one-shot"),
+            Setting::Repeated => f.write_str("repeated"),
+        }
+    }
+}
+
+/// Whether processes have unique identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Naming {
+    /// Processes have unique identifiers (the model of Sections 3–4).
+    NonAnonymous,
+    /// Processes are identically programmed and have no identifiers
+    /// (Sections 5–6).
+    Anonymous,
+}
+
+impl fmt::Display for Naming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Naming::NonAnonymous => f.write_str("non-anonymous"),
+            Naming::Anonymous => f.write_str("anonymous"),
+        }
+    }
+}
+
+/// A lower or upper bound value. Lower bounds may be fractional (the
+/// anonymous one-shot bound is `√(m(n/k − 2))`), so both an exact integer
+/// form (when meaningful) and a raw floating-point form are carried.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bound {
+    /// The bound in registers, rounded to the integer actually implied for an
+    /// algorithm (lower bounds round up to the smallest excluded-from-below
+    /// register count, upper bounds are exact).
+    pub registers: usize,
+    /// The raw value of the formula before rounding.
+    pub raw: f64,
+    /// The formula as the paper writes it.
+    pub formula: &'static str,
+    /// Where in the paper the bound is established.
+    pub source: &'static str,
+}
+
+impl Bound {
+    fn exact(registers: usize, formula: &'static str, source: &'static str) -> Self {
+        Bound {
+            registers,
+            raw: registers as f64,
+            formula,
+            source,
+        }
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.registers, self.formula)
+    }
+}
+
+/// One cell of Figure 1: the best known lower and upper bound for a given
+/// setting and naming assumption.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundsCell {
+    /// One-shot or repeated.
+    pub setting: Setting,
+    /// Anonymous or non-anonymous.
+    pub naming: Naming,
+    /// The lower bound (registers necessary).
+    pub lower: Bound,
+    /// The upper bound (registers sufficient).
+    pub upper: Bound,
+}
+
+impl BoundsCell {
+    /// `true` when the bounds are tight (lower equals upper).
+    pub fn is_tight(&self) -> bool {
+        self.lower.registers == self.upper.registers
+    }
+
+    /// The additive gap between the upper and lower bound.
+    pub fn gap(&self) -> usize {
+        self.upper.registers.saturating_sub(self.lower.registers)
+    }
+}
+
+/// Evaluates the lower bound of Figure 1 for the given setting and naming.
+///
+/// * repeated (both namings): `n + m − k` registers — Theorem 2 (the
+///   anonymous case is a corollary, since an anonymous algorithm is a special
+///   case of a non-anonymous one).
+/// * one-shot, non-anonymous: `2` registers, the bound inherited from \[4\].
+/// * one-shot, anonymous: strictly more than `√(m(n/k − 2))` registers —
+///   Theorem 10.
+pub fn lower_bound(params: Params, setting: Setting, naming: Naming) -> Bound {
+    match (setting, naming) {
+        (Setting::Repeated, _) => Bound::exact(
+            params.repeated_lower_bound(),
+            "n + m - k",
+            "Theorem 2",
+        ),
+        (Setting::OneShot, Naming::NonAnonymous) => Bound::exact(2, "2", "[4]"),
+        (Setting::OneShot, Naming::Anonymous) => Bound {
+            registers: params.anonymous_oneshot_lower_bound(),
+            raw: params.anonymous_oneshot_lower_bound_raw(),
+            formula: "> sqrt(m(n/k - 2))",
+            source: "Theorem 10",
+        },
+    }
+}
+
+/// Evaluates the upper bound of Figure 1 for the given setting and naming.
+///
+/// * non-anonymous (both settings): `min(n + 2m − k, n)` registers —
+///   Theorems 7 and 8 (Figures 3 and 4).
+/// * anonymous, one-shot: `(m+1)(n−k) + m²` registers — Theorem 11 without
+///   the helper register.
+/// * anonymous, repeated: `(m+1)(n−k) + m² + 1` registers — Theorem 11.
+pub fn upper_bound(params: Params, setting: Setting, naming: Naming) -> Bound {
+    match (setting, naming) {
+        (_, Naming::NonAnonymous) => Bound::exact(
+            params.register_upper_bound(),
+            "min(n + 2m - k, n)",
+            "Theorems 7 and 8",
+        ),
+        (Setting::OneShot, Naming::Anonymous) => Bound::exact(
+            params.anonymous_snapshot_components(),
+            "(m+1)(n-k) + m^2",
+            "Theorem 11 (remark)",
+        ),
+        (Setting::Repeated, Naming::Anonymous) => Bound::exact(
+            params.anonymous_repeated_registers(),
+            "(m+1)(n-k) + m^2 + 1",
+            "Theorem 11",
+        ),
+    }
+}
+
+/// Evaluates one cell of Figure 1.
+pub fn cell(params: Params, setting: Setting, naming: Naming) -> BoundsCell {
+    BoundsCell {
+        setting,
+        naming,
+        lower: lower_bound(params, setting, naming),
+        upper: upper_bound(params, setting, naming),
+    }
+}
+
+/// All four cells of Figure 1 for one parameter triple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure1 {
+    /// The parameters the table is evaluated for.
+    pub params: Params,
+    /// The four cells in a fixed order: (repeated, non-anon), (one-shot,
+    /// non-anon), (repeated, anon), (one-shot, anon).
+    pub cells: [BoundsCell; 4],
+}
+
+impl Figure1 {
+    /// Evaluates Figure 1 for `params`.
+    pub fn for_params(params: Params) -> Self {
+        Figure1 {
+            params,
+            cells: [
+                cell(params, Setting::Repeated, Naming::NonAnonymous),
+                cell(params, Setting::OneShot, Naming::NonAnonymous),
+                cell(params, Setting::Repeated, Naming::Anonymous),
+                cell(params, Setting::OneShot, Naming::Anonymous),
+            ],
+        }
+    }
+
+    /// The cell for a given setting and naming.
+    pub fn cell(&self, setting: Setting, naming: Naming) -> &BoundsCell {
+        self.cells
+            .iter()
+            .find(|c| c.setting == setting && c.naming == naming)
+            .expect("all four cells are always present")
+    }
+
+    /// Consistency relations between cells that must hold for every valid
+    /// parameter triple; returns a description of the first violated relation
+    /// (property tests assert this is always `None`).
+    pub fn consistency_violation(&self) -> Option<String> {
+        for cell in &self.cells {
+            if cell.lower.registers > cell.upper.registers {
+                return Some(format!(
+                    "{} {} lower bound {} exceeds upper bound {}",
+                    cell.setting, cell.naming, cell.lower.registers, cell.upper.registers
+                ));
+            }
+        }
+        // Repeated is at least as hard as one-shot within a naming.
+        for naming in [Naming::NonAnonymous, Naming::Anonymous] {
+            let repeated = self.cell(Setting::Repeated, naming);
+            let one_shot = self.cell(Setting::OneShot, naming);
+            if repeated.lower.registers < one_shot.lower.registers {
+                return Some(format!(
+                    "{naming}: repeated lower bound below one-shot lower bound"
+                ));
+            }
+            if repeated.upper.registers < one_shot.upper.registers {
+                return Some(format!(
+                    "{naming}: repeated upper bound below one-shot upper bound"
+                ));
+            }
+        }
+        // Anonymity never helps: anonymous upper bounds are at least the
+        // non-anonymous ones (an anonymous algorithm is also non-anonymous).
+        for setting in [Setting::OneShot, Setting::Repeated] {
+            let anon = self.cell(setting, Naming::Anonymous);
+            let named = self.cell(setting, Naming::NonAnonymous);
+            if anon.upper.registers < named.upper.registers {
+                return Some(format!(
+                    "{setting}: anonymous upper bound below non-anonymous upper bound"
+                ));
+            }
+        }
+        // For m = k = 1 (repeated consensus) the non-anonymous bounds are
+        // tight at exactly n registers.
+        if self.params.is_consensus() && self.params.is_obstruction_free() {
+            let cell = self.cell(Setting::Repeated, Naming::NonAnonymous);
+            if !cell.is_tight() || cell.lower.registers != self.params.n() {
+                return Some("repeated consensus bounds must be tight at n".to_string());
+            }
+        }
+        None
+    }
+
+    /// Renders the table in the layout of Figure 1 of the paper.
+    pub fn render(&self) -> String {
+        let p = self.params;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Figure 1 — registers for {} (n={}, m={}, k={})\n",
+            p,
+            p.n(),
+            p.m(),
+            p.k()
+        ));
+        out.push_str(&format!(
+            "{:<16} {:<28} {:<28}\n",
+            "", "Repeated", "One-shot"
+        ));
+        for naming in [Naming::NonAnonymous, Naming::Anonymous] {
+            let repeated = self.cell(Setting::Repeated, naming);
+            let one_shot = self.cell(Setting::OneShot, naming);
+            out.push_str(&format!(
+                "{:<16} lower: {:<21} lower: {:<21}\n",
+                naming.to_string(),
+                repeated.lower.registers,
+                one_shot.lower.registers
+            ));
+            out.push_str(&format!(
+                "{:<16} upper: {:<21} upper: {:<21}\n",
+                "",
+                repeated.upper.registers,
+                one_shot.upper.registers
+            ));
+        }
+        out
+    }
+}
+
+/// A row of a parameter sweep over Figure 1, used by the `figure1` bench
+/// binary and EXPERIMENTS.md.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// The parameters of this row.
+    pub params: Params,
+    /// The evaluated table.
+    pub figure1: Figure1,
+}
+
+/// Evaluates Figure 1 for every valid `(n, m, k)` with `n ≤ max_n`.
+pub fn sweep(max_n: usize) -> Vec<SweepRow> {
+    ParamSweep::up_to(max_n)
+        .map(|params| SweepRow {
+            params,
+            figure1: Figure1::for_params(params),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: usize, m: usize, k: usize) -> Params {
+        Params::new(n, m, k).unwrap()
+    }
+
+    #[test]
+    fn repeated_nonanonymous_bounds_match_paper() {
+        let fig = Figure1::for_params(p(10, 2, 4));
+        let cell = fig.cell(Setting::Repeated, Naming::NonAnonymous);
+        assert_eq!(cell.lower.registers, 8); // n + m - k
+        assert_eq!(cell.upper.registers, 10); // min(n + 2m - k, n)
+        assert_eq!(cell.gap(), 2);
+    }
+
+    #[test]
+    fn oneshot_nonanonymous_lower_bound_is_two() {
+        let fig = Figure1::for_params(p(10, 2, 4));
+        assert_eq!(
+            fig.cell(Setting::OneShot, Naming::NonAnonymous).lower.registers,
+            2
+        );
+    }
+
+    #[test]
+    fn anonymous_bounds_match_paper() {
+        let fig = Figure1::for_params(p(10, 2, 4));
+        let one_shot = fig.cell(Setting::OneShot, Naming::Anonymous);
+        let repeated = fig.cell(Setting::Repeated, Naming::Anonymous);
+        assert_eq!(one_shot.upper.registers, 3 * 6 + 4);
+        assert_eq!(repeated.upper.registers, 3 * 6 + 4 + 1);
+        assert_eq!(repeated.lower.registers, 8);
+        // sqrt(2 * (10/4 - 2)) = 1, so the smallest non-excluded count is 2.
+        assert_eq!(one_shot.lower.registers, 2);
+    }
+
+    #[test]
+    fn anonymous_oneshot_lower_bound_recovers_fhs() {
+        // m = k = 1: the bound is sqrt(n - 2), the Fich–Herlihy–Shavit bound.
+        let fig = Figure1::for_params(p(102, 1, 1));
+        let cell = fig.cell(Setting::OneShot, Naming::Anonymous);
+        assert!((cell.lower.raw - 10.0).abs() < 1e-9);
+        assert_eq!(cell.lower.registers, 11);
+    }
+
+    #[test]
+    fn repeated_consensus_is_tight_at_n() {
+        let fig = Figure1::for_params(p(7, 1, 1));
+        let cell = fig.cell(Setting::Repeated, Naming::NonAnonymous);
+        assert!(cell.is_tight());
+        assert_eq!(cell.lower.registers, 7);
+        assert_eq!(cell.upper.registers, 7);
+    }
+
+    #[test]
+    fn consistency_holds_across_sweep() {
+        for row in sweep(14) {
+            assert_eq!(
+                row.figure1.consistency_violation(),
+                None,
+                "inconsistent bounds for {:?}",
+                row.params
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_every_register_count() {
+        let fig = Figure1::for_params(p(10, 2, 4));
+        let rendered = fig.render();
+        for cell in &fig.cells {
+            assert!(
+                rendered.contains(&cell.lower.registers.to_string()),
+                "missing {}",
+                cell.lower.registers
+            );
+            assert!(rendered.contains(&cell.upper.registers.to_string()));
+        }
+        assert!(rendered.contains("Repeated") && rendered.contains("One-shot"));
+    }
+
+    #[test]
+    fn display_impls_are_informative() {
+        assert_eq!(Setting::OneShot.to_string(), "one-shot");
+        assert_eq!(Naming::Anonymous.to_string(), "anonymous");
+        let b = lower_bound(p(6, 1, 2), Setting::Repeated, Naming::NonAnonymous);
+        assert!(b.to_string().contains('5'));
+    }
+
+    #[test]
+    fn sweep_has_one_row_per_valid_triple() {
+        let rows = sweep(6);
+        let expected: usize = (2..=6usize).map(|n| (1..n).sum::<usize>()).sum();
+        assert_eq!(rows.len(), expected);
+    }
+
+    #[test]
+    fn upper_bound_improves_prior_work_for_m1() {
+        // Section 4: for m = 1 the paper's algorithm uses n - k + 2 components
+        // versus 2(n - k) for [4]; the improvement is real whenever n - k > 2.
+        for n in 5..20 {
+            for k in 1..(n - 2) {
+                let params = p(n, 1, k);
+                let ours = upper_bound(params, Setting::OneShot, Naming::NonAnonymous).registers;
+                let prior = 2 * (n - k);
+                if n - k > 2 {
+                    assert!(ours < prior, "no improvement for n={n} k={k}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! The deterministic, single-threaded shared memory used by the simulator.
+//!
+//! [`SimMemory`] is a literal transcription of the paper's model: a set of
+//! atomic MWMR registers plus atomic multi-writer snapshot objects. Each call
+//! to [`SimMemory::apply`] performs exactly one atomic operation, so the
+//! interleaving chosen by a scheduler *is* the linearization order.
+
+use crate::metrics::{Location, MemoryMetrics};
+use sa_model::{LayoutError, MemoryLayout, Op, ProcessId, Response};
+use std::fmt::Debug;
+
+/// A deterministic in-memory implementation of the shared objects declared by
+/// a [`MemoryLayout`].
+///
+/// `V` is the value type stored by the algorithm; every register and snapshot
+/// component holds `Option<V>`, with `None` playing the role of the initial
+/// value `⊥`.
+///
+/// ```
+/// use sa_memory::SimMemory;
+/// use sa_model::{MemoryLayout, Op, ProcessId, Response};
+///
+/// let layout = MemoryLayout::with_snapshot_and_registers(3, 1);
+/// let mut mem: SimMemory<u64> = SimMemory::for_layout(&layout);
+/// mem.apply(ProcessId(0), Op::Update { snapshot: 0, component: 1, value: 42 })?;
+/// let resp = mem.apply(ProcessId(1), Op::Scan { snapshot: 0 })?;
+/// assert_eq!(resp, Response::Snapshot(vec![None, Some(42), None]));
+/// # Ok::<(), sa_model::LayoutError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimMemory<V> {
+    layout: MemoryLayout,
+    registers: Vec<Option<V>>,
+    snapshots: Vec<Vec<Option<V>>>,
+    metrics: MemoryMetrics,
+}
+
+impl<V: Clone + Eq + Debug> SimMemory<V> {
+    /// Creates a memory with every register and component initialized to `⊥`.
+    pub fn for_layout(layout: &MemoryLayout) -> Self {
+        SimMemory {
+            layout: layout.clone(),
+            registers: vec![None; layout.register_count()],
+            snapshots: layout
+                .snapshot_widths()
+                .iter()
+                .map(|w| vec![None; *w])
+                .collect(),
+            metrics: MemoryMetrics::new(),
+        }
+    }
+
+    /// The layout this memory was created for.
+    pub fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    /// Applies one atomic operation on behalf of `process` and returns its
+    /// response.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LayoutError`] if the operation refers to a register or
+    /// component outside the layout. This indicates a protocol bug; the
+    /// runtime treats it as fatal.
+    pub fn apply(&mut self, process: ProcessId, op: Op<V>) -> Result<Response<V>, LayoutError> {
+        let kind = op.kind();
+        let (response, written) = match op {
+            Op::Read { register } => {
+                self.layout.check_register(register)?;
+                (Response::Read(self.registers[register].clone()), None)
+            }
+            Op::Write { register, value } => {
+                self.layout.check_register(register)?;
+                self.registers[register] = Some(value);
+                (Response::Written, Some(Location::Register(register)))
+            }
+            Op::Update {
+                snapshot,
+                component,
+                value,
+            } => {
+                self.layout.check_component(snapshot, component)?;
+                self.snapshots[snapshot][component] = Some(value);
+                (
+                    Response::Updated,
+                    Some(Location::Component {
+                        snapshot,
+                        component,
+                    }),
+                )
+            }
+            Op::Scan { snapshot } => {
+                self.layout.check_snapshot(snapshot)?;
+                (Response::Snapshot(self.snapshots[snapshot].clone()), None)
+            }
+            Op::Nop => (Response::Nop, None),
+        };
+        self.metrics.record(process, kind, written);
+        Ok(response)
+    }
+
+    /// The usage metrics accumulated so far.
+    pub fn metrics(&self) -> &MemoryMetrics {
+        &self.metrics
+    }
+
+    /// Clears the usage metrics without touching register contents.
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
+    /// Reads register `register` without recording a metric (used by
+    /// inspection and assertions in tests and adversaries).
+    pub fn peek_register(&self, register: usize) -> Option<&V> {
+        self.registers.get(register).and_then(|v| v.as_ref())
+    }
+
+    /// Returns the current contents of snapshot object `snapshot` without
+    /// recording a metric.
+    pub fn peek_snapshot(&self, snapshot: usize) -> &[Option<V>] {
+        &self.snapshots[snapshot]
+    }
+
+    /// Overwrites the full contents of the memory with another memory's
+    /// contents. Both must share the same layout. Used by the covering
+    /// adversary when splicing execution fragments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layouts differ.
+    pub fn restore_from(&mut self, other: &SimMemory<V>) {
+        assert_eq!(
+            self.layout, other.layout,
+            "cannot restore memory contents across different layouts"
+        );
+        self.registers = other.registers.clone();
+        self.snapshots = other.snapshots.clone();
+    }
+
+    /// A compact fingerprint of the register/snapshot contents (not the
+    /// metrics), used by the bounded explorer to deduplicate states.
+    pub fn content_fingerprint(&self) -> u64
+    where
+        V: std::hash::Hash,
+    {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut hasher = DefaultHasher::new();
+        self.registers.hash(&mut hasher);
+        self.snapshots.hash(&mut hasher);
+        hasher.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> MemoryLayout {
+        MemoryLayout::new(2, vec![3, 2])
+    }
+
+    #[test]
+    fn registers_start_at_bottom() {
+        let mem: SimMemory<u64> = SimMemory::for_layout(&layout());
+        assert_eq!(mem.peek_register(0), None);
+        assert_eq!(mem.peek_snapshot(0), &[None, None, None]);
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut mem: SimMemory<u64> = SimMemory::for_layout(&layout());
+        mem.apply(ProcessId(0), Op::Write { register: 1, value: 5 })
+            .unwrap();
+        let r = mem.apply(ProcessId(1), Op::Read { register: 1 }).unwrap();
+        assert_eq!(r, Response::Read(Some(5)));
+        let r = mem.apply(ProcessId(1), Op::Read { register: 0 }).unwrap();
+        assert_eq!(r, Response::Read(None));
+    }
+
+    #[test]
+    fn update_then_scan_sees_value() {
+        let mut mem: SimMemory<u64> = SimMemory::for_layout(&layout());
+        mem.apply(
+            ProcessId(0),
+            Op::Update { snapshot: 1, component: 1, value: 9 },
+        )
+        .unwrap();
+        let r = mem.apply(ProcessId(2), Op::Scan { snapshot: 1 }).unwrap();
+        assert_eq!(r, Response::Snapshot(vec![None, Some(9)]));
+        // Other snapshot object unaffected.
+        let r = mem.apply(ProcessId(2), Op::Scan { snapshot: 0 }).unwrap();
+        assert_eq!(r, Response::Snapshot(vec![None, None, None]));
+    }
+
+    #[test]
+    fn overwrites_keep_latest_value() {
+        let mut mem: SimMemory<u64> = SimMemory::for_layout(&layout());
+        for v in 0..10u64 {
+            mem.apply(ProcessId(0), Op::Update { snapshot: 0, component: 0, value: v })
+                .unwrap();
+        }
+        assert_eq!(mem.peek_snapshot(0)[0], Some(9));
+    }
+
+    #[test]
+    fn out_of_range_operations_error() {
+        let mut mem: SimMemory<u64> = SimMemory::for_layout(&layout());
+        assert!(mem.apply(ProcessId(0), Op::Read { register: 2 }).is_err());
+        assert!(mem
+            .apply(ProcessId(0), Op::Update { snapshot: 0, component: 3, value: 1 })
+            .is_err());
+        assert!(mem.apply(ProcessId(0), Op::Scan { snapshot: 2 }).is_err());
+        assert!(mem
+            .apply(ProcessId(0), Op::Write { register: 5, value: 0 })
+            .is_err());
+    }
+
+    #[test]
+    fn metrics_track_ops_and_space() {
+        let mut mem: SimMemory<u64> = SimMemory::for_layout(&layout());
+        mem.apply(ProcessId(0), Op::Update { snapshot: 0, component: 0, value: 1 })
+            .unwrap();
+        mem.apply(ProcessId(0), Op::Update { snapshot: 0, component: 1, value: 2 })
+            .unwrap();
+        mem.apply(ProcessId(1), Op::Scan { snapshot: 0 }).unwrap();
+        mem.apply(ProcessId(1), Op::Nop).unwrap();
+        let metrics = mem.metrics();
+        assert_eq!(metrics.total_ops(), 4);
+        assert_eq!(metrics.components_written(0), 2);
+        assert_eq!(metrics.distinct_locations_written(), 2);
+    }
+
+    #[test]
+    fn nop_touches_nothing() {
+        let mut mem: SimMemory<u64> = SimMemory::for_layout(&layout());
+        let before = mem.clone();
+        mem.apply(ProcessId(0), Op::Nop).unwrap();
+        assert_eq!(mem.peek_snapshot(0), before.peek_snapshot(0));
+        assert_eq!(mem.metrics().distinct_locations_written(), 0);
+    }
+
+    #[test]
+    fn restore_from_copies_contents_only() {
+        let mut a: SimMemory<u64> = SimMemory::for_layout(&layout());
+        let mut b: SimMemory<u64> = SimMemory::for_layout(&layout());
+        b.apply(ProcessId(0), Op::Write { register: 0, value: 3 })
+            .unwrap();
+        a.restore_from(&b);
+        assert_eq!(a.peek_register(0), Some(&3));
+        // Metrics of `a` are untouched by restore.
+        assert_eq!(a.metrics().total_ops(), 0);
+    }
+
+    #[test]
+    fn fingerprint_changes_with_contents() {
+        let mut a: SimMemory<u64> = SimMemory::for_layout(&layout());
+        let f0 = a.content_fingerprint();
+        a.apply(ProcessId(0), Op::Write { register: 0, value: 1 })
+            .unwrap();
+        let f1 = a.content_fingerprint();
+        assert_ne!(f0, f1);
+        // Metrics do not influence the fingerprint.
+        a.apply(ProcessId(0), Op::Read { register: 0 }).unwrap();
+        assert_eq!(a.content_fingerprint(), f1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different layouts")]
+    fn restore_from_rejects_layout_mismatch() {
+        let mut a: SimMemory<u64> = SimMemory::for_layout(&MemoryLayout::registers_only(1));
+        let b: SimMemory<u64> = SimMemory::for_layout(&MemoryLayout::registers_only(2));
+        a.restore_from(&b);
+    }
+}

@@ -1,0 +1,262 @@
+//! The `Automaton` step-machine trait and decision events.
+
+use crate::ids::{InputValue, InstanceId};
+use crate::layout::MemoryLayout;
+use crate::op::{Op, OpKind, Response};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+
+/// An output event of a `Propose` operation: in instance `instance` the
+/// process decided `value`.
+///
+/// One-shot algorithms always report `instance == 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Decision {
+    /// The (1-based) instance of repeated set agreement this decision belongs to.
+    pub instance: InstanceId,
+    /// The decided value.
+    pub value: InputValue,
+}
+
+impl Decision {
+    /// Convenience constructor.
+    pub fn new(instance: InstanceId, value: InputValue) -> Self {
+        Decision { instance, value }
+    }
+}
+
+/// A process automaton: the algorithm of one process, expressed as an
+/// explicit state machine performing **one shared-memory operation per
+/// step**.
+///
+/// This is exactly the granularity of the paper's model, and it is what makes
+/// adversarial scheduling possible: a scheduler (or the Theorem 2 covering
+/// adversary) can inspect the operation a process is *poised* to perform via
+/// [`Automaton::poised`] before deciding whether to let it run.
+///
+/// The driving loop is always:
+///
+/// ```text
+/// while let Some(op) = a.poised() {
+///     let resp = memory.apply(op);      // atomic
+///     let decisions = a.apply(resp);    // local computation
+/// }
+/// ```
+///
+/// The same automaton runs unchanged on the deterministic simulator
+/// (`sa-runtime`) and on real threads (`sa-runtime::threaded`), because all
+/// shared state lives behind the `Op`/`Response` exchange.
+///
+/// Implementations must be deterministic: the next poised operation is a
+/// function of the local state only (the paper considers deterministic
+/// algorithms).
+pub trait Automaton {
+    /// The type of values this algorithm stores in shared memory.
+    type Value: Clone + Eq + Debug;
+
+    /// The shared objects this automaton expects to exist.
+    ///
+    /// All automata participating in one execution must declare compatible
+    /// layouts (the runtime uses the union).
+    fn layout(&self) -> MemoryLayout;
+
+    /// The shared-memory operation this process is poised to perform, or
+    /// `None` if the process has halted (it has completed all the `Propose`
+    /// operations it was configured to perform).
+    fn poised(&self) -> Option<Op<Self::Value>>;
+
+    /// Delivers the response of the poised operation and performs the local
+    /// computation that follows it, returning any decisions produced by this
+    /// step.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called while [`Automaton::poised`]
+    /// returns `None` or with a response of the wrong shape; both indicate a
+    /// bug in the driver, not in user code.
+    fn apply(&mut self, response: Response<Self::Value>) -> Vec<Decision>;
+
+    /// `true` once the process has halted.
+    fn is_halted(&self) -> bool {
+        self.poised().is_none()
+    }
+}
+
+/// The result of driving an automaton through a single step against some
+/// memory. Produced by runtime drivers; bundled here so that both the
+/// simulated and the threaded driver report the same shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// The kind of operation performed.
+    pub op_kind: OpKind,
+    /// Decisions produced by this step.
+    pub decisions: Vec<Decision>,
+    /// Whether the automaton is halted after this step.
+    pub halted: bool,
+}
+
+/// An accumulator of decisions grouped by instance, used by property checkers
+/// and experiments to evaluate Validity and k-Agreement.
+///
+/// ```
+/// use sa_model::{Decision, DecisionSet, ProcessId};
+/// let mut set = DecisionSet::new();
+/// set.record(ProcessId(0), Decision::new(1, 10));
+/// set.record(ProcessId(1), Decision::new(1, 20));
+/// set.record(ProcessId(0), Decision::new(2, 10));
+/// assert_eq!(set.distinct_outputs(1), 2);
+/// assert_eq!(set.distinct_outputs(2), 1);
+/// assert_eq!(set.instances().count(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct DecisionSet {
+    by_instance: BTreeMap<InstanceId, BTreeMap<crate::ProcessId, InputValue>>,
+}
+
+impl DecisionSet {
+    /// Creates an empty decision set.
+    pub fn new() -> Self {
+        DecisionSet::default()
+    }
+
+    /// Records that `process` decided `decision.value` in `decision.instance`.
+    ///
+    /// A well-formed execution never has a process decide twice in the same
+    /// instance; if it does (a protocol bug), the later value overwrites the
+    /// earlier one and [`DecisionSet::double_decisions`] reports it.
+    pub fn record(&mut self, process: crate::ProcessId, decision: Decision) {
+        self.by_instance
+            .entry(decision.instance)
+            .or_default()
+            .insert(process, decision.value);
+    }
+
+    /// Records every decision of an iterator for one process.
+    pub fn record_all(
+        &mut self,
+        process: crate::ProcessId,
+        decisions: impl IntoIterator<Item = Decision>,
+    ) {
+        for d in decisions {
+            self.record(process, d);
+        }
+    }
+
+    /// The instances for which at least one decision was recorded.
+    pub fn instances(&self) -> impl Iterator<Item = InstanceId> + '_ {
+        self.by_instance.keys().copied()
+    }
+
+    /// The set of distinct values output in `instance`.
+    pub fn outputs(&self, instance: InstanceId) -> BTreeSet<InputValue> {
+        self.by_instance
+            .get(&instance)
+            .map(|m| m.values().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The number of distinct values output in `instance`.
+    pub fn distinct_outputs(&self, instance: InstanceId) -> usize {
+        self.outputs(instance).len()
+    }
+
+    /// The value decided by `process` in `instance`, if any.
+    pub fn decision_of(&self, process: crate::ProcessId, instance: InstanceId) -> Option<InputValue> {
+        self.by_instance
+            .get(&instance)
+            .and_then(|m| m.get(&process))
+            .copied()
+    }
+
+    /// The number of processes that decided in `instance`.
+    pub fn deciders(&self, instance: InstanceId) -> usize {
+        self.by_instance.get(&instance).map_or(0, |m| m.len())
+    }
+
+    /// Processes that decided more than once in some instance are impossible
+    /// with this representation, but a driver can use this to double-check by
+    /// re-recording: always empty here; kept for interface symmetry with
+    /// trace-based checkers.
+    pub fn double_decisions(&self) -> usize {
+        0
+    }
+
+    /// Total number of recorded decisions across all instances.
+    pub fn len(&self) -> usize {
+        self.by_instance.values().map(|m| m.len()).sum()
+    }
+
+    /// `true` if no decision has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.by_instance.is_empty()
+    }
+
+    /// Merges another decision set into this one.
+    pub fn merge(&mut self, other: &DecisionSet) {
+        for (instance, decisions) in &other.by_instance {
+            let entry = self.by_instance.entry(*instance).or_default();
+            for (p, v) in decisions {
+                entry.insert(*p, *v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProcessId;
+
+    #[test]
+    fn decision_ordering_is_by_instance_then_value() {
+        let a = Decision::new(1, 5);
+        let b = Decision::new(2, 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn decision_set_groups_by_instance() {
+        let mut set = DecisionSet::new();
+        set.record(ProcessId(0), Decision::new(1, 7));
+        set.record(ProcessId(1), Decision::new(1, 7));
+        set.record(ProcessId(2), Decision::new(1, 9));
+        assert_eq!(set.distinct_outputs(1), 2);
+        assert_eq!(set.deciders(1), 3);
+        assert_eq!(set.outputs(1).into_iter().collect::<Vec<_>>(), vec![7, 9]);
+        assert_eq!(set.decision_of(ProcessId(1), 1), Some(7));
+        assert_eq!(set.decision_of(ProcessId(1), 2), None);
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn empty_instance_has_no_outputs() {
+        let set = DecisionSet::new();
+        assert_eq!(set.distinct_outputs(3), 0);
+        assert!(set.outputs(3).is_empty());
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn merge_combines_instances() {
+        let mut a = DecisionSet::new();
+        a.record(ProcessId(0), Decision::new(1, 1));
+        let mut b = DecisionSet::new();
+        b.record(ProcessId(1), Decision::new(2, 2));
+        b.record(ProcessId(1), Decision::new(1, 3));
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.instances().count(), 2);
+    }
+
+    #[test]
+    fn record_all_collects_iterator() {
+        let mut set = DecisionSet::new();
+        set.record_all(
+            ProcessId(4),
+            vec![Decision::new(1, 1), Decision::new(2, 2), Decision::new(3, 3)],
+        );
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.decision_of(ProcessId(4), 2), Some(2));
+    }
+}

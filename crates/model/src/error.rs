@@ -1,0 +1,155 @@
+//! Error types for parameter and layout validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced when constructing [`Params`](crate::Params) with values
+/// that do not satisfy the paper's constraints `1 ≤ m ≤ k < n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamsError {
+    /// Fewer than two processes: the paper assumes `n > 1`.
+    TooFewProcesses {
+        /// The offending process count.
+        n: usize,
+    },
+    /// `m` was zero; obstruction degrees start at one.
+    ZeroObstruction,
+    /// `k` was zero; agreement degrees start at one.
+    ZeroAgreement,
+    /// `m > k`: by Lemma 1 of the paper no algorithm exists in this regime.
+    ObstructionExceedsAgreement {
+        /// The obstruction degree `m`.
+        m: usize,
+        /// The agreement degree `k`.
+        k: usize,
+    },
+    /// `k ≥ n`: the problem is trivial (each process outputs its own input)
+    /// and the paper's bounds do not apply.
+    AgreementNotBelowProcesses {
+        /// The agreement degree `k`.
+        k: usize,
+        /// The process count `n`.
+        n: usize,
+    },
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamsError::TooFewProcesses { n } => {
+                write!(f, "need at least 2 processes, got n = {n}")
+            }
+            ParamsError::ZeroObstruction => write!(f, "obstruction degree m must be at least 1"),
+            ParamsError::ZeroAgreement => write!(f, "agreement degree k must be at least 1"),
+            ParamsError::ObstructionExceedsAgreement { m, k } => write!(
+                f,
+                "m-obstruction-free k-set agreement is unsolvable for m > k (m = {m}, k = {k})"
+            ),
+            ParamsError::AgreementNotBelowProcesses { k, n } => write!(
+                f,
+                "k-set agreement is trivial for k >= n (k = {k}, n = {n}); bounds require k < n"
+            ),
+        }
+    }
+}
+
+impl Error for ParamsError {}
+
+/// An error produced when an operation refers to a register or snapshot
+/// component outside the declared [`MemoryLayout`](crate::MemoryLayout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// A register index was out of range.
+    RegisterOutOfRange {
+        /// The requested register index.
+        register: usize,
+        /// The number of registers in the layout.
+        registers: usize,
+    },
+    /// A snapshot object index was out of range.
+    SnapshotOutOfRange {
+        /// The requested snapshot object index.
+        snapshot: usize,
+        /// The number of snapshot objects in the layout.
+        snapshots: usize,
+    },
+    /// A snapshot component index was out of range for its object.
+    ComponentOutOfRange {
+        /// The snapshot object index.
+        snapshot: usize,
+        /// The requested component index.
+        component: usize,
+        /// The width (number of components) of the snapshot object.
+        width: usize,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::RegisterOutOfRange {
+                register,
+                registers,
+            } => write!(
+                f,
+                "register {register} out of range (layout has {registers} registers)"
+            ),
+            LayoutError::SnapshotOutOfRange {
+                snapshot,
+                snapshots,
+            } => write!(
+                f,
+                "snapshot object {snapshot} out of range (layout has {snapshots} snapshot objects)"
+            ),
+            LayoutError::ComponentOutOfRange {
+                snapshot,
+                component,
+                width,
+            } => write!(
+                f,
+                "component {component} out of range for snapshot object {snapshot} of width {width}"
+            ),
+        }
+    }
+}
+
+impl Error for LayoutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_error_messages_are_lowercase_and_informative() {
+        let msgs = [
+            ParamsError::TooFewProcesses { n: 1 }.to_string(),
+            ParamsError::ZeroObstruction.to_string(),
+            ParamsError::ZeroAgreement.to_string(),
+            ParamsError::ObstructionExceedsAgreement { m: 3, k: 2 }.to_string(),
+            ParamsError::AgreementNotBelowProcesses { k: 4, n: 4 }.to_string(),
+        ];
+        for msg in msgs {
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn layout_error_messages_mention_indices() {
+        let err = LayoutError::ComponentOutOfRange {
+            snapshot: 0,
+            component: 9,
+            width: 4,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains('9') && msg.contains('4'));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ParamsError>();
+        assert_error::<LayoutError>();
+    }
+}

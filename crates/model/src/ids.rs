@@ -1,0 +1,93 @@
+//! Identifiers and basic value types.
+
+use std::fmt;
+
+/// An input (and output) value of set agreement.
+///
+/// The paper takes the input domain `D` to be the natural numbers, so a
+/// 64-bit unsigned integer is a faithful, convenient representation.
+pub type InputValue = u64;
+
+/// The index of an instance of *repeated* set agreement (1-based, as in the
+/// paper: a process's `t`-th invocation of `Propose` belongs to instance `t`).
+pub type InstanceId = u64;
+
+/// The identifier of a process, in the range `0..n`.
+///
+/// Anonymous algorithms never inspect their own `ProcessId`; the runtime still
+/// uses one to address processes when scheduling.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// Returns the raw index of this process.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Returns an iterator over the process ids `0..n`.
+    ///
+    /// ```
+    /// use sa_model::ProcessId;
+    /// let ids: Vec<_> = ProcessId::all(3).collect();
+    /// assert_eq!(ids, vec![ProcessId(0), ProcessId(1), ProcessId(2)]);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = ProcessId> {
+        (0..n).map(ProcessId)
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(index: usize) -> Self {
+        ProcessId(index)
+    }
+}
+
+impl From<ProcessId> for usize {
+    fn from(id: ProcessId) -> usize {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_roundtrip() {
+        let id = ProcessId::from(7usize);
+        assert_eq!(usize::from(id), 7);
+        assert_eq!(id.index(), 7);
+    }
+
+    #[test]
+    fn process_id_display() {
+        assert_eq!(ProcessId(3).to_string(), "p3");
+        assert_eq!(format!("{:?}", ProcessId(3)), "p3");
+    }
+
+    #[test]
+    fn all_yields_n_ids() {
+        assert_eq!(ProcessId::all(5).count(), 5);
+        assert_eq!(ProcessId::all(0).count(), 0);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProcessId(1) < ProcessId(2));
+        assert_eq!(ProcessId::default(), ProcessId(0));
+    }
+}

@@ -1,0 +1,420 @@
+//! The deterministic step executor.
+//!
+//! An [`Executor`] owns a set of automata (one per process) and a
+//! [`SimMemory`]; each call to [`Executor::step`] lets one process perform
+//! its poised shared-memory operation atomically. [`Executor::run`] drives
+//! the whole execution under a [`Scheduler`].
+//!
+//! Because `Executor` is `Clone` (whenever the automata are), adversaries can
+//! snapshot a configuration, explore alternative futures and backtrack —
+//! which is exactly what the Theorem 2 covering construction and the bounded
+//! explorer need.
+
+use crate::schedule::{Scheduler, SchedulerView};
+use crate::trace::{Trace, TraceEvent};
+use sa_memory::{MemoryMetrics, SimMemory};
+use sa_model::{Automaton, DecisionSet, MemoryLayout, Op, ProcessId, StepOutcome};
+use std::fmt::Debug;
+
+/// Why an execution stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every process halted (completed all its configured `Propose`s).
+    AllHalted,
+    /// The step budget was exhausted before every process halted.
+    StepLimit,
+    /// The scheduler declined to schedule anybody else.
+    SchedulerExhausted,
+}
+
+/// Configuration of an execution run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Maximum number of steps to execute.
+    pub max_steps: u64,
+    /// Whether to record a full [`Trace`].
+    pub record_trace: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            max_steps: 1_000_000,
+            record_trace: false,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A config with the given step budget and no trace.
+    pub fn with_max_steps(max_steps: u64) -> Self {
+        RunConfig {
+            max_steps,
+            ..RunConfig::default()
+        }
+    }
+
+    /// Enables trace recording.
+    pub fn traced(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+}
+
+/// The summary of an execution run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Total number of steps executed.
+    pub steps: u64,
+    /// Decisions recorded, grouped by instance.
+    pub decisions: DecisionSet,
+    /// Steps taken by each process.
+    pub steps_per_process: Vec<u64>,
+    /// Which processes had halted when the run stopped.
+    pub halted: Vec<bool>,
+    /// Shared-memory usage metrics of the run.
+    pub metrics: MemoryMetrics,
+    /// The execution trace, if recording was enabled.
+    pub trace: Option<Trace>,
+}
+
+impl RunReport {
+    /// `true` if every process halted.
+    pub fn all_halted(&self) -> bool {
+        self.halted.iter().all(|h| *h)
+    }
+
+    /// The processes that had **not** halted when the run stopped.
+    pub fn unfinished(&self) -> Vec<ProcessId> {
+        self.halted
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| !**h)
+            .map(|(i, _)| ProcessId(i))
+            .collect()
+    }
+}
+
+/// Drives a set of automata against a simulated shared memory, one atomic
+/// step at a time.
+///
+/// ```
+/// use sa_runtime::{Executor, RoundRobin, RunConfig};
+/// use sa_runtime::toy::ToyWriter;
+///
+/// let automata = vec![ToyWriter::new(0, 10), ToyWriter::new(1, 20)];
+/// let mut exec = Executor::new(automata);
+/// let report = exec.run(&mut RoundRobin::new(), RunConfig::default());
+/// assert!(report.all_halted());
+/// assert_eq!(report.decisions.deciders(1), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Executor<A: Automaton> {
+    automata: Vec<A>,
+    memory: SimMemory<A::Value>,
+    decisions: DecisionSet,
+    steps: u64,
+    steps_per_process: Vec<u64>,
+}
+
+impl<A: Automaton> Executor<A>
+where
+    A::Value: Clone + Eq + Debug,
+{
+    /// Creates an executor for the given automata. The shared memory is
+    /// sized to the union of the automata's declared layouts.
+    pub fn new(automata: Vec<A>) -> Self {
+        let layout = automata
+            .iter()
+            .map(|a| a.layout())
+            .fold(MemoryLayout::default(), |acc, l| acc.union(&l));
+        Executor::with_layout(automata, &layout)
+    }
+
+    /// Creates an executor with an explicit memory layout (it must be at
+    /// least as large as every automaton's declared layout).
+    pub fn with_layout(automata: Vec<A>, layout: &MemoryLayout) -> Self {
+        let n = automata.len();
+        Executor {
+            automata,
+            memory: SimMemory::for_layout(layout),
+            decisions: DecisionSet::new(),
+            steps: 0,
+            steps_per_process: vec![0; n],
+        }
+    }
+
+    /// The number of processes.
+    pub fn process_count(&self) -> usize {
+        self.automata.len()
+    }
+
+    /// The processes that have not halted.
+    pub fn runnable(&self) -> Vec<ProcessId> {
+        self.automata
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !a.is_halted())
+            .map(|(i, _)| ProcessId(i))
+            .collect()
+    }
+
+    /// `true` once every process has halted.
+    pub fn all_halted(&self) -> bool {
+        self.automata.iter().all(|a| a.is_halted())
+    }
+
+    /// The operation `process` is poised to perform, if it has not halted.
+    pub fn poised(&self, process: ProcessId) -> Option<Op<A::Value>> {
+        self.automata.get(process.index())?.poised()
+    }
+
+    /// A reference to the automaton of `process`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process id is out of range.
+    pub fn automaton(&self, process: ProcessId) -> &A {
+        &self.automata[process.index()]
+    }
+
+    /// The shared memory (e.g. for metric inspection).
+    pub fn memory(&self) -> &SimMemory<A::Value> {
+        &self.memory
+    }
+
+    /// The decisions recorded so far.
+    pub fn decisions(&self) -> &DecisionSet {
+        &self.decisions
+    }
+
+    /// The number of steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Lets `process` perform its poised operation. Returns `None` if the
+    /// process has already halted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process issues an operation outside the memory layout —
+    /// that is a protocol bug, not a schedulable condition.
+    pub fn step(&mut self, process: ProcessId) -> Option<StepOutcome> {
+        let automaton = self.automata.get_mut(process.index())?;
+        let op = automaton.poised()?;
+        let op_kind = op.kind();
+        let response = self
+            .memory
+            .apply(process, op)
+            .unwrap_or_else(|e| panic!("{process} issued an out-of-layout operation: {e}"));
+        let decisions = automaton.apply(response);
+        self.decisions.record_all(process, decisions.iter().copied());
+        self.steps += 1;
+        self.steps_per_process[process.index()] += 1;
+        Some(StepOutcome {
+            op_kind,
+            halted: self.automata[process.index()].is_halted(),
+            decisions,
+        })
+    }
+
+    /// Runs the execution under `scheduler` until every process halts, the
+    /// step budget is exhausted, or the scheduler gives up.
+    pub fn run<S: Scheduler + ?Sized>(&mut self, scheduler: &mut S, config: RunConfig) -> RunReport {
+        let mut trace = config.record_trace.then(Trace::new);
+        let stop = loop {
+            if self.all_halted() {
+                break StopReason::AllHalted;
+            }
+            if self.steps >= config.max_steps {
+                break StopReason::StepLimit;
+            }
+            let runnable = self.runnable();
+            let view = SchedulerView {
+                step: self.steps,
+                runnable: &runnable,
+            };
+            let Some(pick) = scheduler.next(&view) else {
+                break StopReason::SchedulerExhausted;
+            };
+            let step_number = self.steps;
+            let wrote = if trace.is_some() {
+                self.poised(pick).and_then(|op| {
+                    op.write_target().map(|(snapshot, index)| match snapshot {
+                        None => sa_memory::Location::Register(index),
+                        Some(snapshot) => sa_memory::Location::Component {
+                            snapshot,
+                            component: index,
+                        },
+                    })
+                })
+            } else {
+                None
+            };
+            let Some(outcome) = self.step(pick) else {
+                // The scheduler picked a halted process; treat as exhaustion
+                // to avoid spinning forever.
+                break StopReason::SchedulerExhausted;
+            };
+            if let Some(trace) = trace.as_mut() {
+                trace.push(TraceEvent {
+                    step: step_number,
+                    process: pick,
+                    op: outcome.op_kind,
+                    wrote,
+                    decisions: outcome.decisions.clone(),
+                });
+            }
+        };
+        RunReport {
+            stop,
+            steps: self.steps,
+            decisions: self.decisions.clone(),
+            steps_per_process: self.steps_per_process.clone(),
+            halted: self.automata.iter().map(|a| a.is_halted()).collect(),
+            metrics: self.memory.metrics().clone(),
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{RoundRobin, ScriptedScheduler, SoloScheduler};
+    use crate::toy::{RacyConsensus, Spinner, ToyWriter};
+
+    #[test]
+    fn run_to_completion_under_round_robin() {
+        let automata = vec![ToyWriter::new(0, 1), ToyWriter::new(1, 2), ToyWriter::new(2, 3)];
+        let mut exec = Executor::new(automata);
+        let report = exec.run(&mut RoundRobin::new(), RunConfig::default());
+        assert_eq!(report.stop, StopReason::AllHalted);
+        assert!(report.all_halted());
+        assert_eq!(report.decisions.deciders(1), 3);
+        assert_eq!(report.steps, 6);
+        assert_eq!(report.steps_per_process, vec![2, 2, 2]);
+        assert!(report.unfinished().is_empty());
+    }
+
+    #[test]
+    fn step_limit_is_enforced() {
+        let automata = vec![Spinner::new(0), Spinner::new(0)];
+        let mut exec = Executor::new(automata);
+        let report = exec.run(&mut RoundRobin::new(), RunConfig::with_max_steps(25));
+        assert_eq!(report.stop, StopReason::StepLimit);
+        assert_eq!(report.steps, 25);
+        assert!(!report.all_halted());
+        assert_eq!(report.unfinished().len(), 2);
+    }
+
+    #[test]
+    fn scheduler_exhaustion_is_reported() {
+        let automata = vec![ToyWriter::new(0, 1), ToyWriter::new(1, 2)];
+        let mut exec = Executor::new(automata);
+        // A script that only runs p0; after p0 halts nothing remains.
+        let mut sched = ScriptedScheduler::new(vec![ProcessId(0); 10]);
+        let report = exec.run(&mut sched, RunConfig::default());
+        assert_eq!(report.stop, StopReason::SchedulerExhausted);
+        assert_eq!(report.decisions.deciders(1), 1);
+        assert_eq!(report.unfinished(), vec![ProcessId(1)]);
+    }
+
+    #[test]
+    fn racy_automaton_disagrees_under_a_bad_schedule() {
+        // Both processes read before either writes: they decide different values.
+        let automata = vec![
+            RacyConsensus::new(ProcessId(0), 10),
+            RacyConsensus::new(ProcessId(1), 20),
+        ];
+        let mut exec = Executor::new(automata);
+        let mut sched = ScriptedScheduler::new(vec![
+            ProcessId(0),
+            ProcessId(1),
+            ProcessId(0),
+            ProcessId(1),
+        ]);
+        let report = exec.run(&mut sched, RunConfig::default());
+        assert_eq!(report.decisions.distinct_outputs(1), 2);
+    }
+
+    #[test]
+    fn racy_automaton_agrees_under_solo_then_solo() {
+        let automata = vec![
+            RacyConsensus::new(ProcessId(0), 10),
+            RacyConsensus::new(ProcessId(1), 20),
+        ];
+        let mut exec = Executor::new(automata);
+        let mut sched = ScriptedScheduler::new(vec![
+            ProcessId(0),
+            ProcessId(0),
+            ProcessId(1),
+            ProcessId(1),
+        ]);
+        let report = exec.run(&mut sched, RunConfig::default());
+        assert_eq!(report.decisions.distinct_outputs(1), 1);
+        assert_eq!(report.decisions.outputs(1).into_iter().next(), Some(10));
+    }
+
+    #[test]
+    fn manual_stepping_and_inspection() {
+        let automata = vec![ToyWriter::new(0, 5)];
+        let mut exec = Executor::new(automata);
+        assert_eq!(exec.process_count(), 1);
+        assert!(exec.poised(ProcessId(0)).is_some());
+        let outcome = exec.step(ProcessId(0)).unwrap();
+        assert!(!outcome.halted);
+        let outcome = exec.step(ProcessId(0)).unwrap();
+        assert!(outcome.halted);
+        assert_eq!(outcome.decisions.len(), 1);
+        assert!(exec.step(ProcessId(0)).is_none());
+        assert!(exec.all_halted());
+        assert_eq!(exec.steps(), 2);
+        assert_eq!(exec.memory().metrics().total_ops(), 2);
+    }
+
+    #[test]
+    fn trace_recording_captures_schedule() {
+        let automata = vec![ToyWriter::new(0, 1), ToyWriter::new(1, 2)];
+        let mut exec = Executor::new(automata);
+        let report = exec.run(&mut RoundRobin::new(), RunConfig::default().traced());
+        let trace = report.trace.expect("trace was requested");
+        assert_eq!(trace.len() as u64, report.steps);
+        assert_eq!(trace.decisions().len(), 2);
+    }
+
+    #[test]
+    fn solo_run_starves_other_processes() {
+        let automata = vec![ToyWriter::new(0, 1), ToyWriter::new(1, 2)];
+        let mut exec = Executor::new(automata);
+        let report = exec.run(&mut SoloScheduler::new(ProcessId(1)), RunConfig::default());
+        assert_eq!(report.steps_per_process[0], 0);
+        assert!(report.halted[1]);
+        assert!(!report.halted[0]);
+    }
+
+    #[test]
+    fn executor_clone_allows_branching_executions() {
+        let automata = vec![
+            RacyConsensus::new(ProcessId(0), 10),
+            RacyConsensus::new(ProcessId(1), 20),
+        ];
+        let mut exec = Executor::new(automata);
+        exec.step(ProcessId(0));
+        // Branch A: p0 finishes alone first.
+        let mut branch_a = exec.clone();
+        branch_a.step(ProcessId(0));
+        branch_a.step(ProcessId(1));
+        branch_a.step(ProcessId(1));
+        // Branch B: p1 reads before p0 writes.
+        let mut branch_b = exec;
+        branch_b.step(ProcessId(1));
+        branch_b.step(ProcessId(0));
+        branch_b.step(ProcessId(1));
+        assert_eq!(branch_a.decisions().distinct_outputs(1), 1);
+        assert_eq!(branch_b.decisions().distinct_outputs(1), 2);
+    }
+}

@@ -1,0 +1,269 @@
+//! Bounded exhaustive exploration of interleavings — a tiny model checker.
+//!
+//! For small systems (a handful of processes, a bounded number of steps) it
+//! is feasible to enumerate *every* schedule and check a safety predicate in
+//! every reachable configuration. This provides much stronger evidence than
+//! randomized testing:
+//!
+//! * the paper's algorithms (Figures 3–5) are checked to satisfy Validity and
+//!   k-Agreement in **all** interleavings of small configurations, and
+//! * deliberately under-provisioned variants (fewer registers than the lower
+//!   bounds allow) are shown to have *some* interleaving that violates
+//!   k-agreement — an executable companion to the Theorem 2 argument.
+//!
+//! States are deduplicated by hashing the automata, the memory contents and
+//! the decisions taken so far, which keeps the search tractable well beyond
+//! naive schedule enumeration.
+
+use crate::executor::Executor;
+use sa_model::{Automaton, ProcessId};
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::{Hash, Hasher};
+
+/// Configuration of a bounded exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Maximum number of steps along any single execution path.
+    pub max_depth: u64,
+    /// Maximum number of states to visit before giving up (truncation).
+    pub max_states: u64,
+    /// Whether to deduplicate states (requires hashing each state; almost
+    /// always worth it).
+    pub dedup: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_depth: 60,
+            max_states: 2_000_000,
+            dedup: true,
+        }
+    }
+}
+
+impl ExploreConfig {
+    /// A config with the given depth bound.
+    pub fn with_depth(max_depth: u64) -> Self {
+        ExploreConfig {
+            max_depth,
+            ..ExploreConfig::default()
+        }
+    }
+}
+
+/// A safety violation discovered by the explorer, together with the schedule
+/// that exhibits it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploredViolation {
+    /// The schedule (sequence of process ids) leading to the violation.
+    pub schedule: Vec<ProcessId>,
+    /// A human-readable description produced by the predicate.
+    pub description: String,
+}
+
+/// The result of a bounded exploration.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Number of states visited.
+    pub states_visited: u64,
+    /// Number of maximal paths (all-halted or depth-bounded) examined.
+    pub paths: u64,
+    /// The first violation found, if any.
+    pub violation: Option<ExploredViolation>,
+    /// `true` if the search stopped because a limit was hit rather than
+    /// because the state space was exhausted.
+    pub truncated: bool,
+}
+
+impl Exploration {
+    /// `true` if no violation was found and the search was not truncated —
+    /// i.e. the predicate holds in **every** reachable configuration within
+    /// the depth bound.
+    pub fn verified(&self) -> bool {
+        self.violation.is_none() && !self.truncated
+    }
+}
+
+fn state_key<A>(executor: &Executor<A>) -> u64
+where
+    A: Automaton + Hash,
+    A::Value: Hash + Clone + Eq + Debug,
+{
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    for p in 0..executor.process_count() {
+        executor.automaton(ProcessId(p)).hash(&mut hasher);
+    }
+    executor.memory().content_fingerprint().hash(&mut hasher);
+    executor.decisions().hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Exhaustively explores every interleaving of the executor's processes up to
+/// the configured depth, checking `predicate` in every reachable
+/// configuration.
+///
+/// The predicate receives the executor after each step and returns
+/// `Some(description)` to report a violation (which stops the search) or
+/// `None` if the configuration is acceptable.
+pub fn explore<A, F>(initial: &Executor<A>, config: ExploreConfig, mut predicate: F) -> Exploration
+where
+    A: Automaton + Clone + Hash,
+    A::Value: Hash + Clone + Eq + Debug,
+    F: FnMut(&Executor<A>) -> Option<String>,
+{
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut result = Exploration {
+        states_visited: 0,
+        paths: 0,
+        violation: None,
+        truncated: false,
+    };
+    // Depth-first search over (executor state, schedule prefix).
+    let mut stack: Vec<(Executor<A>, Vec<ProcessId>)> = vec![(initial.clone(), Vec::new())];
+    if config.dedup {
+        seen.insert(state_key(initial));
+    }
+    while let Some((state, schedule)) = stack.pop() {
+        result.states_visited += 1;
+        if result.states_visited >= config.max_states {
+            result.truncated = true;
+            break;
+        }
+        let runnable = state.runnable();
+        if runnable.is_empty() || schedule.len() as u64 >= config.max_depth {
+            if !runnable.is_empty() {
+                // Depth bound cut this path short.
+                result.truncated = true;
+            }
+            result.paths += 1;
+            continue;
+        }
+        for process in runnable {
+            let mut next = state.clone();
+            next.step(process);
+            let mut next_schedule = schedule.clone();
+            next_schedule.push(process);
+            if let Some(description) = predicate(&next) {
+                result.violation = Some(ExploredViolation {
+                    schedule: next_schedule,
+                    description,
+                });
+                return result;
+            }
+            if config.dedup {
+                let key = state_key(&next);
+                if !seen.insert(key) {
+                    continue;
+                }
+            }
+            stack.push((next, next_schedule));
+        }
+    }
+    result
+}
+
+/// Convenience predicate: fail whenever more than `k` distinct values have
+/// been decided in any instance (the k-Agreement safety property).
+pub fn agreement_predicate<A>(k: usize) -> impl FnMut(&Executor<A>) -> Option<String>
+where
+    A: Automaton,
+    A::Value: Clone + Eq + Debug,
+{
+    move |executor: &Executor<A>| {
+        for instance in executor.decisions().instances() {
+            let outputs = executor.decisions().outputs(instance);
+            if outputs.len() > k {
+                return Some(format!(
+                    "instance {instance} has {} distinct outputs {:?}, exceeding k = {k}",
+                    outputs.len(),
+                    outputs
+                ));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{RacyConsensus, ToyWriter};
+
+    #[test]
+    fn explorer_verifies_trivially_safe_system() {
+        // Two independent writers can never violate 2-agreement.
+        let exec = Executor::new(vec![ToyWriter::new(0, 1), ToyWriter::new(1, 2)]);
+        let result = explore(&exec, ExploreConfig::default(), agreement_predicate(2));
+        assert!(result.verified(), "unexpected result: {result:?}");
+        assert!(result.states_visited > 0);
+    }
+
+    #[test]
+    fn explorer_finds_the_racy_interleaving() {
+        // RacyConsensus violates 1-agreement only when both processes read
+        // before either writes; the explorer must find that schedule.
+        let exec = Executor::new(vec![
+            RacyConsensus::new(ProcessId(0), 10),
+            RacyConsensus::new(ProcessId(1), 20),
+        ]);
+        let result = explore(&exec, ExploreConfig::default(), agreement_predicate(1));
+        let violation = result.violation.expect("the race must be found");
+        assert!(violation.description.contains("exceeding k = 1"));
+        // The violating schedule necessarily lets both processes read first.
+        assert!(violation.schedule.len() >= 3);
+    }
+
+    #[test]
+    fn racy_consensus_satisfies_two_agreement() {
+        let exec = Executor::new(vec![
+            RacyConsensus::new(ProcessId(0), 10),
+            RacyConsensus::new(ProcessId(1), 20),
+        ]);
+        let result = explore(&exec, ExploreConfig::default(), agreement_predicate(2));
+        assert!(result.verified());
+    }
+
+    #[test]
+    fn depth_bound_reports_truncation() {
+        let exec = Executor::new(vec![ToyWriter::new(0, 1), ToyWriter::new(1, 2)]);
+        let result = explore(&exec, ExploreConfig::with_depth(1), agreement_predicate(2));
+        assert!(result.truncated);
+        assert!(!result.verified());
+    }
+
+    #[test]
+    fn state_limit_reports_truncation() {
+        let exec = Executor::new(vec![ToyWriter::new(0, 1), ToyWriter::new(1, 2)]);
+        let config = ExploreConfig {
+            max_states: 2,
+            ..ExploreConfig::default()
+        };
+        let result = explore(&exec, config, agreement_predicate(2));
+        assert!(result.truncated);
+    }
+
+    #[test]
+    fn dedup_reduces_states_visited() {
+        let exec = Executor::new(vec![
+            ToyWriter::new(0, 1),
+            ToyWriter::new(1, 2),
+            ToyWriter::new(2, 3),
+        ]);
+        let with_dedup = explore(&exec, ExploreConfig::default(), agreement_predicate(3));
+        let without = explore(
+            &exec,
+            ExploreConfig {
+                dedup: false,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(3),
+        );
+        assert!(with_dedup.verified() && without.verified());
+        assert!(
+            with_dedup.states_visited <= without.states_visited,
+            "dedup should not increase the number of visited states"
+        );
+    }
+}

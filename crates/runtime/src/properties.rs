@@ -1,0 +1,331 @@
+//! Checkers for the correctness properties of (repeated) k-set agreement.
+//!
+//! The paper's specification (Section 2.1) has three parts:
+//!
+//! * **Validity** — for every instance `i`, the outputs of instance `i` are a
+//!   subset of the inputs proposed in instance `i`.
+//! * **k-Agreement** — for every instance `i`, at most `k` distinct values
+//!   are output.
+//! * **m-Obstruction-Freedom** — in every execution in which at most `m`
+//!   processes take infinitely many steps, every correct process completes
+//!   each of its operations.
+//!
+//! The first two are safety properties checked against a [`DecisionSet`] and
+//! an [`InputLog`]; the third is checked per run by asserting termination
+//! under schedules that satisfy its hypothesis (see
+//! [`check_obstruction_termination`]).
+
+use sa_model::{DecisionSet, InputValue, InstanceId, ProcessId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+/// The inputs proposed per instance, needed to check Validity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InputLog {
+    by_instance: BTreeMap<InstanceId, BTreeSet<InputValue>>,
+}
+
+impl InputLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        InputLog::default()
+    }
+
+    /// Records that some process proposed `value` in `instance`.
+    pub fn record(&mut self, instance: InstanceId, value: InputValue) {
+        self.by_instance.entry(instance).or_default().insert(value);
+    }
+
+    /// Records the same per-instance inputs for a batch of processes indexed
+    /// by position: `inputs[p][i]` is the input of process `p` in instance
+    /// `i + 1`.
+    pub fn record_matrix(&mut self, inputs: &[Vec<InputValue>]) {
+        for per_process in inputs {
+            for (i, v) in per_process.iter().enumerate() {
+                self.record((i + 1) as InstanceId, *v);
+            }
+        }
+    }
+
+    /// The inputs of `instance`.
+    pub fn inputs(&self, instance: InstanceId) -> BTreeSet<InputValue> {
+        self.by_instance
+            .get(&instance)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Instances with at least one recorded input.
+    pub fn instances(&self) -> impl Iterator<Item = InstanceId> + '_ {
+        self.by_instance.keys().copied()
+    }
+}
+
+/// A violation of the Validity property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidityViolation {
+    /// The instance in which the violation occurred.
+    pub instance: InstanceId,
+    /// The output value that was never proposed in that instance.
+    pub value: InputValue,
+}
+
+impl fmt::Display for ValidityViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "validity violated in instance {}: value {} was output but never proposed",
+            self.instance, self.value
+        )
+    }
+}
+
+impl Error for ValidityViolation {}
+
+/// A violation of the k-Agreement property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgreementViolation {
+    /// The instance in which the violation occurred.
+    pub instance: InstanceId,
+    /// The allowed number of distinct outputs.
+    pub k: usize,
+    /// The distinct values actually output.
+    pub outputs: BTreeSet<InputValue>,
+}
+
+impl fmt::Display for AgreementViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "k-agreement violated in instance {}: {} distinct outputs {:?} exceed k = {}",
+            self.instance,
+            self.outputs.len(),
+            self.outputs,
+            self.k
+        )
+    }
+}
+
+impl Error for AgreementViolation {}
+
+/// A violation of the termination obligation under an obstruction-compatible
+/// schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TerminationViolation {
+    /// Processes that were given steps but did not complete their operations.
+    pub unfinished: Vec<ProcessId>,
+    /// The number of steps the run was allowed.
+    pub budget: u64,
+}
+
+impl fmt::Display for TerminationViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "termination violated: processes {:?} did not finish within {} steps under an m-obstruction schedule",
+            self.unfinished, self.budget
+        )
+    }
+}
+
+impl Error for TerminationViolation {}
+
+/// Checks Validity: every output of every instance was proposed in that
+/// instance.
+///
+/// # Errors
+///
+/// Returns the first [`ValidityViolation`] found.
+pub fn check_validity(inputs: &InputLog, decisions: &DecisionSet) -> Result<(), ValidityViolation> {
+    for instance in decisions.instances() {
+        let allowed = inputs.inputs(instance);
+        for value in decisions.outputs(instance) {
+            if !allowed.contains(&value) {
+                return Err(ValidityViolation { instance, value });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks k-Agreement: at most `k` distinct outputs per instance.
+///
+/// # Errors
+///
+/// Returns the first [`AgreementViolation`] found.
+pub fn check_k_agreement(k: usize, decisions: &DecisionSet) -> Result<(), AgreementViolation> {
+    for instance in decisions.instances() {
+        let outputs = decisions.outputs(instance);
+        if outputs.len() > k {
+            return Err(AgreementViolation {
+                instance,
+                k,
+                outputs,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks that every process in `expected` halted, which is the obligation
+/// imposed by m-obstruction-freedom on runs whose schedule eventually lets at
+/// most `m` processes run (and gives them enough steps).
+///
+/// `halted[i]` states whether process `i` halted; `budget` is only used for
+/// the error message.
+///
+/// # Errors
+///
+/// Returns a [`TerminationViolation`] listing the expected-but-unfinished
+/// processes.
+pub fn check_obstruction_termination(
+    expected: &[ProcessId],
+    halted: &[bool],
+    budget: u64,
+) -> Result<(), TerminationViolation> {
+    let unfinished: Vec<ProcessId> = expected
+        .iter()
+        .copied()
+        .filter(|p| !halted.get(p.index()).copied().unwrap_or(false))
+        .collect();
+    if unfinished.is_empty() {
+        Ok(())
+    } else {
+        Err(TerminationViolation { unfinished, budget })
+    }
+}
+
+/// A combined safety report for one execution.
+#[derive(Debug, Clone, Default)]
+pub struct SafetyReport {
+    /// The validity violation, if any.
+    pub validity: Option<ValidityViolation>,
+    /// The agreement violation, if any.
+    pub agreement: Option<AgreementViolation>,
+}
+
+impl SafetyReport {
+    /// Checks both safety properties at once.
+    pub fn evaluate(k: usize, inputs: &InputLog, decisions: &DecisionSet) -> Self {
+        SafetyReport {
+            validity: check_validity(inputs, decisions).err(),
+            agreement: check_k_agreement(k, decisions).err(),
+        }
+    }
+
+    /// `true` if neither property was violated.
+    pub fn is_safe(&self) -> bool {
+        self.validity.is_none() && self.agreement.is_none()
+    }
+}
+
+impl fmt::Display for SafetyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.validity, &self.agreement) {
+            (None, None) => write!(f, "safe: validity and k-agreement hold"),
+            (Some(v), None) => write!(f, "{v}"),
+            (None, Some(a)) => write!(f, "{a}"),
+            (Some(v), Some(a)) => write!(f, "{v}; {a}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_model::Decision;
+
+    fn decisions(entries: &[(usize, InstanceId, InputValue)]) -> DecisionSet {
+        let mut d = DecisionSet::new();
+        for (p, i, v) in entries {
+            d.record(ProcessId(*p), Decision::new(*i, *v));
+        }
+        d
+    }
+
+    #[test]
+    fn validity_holds_when_outputs_were_proposed() {
+        let mut inputs = InputLog::new();
+        inputs.record(1, 10);
+        inputs.record(1, 20);
+        let d = decisions(&[(0, 1, 10), (1, 1, 20)]);
+        assert!(check_validity(&inputs, &d).is_ok());
+    }
+
+    #[test]
+    fn validity_catches_invented_values() {
+        let mut inputs = InputLog::new();
+        inputs.record(1, 10);
+        let d = decisions(&[(0, 1, 99)]);
+        let err = check_validity(&inputs, &d).unwrap_err();
+        assert_eq!(err.instance, 1);
+        assert_eq!(err.value, 99);
+        assert!(err.to_string().contains("never proposed"));
+    }
+
+    #[test]
+    fn validity_is_per_instance() {
+        // Value 10 proposed only in instance 1 must not justify outputting it
+        // in instance 2.
+        let mut inputs = InputLog::new();
+        inputs.record(1, 10);
+        inputs.record(2, 20);
+        let d = decisions(&[(0, 2, 10)]);
+        assert!(check_validity(&inputs, &d).is_err());
+    }
+
+    #[test]
+    fn agreement_holds_within_k() {
+        let d = decisions(&[(0, 1, 1), (1, 1, 2), (2, 1, 2)]);
+        assert!(check_k_agreement(2, &d).is_ok());
+    }
+
+    #[test]
+    fn agreement_catches_too_many_values() {
+        let d = decisions(&[(0, 1, 1), (1, 1, 2), (2, 1, 3)]);
+        let err = check_k_agreement(2, &d).unwrap_err();
+        assert_eq!(err.instance, 1);
+        assert_eq!(err.outputs.len(), 3);
+        assert!(err.to_string().contains("k = 2"));
+    }
+
+    #[test]
+    fn agreement_checks_every_instance_independently() {
+        let d = decisions(&[(0, 1, 1), (1, 2, 2), (2, 2, 3), (3, 2, 4)]);
+        let err = check_k_agreement(2, &d).unwrap_err();
+        assert_eq!(err.instance, 2);
+    }
+
+    #[test]
+    fn termination_check_lists_unfinished() {
+        let halted = vec![true, false, true];
+        let expected: Vec<ProcessId> = ProcessId::all(3).collect();
+        let err = check_obstruction_termination(&expected, &halted, 500).unwrap_err();
+        assert_eq!(err.unfinished, vec![ProcessId(1)]);
+        assert!(err.to_string().contains("500"));
+        assert!(check_obstruction_termination(&[ProcessId(0)], &halted, 500).is_ok());
+    }
+
+    #[test]
+    fn input_log_matrix_records_per_instance() {
+        let mut log = InputLog::new();
+        log.record_matrix(&[vec![1, 2], vec![3, 4]]);
+        assert_eq!(log.inputs(1), BTreeSet::from([1, 3]));
+        assert_eq!(log.inputs(2), BTreeSet::from([2, 4]));
+        assert_eq!(log.instances().count(), 2);
+    }
+
+    #[test]
+    fn safety_report_combines_checks() {
+        let mut inputs = InputLog::new();
+        inputs.record(1, 1);
+        let ok = SafetyReport::evaluate(1, &inputs, &decisions(&[(0, 1, 1)]));
+        assert!(ok.is_safe());
+        assert!(ok.to_string().contains("safe"));
+        let bad = SafetyReport::evaluate(1, &inputs, &decisions(&[(0, 1, 1), (1, 1, 7)]));
+        assert!(!bad.is_safe());
+        assert!(bad.validity.is_some());
+        assert!(bad.agreement.is_some());
+    }
+}

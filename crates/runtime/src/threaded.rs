@@ -1,0 +1,186 @@
+//! Running automata on real OS threads.
+//!
+//! The same [`Automaton`] state machines that the deterministic simulator
+//! drives can be driven by one OS thread per process against a
+//! [`SharedMemory`]. This exercises genuine concurrency (the linearization
+//! order is decided by the hardware and the OS scheduler rather than by a
+//! simulated adversary), which is how the examples and several benchmarks run
+//! the paper's algorithms.
+//!
+//! Two things differ from the simulator:
+//!
+//! * Termination is not guaranteed for obstruction-free algorithms when all
+//!   `n` threads keep contending — that is the whole point of the paper's
+//!   progress condition — so every thread gets a step budget and the report
+//!   says who finished. Tests assert *safety* on threaded runs and assert
+//!   termination only on runs whose contention pattern satisfies the
+//!   m-obstruction hypothesis (e.g. solo or staggered runs).
+//! * Decisions are collected through a channel, so the report also contains
+//!   the wall-clock arrival order of decisions.
+
+use crossbeam::channel;
+use sa_memory::{MemoryMetrics, SharedMemory};
+use sa_model::{Automaton, Decision, DecisionSet, MemoryLayout, ProcessId};
+use std::fmt::Debug;
+use std::time::Duration;
+
+/// Configuration of a threaded run.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadedConfig {
+    /// Maximum number of shared-memory operations each thread may perform.
+    pub max_steps_per_process: u64,
+    /// Optional delay between consecutive thread starts; staggering starts
+    /// reduces contention and in practice lets obstruction-free algorithms
+    /// terminate quickly.
+    pub stagger: Option<Duration>,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            max_steps_per_process: 1_000_000,
+            stagger: None,
+        }
+    }
+}
+
+impl ThreadedConfig {
+    /// A config with the given per-thread step budget.
+    pub fn with_step_budget(max_steps_per_process: u64) -> Self {
+        ThreadedConfig {
+            max_steps_per_process,
+            ..ThreadedConfig::default()
+        }
+    }
+
+    /// Adds a stagger delay between thread starts.
+    pub fn staggered(mut self, delay: Duration) -> Self {
+        self.stagger = Some(delay);
+        self
+    }
+}
+
+/// The result of a threaded run.
+#[derive(Debug, Clone)]
+pub struct ThreadedReport {
+    /// All decisions, grouped by instance.
+    pub decisions: DecisionSet,
+    /// Decisions in wall-clock arrival order.
+    pub arrival_order: Vec<(ProcessId, Decision)>,
+    /// Steps taken by each process.
+    pub steps_per_process: Vec<u64>,
+    /// Which processes halted (completed all their operations) within budget.
+    pub halted: Vec<bool>,
+    /// Shared-memory usage metrics.
+    pub metrics: MemoryMetrics,
+}
+
+impl ThreadedReport {
+    /// `true` if every process halted within its budget.
+    pub fn all_halted(&self) -> bool {
+        self.halted.iter().all(|h| *h)
+    }
+}
+
+/// Runs one OS thread per automaton against a shared memory sized to the
+/// union of the automata's layouts.
+pub fn run_threaded<A>(automata: Vec<A>, config: ThreadedConfig) -> ThreadedReport
+where
+    A: Automaton + Send,
+    A::Value: Clone + Eq + Debug + Send + Sync,
+{
+    let layout = automata
+        .iter()
+        .map(|a| a.layout())
+        .fold(MemoryLayout::default(), |acc, l| acc.union(&l));
+    let memory = SharedMemory::for_layout(&layout);
+    let process_count = automata.len();
+    let (tx, rx) = channel::unbounded::<(ProcessId, Decision)>();
+
+    let mut steps_per_process = vec![0u64; process_count];
+    let mut halted = vec![false; process_count];
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(process_count);
+        for (index, mut automaton) in automata.into_iter().enumerate() {
+            let process = ProcessId(index);
+            let memory = &memory;
+            let tx = tx.clone();
+            if let Some(delay) = config.stagger {
+                std::thread::sleep(delay);
+            }
+            let budget = config.max_steps_per_process;
+            handles.push(scope.spawn(move || {
+                let mut steps = 0u64;
+                while steps < budget {
+                    let Some(op) = automaton.poised() else {
+                        break;
+                    };
+                    let response = memory
+                        .apply(process, op)
+                        .unwrap_or_else(|e| panic!("{process} issued an out-of-layout operation: {e}"));
+                    for decision in automaton.apply(response) {
+                        // The receiver outlives all senders inside the scope.
+                        let _ = tx.send((process, decision));
+                    }
+                    steps += 1;
+                }
+                (process, steps, automaton.is_halted())
+            }));
+        }
+        drop(tx);
+        for handle in handles {
+            let (process, steps, done) = handle.join().expect("worker thread panicked");
+            steps_per_process[process.index()] = steps;
+            halted[process.index()] = done;
+        }
+    });
+
+    let mut decisions = DecisionSet::new();
+    let mut arrival_order = Vec::new();
+    while let Ok((process, decision)) = rx.try_recv() {
+        decisions.record(process, decision);
+        arrival_order.push((process, decision));
+    }
+
+    ThreadedReport {
+        decisions,
+        arrival_order,
+        steps_per_process,
+        halted,
+        metrics: memory.metrics(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{Spinner, ToyWriter};
+
+    #[test]
+    fn threaded_writers_all_decide() {
+        let automata: Vec<ToyWriter> = (0..4).map(|i| ToyWriter::new(i, i as u64 * 10)).collect();
+        let report = run_threaded(automata, ThreadedConfig::default());
+        assert!(report.all_halted());
+        assert_eq!(report.decisions.deciders(1), 4);
+        assert_eq!(report.arrival_order.len(), 4);
+        assert_eq!(report.metrics.total_ops(), 8);
+    }
+
+    #[test]
+    fn step_budget_bounds_spinners() {
+        let automata = vec![Spinner::new(0), Spinner::new(0)];
+        let report = run_threaded(automata, ThreadedConfig::with_step_budget(50));
+        assert!(!report.all_halted());
+        assert!(report.steps_per_process.iter().all(|s| *s == 50));
+    }
+
+    #[test]
+    fn staggered_start_still_collects_all_decisions() {
+        let automata: Vec<ToyWriter> = (0..3).map(|i| ToyWriter::new(i, i as u64)).collect();
+        let config = ThreadedConfig::default().staggered(Duration::from_millis(1));
+        let report = run_threaded(automata, config);
+        assert!(report.all_halted());
+        assert_eq!(report.decisions.deciders(1), 3);
+    }
+}

@@ -1,0 +1,561 @@
+//! **set-agreement** — a reproduction of *"On the Space Complexity of Set
+//! Agreement"* (Delporte-Gallet, Fauconnier, Kuznetsov, Ruppert — PODC 2015).
+//!
+//! The paper studies how many multi-writer multi-reader registers are needed
+//! to solve `m`-obstruction-free `k`-set agreement among `n` processes, in
+//! one-shot and repeated form, with and without process identifiers. This
+//! workspace implements:
+//!
+//! * the paper's three algorithms (Figures 3, 4 and 5) and two baselines —
+//!   [`algorithms`],
+//! * the asynchronous shared-memory substrate they run on (simulated and
+//!   threaded registers and snapshot objects, snapshot-from-register
+//!   constructions) — [`memory`],
+//! * an execution runtime with adversarial schedulers, property checkers and
+//!   a bounded exhaustive explorer — [`runtime`],
+//! * the bounds of Figure 1 and executable witnesses of both lower-bound
+//!   mechanisms — [`lowerbound`],
+//! * this facade crate, which re-exports everything and adds the
+//!   [`Scenario`] builder used by the examples and benches.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use set_agreement::{Adversary, Algorithm, Scenario};
+//! use set_agreement::model::Params;
+//!
+//! // 2-obstruction-free 3-set agreement among 8 processes, every process
+//! // proposing a distinct value, under the obstruction adversary.
+//! let params = Params::new(8, 2, 3)?;
+//! let report = Scenario::new(params)
+//!     .algorithm(Algorithm::OneShot)
+//!     .adversary(Adversary::Obstruction {
+//!         contention_steps: 200,
+//!         survivors: 2,
+//!         seed: 42,
+//!     })
+//!     .run();
+//! assert!(report.safety.is_safe());
+//! assert!(report.survivors_decided);
+//! # Ok::<(), set_agreement::model::ParamsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub use sa_core as algorithms;
+pub use sa_lowerbound as lowerbound;
+pub use sa_memory as memory;
+pub use sa_model as model;
+pub use sa_runtime as runtime;
+
+/// The most commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::{Adversary, Algorithm, Scenario, ScenarioReport};
+    pub use sa_core::{
+        AnonymousSetAgreement, FullInfoSetAgreement, OneShotSetAgreement, RepeatedSetAgreement,
+        SwmrEmulated, WideBaseline,
+    };
+    pub use sa_lowerbound::bounds::{Figure1, Naming, Setting};
+    pub use sa_model::{Automaton, Decision, DecisionSet, Params, ProcessId};
+    pub use sa_runtime::{
+        check_k_agreement, check_validity, Executor, InputLog, ObstructionScheduler, RoundRobin,
+        RunConfig, Scheduler, Workload,
+    };
+}
+
+use sa_core::{
+    AnonymousSetAgreement, OneShotSetAgreement, RepeatedSetAgreement, SwmrEmulated, WideBaseline,
+};
+use sa_memory::MemoryMetrics;
+use sa_model::{Automaton, DecisionSet, Params, ProcessId};
+use sa_runtime::{
+    BurstScheduler, Executor, InputLog, ObstructionScheduler, RandomScheduler, RoundRobin,
+    RunConfig, SafetyReport, Scheduler, SoloScheduler, StopReason, Workload,
+};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Which algorithm of the paper (or baseline) a [`Scenario`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Figure 3: one-shot, `n + 2m − k` snapshot components.
+    OneShot,
+    /// Figure 4: repeated, `n + 2m − k` snapshot components. The field is the
+    /// number of instances each process proposes in.
+    Repeated(usize),
+    /// Figure 5 restricted to a single instance (no helper register),
+    /// `(m+1)(n−k) + m²` components.
+    AnonymousOneShot,
+    /// Figure 5: anonymous repeated agreement with the helper register. The
+    /// field is the number of instances.
+    AnonymousRepeated(usize),
+    /// The prior-work baseline \[4\]: Figure 3 over `2(n−k)` components
+    /// (requires `n ≥ k + 2m`).
+    WideBaseline,
+    /// The trivial upper bound: Figure 3 emulated over `n` single-writer
+    /// full-information registers.
+    FullInformation,
+}
+
+impl Algorithm {
+    /// A short identifier used in benchmark and experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::OneShot => "figure3-oneshot",
+            Algorithm::Repeated(_) => "figure4-repeated",
+            Algorithm::AnonymousOneShot => "figure5-anon-oneshot",
+            Algorithm::AnonymousRepeated(_) => "figure5-anon-repeated",
+            Algorithm::WideBaseline => "baseline-wide",
+            Algorithm::FullInformation => "baseline-fullinfo",
+        }
+    }
+
+    /// The number of instances of repeated agreement this algorithm runs.
+    pub fn instances(&self) -> usize {
+        match self {
+            Algorithm::Repeated(t) | Algorithm::AnonymousRepeated(t) => (*t).max(1),
+            _ => 1,
+        }
+    }
+
+    /// The register cost of this algorithm for the given parameters, using
+    /// the accounting of the paper (Theorems 7, 8 and 11): snapshot objects
+    /// wider than `n` are charged `n` registers because they can be
+    /// implemented from `n` single-writer registers.
+    pub fn register_bound(&self, params: Params) -> usize {
+        match self {
+            Algorithm::OneShot | Algorithm::Repeated(_) => params.register_upper_bound(),
+            Algorithm::AnonymousOneShot => params.anonymous_snapshot_components(),
+            Algorithm::AnonymousRepeated(_) => params.anonymous_repeated_registers(),
+            Algorithm::WideBaseline => 2 * (params.n() - params.k()),
+            Algorithm::FullInformation => params.n(),
+        }
+    }
+
+    /// The number of base objects (snapshot components plus plain registers)
+    /// the implementation actually declares — the quantity
+    /// [`ScenarioReport::locations_written`] is bounded by. It differs from
+    /// [`Algorithm::register_bound`] only when `n + 2m − k > n`, where the
+    /// register accounting appeals to the `n`-single-writer-register
+    /// construction.
+    pub fn component_bound(&self, params: Params) -> usize {
+        match self {
+            Algorithm::OneShot | Algorithm::Repeated(_) => params.snapshot_components(),
+            Algorithm::AnonymousOneShot => params.anonymous_snapshot_components(),
+            Algorithm::AnonymousRepeated(_) => params.anonymous_repeated_registers(),
+            Algorithm::WideBaseline => {
+                (2 * (params.n() - params.k())).max(params.snapshot_components())
+            }
+            Algorithm::FullInformation => params.n(),
+        }
+    }
+}
+
+/// The schedule adversary a [`Scenario`] runs under.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Adversary {
+    /// Maximally fair round-robin contention.
+    RoundRobin,
+    /// Uniformly random scheduling with the given seed.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Heavy contention for `contention_steps`, after which only the first
+    /// `survivors` processes keep running — the canonical m-obstruction
+    /// schedule when `survivors ≤ m`.
+    Obstruction {
+        /// Steps of all-process contention before the survivors take over.
+        contention_steps: u64,
+        /// How many processes keep running afterwards.
+        survivors: usize,
+        /// RNG seed for the contention phase.
+        seed: u64,
+    },
+    /// Only one process ever runs.
+    Solo {
+        /// The index of the process that runs.
+        process: usize,
+    },
+    /// Random bursts: one process runs for a geometric burst, then another.
+    Bursts {
+        /// Expected burst length.
+        burst_len: u64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl Adversary {
+    /// A short identifier used in benchmark and experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Adversary::RoundRobin => "round-robin",
+            Adversary::Random { .. } => "random",
+            Adversary::Obstruction { .. } => "obstruction",
+            Adversary::Solo { .. } => "solo",
+            Adversary::Bursts { .. } => "bursts",
+        }
+    }
+
+    /// Builds the scheduler for `n` processes.
+    pub fn build(&self, n: usize) -> Box<dyn Scheduler> {
+        match self {
+            Adversary::RoundRobin => Box::new(RoundRobin::new()),
+            Adversary::Random { seed } => Box::new(RandomScheduler::new(*seed)),
+            Adversary::Obstruction {
+                contention_steps,
+                survivors,
+                seed,
+            } => {
+                let survivors: Vec<ProcessId> = (0..(*survivors).min(n)).map(ProcessId).collect();
+                Box::new(ObstructionScheduler::new(*contention_steps, survivors, *seed))
+            }
+            Adversary::Solo { process } => Box::new(SoloScheduler::new(ProcessId(*process % n))),
+            Adversary::Bursts { burst_len, seed } => {
+                Box::new(BurstScheduler::new(*burst_len, *seed))
+            }
+        }
+    }
+
+    /// The processes that the progress condition obliges to decide under this
+    /// adversary (those that keep taking steps forever).
+    pub fn obligated(&self, n: usize) -> Vec<ProcessId> {
+        match self {
+            Adversary::Obstruction { survivors, .. } => {
+                (0..(*survivors).min(n)).map(ProcessId).collect()
+            }
+            Adversary::Solo { process } => vec![ProcessId(*process % n)],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// The result of running a [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The parameters the scenario ran with.
+    pub params: Params,
+    /// The algorithm that ran.
+    pub algorithm: Algorithm,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Steps executed.
+    pub steps: u64,
+    /// All decisions, grouped by instance.
+    pub decisions: DecisionSet,
+    /// Validity and k-agreement evaluated over the run.
+    pub safety: SafetyReport,
+    /// `true` if every process the adversary kept scheduling forever decided
+    /// every instance it was configured to run.
+    pub survivors_decided: bool,
+    /// Shared-memory usage metrics.
+    pub metrics: MemoryMetrics,
+    /// The number of distinct base objects (registers or snapshot
+    /// components) actually written during the run.
+    pub locations_written: usize,
+}
+
+impl ScenarioReport {
+    /// The number of distinct values decided in `instance`.
+    pub fn distinct_outputs(&self, instance: u64) -> usize {
+        self.decisions.distinct_outputs(instance)
+    }
+}
+
+/// A declarative description of one simulated execution: parameters,
+/// algorithm, workload, adversary and step budget.
+///
+/// `Scenario` is the high-level entry point used by the examples and the
+/// benchmark harness; tests that need finer control drive
+/// [`Executor`] directly.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    params: Params,
+    algorithm: Algorithm,
+    adversary: Adversary,
+    workload: Option<Workload>,
+    max_steps: u64,
+}
+
+impl Scenario {
+    /// Creates a scenario with the default algorithm (Figure 3 one-shot), a
+    /// round-robin adversary, an all-distinct workload and a one-million-step
+    /// budget.
+    pub fn new(params: Params) -> Self {
+        Scenario {
+            params,
+            algorithm: Algorithm::OneShot,
+            adversary: Adversary::RoundRobin,
+            workload: None,
+            max_steps: 1_000_000,
+        }
+    }
+
+    /// Selects the algorithm to run.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the adversary schedule.
+    pub fn adversary(mut self, adversary: Adversary) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Supplies an explicit workload (inputs per process and instance). The
+    /// default is [`Workload::all_distinct`].
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Sets the step budget.
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// The parameters of this scenario.
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    fn effective_workload(&self) -> Workload {
+        self.workload.clone().unwrap_or_else(|| {
+            Workload::all_distinct(self.params.n(), self.algorithm.instances())
+        })
+    }
+
+    /// Runs the scenario and reports decisions, safety and space usage.
+    pub fn run(&self) -> ScenarioReport {
+        let params = self.params;
+        let workload = self.effective_workload();
+        let instances = self.algorithm.instances();
+        match self.algorithm {
+            Algorithm::OneShot => self.drive(
+                (0..params.n())
+                    .map(|p| OneShotSetAgreement::new(params, ProcessId(p), workload.input(p, 1)))
+                    .collect(),
+                &workload,
+            ),
+            Algorithm::Repeated(_) => self.drive(
+                (0..params.n())
+                    .map(|p| {
+                        let inputs = (1..=instances as u64).map(|t| workload.input(p, t)).collect();
+                        RepeatedSetAgreement::new(params, ProcessId(p), inputs)
+                            .expect("inputs are non-empty and ids are in range")
+                    })
+                    .collect(),
+                &workload,
+            ),
+            Algorithm::AnonymousOneShot => self.drive(
+                (0..params.n())
+                    .map(|p| AnonymousSetAgreement::one_shot(params, workload.input(p, 1)))
+                    .collect(),
+                &workload,
+            ),
+            Algorithm::AnonymousRepeated(_) => self.drive(
+                (0..params.n())
+                    .map(|p| {
+                        let inputs = (1..=instances as u64).map(|t| workload.input(p, t)).collect();
+                        AnonymousSetAgreement::repeated(params, inputs)
+                            .expect("inputs are non-empty")
+                    })
+                    .collect(),
+                &workload,
+            ),
+            Algorithm::WideBaseline => self.drive(
+                (0..params.n())
+                    .map(|p| {
+                        WideBaseline::new(params, ProcessId(p), workload.input(p, 1))
+                            .expect("WideBaseline requires n >= k + 2m; check before selecting it")
+                    })
+                    .collect(),
+                &workload,
+            ),
+            Algorithm::FullInformation => self.drive(
+                (0..params.n())
+                    .map(|p| {
+                        SwmrEmulated::<OneShotSetAgreement>::one_shot(
+                            params,
+                            ProcessId(p),
+                            workload.input(p, 1),
+                        )
+                    })
+                    .collect(),
+                &workload,
+            ),
+        }
+    }
+
+    fn drive<A>(&self, automata: Vec<A>, workload: &Workload) -> ScenarioReport
+    where
+        A: Automaton + Clone + Debug + Hash,
+        A::Value: Clone + Eq + Debug,
+    {
+        let mut executor = Executor::new(automata);
+        let mut scheduler = self.adversary.build(self.params.n());
+        let report = executor.run(&mut *scheduler, RunConfig::with_max_steps(self.max_steps));
+
+        let mut inputs = InputLog::new();
+        inputs.record_matrix(workload.matrix());
+        let safety = SafetyReport::evaluate(self.params.k(), &inputs, &report.decisions);
+
+        let obligated = self.adversary.obligated(self.params.n());
+        let survivors_decided = obligated
+            .iter()
+            .all(|p| report.halted.get(p.index()).copied().unwrap_or(false));
+
+        ScenarioReport {
+            params: self.params,
+            algorithm: self.algorithm,
+            stop: report.stop,
+            steps: report.steps,
+            locations_written: report.metrics.distinct_locations_written(),
+            decisions: report.decisions,
+            safety,
+            survivors_decided,
+            metrics: report.metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params::new(6, 2, 3).unwrap()
+    }
+
+    #[test]
+    fn algorithm_labels_and_bounds() {
+        let p = params();
+        assert_eq!(Algorithm::OneShot.label(), "figure3-oneshot");
+        // min(n + 2m - k, n) = min(7, 6) = 6.
+        assert_eq!(Algorithm::OneShot.register_bound(p), 6);
+        assert_eq!(Algorithm::AnonymousRepeated(2).register_bound(p), 3 * 3 + 4 + 1);
+        assert_eq!(Algorithm::WideBaseline.register_bound(p), 6);
+        assert_eq!(Algorithm::FullInformation.register_bound(p), 6);
+        assert_eq!(Algorithm::Repeated(3).instances(), 3);
+        assert_eq!(Algorithm::OneShot.instances(), 1);
+    }
+
+    #[test]
+    fn adversary_builders_produce_named_schedulers() {
+        for adversary in [
+            Adversary::RoundRobin,
+            Adversary::Random { seed: 1 },
+            Adversary::Obstruction {
+                contention_steps: 10,
+                survivors: 2,
+                seed: 1,
+            },
+            Adversary::Solo { process: 0 },
+            Adversary::Bursts { burst_len: 8, seed: 1 },
+        ] {
+            let scheduler = adversary.build(4);
+            assert!(!scheduler.name().is_empty());
+            assert!(!adversary.label().is_empty());
+        }
+        assert_eq!(
+            Adversary::Solo { process: 1 }.obligated(4),
+            vec![ProcessId(1)]
+        );
+        assert_eq!(
+            Adversary::Obstruction {
+                contention_steps: 0,
+                survivors: 2,
+                seed: 0
+            }
+            .obligated(4)
+            .len(),
+            2
+        );
+        assert!(Adversary::RoundRobin.obligated(4).is_empty());
+    }
+
+    #[test]
+    fn oneshot_scenario_is_safe_and_terminates_for_survivors() {
+        let report = Scenario::new(params())
+            .algorithm(Algorithm::OneShot)
+            .adversary(Adversary::Obstruction {
+                contention_steps: 100,
+                survivors: 2,
+                seed: 7,
+            })
+            .run();
+        assert!(report.safety.is_safe());
+        assert!(report.survivors_decided);
+        assert!(report.locations_written <= params().snapshot_components());
+    }
+
+    #[test]
+    fn repeated_scenario_covers_every_instance_for_survivors() {
+        let report = Scenario::new(params())
+            .algorithm(Algorithm::Repeated(3))
+            .adversary(Adversary::Obstruction {
+                contention_steps: 150,
+                survivors: 2,
+                seed: 3,
+            })
+            .max_steps(2_000_000)
+            .run();
+        assert!(report.safety.is_safe());
+        assert!(report.survivors_decided);
+        assert!(report.decisions.instances().count() >= 3);
+    }
+
+    #[test]
+    fn anonymous_scenarios_are_safe() {
+        for algorithm in [Algorithm::AnonymousOneShot, Algorithm::AnonymousRepeated(2)] {
+            let report = Scenario::new(params())
+                .algorithm(algorithm)
+                .adversary(Adversary::Obstruction {
+                    contention_steps: 100,
+                    survivors: 1,
+                    seed: 11,
+                })
+                .max_steps(2_000_000)
+                .run();
+            assert!(report.safety.is_safe(), "{algorithm:?} violated safety");
+            assert!(report.survivors_decided, "{algorithm:?} survivor starved");
+        }
+    }
+
+    #[test]
+    fn baselines_run_and_stay_safe() {
+        let p = Params::new(8, 1, 3).unwrap();
+        for algorithm in [Algorithm::WideBaseline, Algorithm::FullInformation] {
+            let report = Scenario::new(p)
+                .algorithm(algorithm)
+                .adversary(Adversary::Obstruction {
+                    contention_steps: 80,
+                    survivors: 1,
+                    seed: 5,
+                })
+                .max_steps(2_000_000)
+                .run();
+            assert!(report.safety.is_safe(), "{algorithm:?} violated safety");
+            assert!(report.survivors_decided, "{algorithm:?} survivor starved");
+        }
+    }
+
+    #[test]
+    fn custom_workload_constrains_outputs() {
+        let workload = Workload::uniform(6, 1, 99);
+        let report = Scenario::new(params())
+            .workload(workload)
+            .adversary(Adversary::Solo { process: 2 })
+            .run();
+        assert!(report.safety.is_safe());
+        for value in report.decisions.outputs(1) {
+            assert_eq!(value, 99);
+        }
+        assert_eq!(report.distinct_outputs(1), 1);
+    }
+}

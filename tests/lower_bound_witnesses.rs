@@ -1,0 +1,135 @@
+//! Integration tests for the lower-bound machinery: the covering and cloning
+//! attacks defeat under-provisioned variants, never defeat the paper's
+//! widths, and the Figure 1 formulas stay mutually consistent across sweeps.
+
+use set_agreement::lowerbound::bounds::{self, Figure1, Naming, Setting};
+use set_agreement::lowerbound::cloning::{clone_attack, clones_behave_identically};
+use set_agreement::lowerbound::covering::{
+    attack_one_shot, attack_repeated, minimal_resilient_width,
+};
+use set_agreement::model::{ParamSweep, Params};
+
+#[test]
+fn covering_attack_defeats_every_severely_deficient_width() {
+    // With a single component no information survives; the attack must always
+    // produce more than k distinct outputs.
+    for (n, m, k) in [(3, 1, 1), (4, 1, 2), (5, 2, 3), (6, 2, 4)] {
+        let params = Params::new(n, m, k).unwrap();
+        let outcome = attack_one_shot(params, 1, 500_000);
+        assert!(outcome.completed);
+        assert!(
+            outcome.violates_agreement(),
+            "no violation at width 1 for n={n} m={m} k={k}"
+        );
+    }
+}
+
+#[test]
+fn covering_attack_never_defeats_the_paper_width() {
+    for (n, m, k) in [(3, 1, 1), (4, 1, 2), (5, 2, 3), (6, 2, 4), (7, 3, 4)] {
+        let params = Params::new(n, m, k).unwrap();
+        let one_shot = attack_one_shot(params, params.snapshot_components(), 1_000_000);
+        assert!(one_shot.completed);
+        assert!(!one_shot.violates_agreement(), "{one_shot}");
+        let repeated = attack_repeated(params, params.snapshot_components(), 2, 2_000_000);
+        assert!(repeated.completed);
+        assert!(!repeated.violates_agreement(), "{repeated}");
+    }
+}
+
+#[test]
+fn resilient_width_grows_with_n_for_consensus() {
+    // For repeated consensus the paper proves n registers are necessary and
+    // sufficient; the empirical resilient width of the one-shot attack must
+    // stay within [2, n + 1] and never shrink as n grows.
+    let mut last = 0;
+    for n in 3..7 {
+        let params = Params::new(n, 1, 1).unwrap();
+        let width = minimal_resilient_width(params, 500_000);
+        assert!(width >= 2, "width {width} too small for n={n}");
+        assert!(width <= params.snapshot_components());
+        assert!(width >= last, "resilient width shrank as n grew");
+        last = width;
+    }
+}
+
+#[test]
+fn cloning_attack_defeats_deficient_anonymous_variants() {
+    for (n, m, k) in [(4, 1, 1), (5, 1, 2), (6, 2, 3)] {
+        let params = Params::new(n, m, k).unwrap();
+        let outcome = clone_attack(params, 1, 500_000);
+        assert!(outcome.completed);
+        assert!(
+            outcome.violates_agreement(),
+            "no violation at width 1 for n={n} m={m} k={k}"
+        );
+        let safe = clone_attack(params, params.anonymous_snapshot_components(), 1_000_000);
+        assert!(safe.completed);
+        assert!(!safe.violates_agreement(), "{safe}");
+    }
+}
+
+#[test]
+fn clones_are_indistinguishable_for_a_parameter_sweep() {
+    for (n, m, k) in [(3, 1, 1), (4, 1, 2), (5, 2, 3), (6, 3, 4)] {
+        let params = Params::new(n, m, k).unwrap();
+        assert!(
+            clones_behave_identically(params, 60_000),
+            "clone diverged for n={n} m={m} k={k}"
+        );
+    }
+}
+
+#[test]
+fn figure1_is_consistent_for_every_triple_up_to_16() {
+    for params in ParamSweep::up_to(16) {
+        let table = Figure1::for_params(params);
+        assert_eq!(
+            table.consistency_violation(),
+            None,
+            "inconsistent table for {params:?}"
+        );
+    }
+}
+
+#[test]
+fn figure1_gap_is_at_most_m_for_repeated_nonanonymous() {
+    // Upper bound n + 2m − k (or n) minus lower bound n + m − k is at most m.
+    for params in ParamSweep::up_to(16) {
+        let table = Figure1::for_params(params);
+        let cell = table.cell(Setting::Repeated, Naming::NonAnonymous);
+        assert!(
+            cell.gap() <= params.m(),
+            "gap {} exceeds m = {} for {params:?}",
+            cell.gap(),
+            params.m()
+        );
+    }
+}
+
+#[test]
+fn anonymous_lower_bound_is_monotone_in_n_and_m() {
+    for k in 1..5usize {
+        let mut last = 0.0f64;
+        for n in (k + 1)..30 {
+            let params = Params::new(n, 1.min(k), k).unwrap();
+            let raw = bounds::lower_bound(params, Setting::OneShot, Naming::Anonymous).raw;
+            assert!(raw >= last - 1e-12, "bound decreased in n for k={k}");
+            last = raw;
+        }
+    }
+    // Increasing m (with n, k fixed) never decreases the bound.
+    let low = bounds::lower_bound(
+        Params::new(20, 1, 4).unwrap(),
+        Setting::OneShot,
+        Naming::Anonymous,
+    )
+    .raw;
+    let high = bounds::lower_bound(
+        Params::new(20, 3, 4).unwrap(),
+        Setting::OneShot,
+        Naming::Anonymous,
+    )
+    .raw;
+    assert!(high >= low);
+}

@@ -1,0 +1,100 @@
+//! Runs the same algorithm state machines on real OS threads against the
+//! lock-based shared memory, checking that safety is preserved outside the
+//! deterministic simulator.
+
+use set_agreement::algorithms::{
+    AnonymousSetAgreement, OneShotSetAgreement, RepeatedSetAgreement,
+};
+use set_agreement::model::{Params, ProcessId};
+use set_agreement::runtime::{check_k_agreement, check_validity, run_threaded, InputLog, ThreadedConfig};
+use std::time::Duration;
+
+fn input_log(params: Params, instances: u64) -> InputLog {
+    let mut log = InputLog::new();
+    for t in 1..=instances {
+        for p in 0..params.n() {
+            log.record(t, t * 1000 + p as u64);
+        }
+    }
+    log
+}
+
+#[test]
+fn threaded_one_shot_runs_are_safe() {
+    let params = Params::new(6, 2, 3).unwrap();
+    let automata: Vec<_> = (0..6)
+        .map(|p| OneShotSetAgreement::new(params, ProcessId(p), 1000 + p as u64))
+        .collect();
+    let report = run_threaded(automata, ThreadedConfig::with_step_budget(200_000));
+    check_k_agreement(3, &report.decisions).unwrap();
+    check_validity(&input_log(params, 1), &report.decisions).unwrap();
+}
+
+#[test]
+fn threaded_staggered_start_lets_the_first_thread_decide() {
+    // A generous stagger means thread 0 effectively runs solo and must decide
+    // long before thread 1 even starts.
+    let params = Params::new(4, 1, 2).unwrap();
+    let automata: Vec<_> = (0..4)
+        .map(|p| OneShotSetAgreement::new(params, ProcessId(p), 1000 + p as u64))
+        .collect();
+    let config = ThreadedConfig::with_step_budget(500_000).staggered(Duration::from_millis(40));
+    let report = run_threaded(automata, config);
+    assert!(report.halted[0], "staggered first thread did not decide");
+    check_k_agreement(2, &report.decisions).unwrap();
+}
+
+#[test]
+fn threaded_repeated_runs_are_safe_per_instance() {
+    let params = Params::new(4, 2, 2).unwrap();
+    let automata: Vec<_> = (0..4)
+        .map(|p| {
+            RepeatedSetAgreement::new(
+                params,
+                ProcessId(p),
+                vec![1000 + p as u64, 2000 + p as u64],
+            )
+            .unwrap()
+        })
+        .collect();
+    let report = run_threaded(automata, ThreadedConfig::with_step_budget(300_000));
+    check_k_agreement(2, &report.decisions).unwrap();
+    check_validity(&input_log(params, 2), &report.decisions).unwrap();
+    // Decision arrival order respects instance order per process.
+    for p in 0..4 {
+        let instances: Vec<u64> = report
+            .arrival_order
+            .iter()
+            .filter(|(pid, _)| pid.index() == p)
+            .map(|(_, d)| d.instance)
+            .collect();
+        let mut sorted = instances.clone();
+        sorted.sort_unstable();
+        assert_eq!(instances, sorted, "out-of-order decisions for process {p}");
+    }
+}
+
+#[test]
+fn threaded_anonymous_runs_are_safe() {
+    let params = Params::new(5, 2, 3).unwrap();
+    let automata: Vec<_> = (0..5)
+        .map(|p| AnonymousSetAgreement::one_shot(params, 1000 + p as u64))
+        .collect();
+    let report = run_threaded(automata, ThreadedConfig::with_step_budget(200_000));
+    check_k_agreement(3, &report.decisions).unwrap();
+    check_validity(&input_log(params, 1), &report.decisions).unwrap();
+}
+
+#[test]
+fn threaded_metrics_respect_the_layout() {
+    let params = Params::new(4, 1, 2).unwrap();
+    let automata: Vec<_> = (0..4)
+        .map(|p| OneShotSetAgreement::new(params, ProcessId(p), 1000 + p as u64))
+        .collect();
+    let report = run_threaded(automata, ThreadedConfig::with_step_budget(100_000));
+    assert!(
+        report.metrics.components_written(0) <= params.snapshot_components(),
+        "threaded run wrote more components than the snapshot declares"
+    );
+    assert!(report.metrics.total_ops() > 0);
+}
