@@ -4,40 +4,75 @@
 //! exactly when the survivor count is at most `m`; above `m` the run may
 //! exhaust its step budget without every survivor deciding.
 //!
+//! The survivor sweep is expressed as an `sa-sweep` campaign — one
+//! obstruction adversary per survivor count, crossed over the cells and
+//! algorithms — and executed in parallel by the engine.
+//!
 //! ```text
 //! cargo run -p sa-bench --bin contention_sweep
 //! ```
 
-use sa_bench::obstruction_series;
 use sa_model::Params;
+use sa_sweep::{
+    run_campaign_collect, AdversarySpec, CampaignSpec, EngineConfig, ParamsSpec, Survivors,
+    WorkloadSpec,
+};
 use set_agreement::Algorithm;
 
 fn main() {
-    let cases = [
-        (Params::new(6, 1, 3).unwrap(), Algorithm::OneShot),
-        (Params::new(6, 2, 3).unwrap(), Algorithm::OneShot),
-        (Params::new(6, 3, 3).unwrap(), Algorithm::OneShot),
-        (Params::new(6, 2, 3).unwrap(), Algorithm::Repeated(2)),
-        (Params::new(6, 2, 3).unwrap(), Algorithm::AnonymousOneShot),
+    let cells = vec![
+        Params::new(6, 1, 3).unwrap(),
+        Params::new(6, 2, 3).unwrap(),
+        Params::new(6, 3, 3).unwrap(),
     ];
+    let max_survivors = cells.iter().map(|p| p.k() + 1).max().unwrap();
+    let spec = CampaignSpec {
+        name: "contention-sweep".into(),
+        params: ParamsSpec::Explicit(cells),
+        algorithms: vec![
+            Algorithm::OneShot,
+            Algorithm::Repeated(2),
+            Algorithm::AnonymousOneShot,
+        ],
+        // Sweep survivor counts past every m to show where the guarantee
+        // stops holding.
+        adversaries: (1..=max_survivors)
+            .map(|survivors| AdversarySpec::Obstruction {
+                contention_factor: 20,
+                survivors: Survivors::Count(survivors),
+            })
+            .collect(),
+        seeds: vec![13],
+        workload: WorkloadSpec::Distinct,
+        max_steps: 400_000,
+        campaign_seed: 13,
+    };
+
+    let (records, outcome) = run_campaign_collect(&spec, EngineConfig::default());
     println!(
-        "{:<24} {:>3} {:>3} {:>3} {:>10} {:>10} {:>8}",
-        "algorithm", "n", "m", "k", "survivors", "steps", "decided"
+        "{:<24} {:>3} {:>3} {:>3} {:>10} {:>10} {:>8} {:>11}",
+        "algorithm", "n", "m", "k", "survivors", "steps", "decided", "guaranteed"
     );
-    for (params, algorithm) in cases {
-        // Sweep survivor counts past m to show where the guarantee stops.
-        let series = obstruction_series(params, algorithm, params.k() + 1, 400_000, 13);
-        for point in series {
-            println!(
-                "{:<24} {:>3} {:>3} {:>3} {:>10} {:>10} {:>8}",
-                algorithm.label(),
-                params.n(),
-                params.m(),
-                params.k(),
-                point.survivors,
-                point.steps,
-                point.decided
-            );
-        }
+    for record in &records {
+        println!(
+            "{:<24} {:>3} {:>3} {:>3} {:>10} {:>10} {:>8} {:>11}",
+            record.algorithm,
+            record.n,
+            record.m,
+            record.k,
+            record.survivors,
+            record.steps,
+            record.survivors_decided,
+            record.progress_required,
+        );
     }
+    eprintln!(
+        "contention_sweep: {} scenarios, {} safety violations, {} guaranteed runs starved",
+        outcome.records, outcome.safety_violations, outcome.progress_failures
+    );
+    assert!(outcome.clean(), "safety or bound violation: {outcome:?}");
+    assert_eq!(
+        outcome.progress_failures, 0,
+        "a survivor set within m starved"
+    );
 }

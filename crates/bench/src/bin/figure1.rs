@@ -3,12 +3,21 @@
 //! with an extra "measured" column showing the distinct locations the
 //! implementations actually wrote in a run under the obstruction adversary.
 //!
+//! The per-algorithm space measurements run as an `sa-sweep` campaign over
+//! the representative parameter list, all applicable algorithms and the
+//! canonical obstruction adversary, executed in parallel by the engine.
+//!
 //! ```text
 //! cargo run -p sa-bench --bin figure1 [max_n]
 //! ```
 
-use sa_bench::{default_sweep, figure1_report, space_rows};
+use sa_bench::{default_sweep, figure1_report};
 use sa_model::ParamSweep;
+use sa_sweep::{
+    run_campaign_collect, AdversarySpec, CampaignSpec, EngineConfig, ParamsSpec, Survivors,
+    WorkloadSpec,
+};
+use set_agreement::Algorithm;
 
 fn main() {
     let max_n: Option<usize> = std::env::args().nth(1).and_then(|s| s.parse().ok());
@@ -18,26 +27,48 @@ fn main() {
         println!("{}", figure1_report(params, 7));
     }
 
-    println!("=== Per-algorithm space usage ===\n");
+    println!("=== Per-algorithm space usage (sa-sweep campaign) ===\n");
+    let spec = CampaignSpec {
+        name: "figure1-space".into(),
+        params: ParamsSpec::Explicit(default_sweep()),
+        algorithms: Algorithm::catalog(2),
+        adversaries: vec![AdversarySpec::Obstruction {
+            contention_factor: 50,
+            survivors: Survivors::M,
+        }],
+        seeds: vec![7],
+        workload: WorkloadSpec::Distinct,
+        max_steps: 5_000_000,
+        campaign_seed: 7,
+    };
+    let (records, outcome) = run_campaign_collect(&spec, EngineConfig::default());
     println!(
-        "{:<24} {:>3} {:>3} {:>3} {:>8} {:>9} {:>6} {:>6}",
-        "algorithm", "n", "m", "k", "bound", "measured", "steps", "safe"
+        "{:<24} {:>3} {:>3} {:>3} {:>8} {:>9} {:>9} {:>8} {:>6}",
+        "algorithm", "n", "m", "k", "bound", "declared", "measured", "steps", "safe"
     );
-    for params in default_sweep() {
-        for row in space_rows(params, 7) {
-            println!(
-                "{:<24} {:>3} {:>3} {:>3} {:>8} {:>9} {:>6} {:>6}",
-                row.algorithm.label(),
-                row.params.n(),
-                row.params.m(),
-                row.params.k(),
-                row.bound,
-                row.measured,
-                row.steps,
-                row.safe
-            );
-        }
+    for record in &records {
+        println!(
+            "{:<24} {:>3} {:>3} {:>3} {:>8} {:>9} {:>9} {:>8} {:>6}",
+            record.algorithm,
+            record.n,
+            record.m,
+            record.k,
+            record.register_bound,
+            record.component_bound,
+            record.locations_written,
+            record.steps,
+            record.safe(),
+        );
     }
+    eprintln!(
+        "figure1: {} scenarios ({} inapplicable skipped), {} safety violations, \
+         {} bound violations",
+        outcome.records,
+        outcome.expansion.skipped_inapplicable,
+        outcome.safety_violations,
+        outcome.bound_violations
+    );
+    assert!(outcome.clean(), "safety or bound violation: {outcome:?}");
 
     if let Some(max_n) = max_n {
         println!("\n=== Bound formulas for every valid (n, m, k) with n <= {max_n} ===\n");
@@ -61,12 +92,24 @@ fn main() {
                 params.n(),
                 params.m(),
                 params.k(),
-                fig.cell(Setting::Repeated, Naming::NonAnonymous).lower.registers,
-                fig.cell(Setting::Repeated, Naming::NonAnonymous).upper.registers,
-                fig.cell(Setting::OneShot, Naming::NonAnonymous).lower.registers,
-                fig.cell(Setting::OneShot, Naming::NonAnonymous).upper.registers,
-                fig.cell(Setting::OneShot, Naming::Anonymous).lower.registers,
-                fig.cell(Setting::Repeated, Naming::Anonymous).upper.registers,
+                fig.cell(Setting::Repeated, Naming::NonAnonymous)
+                    .lower
+                    .registers,
+                fig.cell(Setting::Repeated, Naming::NonAnonymous)
+                    .upper
+                    .registers,
+                fig.cell(Setting::OneShot, Naming::NonAnonymous)
+                    .lower
+                    .registers,
+                fig.cell(Setting::OneShot, Naming::NonAnonymous)
+                    .upper
+                    .registers,
+                fig.cell(Setting::OneShot, Naming::Anonymous)
+                    .lower
+                    .registers,
+                fig.cell(Setting::Repeated, Naming::Anonymous)
+                    .upper
+                    .registers,
             );
         }
     }

@@ -12,7 +12,14 @@ use sa_bench::lower_bound_report;
 use sa_model::Params;
 
 fn main() {
-    let triples = [(3, 1, 1), (4, 1, 2), (5, 2, 3), (6, 1, 3), (6, 2, 4), (8, 2, 3)];
+    let triples = [
+        (3, 1, 1),
+        (4, 1, 2),
+        (5, 2, 3),
+        (6, 1, 3),
+        (6, 2, 4),
+        (8, 2, 3),
+    ];
     for (n, m, k) in triples {
         let params = Params::new(n, m, k).expect("triples are valid");
         let report = lower_bound_report(params, 2_000_000);

@@ -125,11 +125,7 @@ pub fn figure1_report(params: Params, seed: u64) -> String {
         params.m(),
         params.k()
     );
-    let _ = writeln!(
-        out,
-        "{:<16} {:<34} {:<34}",
-        "", "Repeated", "One-shot"
-    );
+    let _ = writeln!(out, "{:<16} {:<34} {:<34}", "", "Repeated", "One-shot");
     let render = |cell_lower: usize, cell_upper: usize, measured: usize| {
         format!("lower {cell_lower:>3}  upper {cell_upper:>3}  measured {measured:>3}")
     };
@@ -141,15 +137,31 @@ pub fn figure1_report(params: Params, seed: u64) -> String {
         out,
         "{:<16} {:<34} {:<34}",
         "non-anonymous",
-        render(na_rep.lower.registers, na_rep.upper.registers, repeated.locations_written),
-        render(na_one.lower.registers, na_one.upper.registers, oneshot.locations_written),
+        render(
+            na_rep.lower.registers,
+            na_rep.upper.registers,
+            repeated.locations_written
+        ),
+        render(
+            na_one.lower.registers,
+            na_one.upper.registers,
+            oneshot.locations_written
+        ),
     );
     let _ = writeln!(
         out,
         "{:<16} {:<34} {:<34}",
         "anonymous",
-        render(an_rep.lower.registers, an_rep.upper.registers, anon_repeated.locations_written),
-        render(an_one.lower.registers, an_one.upper.registers, anon_oneshot.locations_written),
+        render(
+            an_rep.lower.registers,
+            an_rep.upper.registers,
+            anon_repeated.locations_written
+        ),
+        render(
+            an_one.lower.registers,
+            an_one.upper.registers,
+            anon_oneshot.locations_written
+        ),
     );
     out
 }
@@ -371,7 +383,10 @@ mod tests {
         let params = Params::new(10, 1, 3).unwrap();
         let rows = baseline_rows(params, 1);
         assert_eq!(rows.len(), 3);
-        let ours = rows.iter().find(|r| r.algorithm == Algorithm::OneShot).unwrap();
+        let ours = rows
+            .iter()
+            .find(|r| r.algorithm == Algorithm::OneShot)
+            .unwrap();
         let wide = rows
             .iter()
             .find(|r| r.algorithm == Algorithm::WideBaseline)
@@ -391,7 +406,11 @@ mod tests {
         let series = obstruction_series(params, Algorithm::OneShot, params.m(), 2_000_000, 3);
         assert_eq!(series.len(), 2);
         for point in &series {
-            assert!(point.decided, "survivors={} did not decide", point.survivors);
+            assert!(
+                point.decided,
+                "survivors={} did not decide",
+                point.survivors
+            );
         }
     }
 
@@ -400,10 +419,7 @@ mod tests {
         let params = Params::new(4, 1, 2).unwrap();
         let report = lower_bound_report(params, 200_000);
         assert_eq!(report.covering.len(), params.snapshot_components());
-        assert_eq!(
-            report.cloning.len(),
-            params.anonymous_snapshot_components()
-        );
+        assert_eq!(report.cloning.len(), params.anonymous_snapshot_components());
         assert!(report.covering_resilient_width() <= params.snapshot_components());
         assert!(report.cloning_resilient_width() <= params.anonymous_snapshot_components());
         assert!(report.render().contains("covering attack"));

@@ -26,9 +26,7 @@
 
 use crate::error::AlgorithmError;
 use crate::values::{AnonTuple, AnonValue, History};
-use sa_model::{
-    Automaton, Decision, InputValue, InstanceId, MemoryLayout, Op, Params, Response,
-};
+use sa_model::{Automaton, Decision, InputValue, InstanceId, MemoryLayout, Op, Params, Response};
 use std::collections::BTreeMap;
 
 /// Which step the process performs next.
@@ -100,8 +98,9 @@ impl AnonymousSetAgreement {
 
     /// Creates a one-shot automaton (a single instance, no helper register).
     pub fn one_shot(params: Params, input: InputValue) -> Self {
-        let mut automaton = Self::with_width(params, vec![input], params.anonymous_snapshot_components())
-            .expect("a single input is never empty");
+        let mut automaton =
+            Self::with_width(params, vec![input], params.anonymous_snapshot_components())
+                .expect("a single input is never empty");
         automaton.use_helper = false;
         automaton.phase = Phase::BeginPropose;
         automaton
@@ -471,10 +470,7 @@ mod tests {
         assert_eq!(a.width(), 10);
         assert!(a.uses_helper());
         assert_eq!(a.planned_instances(), 2);
-        assert_eq!(
-            a.layout(),
-            MemoryLayout::with_snapshot_and_registers(10, 1)
-        );
+        assert_eq!(a.layout(), MemoryLayout::with_snapshot_and_registers(10, 1));
         let o = AnonymousSetAgreement::one_shot(params, 5);
         assert!(!o.uses_helper());
         assert_eq!(o.layout(), MemoryLayout::with_snapshot_and_registers(10, 0));
@@ -619,7 +615,15 @@ mod tests {
         a.apply(Response::Nop); // begin instance 1
         a.phase = Phase::Scan;
         let cell = |v: u64| Some(AnonValue::Cell(AnonTuple::new(v, 1, History::empty())));
-        let view = vec![cell(9), cell(9), cell(9), cell(9), cell(8), cell(8), cell(8)];
+        let view = vec![
+            cell(9),
+            cell(9),
+            cell(9),
+            cell(9),
+            cell(8),
+            cell(8),
+            cell(8),
+        ];
         let d = a.handle_scan(&view).expect("must decide");
         assert_eq!(d.value, 9);
     }
@@ -650,10 +654,19 @@ mod tests {
         a.instance = 2;
         a.pref = 6;
         a.phase = Phase::Scan;
-        let current = |v: u64| Some(AnonValue::Cell(AnonTuple::new(v, 2, History::from_vec(vec![4]))));
+        let current = |v: u64| {
+            Some(AnonValue::Cell(AnonTuple::new(
+                v,
+                2,
+                History::from_vec(vec![4]),
+            )))
+        };
         let stale = Some(AnonValue::Cell(AnonTuple::new(9, 1, History::empty())));
         let view = vec![stale, current(6), current(6), current(6), current(6)];
-        assert!(a.handle_scan(&view).is_none(), "stale tuple must block the decision");
+        assert!(
+            a.handle_scan(&view).is_none(),
+            "stale tuple must block the decision"
+        );
     }
 
     #[test]

@@ -20,9 +20,7 @@
 use crate::error::AlgorithmError;
 use crate::oneshot::OneShotSetAgreement;
 use crate::values::Pair;
-use sa_model::{
-    Automaton, Decision, InputValue, MemoryLayout, Op, Params, ProcessId, Response,
-};
+use sa_model::{Automaton, Decision, InputValue, MemoryLayout, Op, Params, ProcessId, Response};
 
 /// The Figure 3 one-shot algorithm run over a snapshot object with
 /// `2(n − k)` components — the space of the prior algorithm \[4\] for
@@ -302,7 +300,9 @@ where
     /// Merges a collect into the emulated snapshot view: for every component,
     /// the cell with the largest `(seq, writer)` timestamp wins.
     fn merge(collect: &[Option<FullInfoRecord<A::Value>>], width: usize) -> Vec<Option<A::Value>> {
-        let mut view: Vec<Option<(&EmulatedCell<A::Value>, (u64, ProcessId))>> = vec![None; width];
+        // Per component: the best cell seen so far and its (seq, writer) stamp.
+        type Best<'a, V> = Option<(&'a EmulatedCell<V>, (u64, ProcessId))>;
+        let mut view: Vec<Best<'_, A::Value>> = vec![None; width];
         for record in collect.iter().flatten() {
             for (component, cell) in record.cells.iter().enumerate() {
                 let Some(cell) = cell else { continue };
@@ -520,7 +520,9 @@ mod tests {
     fn emulated_solo_run_decides_own_input() {
         let params = Params::new(4, 1, 1).unwrap();
         let automata: Vec<_> = (0..4)
-            .map(|p| SwmrEmulated::<OneShotSetAgreement>::one_shot(params, ProcessId(p), 50 + p as u64))
+            .map(|p| {
+                SwmrEmulated::<OneShotSetAgreement>::one_shot(params, ProcessId(p), 50 + p as u64)
+            })
             .collect();
         let mut exec = Executor::new(automata);
         let report = exec.run(&mut SoloScheduler::new(ProcessId(1)), RunConfig::default());
@@ -534,7 +536,11 @@ mod tests {
             let params = Params::new(n, m, k).unwrap();
             let automata: Vec<_> = (0..n)
                 .map(|p| {
-                    SwmrEmulated::<OneShotSetAgreement>::one_shot(params, ProcessId(p), 100 + p as u64)
+                    SwmrEmulated::<OneShotSetAgreement>::one_shot(
+                        params,
+                        ProcessId(p),
+                        100 + p as u64,
+                    )
                 })
                 .collect();
             let mut exec = Executor::new(automata);
@@ -542,7 +548,10 @@ mod tests {
             let mut sched = ObstructionScheduler::new(200, survivors.clone(), 3);
             let report = exec.run(&mut sched, RunConfig::with_max_steps(500_000));
             for p in &survivors {
-                assert!(report.halted[p.index()], "{p} undecided for n={n} m={m} k={k}");
+                assert!(
+                    report.halted[p.index()],
+                    "{p} undecided for n={n} m={m} k={k}"
+                );
             }
             check_k_agreement(k, &report.decisions).unwrap();
             check_validity(&input_log(params), &report.decisions).unwrap();
@@ -555,7 +564,11 @@ mod tests {
             let params = Params::new(4, 1, 2).unwrap();
             let automata: Vec<_> = (0..4)
                 .map(|p| {
-                    SwmrEmulated::<OneShotSetAgreement>::one_shot(params, ProcessId(p), 100 + p as u64)
+                    SwmrEmulated::<OneShotSetAgreement>::one_shot(
+                        params,
+                        ProcessId(p),
+                        100 + p as u64,
+                    )
                 })
                 .collect();
             let mut exec = Executor::new(automata);

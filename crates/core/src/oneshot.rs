@@ -18,9 +18,7 @@
 
 use crate::error::AlgorithmError;
 use crate::values::Pair;
-use sa_model::{
-    Automaton, Decision, InputValue, MemoryLayout, Op, Params, ProcessId, Response,
-};
+use sa_model::{Automaton, Decision, InputValue, MemoryLayout, Op, Params, ProcessId, Response};
 
 /// Which shared-memory operation the process performs next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -280,8 +278,8 @@ impl Automaton for OneShotSetAgreement {
 mod tests {
     use super::*;
     use sa_runtime::{
-        check_k_agreement, check_validity, Executor, InputLog, ObstructionScheduler, RandomScheduler,
-        RoundRobin, RunConfig, SoloScheduler,
+        check_k_agreement, check_validity, Executor, InputLog, ObstructionScheduler,
+        RandomScheduler, RoundRobin, RunConfig, SoloScheduler,
     };
 
     fn automata(params: Params) -> Vec<OneShotSetAgreement> {
@@ -334,7 +332,14 @@ mod tests {
     #[test]
     fn obstruction_runs_terminate_and_agree() {
         // Every (n, m, k) in a small sweep, heavy contention then m survivors.
-        for (n, m, k) in [(3, 1, 1), (4, 1, 2), (4, 2, 2), (5, 2, 3), (6, 3, 3), (6, 1, 4)] {
+        for (n, m, k) in [
+            (3, 1, 1),
+            (4, 1, 2),
+            (4, 2, 2),
+            (5, 2, 3),
+            (6, 3, 3),
+            (6, 1, 4),
+        ] {
             let params = Params::new(n, m, k).unwrap();
             let mut exec = Executor::new(automata(params));
             let survivors: Vec<ProcessId> = (0..m).map(ProcessId).collect();

@@ -488,7 +488,12 @@ mod tests {
         // *higher* process count scenario): here we instead check that a view
         // full of the process's own instance-1 tuples leads to a decision.
         let own = Tuple::new(5, ProcessId(0), 1, History::empty());
-        let view = vec![Some(own.clone()), Some(own.clone()), Some(own.clone()), Some(own)];
+        let view = vec![
+            Some(own.clone()),
+            Some(own.clone()),
+            Some(own.clone()),
+            Some(own),
+        ];
         let d = a.handle_scan(&view).expect("must decide");
         assert_eq!(d.value, 5);
         assert_eq!(a.history().get(1), Some(5));
@@ -508,7 +513,12 @@ mod tests {
         // line 17 must not fire even though only one distinct tuple exists.
         let stale = Tuple::new(7, ProcessId(1), 1, History::empty());
         let current = Tuple::new(6, ProcessId(0), 2, History::from_vec(vec![9]));
-        let view = vec![Some(stale), Some(current.clone()), Some(current.clone()), Some(current)];
+        let view = vec![
+            Some(stale),
+            Some(current.clone()),
+            Some(current.clone()),
+            Some(current),
+        ];
         let d = a.handle_scan(&view);
         assert!(d.is_none(), "stale tuple must block the decision");
     }

@@ -295,7 +295,9 @@ mod tests {
         let covered = BTreeSet::from([COMPONENT_0]);
         let outcome = run_until_poised_outside(&mut exec, &group, &covered, 1_000);
         match outcome {
-            GroupRun::PoisedOutside { location, process, .. } => {
+            GroupRun::PoisedOutside {
+                location, process, ..
+            } => {
                 assert_eq!(process, ProcessId(1));
                 assert_eq!(
                     location,
@@ -316,8 +318,7 @@ mod tests {
         let params = Params::new(3, 1, 1).unwrap();
         let mut exec = width_one_executor(params);
         let covered = BTreeSet::from([COMPONENT_0]);
-        let outcome =
-            run_until_poised_outside(&mut exec, &[ProcessId(0)], &covered, 10_000);
+        let outcome = run_until_poised_outside(&mut exec, &[ProcessId(0)], &covered, 10_000);
         assert!(matches!(outcome, GroupRun::Halted { .. }), "{outcome:?}");
     }
 
@@ -347,7 +348,7 @@ mod tests {
         // only component 0, so the block write erases it.
         let params = Params::new(3, 1, 1).unwrap();
         let exec = width_one_executor(params);
-        let fragment: Vec<ProcessId> = std::iter::repeat(ProcessId(1)).take(12).collect();
+        let fragment: Vec<ProcessId> = std::iter::repeat_n(ProcessId(1), 12).collect();
         assert!(obliterates(&exec, &[ProcessId(0)], &fragment));
     }
 
@@ -357,7 +358,7 @@ mod tests {
         // which p0 does not cover, so the memories differ.
         let params = Params::new(3, 1, 1).unwrap();
         let exec = full_width_executor(params);
-        let fragment: Vec<ProcessId> = std::iter::repeat(ProcessId(1)).take(12).collect();
+        let fragment: Vec<ProcessId> = std::iter::repeat_n(ProcessId(1), 12).collect();
         assert!(!obliterates(&exec, &[ProcessId(0)], &fragment));
     }
 
@@ -368,7 +369,7 @@ mod tests {
         // observer p2 decides exactly the same values.
         let params = Params::new(3, 1, 1).unwrap();
         let exec = width_one_executor(params);
-        let fragment: Vec<ProcessId> = std::iter::repeat(ProcessId(1)).take(30).collect();
+        let fragment: Vec<ProcessId> = std::iter::repeat_n(ProcessId(1), 30).collect();
         assert!(splice_is_invisible(
             &exec,
             &[ProcessId(0)],
@@ -385,7 +386,7 @@ mod tests {
         // decides (p2 adopts p1's value instead of its own in one branch).
         let params = Params::new(3, 1, 1).unwrap();
         let exec = full_width_executor(params);
-        let fragment: Vec<ProcessId> = std::iter::repeat(ProcessId(1)).take(40).collect();
+        let fragment: Vec<ProcessId> = std::iter::repeat_n(ProcessId(1), 40).collect();
         assert!(!splice_is_invisible(
             &exec,
             &[ProcessId(0)],

@@ -118,11 +118,9 @@ impl BoundsCell {
 ///   Theorem 10.
 pub fn lower_bound(params: Params, setting: Setting, naming: Naming) -> Bound {
     match (setting, naming) {
-        (Setting::Repeated, _) => Bound::exact(
-            params.repeated_lower_bound(),
-            "n + m - k",
-            "Theorem 2",
-        ),
+        (Setting::Repeated, _) => {
+            Bound::exact(params.repeated_lower_bound(), "n + m - k", "Theorem 2")
+        }
         (Setting::OneShot, Naming::NonAnonymous) => Bound::exact(2, "2", "[4]"),
         (Setting::OneShot, Naming::Anonymous) => Bound {
             registers: params.anonymous_oneshot_lower_bound(),
@@ -277,9 +275,7 @@ impl Figure1 {
             ));
             out.push_str(&format!(
                 "{:<16} upper: {:<21} upper: {:<21}\n",
-                "",
-                repeated.upper.registers,
-                one_shot.upper.registers
+                "", repeated.upper.registers, one_shot.upper.registers
             ));
         }
         out
@@ -327,7 +323,9 @@ mod tests {
     fn oneshot_nonanonymous_lower_bound_is_two() {
         let fig = Figure1::for_params(p(10, 2, 4));
         assert_eq!(
-            fig.cell(Setting::OneShot, Naming::NonAnonymous).lower.registers,
+            fig.cell(Setting::OneShot, Naming::NonAnonymous)
+                .lower
+                .registers,
             2
         );
     }

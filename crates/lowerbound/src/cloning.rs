@@ -126,10 +126,7 @@ pub fn lockstep_behaviours(params: Params, steps: u64) -> (ProcessBehaviour, Pro
         .collect();
     let mut exec = Executor::new(automata);
     let mut scheduler = LockstepScheduler::new(vec![(ProcessId(0), ProcessId(1))]);
-    let report = exec.run(
-        &mut scheduler,
-        RunConfig::with_max_steps(steps).traced(),
-    );
+    let report = exec.run(&mut scheduler, RunConfig::with_max_steps(steps).traced());
     let trace = report.trace.expect("trace recording was enabled");
     let behaviour_of = |p: ProcessId| ProcessBehaviour {
         ops: trace.steps_of(p).map(|e| e.op).collect(),

@@ -29,7 +29,7 @@
 use sa_core::{OneShotSetAgreement, RepeatedSetAgreement};
 use sa_model::{DecisionSet, Params, ProcessId};
 use sa_runtime::{
-    agreement_predicate, explore, Exploration, ExploreConfig, Executor, RunConfig, RunReport,
+    agreement_predicate, explore, Executor, Exploration, ExploreConfig, RunConfig, RunReport,
     Scheduler, SchedulerView,
 };
 use std::fmt;
@@ -79,11 +79,7 @@ impl GroupSequentialScheduler {
 impl Scheduler for GroupSequentialScheduler {
     fn next(&mut self, view: &SchedulerView<'_>) -> Option<ProcessId> {
         for group in &self.groups {
-            if let Some(pick) = group
-                .iter()
-                .copied()
-                .find(|p| view.runnable.contains(p))
-            {
+            if let Some(pick) = group.iter().copied().find(|p| view.runnable.contains(p)) {
                 return Some(pick);
             }
         }
@@ -307,7 +303,10 @@ mod tests {
         for (n, m, k) in [(3, 1, 1), (4, 1, 2), (5, 2, 3), (6, 2, 2)] {
             let params = Params::new(n, m, k).unwrap();
             let outcome = attack_one_shot(params, params.snapshot_components(), 500_000);
-            assert!(outcome.completed, "attack did not finish for n={n} m={m} k={k}");
+            assert!(
+                outcome.completed,
+                "attack did not finish for n={n} m={m} k={k}"
+            );
             assert!(
                 !outcome.violates_agreement(),
                 "paper width violated agreement: {outcome}"
@@ -362,10 +361,7 @@ mod tests {
         // produce two distinct outputs.
         let params = Params::new(2, 1, 1).unwrap();
         let result = exhaustive_violation(params, 1, ExploreConfig::with_depth(40));
-        assert!(
-            result.violation.is_some(),
-            "no violation found: {result:?}"
-        );
+        assert!(result.violation.is_some(), "no violation found: {result:?}");
     }
 
     #[test]
@@ -376,6 +372,9 @@ mod tests {
             params.snapshot_components(),
             ExploreConfig::with_depth(24),
         );
-        assert!(result.violation.is_none(), "unexpected violation: {result:?}");
+        assert!(
+            result.violation.is_none(),
+            "unexpected violation: {result:?}"
+        );
     }
 }

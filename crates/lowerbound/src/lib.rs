@@ -60,9 +60,7 @@ pub mod covering;
 
 pub use blockwrite::{block_write, covered_locations, obliterates, splice_is_invisible, GroupRun};
 pub use bounds::{Bound, BoundsCell, Figure1, Naming, Setting, SweepRow};
-pub use cloning::{
-    clone_attack, clones_behave_identically, LockstepScheduler, ProcessBehaviour,
-};
+pub use cloning::{clone_attack, clones_behave_identically, LockstepScheduler, ProcessBehaviour};
 pub use covering::{
     attack_one_shot, attack_repeated, minimal_resilient_width, AttackOutcome,
     GroupSequentialScheduler,

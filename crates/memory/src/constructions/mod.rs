@@ -29,7 +29,9 @@
 mod register_snapshot;
 mod swmr;
 
-pub use register_snapshot::{IdTags, NonceTags, RegisterSnapshot, SnapshotHandle, TagSource, Tagged};
+pub use register_snapshot::{
+    IdTags, NonceTags, RegisterSnapshot, SnapshotHandle, TagSource, Tagged,
+};
 pub use swmr::{SwmrCell, SwmrHandle, SwmrSnapshot};
 
 /// How many collect rounds a bounded scan is willing to attempt before

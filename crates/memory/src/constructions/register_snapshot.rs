@@ -179,7 +179,13 @@ impl<V: Clone + Eq + Debug, T: TagSource> SnapshotHandle<V, T> {
             seq: self.tags.next_seq(),
         };
         self.memory
-            .apply(self.process, Op::Write { register: component, value: cell })
+            .apply(
+                self.process,
+                Op::Write {
+                    register: component,
+                    value: cell,
+                },
+            )
             .expect("component index validated above");
     }
 

@@ -99,10 +99,7 @@ impl MemoryMetrics {
 
     /// The number of writes applied to `location`.
     pub fn writes_to(&self, location: Location) -> u64 {
-        self.writes_by_location
-            .get(&location)
-            .copied()
-            .unwrap_or(0)
+        self.writes_by_location.get(&location).copied().unwrap_or(0)
     }
 
     /// The processes that ever wrote `location`.
@@ -146,10 +143,24 @@ mod tests {
     #[test]
     fn records_ops_and_writes() {
         let mut m = MemoryMetrics::new();
-        m.record(ProcessId(0), OpKind::Update, Some(Location::Component { snapshot: 0, component: 3 }));
+        m.record(
+            ProcessId(0),
+            OpKind::Update,
+            Some(Location::Component {
+                snapshot: 0,
+                component: 3,
+            }),
+        );
         m.record(ProcessId(0), OpKind::Scan, None);
         m.record(ProcessId(1), OpKind::Write, Some(Location::Register(2)));
-        m.record(ProcessId(1), OpKind::Update, Some(Location::Component { snapshot: 0, component: 3 }));
+        m.record(
+            ProcessId(1),
+            OpKind::Update,
+            Some(Location::Component {
+                snapshot: 0,
+                component: 3,
+            }),
+        );
 
         assert_eq!(m.total_ops(), 4);
         assert_eq!(m.ops_of_kind(OpKind::Update), 2);
@@ -159,11 +170,18 @@ mod tests {
         assert_eq!(m.components_written(0), 1);
         assert_eq!(m.registers_written(), 1);
         assert_eq!(
-            m.writes_to(Location::Component { snapshot: 0, component: 3 }),
+            m.writes_to(Location::Component {
+                snapshot: 0,
+                component: 3
+            }),
             2
         );
         assert_eq!(
-            m.writers_of(Location::Component { snapshot: 0, component: 3 }).len(),
+            m.writers_of(Location::Component {
+                snapshot: 0,
+                component: 3
+            })
+            .len(),
             2
         );
     }
@@ -202,7 +220,10 @@ mod tests {
     #[test]
     fn location_ordering_groups_registers_before_components() {
         let a = Location::Register(5);
-        let b = Location::Component { snapshot: 0, component: 0 };
+        let b = Location::Component {
+            snapshot: 0,
+            component: 0,
+        };
         assert!(a < b);
     }
 }

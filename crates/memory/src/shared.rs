@@ -171,8 +171,14 @@ mod tests {
             mem.apply(ProcessId(0), Op::Read { register: 0 }).unwrap(),
             Response::Read(None)
         );
-        mem.apply(ProcessId(0), Op::Write { register: 0, value: 11 })
-            .unwrap();
+        mem.apply(
+            ProcessId(0),
+            Op::Write {
+                register: 0,
+                value: 11,
+            },
+        )
+        .unwrap();
         assert_eq!(
             mem.apply(ProcessId(1), Op::Read { register: 0 }).unwrap(),
             Response::Read(Some(11))
@@ -185,7 +191,14 @@ mod tests {
         let mem = SharedMemory::<u64>::for_layout(&MemoryLayout::with_snapshot(2));
         assert!(mem.apply(ProcessId(0), Op::Read { register: 0 }).is_err());
         assert!(mem
-            .apply(ProcessId(0), Op::Update { snapshot: 0, component: 2, value: 0 })
+            .apply(
+                ProcessId(0),
+                Op::Update {
+                    snapshot: 0,
+                    component: 2,
+                    value: 0
+                }
+            )
             .is_err());
     }
 
@@ -202,10 +215,24 @@ mod tests {
             let mem = Arc::clone(&mem);
             std::thread::spawn(move || {
                 for seq in 1..500u64 {
-                    mem.apply(ProcessId(0), Op::Update { snapshot: 0, component: 0, value: seq })
-                        .unwrap();
-                    mem.apply(ProcessId(0), Op::Update { snapshot: 0, component: 1, value: seq })
-                        .unwrap();
+                    mem.apply(
+                        ProcessId(0),
+                        Op::Update {
+                            snapshot: 0,
+                            component: 0,
+                            value: seq,
+                        },
+                    )
+                    .unwrap();
+                    mem.apply(
+                        ProcessId(0),
+                        Op::Update {
+                            snapshot: 0,
+                            component: 1,
+                            value: seq,
+                        },
+                    )
+                    .unwrap();
                 }
             })
         };
@@ -229,14 +256,22 @@ mod tests {
 
     #[test]
     fn metrics_accumulate_across_threads() {
-        let mem = Arc::new(SharedMemory::<u64>::for_layout(&MemoryLayout::registers_only(1)));
+        let mem = Arc::new(SharedMemory::<u64>::for_layout(
+            &MemoryLayout::registers_only(1),
+        ));
         let handles: Vec<_> = (0..4)
             .map(|i| {
                 let mem = Arc::clone(&mem);
                 std::thread::spawn(move || {
                     for _ in 0..10 {
-                        mem.apply(ProcessId(i), Op::Write { register: 0, value: 1 })
-                            .unwrap();
+                        mem.apply(
+                            ProcessId(i),
+                            Op::Write {
+                                register: 0,
+                                value: 1,
+                            },
+                        )
+                        .unwrap();
                     }
                 })
             })

@@ -171,8 +171,14 @@ mod tests {
     #[test]
     fn write_then_read_roundtrips() {
         let mut mem: SimMemory<u64> = SimMemory::for_layout(&layout());
-        mem.apply(ProcessId(0), Op::Write { register: 1, value: 5 })
-            .unwrap();
+        mem.apply(
+            ProcessId(0),
+            Op::Write {
+                register: 1,
+                value: 5,
+            },
+        )
+        .unwrap();
         let r = mem.apply(ProcessId(1), Op::Read { register: 1 }).unwrap();
         assert_eq!(r, Response::Read(Some(5)));
         let r = mem.apply(ProcessId(1), Op::Read { register: 0 }).unwrap();
@@ -184,7 +190,11 @@ mod tests {
         let mut mem: SimMemory<u64> = SimMemory::for_layout(&layout());
         mem.apply(
             ProcessId(0),
-            Op::Update { snapshot: 1, component: 1, value: 9 },
+            Op::Update {
+                snapshot: 1,
+                component: 1,
+                value: 9,
+            },
         )
         .unwrap();
         let r = mem.apply(ProcessId(2), Op::Scan { snapshot: 1 }).unwrap();
@@ -198,8 +208,15 @@ mod tests {
     fn overwrites_keep_latest_value() {
         let mut mem: SimMemory<u64> = SimMemory::for_layout(&layout());
         for v in 0..10u64 {
-            mem.apply(ProcessId(0), Op::Update { snapshot: 0, component: 0, value: v })
-                .unwrap();
+            mem.apply(
+                ProcessId(0),
+                Op::Update {
+                    snapshot: 0,
+                    component: 0,
+                    value: v,
+                },
+            )
+            .unwrap();
         }
         assert_eq!(mem.peek_snapshot(0)[0], Some(9));
     }
@@ -209,21 +226,48 @@ mod tests {
         let mut mem: SimMemory<u64> = SimMemory::for_layout(&layout());
         assert!(mem.apply(ProcessId(0), Op::Read { register: 2 }).is_err());
         assert!(mem
-            .apply(ProcessId(0), Op::Update { snapshot: 0, component: 3, value: 1 })
+            .apply(
+                ProcessId(0),
+                Op::Update {
+                    snapshot: 0,
+                    component: 3,
+                    value: 1
+                }
+            )
             .is_err());
         assert!(mem.apply(ProcessId(0), Op::Scan { snapshot: 2 }).is_err());
         assert!(mem
-            .apply(ProcessId(0), Op::Write { register: 5, value: 0 })
+            .apply(
+                ProcessId(0),
+                Op::Write {
+                    register: 5,
+                    value: 0
+                }
+            )
             .is_err());
     }
 
     #[test]
     fn metrics_track_ops_and_space() {
         let mut mem: SimMemory<u64> = SimMemory::for_layout(&layout());
-        mem.apply(ProcessId(0), Op::Update { snapshot: 0, component: 0, value: 1 })
-            .unwrap();
-        mem.apply(ProcessId(0), Op::Update { snapshot: 0, component: 1, value: 2 })
-            .unwrap();
+        mem.apply(
+            ProcessId(0),
+            Op::Update {
+                snapshot: 0,
+                component: 0,
+                value: 1,
+            },
+        )
+        .unwrap();
+        mem.apply(
+            ProcessId(0),
+            Op::Update {
+                snapshot: 0,
+                component: 1,
+                value: 2,
+            },
+        )
+        .unwrap();
         mem.apply(ProcessId(1), Op::Scan { snapshot: 0 }).unwrap();
         mem.apply(ProcessId(1), Op::Nop).unwrap();
         let metrics = mem.metrics();
@@ -245,8 +289,14 @@ mod tests {
     fn restore_from_copies_contents_only() {
         let mut a: SimMemory<u64> = SimMemory::for_layout(&layout());
         let mut b: SimMemory<u64> = SimMemory::for_layout(&layout());
-        b.apply(ProcessId(0), Op::Write { register: 0, value: 3 })
-            .unwrap();
+        b.apply(
+            ProcessId(0),
+            Op::Write {
+                register: 0,
+                value: 3,
+            },
+        )
+        .unwrap();
         a.restore_from(&b);
         assert_eq!(a.peek_register(0), Some(&3));
         // Metrics of `a` are untouched by restore.
@@ -257,8 +307,14 @@ mod tests {
     fn fingerprint_changes_with_contents() {
         let mut a: SimMemory<u64> = SimMemory::for_layout(&layout());
         let f0 = a.content_fingerprint();
-        a.apply(ProcessId(0), Op::Write { register: 0, value: 1 })
-            .unwrap();
+        a.apply(
+            ProcessId(0),
+            Op::Write {
+                register: 0,
+                value: 1,
+            },
+        )
+        .unwrap();
         let f1 = a.content_fingerprint();
         assert_ne!(f0, f1);
         // Metrics do not influence the fingerprint.

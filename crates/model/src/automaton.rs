@@ -161,7 +161,11 @@ impl DecisionSet {
     }
 
     /// The value decided by `process` in `instance`, if any.
-    pub fn decision_of(&self, process: crate::ProcessId, instance: InstanceId) -> Option<InputValue> {
+    pub fn decision_of(
+        &self,
+        process: crate::ProcessId,
+        instance: InstanceId,
+    ) -> Option<InputValue> {
         self.by_instance
             .get(&instance)
             .and_then(|m| m.get(&process))
@@ -254,7 +258,11 @@ mod tests {
         let mut set = DecisionSet::new();
         set.record_all(
             ProcessId(4),
-            vec![Decision::new(1, 1), Decision::new(2, 2), Decision::new(3, 3)],
+            vec![
+                Decision::new(1, 1),
+                Decision::new(2, 2),
+                Decision::new(3, 3),
+            ],
         );
         assert_eq!(set.len(), 3);
         assert_eq!(set.decision_of(ProcessId(4), 2), Some(2));

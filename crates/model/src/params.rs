@@ -360,9 +360,7 @@ mod tests {
     fn sweep_is_exhaustive_and_valid() {
         let all: Vec<Params> = ParamSweep::up_to(6).collect();
         // Count triples directly: for each n, sum over k in 1..n of k choices for m.
-        let expected: usize = (2..=6)
-            .map(|n: usize| (1..n).map(|k| k).sum::<usize>())
-            .sum();
+        let expected: usize = (2..=6).map(|n: usize| (1..n).sum::<usize>()).sum();
         assert_eq!(all.len(), expected);
         for p in &all {
             assert!(p.m() >= 1 && p.m() <= p.k() && p.k() < p.n());

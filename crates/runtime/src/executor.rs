@@ -211,7 +211,8 @@ where
             .apply(process, op)
             .unwrap_or_else(|e| panic!("{process} issued an out-of-layout operation: {e}"));
         let decisions = automaton.apply(response);
-        self.decisions.record_all(process, decisions.iter().copied());
+        self.decisions
+            .record_all(process, decisions.iter().copied());
         self.steps += 1;
         self.steps_per_process[process.index()] += 1;
         Some(StepOutcome {
@@ -223,7 +224,11 @@ where
 
     /// Runs the execution under `scheduler` until every process halts, the
     /// step budget is exhausted, or the scheduler gives up.
-    pub fn run<S: Scheduler + ?Sized>(&mut self, scheduler: &mut S, config: RunConfig) -> RunReport {
+    pub fn run<S: Scheduler + ?Sized>(
+        &mut self,
+        scheduler: &mut S,
+        config: RunConfig,
+    ) -> RunReport {
         let mut trace = config.record_trace.then(Trace::new);
         let stop = loop {
             if self.all_halted() {
@@ -289,7 +294,11 @@ mod tests {
 
     #[test]
     fn run_to_completion_under_round_robin() {
-        let automata = vec![ToyWriter::new(0, 1), ToyWriter::new(1, 2), ToyWriter::new(2, 3)];
+        let automata = vec![
+            ToyWriter::new(0, 1),
+            ToyWriter::new(1, 2),
+            ToyWriter::new(2, 3),
+        ];
         let mut exec = Executor::new(automata);
         let report = exec.run(&mut RoundRobin::new(), RunConfig::default());
         assert_eq!(report.stop, StopReason::AllHalted);
@@ -331,12 +340,8 @@ mod tests {
             RacyConsensus::new(ProcessId(1), 20),
         ];
         let mut exec = Executor::new(automata);
-        let mut sched = ScriptedScheduler::new(vec![
-            ProcessId(0),
-            ProcessId(1),
-            ProcessId(0),
-            ProcessId(1),
-        ]);
+        let mut sched =
+            ScriptedScheduler::new(vec![ProcessId(0), ProcessId(1), ProcessId(0), ProcessId(1)]);
         let report = exec.run(&mut sched, RunConfig::default());
         assert_eq!(report.decisions.distinct_outputs(1), 2);
     }
@@ -348,12 +353,8 @@ mod tests {
             RacyConsensus::new(ProcessId(1), 20),
         ];
         let mut exec = Executor::new(automata);
-        let mut sched = ScriptedScheduler::new(vec![
-            ProcessId(0),
-            ProcessId(0),
-            ProcessId(1),
-            ProcessId(1),
-        ]);
+        let mut sched =
+            ScriptedScheduler::new(vec![ProcessId(0), ProcessId(0), ProcessId(1), ProcessId(1)]);
         let report = exec.run(&mut sched, RunConfig::default());
         assert_eq!(report.decisions.distinct_outputs(1), 1);
         assert_eq!(report.decisions.outputs(1).into_iter().next(), Some(10));

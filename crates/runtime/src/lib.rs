@@ -52,12 +52,12 @@ mod workload;
 pub use executor::{Executor, RunConfig, RunReport, StopReason};
 pub use explore::{agreement_predicate, explore, Exploration, ExploreConfig, ExploredViolation};
 pub use properties::{
-    check_k_agreement, check_obstruction_termination, check_validity, AgreementViolation,
-    InputLog, SafetyReport, TerminationViolation, ValidityViolation,
+    check_k_agreement, check_obstruction_termination, check_validity, AgreementViolation, InputLog,
+    SafetyReport, TerminationViolation, ValidityViolation,
 };
 pub use schedule::{
-    BurstScheduler, CrashScheduler, ObstructionScheduler, RandomScheduler, RoundRobin,
-    Scheduler, SchedulerView, ScriptedScheduler, SoloScheduler,
+    BurstScheduler, CrashScheduler, ObstructionScheduler, RandomScheduler, RoundRobin, Scheduler,
+    SchedulerView, ScriptedScheduler, SoloScheduler,
 };
 pub use threaded::{run_threaded, ThreadedConfig, ThreadedReport};
 pub use trace::{Trace, TraceEvent};

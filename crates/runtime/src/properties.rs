@@ -50,10 +50,7 @@ impl InputLog {
 
     /// The inputs of `instance`.
     pub fn inputs(&self, instance: InstanceId) -> BTreeSet<InputValue> {
-        self.by_instance
-            .get(&instance)
-            .cloned()
-            .unwrap_or_default()
+        self.by_instance.get(&instance).cloned().unwrap_or_default()
     }
 
     /// Instances with at least one recorded input.

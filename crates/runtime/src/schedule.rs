@@ -236,10 +236,7 @@ impl SoloScheduler {
 
 impl Scheduler for SoloScheduler {
     fn next(&mut self, view: &SchedulerView<'_>) -> Option<ProcessId> {
-        view.runnable
-            .iter()
-            .copied()
-            .find(|p| *p == self.process)
+        view.runnable.iter().copied().find(|p| *p == self.process)
     }
 
     fn name(&self) -> &str {
@@ -488,7 +485,10 @@ mod tests {
         let mut s = BurstScheduler::new(5, 11);
         let picks: Vec<_> = (0..20).map(|i| s.next(&view(&procs, i)).unwrap()).collect();
         for chunk in picks.chunks(5) {
-            assert!(chunk.iter().all(|p| *p == chunk[0]), "burst not contiguous: {chunk:?}");
+            assert!(
+                chunk.iter().all(|p| *p == chunk[0]),
+                "burst not contiguous: {chunk:?}"
+            );
         }
     }
 

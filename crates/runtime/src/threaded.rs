@@ -116,9 +116,9 @@ where
                     let Some(op) = automaton.poised() else {
                         break;
                     };
-                    let response = memory
-                        .apply(process, op)
-                        .unwrap_or_else(|e| panic!("{process} issued an out-of-layout operation: {e}"));
+                    let response = memory.apply(process, op).unwrap_or_else(|e| {
+                        panic!("{process} issued an out-of-layout operation: {e}")
+                    });
                     for decision in automaton.apply(response) {
                         // The receiver outlives all senders inside the scope.
                         let _ = tx.send((process, decision));

@@ -127,10 +127,7 @@ mod tests {
         });
         assert_eq!(t.len(), 3);
         assert_eq!(t.steps_of(ProcessId(0)).count(), 2);
-        assert_eq!(
-            t.schedule(),
-            vec![ProcessId(0), ProcessId(1), ProcessId(0)]
-        );
+        assert_eq!(t.schedule(), vec![ProcessId(0), ProcessId(1), ProcessId(0)]);
         assert_eq!(t.decisions(), vec![(ProcessId(0), Decision::new(1, 7))]);
     }
 

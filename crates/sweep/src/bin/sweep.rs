@@ -1,0 +1,252 @@
+//! The `sweep` CLI: run campaigns, summarize result files, diff two runs.
+//!
+//! ```text
+//! sweep run [--spec FILE] [--name NAME] [--n 4..8] [--m 1,2] [--k 2,3]
+//!           [--params N/M/K;...] [--algorithms all|LIST] [--adversaries LIST]
+//!           [--seeds N|LIST] [--campaign-seed S] [--workload SPEC]
+//!           [--max-steps N] [--threads N] [--out FILE] [--progress N]
+//! sweep summarize FILE
+//! sweep diff OLD NEW
+//! ```
+//!
+//! `run` writes JSONL to `--out` (default stdout) and prints the outcome to
+//! stderr. `summarize` exits non-zero if the file contains safety or bound
+//! violations — the CI gate. `diff` exits non-zero on regressions (a
+//! scenario newly unsafe, newly over its bound, or newly starving).
+
+use sa_sweep::{
+    diff, parse_jsonl, run_campaign, AdversarySpec, CampaignSpec, EngineConfig, ParamsSpec,
+    Summary, WorkloadSpec,
+};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage:
+  sweep run [options]         expand and execute a campaign, emit JSONL
+  sweep summarize FILE        aggregate a result file; exit 1 on violations
+  sweep diff OLD NEW          compare result files; exit 1 on regressions
+
+run options:
+  --spec FILE          load a `key = value` campaign spec, then apply flags
+  --name NAME          campaign name embedded in records
+  --n, --m, --k LIST   grid axes: `4`, `4,6`, `4..8` (inclusive)
+  --params LIST        explicit cells `n/m/k;n/m/k;...` (replaces the grid)
+  --algorithms LIST    `all`, `all:INSTANCES`, or labels (`oneshot,
+                       repeated:3, anon-oneshot, anon-repeated, wide,
+                       fullinfo`, full figure labels also accepted)
+  --adversaries LIST   `round-robin, random, solo, bursts:LEN,
+                       obstruction[:FACTOR[:SURVIVORS]]` (factor x n steps
+                       of contention; survivors default to the cell's m)
+  --seeds N|LIST       plain integer = that many seeds (0..N); or `1,5,9`
+  --campaign-seed S    root seed mixed into every derived seed (default 0)
+  --workload SPEC      `distinct` (default), `uniform:V`, `random:UNIVERSE`
+  --max-steps N        per-scenario step budget (default 2000000)
+  --threads N          worker threads (default: all CPUs)
+  --out FILE           write JSONL here instead of stdout
+  --progress N         progress line to stderr every N scenarios
+";
+
+fn fail(message: impl std::fmt::Display) -> ExitCode {
+    eprintln!("sweep: {message}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("summarize") => cmd_summarize(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => fail(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut config = EngineConfig::default();
+    let mut out_path: Option<String> = None;
+    let (mut grid_n, mut grid_m, mut grid_k) = (None, None, None);
+
+    // Pair up flags first so --spec can be applied before the other flags
+    // regardless of where it appears on the command line ("load spec, then
+    // apply flags").
+    let mut pairs: Vec<(&str, &str)> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        if flag == "--help" || flag == "-h" {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        let Some(value) = iter.next() else {
+            return fail(format!("{flag} needs a value"));
+        };
+        pairs.push((flag, value));
+    }
+
+    let mut spec = CampaignSpec::default();
+    if let Some((_, path)) = pairs.iter().find(|(flag, _)| *flag == "--spec") {
+        let loaded: Result<CampaignSpec, String> = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|text| CampaignSpec::parse(&text).map_err(|e| e.to_string()));
+        match loaded {
+            Ok(loaded) => spec = loaded,
+            Err(message) => return fail(message),
+        }
+    }
+
+    for (flag, value) in &pairs {
+        let value = *value;
+        let result: Result<(), String> = (|| {
+            match *flag {
+                "--spec" => {} // already applied above
+                "--name" => spec.name = value.to_string(),
+                "--n" => grid_n = Some(to_usizes(value)?),
+                "--m" => grid_m = Some(to_usizes(value)?),
+                "--k" => grid_k = Some(to_usizes(value)?),
+                "--params" => {
+                    spec.params = ParamsSpec::parse_explicit(value).map_err(|e| e.to_string())?;
+                }
+                "--algorithms" => {
+                    spec.algorithms =
+                        sa_sweep::parse_algorithms(value).map_err(|e| e.to_string())?;
+                }
+                "--adversaries" => {
+                    spec.adversaries = value
+                        .split(',')
+                        .map(|part| AdversarySpec::parse(part.trim()))
+                        .collect::<Result<_, _>>()
+                        .map_err(|e| e.to_string())?;
+                }
+                "--seeds" => {
+                    spec.seeds = sa_sweep::parse_seeds(value).map_err(|e| e.to_string())?;
+                }
+                "--campaign-seed" => {
+                    spec.campaign_seed =
+                        value.parse().map_err(|_| format!("bad seed {value:?}"))?;
+                }
+                "--workload" => {
+                    spec.workload = WorkloadSpec::parse(value).map_err(|e| e.to_string())?;
+                }
+                "--max-steps" => {
+                    spec.max_steps = value
+                        .parse()
+                        .map_err(|_| format!("bad step budget {value:?}"))?;
+                }
+                "--threads" => {
+                    config.threads = value
+                        .parse()
+                        .map_err(|_| format!("bad thread count {value:?}"))?;
+                }
+                "--out" => out_path = Some(value.to_string()),
+                "--progress" => {
+                    config.progress_every = value
+                        .parse()
+                        .map_err(|_| format!("bad progress interval {value:?}"))?;
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+            Ok(())
+        })();
+        if let Err(message) = result {
+            return fail(message);
+        }
+    }
+
+    if grid_n.is_some() || grid_m.is_some() || grid_k.is_some() {
+        let (default_n, default_m, default_k) = match &spec.params {
+            ParamsSpec::Grid { n, m, k } => (n.clone(), m.clone(), k.clone()),
+            // Axis flags replace an explicit cell list wholesale.
+            ParamsSpec::Explicit(_) => (vec![], vec![], vec![]),
+        };
+        let n = grid_n.unwrap_or(default_n);
+        let m = grid_m.unwrap_or(default_m);
+        let k = grid_k.unwrap_or(default_k);
+        if n.is_empty() || m.is_empty() || k.is_empty() {
+            return fail("--n/--m/--k must all be given when overriding --params");
+        }
+        spec.params = ParamsSpec::Grid { n, m, k };
+    }
+
+    let run_to = |sink: &mut dyn std::io::Write| run_campaign(&spec, config, sink);
+    let outcome = match &out_path {
+        Some(path) => {
+            let file = match std::fs::File::create(path) {
+                Ok(file) => file,
+                Err(e) => return fail(format!("cannot create {path}: {e}")),
+            };
+            let mut writer = std::io::BufWriter::new(file);
+            run_to(&mut writer)
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut writer = std::io::BufWriter::new(stdout.lock());
+            run_to(&mut writer)
+        }
+    };
+    match outcome {
+        Ok(outcome) => {
+            eprintln!(
+                "sweep: campaign {:?}: {} scenarios ({} skipped as inapplicable), \
+                 {} safety violations, {} bound violations, {} progress failures",
+                spec.name,
+                outcome.records,
+                outcome.expansion.skipped_inapplicable,
+                outcome.safety_violations,
+                outcome.bound_violations,
+                outcome.progress_failures
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!("i/o error: {e}")),
+    }
+}
+
+fn to_usizes(text: &str) -> Result<Vec<usize>, String> {
+    Ok(sa_sweep::parse_values(text)
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .map(|v| v as usize)
+        .collect())
+}
+
+fn load_records(path: &str) -> Result<Vec<sa_sweep::SweepRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_summarize(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        return fail(format!("summarize takes exactly one file\n{USAGE}"));
+    };
+    let records = match load_records(path) {
+        Ok(records) => records,
+        Err(message) => return fail(message),
+    };
+    let summary = Summary::of(&records);
+    print!("{}", summary.render());
+    if summary.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let [old_path, new_path] = args else {
+        return fail(format!("diff takes exactly two files\n{USAGE}"));
+    };
+    let (old, new) = match (load_records(old_path), load_records(new_path)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(message), _) | (_, Err(message)) => return fail(message),
+    };
+    let report = diff(&old, &new);
+    print!("{}", report.render());
+    if report.has_regressions() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

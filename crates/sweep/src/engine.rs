@@ -1,0 +1,248 @@
+//! The parallel campaign executor.
+//!
+//! [`run_campaign`] expands a spec into its deterministic work list and
+//! executes it on a pool of worker threads. Workers pull scenario indices
+//! from a shared atomic cursor, run each scenario on the deterministic
+//! simulator, and send `(index, record)` pairs back over a channel. The
+//! consumer holds a reorder buffer and writes records strictly in index
+//! order, so the JSONL stream is **byte-identical for any thread count** —
+//! parallelism changes only the wall-clock time, never the output. That
+//! invariant is what lets `sweep diff` gate regressions and is asserted by
+//! the crate's determinism integration test.
+
+use crate::grid::{expand, ExpansionStats, ScenarioSpec};
+use crate::record::SweepRecord;
+use crate::spec::CampaignSpec;
+use set_agreement::Scenario;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// How the engine executes a campaign.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineConfig {
+    /// Worker threads; 0 means one per available CPU.
+    pub threads: usize,
+    /// Print a progress line to stderr every `progress_every` scenarios
+    /// (0 disables progress output).
+    pub progress_every: u64,
+}
+
+impl EngineConfig {
+    /// Resolves `threads = 0` to the machine's parallelism.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Aggregate outcome of a campaign run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignOutcome {
+    /// How the spec expanded.
+    pub expansion: ExpansionStats,
+    /// Records emitted (= `expansion.scenarios`).
+    pub records: u64,
+    /// Records violating validity or k-agreement.
+    pub safety_violations: u64,
+    /// Records exceeding the declared base-object bound.
+    pub bound_violations: u64,
+    /// Records where obligated survivors failed to decide.
+    pub progress_failures: u64,
+}
+
+impl CampaignOutcome {
+    /// `true` if the campaign saw no safety or bound violation (progress
+    /// failures are reported separately: they are expected when a campaign
+    /// deliberately over-subscribes survivors).
+    pub fn clean(&self) -> bool {
+        self.safety_violations == 0 && self.bound_violations == 0
+    }
+}
+
+/// Runs one scenario to a record. Pure: depends only on the spec.
+pub fn run_scenario(campaign: &str, spec: &ScenarioSpec) -> SweepRecord {
+    let report = Scenario::new(spec.params)
+        .algorithm(spec.algorithm)
+        .adversary(spec.adversary.clone())
+        .workload(spec.workload.clone())
+        .max_steps(spec.max_steps)
+        .run();
+    SweepRecord::from_report(campaign, spec, &report)
+}
+
+/// Expands and executes `spec` on `config.threads` workers, streaming one
+/// JSON line per scenario to `sink` in deterministic scenario order.
+///
+/// # Errors
+///
+/// Returns any I/O error raised by `sink`; scenario execution itself cannot
+/// fail.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    config: EngineConfig,
+    sink: &mut dyn Write,
+) -> std::io::Result<CampaignOutcome> {
+    let (scenarios, expansion) = expand(spec);
+    let mut outcome = CampaignOutcome {
+        expansion,
+        ..CampaignOutcome::default()
+    };
+    let threads = config.effective_threads().min(scenarios.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(u64, SweepRecord)>();
+
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let scenarios = &scenarios;
+            let name = &spec.name;
+            scope.spawn(move || loop {
+                let next = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(scenario) = scenarios.get(next) else {
+                    break;
+                };
+                let record = run_scenario(name, scenario);
+                if tx.send((scenario.index, record)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        // Reorder buffer: records arrive in completion order but leave in
+        // scenario order, keeping the stream deterministic.
+        let mut pending: BTreeMap<u64, SweepRecord> = BTreeMap::new();
+        let mut next_index = 0u64;
+        let mut written = 0u64;
+        while let Ok((index, record)) = rx.recv() {
+            pending.insert(index, record);
+            while let Some(record) = pending.remove(&next_index) {
+                outcome.records += 1;
+                if !record.safe() {
+                    outcome.safety_violations += 1;
+                }
+                if !record.bound_ok {
+                    outcome.bound_violations += 1;
+                }
+                if !record.progress_ok() {
+                    outcome.progress_failures += 1;
+                }
+                writeln!(sink, "{}", record.to_json())?;
+                next_index += 1;
+                written += 1;
+                if config.progress_every > 0 && written.is_multiple_of(config.progress_every) {
+                    eprintln!("sweep: {written}/{} scenarios done", scenarios.len());
+                }
+            }
+        }
+        debug_assert!(pending.is_empty(), "reorder buffer drained");
+        Ok(())
+    })?;
+
+    sink.flush()?;
+    Ok(outcome)
+}
+
+/// Like [`run_campaign`] but collects the records instead of streaming
+/// JSONL; used by the bench binaries and in-process callers.
+pub fn run_campaign_collect(
+    spec: &CampaignSpec,
+    config: EngineConfig,
+) -> (Vec<SweepRecord>, CampaignOutcome) {
+    let mut bytes = Vec::new();
+    let outcome = run_campaign(spec, config, &mut bytes).expect("writing to a Vec cannot fail");
+    let text = String::from_utf8(bytes).expect("records are valid UTF-8");
+    let records = crate::record::parse_jsonl(&text).expect("engine emits parseable records");
+    (records, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AdversarySpec, ParamsSpec, Survivors, WorkloadSpec};
+    use set_agreement::Algorithm;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "tiny".into(),
+            params: ParamsSpec::Grid {
+                n: vec![4, 5],
+                m: vec![1, 2],
+                k: vec![2],
+            },
+            algorithms: vec![Algorithm::OneShot, Algorithm::FullInformation],
+            adversaries: vec![AdversarySpec::Obstruction {
+                contention_factor: 20,
+                survivors: Survivors::M,
+            }],
+            seeds: vec![0, 1],
+            workload: WorkloadSpec::Distinct,
+            max_steps: 500_000,
+            campaign_seed: 11,
+        }
+    }
+
+    #[test]
+    fn campaign_runs_clean_and_in_order() {
+        let (records, outcome) = run_campaign_collect(
+            &tiny_spec(),
+            EngineConfig {
+                threads: 4,
+                progress_every: 0,
+            },
+        );
+        assert_eq!(outcome.records, records.len() as u64);
+        assert!(outcome.clean(), "{outcome:?}");
+        assert_eq!(outcome.progress_failures, 0);
+        for (i, record) in records.iter().enumerate() {
+            assert_eq!(record.scenario, i as u64, "stream out of order");
+            assert!(record.safe());
+            assert!(record.bound_ok);
+            assert!(record.survivors_decided);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_bytes() {
+        let spec = tiny_spec();
+        let run = |threads| {
+            let mut bytes = Vec::new();
+            run_campaign(
+                &spec,
+                EngineConfig {
+                    threads,
+                    progress_every: 0,
+                },
+                &mut bytes,
+            )
+            .unwrap();
+            bytes
+        };
+        let single = run(1);
+        assert!(!single.is_empty());
+        assert_eq!(single, run(3));
+    }
+
+    #[test]
+    fn outcome_counts_progress_failures_without_flagging_them_unsafe() {
+        // 3 survivors > m: termination is not guaranteed, so some scenarios
+        // hit the step limit without every survivor deciding. Safety must
+        // still hold throughout.
+        let mut spec = tiny_spec();
+        spec.adversaries = vec![AdversarySpec::Obstruction {
+            contention_factor: 5,
+            survivors: Survivors::Count(3),
+        }];
+        spec.max_steps = 20_000;
+        let (records, outcome) = run_campaign_collect(&spec, EngineConfig::default());
+        assert!(outcome.clean(), "{outcome:?}");
+        assert!(records.iter().all(|r| !r.progress_required));
+    }
+}

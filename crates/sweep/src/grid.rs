@@ -1,0 +1,396 @@
+//! Expansion of a [`CampaignSpec`] into a concrete, deterministically seeded
+//! work list.
+//!
+//! Expansion is the single place where scenario *identity* is fixed: the
+//! order of the returned list, every scenario's index and every derived seed
+//! are pure functions of the spec, never of thread count or timing. The
+//! engine exploits this to produce byte-identical JSONL output at any level
+//! of parallelism.
+
+use crate::spec::{AdversarySpec, CampaignSpec, Survivors, WorkloadSpec};
+use sa_model::Params;
+use set_agreement::runtime::Workload;
+use set_agreement::{Adversary, Algorithm};
+
+/// Mixes a campaign seed and a scenario's *identity* (its
+/// [`SweepRecord::key`](crate::SweepRecord::key)-equivalent string) into an
+/// independent per-scenario seed: FNV-1a over the identity, then a
+/// SplitMix64 finalizer over the campaign seed.
+///
+/// Deriving from identity rather than list position means growing a
+/// campaign (more seeds, cells, algorithms or adversaries) leaves every
+/// pre-existing scenario's stream untouched, so `sweep diff` against an
+/// older result file reports only genuine changes.
+pub fn derive_seed(campaign_seed: u64, identity: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in identity.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut z = campaign_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(hash.wrapping_mul(0xA24B_AED4_963E_E407));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One fully concrete scenario of an expanded campaign.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Position in the campaign's deterministic order.
+    pub index: u64,
+    /// Parameter triple.
+    pub params: Params,
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// The adversary template this scenario was expanded from.
+    pub adversary_spec: AdversarySpec,
+    /// The concrete, seeded adversary.
+    pub adversary: Adversary,
+    /// Contention steps of the obstruction phase (0 for other adversaries).
+    pub contention_steps: u64,
+    /// Survivor count the adversary restricts to (0 when it never
+    /// restricts).
+    pub survivors: usize,
+    /// The campaign-level seed index this scenario belongs to.
+    pub seed: u64,
+    /// The seed actually driving the scenario's RNGs (derived).
+    pub derived_seed: u64,
+    /// The workload the processes propose.
+    pub workload: Workload,
+    /// A stable label for the workload.
+    pub workload_label: String,
+    /// Step budget.
+    pub max_steps: u64,
+}
+
+impl ScenarioSpec {
+    /// `true` if the adversary eventually restricts to at most `m`
+    /// processes, i.e. the paper's progress condition obliges the survivors
+    /// to decide.
+    pub fn progress_required(&self) -> bool {
+        self.survivors > 0 && self.survivors <= self.params.m()
+    }
+}
+
+/// Statistics of an expansion: how many combinations were generated and how
+/// many were skipped as inapplicable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExpansionStats {
+    /// Scenarios in the work list.
+    pub scenarios: u64,
+    /// Combinations skipped because the algorithm is undefined for the cell
+    /// (e.g. the wide baseline with `n < k + 2m`).
+    pub skipped_inapplicable: u64,
+}
+
+fn instantiate_adversary(
+    spec: &AdversarySpec,
+    params: Params,
+    derived_seed: u64,
+) -> (Adversary, u64, usize) {
+    match spec {
+        AdversarySpec::RoundRobin => (Adversary::RoundRobin, 0, 0),
+        AdversarySpec::Random => (Adversary::Random { seed: derived_seed }, 0, 0),
+        AdversarySpec::Solo => (
+            Adversary::Solo {
+                process: (derived_seed % params.n() as u64) as usize,
+            },
+            0,
+            1,
+        ),
+        AdversarySpec::Bursts { burst_len } => (
+            Adversary::Bursts {
+                burst_len: *burst_len,
+                seed: derived_seed,
+            },
+            0,
+            0,
+        ),
+        AdversarySpec::Obstruction {
+            contention_factor,
+            survivors,
+        } => {
+            let contention_steps = contention_factor * params.n() as u64;
+            let count = match survivors {
+                Survivors::M => params.m(),
+                Survivors::Count(c) => (*c).min(params.n()).max(1),
+            };
+            (
+                Adversary::Obstruction {
+                    contention_steps,
+                    survivors: count,
+                    seed: derived_seed,
+                },
+                contention_steps,
+                count,
+            )
+        }
+    }
+}
+
+fn instantiate_workload(
+    spec: WorkloadSpec,
+    params: Params,
+    instances: usize,
+    derived_seed: u64,
+) -> Workload {
+    match spec {
+        WorkloadSpec::Distinct => Workload::all_distinct(params.n(), instances),
+        WorkloadSpec::Uniform(value) => Workload::uniform(params.n(), instances, value),
+        WorkloadSpec::Random { universe } => {
+            Workload::random(params.n(), instances, universe, derived_seed)
+        }
+    }
+}
+
+/// Expands a campaign into its deterministic work list.
+///
+/// Iteration order is cells → algorithms → adversaries → seeds. Indices
+/// number that order, but per-scenario seeds derive from scenario
+/// *identity*, so growing any axis leaves pre-existing scenarios' streams
+/// unchanged (only their stream position moves). Inapplicable
+/// (cell, algorithm) combinations are skipped and counted.
+pub fn expand(spec: &CampaignSpec) -> (Vec<ScenarioSpec>, ExpansionStats) {
+    let mut scenarios = Vec::new();
+    let mut stats = ExpansionStats::default();
+    for params in spec.params.cells() {
+        for &algorithm in &spec.algorithms {
+            if !algorithm.applicable(params) {
+                stats.skipped_inapplicable += (spec.adversaries.len() * spec.seeds.len()) as u64;
+                continue;
+            }
+            for adversary_spec in &spec.adversaries {
+                for &seed in &spec.seeds {
+                    let index = scenarios.len() as u64;
+                    // Seed from the scenario's identity, never its index:
+                    // extending the campaign must not reseed existing
+                    // scenarios (see `derive_seed`).
+                    let identity = format!(
+                        "n{} m{} k{} {} x{} {} seed{} {}",
+                        params.n(),
+                        params.m(),
+                        params.k(),
+                        algorithm.label(),
+                        algorithm.instances(),
+                        adversary_spec.label(),
+                        seed,
+                        spec.workload.label()
+                    );
+                    let derived_seed = derive_seed(spec.campaign_seed, &identity);
+                    // Distinct sub-seeds per purpose: a random workload and
+                    // a random scheduler must not consume the same stream,
+                    // or inputs would correlate with the schedule.
+                    let (adversary, contention_steps, survivors) = instantiate_adversary(
+                        adversary_spec,
+                        params,
+                        derive_seed(derived_seed, "adversary"),
+                    );
+                    let workload = instantiate_workload(
+                        spec.workload,
+                        params,
+                        algorithm.instances(),
+                        derive_seed(derived_seed, "workload"),
+                    );
+                    scenarios.push(ScenarioSpec {
+                        index,
+                        params,
+                        algorithm,
+                        adversary_spec: adversary_spec.clone(),
+                        adversary,
+                        contention_steps,
+                        survivors,
+                        seed,
+                        derived_seed,
+                        workload,
+                        workload_label: spec.workload.label(),
+                        max_steps: spec.max_steps,
+                    });
+                }
+            }
+        }
+    }
+    stats.scenarios = scenarios.len() as u64;
+    (scenarios, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ParamsSpec;
+
+    fn small_spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "test".into(),
+            params: ParamsSpec::Grid {
+                n: vec![4, 5],
+                m: vec![1],
+                k: vec![2],
+            },
+            algorithms: vec![Algorithm::OneShot, Algorithm::WideBaseline],
+            adversaries: vec![AdversarySpec::RoundRobin, AdversarySpec::Random],
+            seeds: vec![0, 1, 2],
+            workload: WorkloadSpec::Distinct,
+            max_steps: 1000,
+            campaign_seed: 7,
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_indexed() {
+        let (a, stats_a) = expand(&small_spec());
+        let (b, stats_b) = expand(&small_spec());
+        assert_eq!(stats_a, stats_b);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.derived_seed, y.derived_seed);
+            assert_eq!(x.adversary, y.adversary);
+        }
+        for (i, s) in a.iter().enumerate() {
+            assert_eq!(s.index, i as u64);
+        }
+    }
+
+    #[test]
+    fn inapplicable_combinations_are_skipped_and_counted() {
+        // WideBaseline needs n >= k + 2m = 4: applicable for both n = 4, 5,
+        // so nothing is skipped here...
+        let (scenarios, stats) = expand(&small_spec());
+        assert_eq!(stats.skipped_inapplicable, 0);
+        assert_eq!(scenarios.len(), 2 * 2 * 2 * 3);
+
+        // ...but shrinking to n = 4, m = 2, k = 2 (k + 2m = 6 > 4) skips it.
+        let mut spec = small_spec();
+        spec.params = ParamsSpec::Grid {
+            n: vec![4],
+            m: vec![2],
+            k: vec![2],
+        };
+        let (scenarios, stats) = expand(&spec);
+        assert_eq!(stats.skipped_inapplicable, 2 * 3);
+        assert!(scenarios.iter().all(|s| s.algorithm == Algorithm::OneShot));
+    }
+
+    #[test]
+    fn derived_seeds_differ_across_scenarios_and_campaign_seeds() {
+        let (scenarios, _) = expand(&small_spec());
+        let mut seeds: Vec<u64> = scenarios.iter().map(|s| s.derived_seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), scenarios.len(), "derived seeds collide");
+
+        let mut other = small_spec();
+        other.campaign_seed = 8;
+        let (reseeded, _) = expand(&other);
+        assert!(scenarios
+            .iter()
+            .zip(&reseeded)
+            .all(|(a, b)| a.derived_seed != b.derived_seed));
+    }
+
+    #[test]
+    fn adversary_and_workload_streams_are_decorrelated() {
+        let mut spec = small_spec();
+        spec.workload = WorkloadSpec::Random { universe: 100 };
+        let (scenarios, _) = expand(&spec);
+        for s in &scenarios {
+            if let Adversary::Random { seed } = s.adversary {
+                // The scheduler's seed must be neither the base derived seed
+                // nor the workload's sub-seed.
+                assert_ne!(seed, s.derived_seed);
+                assert_ne!(seed, derive_seed(s.derived_seed, "workload"));
+            }
+        }
+    }
+
+    #[test]
+    fn growing_the_campaign_does_not_reseed_existing_scenarios() {
+        let (before, _) = expand(&small_spec());
+        let mut grown = small_spec();
+        grown.seeds.push(9);
+        grown.adversaries.push(AdversarySpec::Solo);
+        grown.params = ParamsSpec::Grid {
+            n: vec![4, 5, 6],
+            m: vec![1],
+            k: vec![2],
+        };
+        let (after, _) = expand(&grown);
+        let after_seeds: std::collections::BTreeMap<String, u64> = after
+            .iter()
+            .map(|s| {
+                (
+                    format!(
+                        "{:?} {:?} {:?} {}",
+                        s.params, s.algorithm, s.adversary_spec, s.seed
+                    ),
+                    s.derived_seed,
+                )
+            })
+            .collect();
+        for s in &before {
+            let key = format!(
+                "{:?} {:?} {:?} {}",
+                s.params, s.algorithm, s.adversary_spec, s.seed
+            );
+            assert_eq!(
+                after_seeds.get(&key),
+                Some(&s.derived_seed),
+                "scenario {key} was reseeded by growing the campaign"
+            );
+        }
+    }
+
+    #[test]
+    fn progress_obligation_tracks_survivor_counts() {
+        let mut spec = small_spec();
+        spec.adversaries = vec![
+            AdversarySpec::Obstruction {
+                contention_factor: 10,
+                survivors: Survivors::M,
+            },
+            AdversarySpec::Obstruction {
+                contention_factor: 10,
+                survivors: Survivors::Count(3),
+            },
+            AdversarySpec::RoundRobin,
+        ];
+        let (scenarios, _) = expand(&spec);
+        for s in &scenarios {
+            match &s.adversary_spec {
+                AdversarySpec::Obstruction {
+                    survivors: Survivors::M,
+                    ..
+                } => {
+                    assert!(s.progress_required());
+                    assert_eq!(s.survivors, s.params.m());
+                    assert_eq!(s.contention_steps, 10 * s.params.n() as u64);
+                }
+                AdversarySpec::Obstruction {
+                    survivors: Survivors::Count(3),
+                    ..
+                } => {
+                    // 3 survivors > m = 1: termination not guaranteed.
+                    assert!(!s.progress_required());
+                }
+                _ => assert!(!s.progress_required()),
+            }
+        }
+    }
+
+    #[test]
+    fn solo_adversary_picks_a_process_in_range() {
+        let mut spec = small_spec();
+        spec.adversaries = vec![AdversarySpec::Solo];
+        let (scenarios, _) = expand(&spec);
+        for s in &scenarios {
+            let Adversary::Solo { process } = s.adversary else {
+                panic!("expected solo adversary");
+            };
+            assert!(process < s.params.n());
+            assert_eq!(s.survivors, 1);
+            assert!(s.progress_required());
+        }
+    }
+}

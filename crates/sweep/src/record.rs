@@ -1,0 +1,563 @@
+//! The per-scenario result record and its JSONL encoding.
+//!
+//! No JSON library is available offline, so this module hand-rolls exactly
+//! what the sweep needs: a writer emitting one flat, field-ordered JSON
+//! object per line (field order is fixed, which is what makes campaign
+//! output byte-comparable), and a parser for those same flat objects used by
+//! `sweep summarize` and `sweep diff`.
+
+use crate::grid::ScenarioSpec;
+use set_agreement::runtime::StopReason;
+use set_agreement::ScenarioReport;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The result of one scenario, flattened for JSONL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRecord {
+    /// Campaign name.
+    pub campaign: String,
+    /// Scenario index within the campaign's deterministic order.
+    pub scenario: u64,
+    /// `n` of the cell.
+    pub n: usize,
+    /// `m` of the cell.
+    pub m: usize,
+    /// `k` of the cell.
+    pub k: usize,
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Instances of repeated agreement run (1 for one-shot).
+    pub instances: usize,
+    /// Adversary template label (includes its parameters).
+    pub adversary: String,
+    /// Obstruction contention steps (0 for non-obstruction adversaries).
+    pub contention_steps: u64,
+    /// Survivor count the adversary restricts to (0 = never restricts).
+    pub survivors: usize,
+    /// Campaign-level seed of this scenario.
+    pub seed: u64,
+    /// Workload label.
+    pub workload: String,
+    /// Step budget.
+    pub max_steps: u64,
+    /// Steps actually executed.
+    pub steps: u64,
+    /// Why the run stopped: `all-halted`, `step-limit` or
+    /// `scheduler-exhausted`.
+    pub stop: String,
+    /// `true` if validity held.
+    pub validity_ok: bool,
+    /// `true` if k-agreement held.
+    pub agreement_ok: bool,
+    /// `true` if the adversary obliged the survivors to decide
+    /// (`0 < survivors ≤ m`).
+    pub progress_required: bool,
+    /// `true` if every obligated survivor decided everything it ran.
+    pub survivors_decided: bool,
+    /// Total decisions recorded.
+    pub decisions: u64,
+    /// Max distinct outputs over all instances (the quantity k bounds).
+    pub distinct_outputs_max: usize,
+    /// Total shared-memory operations.
+    pub total_ops: u64,
+    /// Distinct base objects written.
+    pub locations_written: usize,
+    /// Distinct plain registers written.
+    pub registers_written: usize,
+    /// Distinct snapshot components written.
+    pub components_written: usize,
+    /// The paper's register bound for this algorithm and cell (Figure 1
+    /// accounting).
+    pub register_bound: usize,
+    /// Base objects the implementation declares; `locations_written` may
+    /// never exceed this.
+    pub component_bound: usize,
+    /// `locations_written ≤ component_bound`.
+    pub bound_ok: bool,
+}
+
+impl SweepRecord {
+    /// Builds the record for one completed scenario.
+    pub fn from_report(campaign: &str, spec: &ScenarioSpec, report: &ScenarioReport) -> Self {
+        let distinct_outputs_max = report
+            .decisions
+            .instances()
+            .map(|t| report.decisions.distinct_outputs(t))
+            .max()
+            .unwrap_or(0);
+        let registers_written = report.metrics.registers_written();
+        let component_bound = spec.algorithm.component_bound(spec.params);
+        SweepRecord {
+            campaign: campaign.to_string(),
+            scenario: spec.index,
+            n: spec.params.n(),
+            m: spec.params.m(),
+            k: spec.params.k(),
+            algorithm: spec.algorithm.label().to_string(),
+            instances: spec.algorithm.instances(),
+            adversary: spec.adversary_spec.label(),
+            contention_steps: spec.contention_steps,
+            survivors: spec.survivors,
+            seed: spec.seed,
+            workload: spec.workload_label.clone(),
+            max_steps: spec.max_steps,
+            steps: report.steps,
+            stop: match report.stop {
+                StopReason::AllHalted => "all-halted",
+                StopReason::StepLimit => "step-limit",
+                StopReason::SchedulerExhausted => "scheduler-exhausted",
+            }
+            .to_string(),
+            validity_ok: report.safety.validity.is_none(),
+            agreement_ok: report.safety.agreement.is_none(),
+            progress_required: spec.progress_required(),
+            survivors_decided: report.survivors_decided,
+            decisions: report.decisions.len() as u64,
+            distinct_outputs_max,
+            total_ops: report.metrics.total_ops(),
+            locations_written: report.locations_written,
+            registers_written,
+            components_written: report.locations_written - registers_written,
+            register_bound: spec.algorithm.register_bound(spec.params),
+            component_bound,
+            bound_ok: report.locations_written <= component_bound,
+        }
+    }
+
+    /// `true` if both safety properties held.
+    pub fn safe(&self) -> bool {
+        self.validity_ok && self.agreement_ok
+    }
+
+    /// `true` if the progress obligation (if any) was met.
+    pub fn progress_ok(&self) -> bool {
+        !self.progress_required || self.survivors_decided
+    }
+
+    /// The identity of this record for cross-file comparison: everything
+    /// that names the scenario, nothing that measures it.
+    pub fn key(&self) -> String {
+        format!(
+            "n{} m{} k{} {} x{} {} seed{} {}",
+            self.n,
+            self.m,
+            self.k,
+            self.algorithm,
+            self.instances,
+            self.adversary,
+            self.seed,
+            self.workload
+        )
+    }
+
+    /// Encodes the record as one JSON line (no trailing newline). Field
+    /// order is fixed, so equal records encode to equal bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        let mut first = true;
+        let mut field = |out: &mut String, key: &str, value: &str| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{key}\":{value}");
+        };
+        field(&mut out, "campaign", &json_string(&self.campaign));
+        field(&mut out, "scenario", &self.scenario.to_string());
+        field(&mut out, "n", &self.n.to_string());
+        field(&mut out, "m", &self.m.to_string());
+        field(&mut out, "k", &self.k.to_string());
+        field(&mut out, "algorithm", &json_string(&self.algorithm));
+        field(&mut out, "instances", &self.instances.to_string());
+        field(&mut out, "adversary", &json_string(&self.adversary));
+        field(
+            &mut out,
+            "contention_steps",
+            &self.contention_steps.to_string(),
+        );
+        field(&mut out, "survivors", &self.survivors.to_string());
+        field(&mut out, "seed", &self.seed.to_string());
+        field(&mut out, "workload", &json_string(&self.workload));
+        field(&mut out, "max_steps", &self.max_steps.to_string());
+        field(&mut out, "steps", &self.steps.to_string());
+        field(&mut out, "stop", &json_string(&self.stop));
+        field(&mut out, "validity_ok", bool_str(self.validity_ok));
+        field(&mut out, "agreement_ok", bool_str(self.agreement_ok));
+        field(
+            &mut out,
+            "progress_required",
+            bool_str(self.progress_required),
+        );
+        field(
+            &mut out,
+            "survivors_decided",
+            bool_str(self.survivors_decided),
+        );
+        field(&mut out, "decisions", &self.decisions.to_string());
+        field(
+            &mut out,
+            "distinct_outputs_max",
+            &self.distinct_outputs_max.to_string(),
+        );
+        field(&mut out, "total_ops", &self.total_ops.to_string());
+        field(
+            &mut out,
+            "locations_written",
+            &self.locations_written.to_string(),
+        );
+        field(
+            &mut out,
+            "registers_written",
+            &self.registers_written.to_string(),
+        );
+        field(
+            &mut out,
+            "components_written",
+            &self.components_written.to_string(),
+        );
+        field(&mut out, "register_bound", &self.register_bound.to_string());
+        field(
+            &mut out,
+            "component_bound",
+            &self.component_bound.to_string(),
+        );
+        field(&mut out, "bound_ok", bool_str(self.bound_ok));
+        out.push('}');
+        out
+    }
+
+    /// Decodes one JSON line produced by [`SweepRecord::to_json`].
+    pub fn parse(line: &str) -> Result<Self, ParseError> {
+        let fields = parse_flat_object(line)?;
+        let record = SweepRecord {
+            campaign: fields.string("campaign")?,
+            scenario: fields.u64("scenario")?,
+            n: fields.u64("n")? as usize,
+            m: fields.u64("m")? as usize,
+            k: fields.u64("k")? as usize,
+            algorithm: fields.string("algorithm")?,
+            instances: fields.u64("instances")? as usize,
+            adversary: fields.string("adversary")?,
+            contention_steps: fields.u64("contention_steps")?,
+            survivors: fields.u64("survivors")? as usize,
+            seed: fields.u64("seed")?,
+            workload: fields.string("workload")?,
+            max_steps: fields.u64("max_steps")?,
+            steps: fields.u64("steps")?,
+            stop: fields.string("stop")?,
+            validity_ok: fields.bool("validity_ok")?,
+            agreement_ok: fields.bool("agreement_ok")?,
+            progress_required: fields.bool("progress_required")?,
+            survivors_decided: fields.bool("survivors_decided")?,
+            decisions: fields.u64("decisions")?,
+            distinct_outputs_max: fields.u64("distinct_outputs_max")? as usize,
+            total_ops: fields.u64("total_ops")?,
+            locations_written: fields.u64("locations_written")? as usize,
+            registers_written: fields.u64("registers_written")? as usize,
+            components_written: fields.u64("components_written")? as usize,
+            register_bound: fields.u64("register_bound")? as usize,
+            component_bound: fields.u64("component_bound")? as usize,
+            bound_ok: fields.bool("bound_ok")?,
+        };
+        Ok(record)
+    }
+}
+
+fn bool_str(b: bool) -> &'static str {
+    if b {
+        "true"
+    } else {
+        "false"
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Error from [`SweepRecord::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad record: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    String(String),
+    Number(u64),
+    Bool(bool),
+}
+
+#[derive(Debug, Default)]
+struct Fields(BTreeMap<String, JsonValue>);
+
+impl Fields {
+    fn get(&self, key: &str) -> Result<&JsonValue, ParseError> {
+        self.0
+            .get(key)
+            .ok_or_else(|| ParseError(format!("missing field {key:?}")))
+    }
+
+    fn string(&self, key: &str) -> Result<String, ParseError> {
+        match self.get(key)? {
+            JsonValue::String(s) => Ok(s.clone()),
+            other => Err(ParseError(format!(
+                "field {key:?} is not a string: {other:?}"
+            ))),
+        }
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, ParseError> {
+        match self.get(key)? {
+            JsonValue::Number(n) => Ok(*n),
+            other => Err(ParseError(format!(
+                "field {key:?} is not a number: {other:?}"
+            ))),
+        }
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, ParseError> {
+        match self.get(key)? {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(ParseError(format!(
+                "field {key:?} is not a bool: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Parses a single-line flat JSON object with string, non-negative-integer
+/// and boolean values — exactly the shape [`SweepRecord::to_json`] emits.
+fn parse_flat_object(line: &str) -> Result<Fields, ParseError> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = Fields::default();
+    if chars.next() != Some('{') {
+        return Err(ParseError("expected '{'".into()));
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some('"') => {}
+            other => return Err(ParseError(format!("expected key, found {other:?}"))),
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(ParseError(format!("expected ':' after key {key:?}")));
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => JsonValue::String(parse_string(&mut chars)?),
+            Some('t') | Some('f') => {
+                let word: String =
+                    std::iter::from_fn(|| chars.next_if(|c| c.is_ascii_alphabetic())).collect();
+                match word.as_str() {
+                    "true" => JsonValue::Bool(true),
+                    "false" => JsonValue::Bool(false),
+                    other => return Err(ParseError(format!("bad literal {other:?}"))),
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let digits: String =
+                    std::iter::from_fn(|| chars.next_if(|c| c.is_ascii_digit())).collect();
+                JsonValue::Number(
+                    digits
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad number {digits:?}")))?,
+                )
+            }
+            other => return Err(ParseError(format!("unexpected value start {other:?}"))),
+        };
+        fields.0.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(ParseError(format!("expected ',' or '}}', found {other:?}"))),
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err(ParseError("trailing content after object".into()));
+    }
+    Ok(fields)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.next_if(|c| c.is_whitespace()).is_some() {}
+}
+
+fn parse_string(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<String, ParseError> {
+    if chars.next() != Some('"') {
+        return Err(ParseError("expected '\"'".into()));
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| ParseError(format!("bad \\u escape {hex:?}")))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| ParseError(format!("bad codepoint {code:#x}")))?,
+                    );
+                }
+                other => return Err(ParseError(format!("bad escape {other:?}"))),
+            },
+            Some(c) => out.push(c),
+            None => return Err(ParseError("unterminated string".into())),
+        }
+    }
+}
+
+/// Parses every non-empty line of a JSONL document.
+pub fn parse_jsonl(text: &str) -> Result<Vec<SweepRecord>, ParseError> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(lineno, line)| {
+            SweepRecord::parse(line)
+                .map_err(|e| ParseError(format!("line {}: {}", lineno + 1, e.0)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SweepRecord {
+        SweepRecord {
+            campaign: "smoke \"quoted\"".into(),
+            scenario: 17,
+            n: 6,
+            m: 2,
+            k: 3,
+            algorithm: "figure3-oneshot".into(),
+            instances: 1,
+            adversary: "obstruction:50".into(),
+            contention_steps: 300,
+            survivors: 2,
+            seed: 3,
+            workload: "distinct".into(),
+            max_steps: 1_000_000,
+            steps: 812,
+            stop: "scheduler-exhausted".into(),
+            validity_ok: true,
+            agreement_ok: true,
+            progress_required: true,
+            survivors_decided: true,
+            decisions: 6,
+            distinct_outputs_max: 3,
+            total_ops: 1624,
+            locations_written: 7,
+            registers_written: 0,
+            components_written: 7,
+            register_bound: 6,
+            component_bound: 7,
+            bound_ok: true,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let record = sample();
+        let line = record.to_json();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(!line.contains('\n'));
+        let parsed = SweepRecord::parse(&line).unwrap();
+        assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn encoding_is_stable() {
+        assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn safe_and_progress_reflect_flags() {
+        let mut record = sample();
+        assert!(record.safe() && record.progress_ok());
+        record.agreement_ok = false;
+        assert!(!record.safe());
+        record.agreement_ok = true;
+        record.survivors_decided = false;
+        assert!(!record.progress_ok());
+        record.progress_required = false;
+        assert!(record.progress_ok());
+    }
+
+    #[test]
+    fn jsonl_parsing_reports_line_numbers() {
+        let good = sample().to_json();
+        let text = format!("{good}\n\n{good}\n");
+        assert_eq!(parse_jsonl(&text).unwrap().len(), 2);
+        let bad = format!("{good}\nnot json\n");
+        let error = parse_jsonl(&bad).unwrap_err();
+        assert!(error.0.contains("line 2"), "{error}");
+    }
+
+    #[test]
+    fn malformed_objects_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1",
+            "{\"a\":1}{",
+            "{\"a\":-1}",
+            "{\"a\":nope}",
+        ] {
+            assert!(SweepRecord::parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn keys_identify_scenarios_not_measurements() {
+        let mut a = sample();
+        let mut b = sample();
+        b.steps = 99999;
+        b.scenario = 4;
+        assert_eq!(a.key(), b.key());
+        a.seed = 5;
+        assert_ne!(a.key(), b.key());
+    }
+}

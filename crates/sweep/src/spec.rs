@@ -1,0 +1,543 @@
+//! Declarative campaign specifications.
+//!
+//! A [`CampaignSpec`] names a *family* of scenarios: a parameter space
+//! (cartesian grid over `n`, `m`, `k`, or an explicit list of triples), a set
+//! of algorithms, a set of adversary templates and a set of seeds. The
+//! [`expand`](crate::grid::expand) pass turns the spec into a concrete,
+//! deterministically ordered and seeded work list.
+//!
+//! Specs can be built in code or parsed from a simple `key = value` text
+//! format (see [`CampaignSpec::parse`]), which is also the format the `sweep`
+//! CLI accepts via `--spec`.
+
+use sa_model::Params;
+use set_agreement::Algorithm;
+
+/// Errors produced while building or parsing a campaign spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid campaign spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, SpecError> {
+    Err(SpecError(message.into()))
+}
+
+/// The parameter space of a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamsSpec {
+    /// The cartesian product of the three axes, silently skipping invalid
+    /// triples (those violating `1 ≤ m ≤ k < n`).
+    Grid {
+        /// Values of `n` to sweep.
+        n: Vec<usize>,
+        /// Values of `m` to sweep.
+        m: Vec<usize>,
+        /// Values of `k` to sweep.
+        k: Vec<usize>,
+    },
+    /// An explicit list of parameter triples.
+    Explicit(Vec<Params>),
+}
+
+impl ParamsSpec {
+    /// Parses an explicit cell list `n/m/k;n/m/k;...` — the syntax of both
+    /// the CLI's `--params` flag and the spec file's `params =` key.
+    pub fn parse_explicit(text: &str) -> Result<Self, SpecError> {
+        let mut cells = Vec::new();
+        for triple in text.split(';') {
+            let parts: Vec<&str> = triple.split('/').map(str::trim).collect();
+            let [n, m, k] = parts.as_slice() else {
+                return err(format!("bad params triple {triple:?} (want n/m/k)"));
+            };
+            let parse = |s: &str| {
+                s.parse::<usize>()
+                    .map_err(|_| SpecError(format!("bad number in {triple:?}")))
+            };
+            let params = Params::new(parse(n)?, parse(m)?, parse(k)?)
+                .map_err(|e| SpecError(format!("invalid triple {triple:?}: {e:?}")))?;
+            cells.push(params);
+        }
+        Ok(ParamsSpec::Explicit(cells))
+    }
+
+    /// All valid parameter triples of this space, in deterministic order.
+    pub fn cells(&self) -> Vec<Params> {
+        match self {
+            ParamsSpec::Grid { n, m, k } => {
+                let mut cells = Vec::new();
+                for &n in n {
+                    for &m in m {
+                        for &k in k {
+                            if let Ok(params) = Params::new(n, m, k) {
+                                cells.push(params);
+                            }
+                        }
+                    }
+                }
+                cells
+            }
+            ParamsSpec::Explicit(cells) => cells.clone(),
+        }
+    }
+}
+
+/// How many processes survive the contention phase of an obstruction
+/// adversary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Survivors {
+    /// The cell's `m` — the canonical schedule under which the paper
+    /// guarantees termination.
+    M,
+    /// A fixed count (capped at `n` when instantiated).
+    Count(usize),
+}
+
+/// An adversary *template*: instantiated per cell and per seed, so one spec
+/// entry produces a concrete [`Adversary`](set_agreement::Adversary) for
+/// every scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdversarySpec {
+    /// Maximally fair round-robin contention.
+    RoundRobin,
+    /// Uniformly random scheduling (seeded per scenario).
+    Random,
+    /// Only one process runs, chosen by the scenario seed.
+    Solo,
+    /// Geometric-ish bursts of the given length (seeded per scenario).
+    Bursts {
+        /// Burst length.
+        burst_len: u64,
+    },
+    /// Heavy contention for `contention_factor × n` steps, then only the
+    /// survivors keep running.
+    Obstruction {
+        /// Contention steps per process (`× n` total).
+        contention_factor: u64,
+        /// Who survives.
+        survivors: Survivors,
+    },
+}
+
+impl AdversarySpec {
+    /// A stable label for records and summaries.
+    pub fn label(&self) -> String {
+        match self {
+            AdversarySpec::RoundRobin => "round-robin".into(),
+            AdversarySpec::Random => "random".into(),
+            AdversarySpec::Solo => "solo".into(),
+            AdversarySpec::Bursts { burst_len } => format!("bursts:{burst_len}"),
+            AdversarySpec::Obstruction {
+                contention_factor,
+                survivors: Survivors::M,
+            } => format!("obstruction:{contention_factor}"),
+            AdversarySpec::Obstruction {
+                contention_factor,
+                survivors: Survivors::Count(c),
+            } => format!("obstruction:{contention_factor}:{c}"),
+        }
+    }
+
+    /// Parses one adversary template. Accepted forms: `round-robin`,
+    /// `random`, `solo`, `bursts:LEN`, `obstruction` (factor 50, survivors
+    /// `m`), `obstruction:FACTOR`, `obstruction:FACTOR:SURVIVORS`.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let mut parts = text.split(':');
+        let head = parts.next().unwrap_or_default();
+        let rest: Vec<&str> = parts.collect();
+        match (head, rest.as_slice()) {
+            ("round-robin", []) => Ok(AdversarySpec::RoundRobin),
+            ("random", []) => Ok(AdversarySpec::Random),
+            ("solo", []) => Ok(AdversarySpec::Solo),
+            ("bursts", [len]) => match len.parse() {
+                Ok(burst_len) if burst_len > 0 => Ok(AdversarySpec::Bursts { burst_len }),
+                _ => err(format!("bad burst length in {text:?}")),
+            },
+            ("obstruction", tail) => {
+                let contention_factor = match tail.first() {
+                    None => 50,
+                    Some(f) => f
+                        .parse()
+                        .map_err(|_| SpecError(format!("bad contention factor in {text:?}")))?,
+                };
+                let survivors = match tail.get(1) {
+                    None => Survivors::M,
+                    Some(s) => Survivors::Count(
+                        s.parse()
+                            .map_err(|_| SpecError(format!("bad survivor count in {text:?}")))?,
+                    ),
+                };
+                if tail.len() > 2 {
+                    return err(format!("too many fields in {text:?}"));
+                }
+                Ok(AdversarySpec::Obstruction {
+                    contention_factor,
+                    survivors,
+                })
+            }
+            _ => err(format!("unknown adversary {text:?}")),
+        }
+    }
+}
+
+/// The workload proposed by the processes of each scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    /// Every process proposes a distinct value (the hardest workload).
+    Distinct,
+    /// Every process proposes the same value.
+    Uniform(u64),
+    /// Seeded-random values from `0..universe`.
+    Random {
+        /// Size of the value universe.
+        universe: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// A stable label for records and summaries.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::Distinct => "distinct".into(),
+            WorkloadSpec::Uniform(v) => format!("uniform:{v}"),
+            WorkloadSpec::Random { universe } => format!("random:{universe}"),
+        }
+    }
+
+    /// Parses `distinct`, `uniform:VALUE` or `random:UNIVERSE`.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let mut parts = text.splitn(2, ':');
+        match (parts.next().unwrap_or_default(), parts.next()) {
+            ("distinct", None) => Ok(WorkloadSpec::Distinct),
+            ("uniform", Some(v)) => v
+                .parse()
+                .map(WorkloadSpec::Uniform)
+                .map_err(|_| SpecError(format!("bad uniform value in {text:?}"))),
+            ("random", Some(u)) => match u.parse() {
+                Ok(universe) if universe > 0 => Ok(WorkloadSpec::Random { universe }),
+                _ => err(format!("bad random universe in {text:?}")),
+            },
+            _ => err(format!("unknown workload {text:?}")),
+        }
+    }
+}
+
+/// A declarative description of a whole family of scenarios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name, embedded in every record.
+    pub name: String,
+    /// The parameter space.
+    pub params: ParamsSpec,
+    /// Algorithms to run in every cell (inapplicable combinations are
+    /// skipped during expansion).
+    pub algorithms: Vec<Algorithm>,
+    /// Adversary templates, instantiated per cell and seed.
+    pub adversaries: Vec<AdversarySpec>,
+    /// Seeds; each seed produces an independent scenario per cell.
+    pub seeds: Vec<u64>,
+    /// The workload proposed in every scenario.
+    pub workload: WorkloadSpec,
+    /// Step budget per scenario.
+    pub max_steps: u64,
+    /// Root seed mixed into every scenario's derived seed.
+    pub campaign_seed: u64,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            name: "campaign".into(),
+            params: ParamsSpec::Grid {
+                n: (4..=8).collect(),
+                m: vec![1, 2],
+                k: vec![2, 3],
+            },
+            algorithms: Algorithm::catalog(2),
+            adversaries: vec![AdversarySpec::Obstruction {
+                contention_factor: 50,
+                survivors: Survivors::M,
+            }],
+            seeds: (0..4).collect(),
+            workload: WorkloadSpec::Distinct,
+            max_steps: 2_000_000,
+            campaign_seed: 0,
+        }
+    }
+}
+
+/// Parses `4`, `4,6,8`, `4..8` (inclusive) or `4..=8` into a value list.
+pub fn parse_values(text: &str) -> Result<Vec<u64>, SpecError> {
+    let text = text.trim();
+    if let Some((lo, hi)) = text.split_once("..") {
+        let hi = hi.strip_prefix('=').unwrap_or(hi);
+        let lo: u64 = lo
+            .trim()
+            .parse()
+            .map_err(|_| SpecError(format!("bad range start in {text:?}")))?;
+        let hi: u64 = hi
+            .trim()
+            .parse()
+            .map_err(|_| SpecError(format!("bad range end in {text:?}")))?;
+        if lo > hi {
+            return err(format!("descending range {text:?}"));
+        }
+        return Ok((lo..=hi).collect());
+    }
+    text.split(',')
+        .map(|part| {
+            part.trim()
+                .parse()
+                .map_err(|_| SpecError(format!("bad value {part:?} in {text:?}")))
+        })
+        .collect()
+}
+
+fn parse_usizes(text: &str) -> Result<Vec<usize>, SpecError> {
+    Ok(parse_values(text)?
+        .into_iter()
+        .map(|v| v as usize)
+        .collect())
+}
+
+/// Parses the `seeds` field: a plain integer `N` means the `N` seeds
+/// `0..N`; ranges and comma lists are explicit seed values.
+pub fn parse_seeds(text: &str) -> Result<Vec<u64>, SpecError> {
+    let text = text.trim();
+    if !text.contains("..") && !text.contains(',') {
+        let count: u64 = text
+            .parse()
+            .map_err(|_| SpecError(format!("bad seed count {text:?}")))?;
+        if count == 0 {
+            return err("seed count must be positive");
+        }
+        return Ok((0..count).collect());
+    }
+    parse_values(text)
+}
+
+/// Parses the `algorithms` field: `all` (catalog with 2 instances),
+/// `all:INSTANCES`, or a comma list of labels (see
+/// [`Algorithm::from_label`]), each optionally suffixed `:INSTANCES`.
+pub fn parse_algorithms(text: &str) -> Result<Vec<Algorithm>, SpecError> {
+    let text = text.trim();
+    if text == "all" {
+        return Ok(Algorithm::catalog(2));
+    }
+    if let Some(instances) = text.strip_prefix("all:") {
+        let instances: usize = instances
+            .parse()
+            .map_err(|_| SpecError(format!("bad instance count in {text:?}")))?;
+        return Ok(Algorithm::catalog(instances.max(1)));
+    }
+    text.split(',')
+        .map(|part| {
+            let part = part.trim();
+            let (label, instances) = match part.rsplit_once(':') {
+                Some((label, instances)) => (
+                    label,
+                    instances
+                        .parse()
+                        .map_err(|_| SpecError(format!("bad instance count in {part:?}")))?,
+                ),
+                None => (part, 2usize),
+            };
+            Algorithm::from_label(label, instances.max(1))
+                .ok_or_else(|| SpecError(format!("unknown algorithm {label:?}")))
+        })
+        .collect()
+}
+
+impl CampaignSpec {
+    /// Parses a campaign from `key = value` lines. Unknown keys are
+    /// rejected; `#` starts a comment. Recognized keys: `name`, `n`, `m`,
+    /// `k`, `params` (explicit `n/m/k` triples, `;`-separated), `algorithms`,
+    /// `adversaries`, `seeds`, `workload`, `max-steps`, `campaign-seed`.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let mut spec = CampaignSpec::default();
+        let (mut grid_n, mut grid_m, mut grid_k) = (None, None, None);
+        let mut explicit = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or_default().trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return err(format!("line {}: expected `key = value`", lineno + 1));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "name" => spec.name = value.to_string(),
+                "n" => grid_n = Some(parse_usizes(value)?),
+                "m" => grid_m = Some(parse_usizes(value)?),
+                "k" => grid_k = Some(parse_usizes(value)?),
+                "params" => {
+                    let ParamsSpec::Explicit(cells) = ParamsSpec::parse_explicit(value)? else {
+                        unreachable!("parse_explicit returns Explicit");
+                    };
+                    explicit = Some(cells);
+                }
+                "algorithms" => spec.algorithms = parse_algorithms(value)?,
+                "adversaries" => {
+                    spec.adversaries = value
+                        .split(',')
+                        .map(|part| AdversarySpec::parse(part.trim()))
+                        .collect::<Result<_, _>>()?;
+                }
+                "seeds" => spec.seeds = parse_seeds(value)?,
+                "workload" => spec.workload = WorkloadSpec::parse(value)?,
+                "max-steps" => {
+                    spec.max_steps = value
+                        .parse()
+                        .map_err(|_| SpecError(format!("bad max-steps {value:?}")))?;
+                }
+                "campaign-seed" => {
+                    spec.campaign_seed = value
+                        .parse()
+                        .map_err(|_| SpecError(format!("bad campaign-seed {value:?}")))?;
+                }
+                _ => return err(format!("unknown key {key:?}")),
+            }
+        }
+        if let Some(cells) = explicit {
+            if grid_n.is_some() || grid_m.is_some() || grid_k.is_some() {
+                return err("`params` and `n`/`m`/`k` are mutually exclusive");
+            }
+            spec.params = ParamsSpec::Explicit(cells);
+        } else if grid_n.is_some() || grid_m.is_some() || grid_k.is_some() {
+            let ParamsSpec::Grid { n, m, k } = &spec.params else {
+                unreachable!("default spec uses a grid");
+            };
+            spec.params = ParamsSpec::Grid {
+                n: grid_n.unwrap_or_else(|| n.clone()),
+                m: grid_m.unwrap_or_else(|| m.clone()),
+                k: grid_k.unwrap_or_else(|| k.clone()),
+            };
+        }
+        if spec.algorithms.is_empty() {
+            return err("no algorithms");
+        }
+        if spec.adversaries.is_empty() {
+            return err("no adversaries");
+        }
+        if spec.seeds.is_empty() {
+            return err("no seeds");
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_lists_parse_all_forms() {
+        assert_eq!(parse_values("4").unwrap(), vec![4]);
+        assert_eq!(parse_values("4,6, 8").unwrap(), vec![4, 6, 8]);
+        assert_eq!(parse_values("4..6").unwrap(), vec![4, 5, 6]);
+        assert_eq!(parse_values("4..=6").unwrap(), vec![4, 5, 6]);
+        assert!(parse_values("6..4").is_err());
+        assert!(parse_values("x").is_err());
+    }
+
+    #[test]
+    fn seed_counts_expand_and_lists_pass_through() {
+        assert_eq!(parse_seeds("4").unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(parse_seeds("7,9").unwrap(), vec![7, 9]);
+        assert_eq!(parse_seeds("2..4").unwrap(), vec![2, 3, 4]);
+        assert!(parse_seeds("0").is_err());
+    }
+
+    #[test]
+    fn algorithm_lists_parse_labels_and_instances() {
+        assert_eq!(parse_algorithms("all").unwrap().len(), 6);
+        let algorithms = parse_algorithms("oneshot, repeated:3").unwrap();
+        assert_eq!(algorithms, vec![Algorithm::OneShot, Algorithm::Repeated(3)]);
+        assert!(parse_algorithms("bogus").is_err());
+    }
+
+    #[test]
+    fn adversary_labels_round_trip() {
+        for text in [
+            "round-robin",
+            "random",
+            "solo",
+            "bursts:8",
+            "obstruction:50",
+            "obstruction:20:2",
+        ] {
+            let spec = AdversarySpec::parse(text).unwrap();
+            assert_eq!(
+                AdversarySpec::parse(&spec.label()).unwrap(),
+                spec,
+                "{text} does not round-trip"
+            );
+        }
+        assert_eq!(
+            AdversarySpec::parse("obstruction").unwrap(),
+            AdversarySpec::Obstruction {
+                contention_factor: 50,
+                survivors: Survivors::M
+            }
+        );
+        assert!(AdversarySpec::parse("bursts:0").is_err());
+        assert!(AdversarySpec::parse("obstruction:1:2:3").is_err());
+    }
+
+    #[test]
+    fn grid_cells_skip_invalid_triples() {
+        let spec = ParamsSpec::Grid {
+            n: vec![3, 4],
+            m: vec![1, 3],
+            k: vec![2],
+        };
+        // (3,1,2) and (4,1,2) are valid; m = 3 > k = 2 never is.
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 2);
+        assert!(cells.iter().all(|p| p.m() == 1 && p.k() == 2));
+    }
+
+    #[test]
+    fn spec_files_parse_and_reject_unknown_keys() {
+        let spec = CampaignSpec::parse(
+            "# smoke campaign\n\
+             name = smoke\n\
+             n = 4..6\n\
+             m = 1,2\n\
+             k = 2\n\
+             algorithms = oneshot,fullinfo\n\
+             adversaries = obstruction:40, round-robin\n\
+             seeds = 3\n\
+             workload = random:5\n\
+             max-steps = 100000\n\
+             campaign-seed = 9\n",
+        )
+        .unwrap();
+        assert_eq!(spec.name, "smoke");
+        assert_eq!(spec.params.cells().len(), 6);
+        assert_eq!(spec.algorithms.len(), 2);
+        assert_eq!(spec.adversaries.len(), 2);
+        assert_eq!(spec.seeds, vec![0, 1, 2]);
+        assert_eq!(spec.workload, WorkloadSpec::Random { universe: 5 });
+        assert_eq!(spec.max_steps, 100_000);
+        assert_eq!(spec.campaign_seed, 9);
+
+        assert!(CampaignSpec::parse("bogus = 1").is_err());
+        assert!(CampaignSpec::parse("name").is_err());
+    }
+
+    #[test]
+    fn explicit_params_conflict_with_grid_axes() {
+        let spec = CampaignSpec::parse("params = 6/2/3; 8/1/4").unwrap();
+        assert_eq!(spec.params.cells().len(), 2);
+        assert!(CampaignSpec::parse("params = 6/2/3\nn = 4").is_err());
+        assert!(CampaignSpec::parse("params = 6/9/3").is_err());
+    }
+}

@@ -1,0 +1,408 @@
+//! Aggregation of sweep records: per-cell summaries and cross-file diffs.
+//!
+//! A *cell* is one `(n, m, k, algorithm)` combination; the summary
+//! aggregates all its scenarios (across adversaries and seeds) into
+//! pass/fail counts, the maximum space actually used, and bound-violation
+//! flags — the tabular counterpart of the paper's Figure 1 "measured"
+//! column. The diff compares two result files scenario-by-scenario and is
+//! the regression gate used in CI.
+
+use crate::record::SweepRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Identity of a summary cell.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CellKey {
+    /// `n` of the cell.
+    pub n: usize,
+    /// `m` of the cell.
+    pub m: usize,
+    /// `k` of the cell.
+    pub k: usize,
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Instances of repeated agreement (1 for one-shot), so repeated
+    /// variants with different instance counts stay distinct cells.
+    pub instances: usize,
+}
+
+/// Aggregates of all scenarios of one cell.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CellSummary {
+    /// Scenarios aggregated.
+    pub runs: u64,
+    /// Scenarios violating validity or k-agreement.
+    pub safety_violations: u64,
+    /// Scenarios writing more base objects than declared.
+    pub bound_violations: u64,
+    /// Scenarios whose progress obligation applied.
+    pub progress_required: u64,
+    /// Obliged scenarios whose survivors failed to decide.
+    pub progress_failures: u64,
+    /// Maximum distinct base objects written by any scenario.
+    pub max_locations_written: usize,
+    /// The paper's register bound (identical across the cell).
+    pub register_bound: usize,
+    /// Declared base objects (identical across the cell).
+    pub component_bound: usize,
+    /// Maximum steps any scenario executed.
+    pub max_steps_seen: u64,
+    /// Total steps across all scenarios.
+    pub total_steps: u64,
+}
+
+/// A whole summarized campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Per-cell aggregates, in deterministic key order.
+    pub cells: BTreeMap<CellKey, CellSummary>,
+    /// Total records.
+    pub records: u64,
+    /// Total safety violations.
+    pub safety_violations: u64,
+    /// Total bound violations.
+    pub bound_violations: u64,
+    /// Total progress failures among obliged scenarios.
+    pub progress_failures: u64,
+}
+
+impl Summary {
+    /// Aggregates records into per-cell summaries.
+    pub fn of(records: &[SweepRecord]) -> Self {
+        let mut summary = Summary::default();
+        for record in records {
+            let key = CellKey {
+                n: record.n,
+                m: record.m,
+                k: record.k,
+                algorithm: record.algorithm.clone(),
+                instances: record.instances,
+            };
+            let cell = summary.cells.entry(key).or_default();
+            cell.runs += 1;
+            cell.register_bound = record.register_bound;
+            cell.component_bound = record.component_bound;
+            cell.max_locations_written = cell.max_locations_written.max(record.locations_written);
+            cell.max_steps_seen = cell.max_steps_seen.max(record.steps);
+            cell.total_steps += record.steps;
+            if !record.safe() {
+                cell.safety_violations += 1;
+                summary.safety_violations += 1;
+            }
+            if !record.bound_ok {
+                cell.bound_violations += 1;
+                summary.bound_violations += 1;
+            }
+            if record.progress_required {
+                cell.progress_required += 1;
+                if !record.survivors_decided {
+                    cell.progress_failures += 1;
+                    summary.progress_failures += 1;
+                }
+            }
+            summary.records += 1;
+        }
+        summary
+    }
+
+    /// `true` when the campaign is free of safety and bound violations.
+    pub fn clean(&self) -> bool {
+        self.safety_violations == 0 && self.bound_violations == 0
+    }
+
+    /// Renders the summary as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>3} {:>2} {:>2} {:<24} {:>5} {:>7} {:>7} {:>9} {:>9} {:>7} {:>6} {:>6}",
+            "n",
+            "m",
+            "k",
+            "algorithm",
+            "runs",
+            "unsafe",
+            "starved",
+            "max-used",
+            "declared",
+            "bound",
+            "reg",
+            "steps"
+        );
+        for (key, cell) in &self.cells {
+            let algorithm = if key.instances > 1 {
+                format!("{} x{}", key.algorithm, key.instances)
+            } else {
+                key.algorithm.clone()
+            };
+            let _ = writeln!(
+                out,
+                "{:>3} {:>2} {:>2} {:<24} {:>5} {:>7} {:>7} {:>9} {:>9} {:>7} {:>6} {:>6}",
+                key.n,
+                key.m,
+                key.k,
+                algorithm,
+                cell.runs,
+                cell.safety_violations,
+                format!("{}/{}", cell.progress_failures, cell.progress_required),
+                cell.max_locations_written,
+                cell.component_bound,
+                if cell.bound_violations == 0 {
+                    "ok"
+                } else {
+                    "VIOL"
+                },
+                cell.register_bound,
+                cell.max_steps_seen,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total: {} records, {} safety violations, {} bound violations, {} progress failures",
+            self.records, self.safety_violations, self.bound_violations, self.progress_failures
+        );
+        out
+    }
+}
+
+/// One scenario whose measurements changed between two result files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Scenario identity ([`SweepRecord::key`]).
+    pub key: String,
+    /// Human-readable description of what changed.
+    pub change: String,
+    /// `true` if the change is a regression (newly unsafe, newly over
+    /// bound, or newly starving), not just a measurement drift.
+    pub regression: bool,
+}
+
+/// The comparison of two result files.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Scenario keys present only in the old file.
+    pub removed: Vec<String>,
+    /// Scenario keys present only in the new file.
+    pub added: Vec<String>,
+    /// Scenarios present in both with differing results.
+    pub changed: Vec<DiffEntry>,
+    /// Scenarios identical in both files.
+    pub unchanged: u64,
+}
+
+impl DiffReport {
+    /// `true` if any changed scenario is a regression.
+    pub fn has_regressions(&self) -> bool {
+        self.changed.iter().any(|entry| entry.regression)
+    }
+
+    /// Renders the report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for key in &self.removed {
+            let _ = writeln!(out, "- only in old: {key}");
+        }
+        for key in &self.added {
+            let _ = writeln!(out, "+ only in new: {key}");
+        }
+        for entry in &self.changed {
+            let marker = if entry.regression { "!" } else { "~" };
+            let _ = writeln!(out, "{marker} {}: {}", entry.key, entry.change);
+        }
+        let regressions = self.changed.iter().filter(|e| e.regression).count();
+        let _ = writeln!(
+            out,
+            "diff: {} unchanged, {} changed ({} regressions), {} added, {} removed",
+            self.unchanged,
+            self.changed.len(),
+            regressions,
+            self.added.len(),
+            self.removed.len()
+        );
+        out
+    }
+}
+
+fn describe_changes(old: &SweepRecord, new: &SweepRecord) -> (String, bool) {
+    let mut changes = Vec::new();
+    let mut regression = false;
+    if old.safe() != new.safe() {
+        changes.push(format!("safe {} -> {}", old.safe(), new.safe()));
+        regression |= !new.safe();
+    }
+    if old.bound_ok != new.bound_ok {
+        changes.push(format!("bound_ok {} -> {}", old.bound_ok, new.bound_ok));
+        regression |= !new.bound_ok;
+    }
+    if old.progress_ok() != new.progress_ok() {
+        changes.push(format!(
+            "progress_ok {} -> {}",
+            old.progress_ok(),
+            new.progress_ok()
+        ));
+        regression |= !new.progress_ok();
+    }
+    if old.locations_written != new.locations_written {
+        changes.push(format!(
+            "locations {} -> {}",
+            old.locations_written, new.locations_written
+        ));
+    }
+    if old.steps != new.steps {
+        changes.push(format!("steps {} -> {}", old.steps, new.steps));
+    }
+    if old.decisions != new.decisions {
+        changes.push(format!("decisions {} -> {}", old.decisions, new.decisions));
+    }
+    (changes.join(", "), regression)
+}
+
+/// Compares two result files scenario-by-scenario (keyed by
+/// [`SweepRecord::key`]; duplicate keys within one file keep the last
+/// occurrence).
+pub fn diff(old: &[SweepRecord], new: &[SweepRecord]) -> DiffReport {
+    let old_by_key: BTreeMap<String, &SweepRecord> = old.iter().map(|r| (r.key(), r)).collect();
+    let new_by_key: BTreeMap<String, &SweepRecord> = new.iter().map(|r| (r.key(), r)).collect();
+    let mut report = DiffReport::default();
+    for (key, old_record) in &old_by_key {
+        match new_by_key.get(key) {
+            None => report.removed.push(key.clone()),
+            Some(new_record) => {
+                let (change, regression) = describe_changes(old_record, new_record);
+                if change.is_empty() {
+                    report.unchanged += 1;
+                } else {
+                    report.changed.push(DiffEntry {
+                        key: key.clone(),
+                        change,
+                        regression,
+                    });
+                }
+            }
+        }
+    }
+    for key in new_by_key.keys() {
+        if !old_by_key.contains_key(key) {
+            report.added.push(key.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seed: u64) -> SweepRecord {
+        SweepRecord {
+            campaign: "t".into(),
+            scenario: seed,
+            n: 6,
+            m: 2,
+            k: 3,
+            algorithm: "figure3-oneshot".into(),
+            instances: 1,
+            adversary: "obstruction:50".into(),
+            contention_steps: 300,
+            survivors: 2,
+            seed,
+            workload: "distinct".into(),
+            max_steps: 100,
+            steps: 80,
+            stop: "scheduler-exhausted".into(),
+            validity_ok: true,
+            agreement_ok: true,
+            progress_required: true,
+            survivors_decided: true,
+            decisions: 6,
+            distinct_outputs_max: 3,
+            total_ops: 160,
+            locations_written: 7,
+            registers_written: 0,
+            components_written: 7,
+            register_bound: 6,
+            component_bound: 7,
+            bound_ok: true,
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_per_cell() {
+        let mut bad = record(2);
+        bad.agreement_ok = false;
+        bad.locations_written = 9;
+        bad.bound_ok = false;
+        let records = vec![record(0), record(1), bad];
+        let summary = Summary::of(&records);
+        assert_eq!(summary.records, 3);
+        assert_eq!(summary.safety_violations, 1);
+        assert_eq!(summary.bound_violations, 1);
+        assert!(!summary.clean());
+        assert_eq!(summary.cells.len(), 1);
+        let cell = summary.cells.values().next().unwrap();
+        assert_eq!(cell.runs, 3);
+        assert_eq!(cell.max_locations_written, 9);
+        assert_eq!(cell.progress_required, 3);
+        assert_eq!(cell.progress_failures, 0);
+        let rendered = summary.render();
+        assert!(rendered.contains("figure3-oneshot"));
+        assert!(rendered.contains("VIOL"));
+    }
+
+    #[test]
+    fn repeated_variants_with_different_instances_stay_distinct_cells() {
+        let mut two = record(0);
+        two.algorithm = "figure4-repeated".into();
+        two.instances = 2;
+        let mut three = record(1);
+        three.algorithm = "figure4-repeated".into();
+        three.instances = 3;
+        three.component_bound = 9;
+        let summary = Summary::of(&[two, three]);
+        assert_eq!(summary.cells.len(), 2, "instance counts were merged");
+        let bounds: Vec<usize> = summary.cells.values().map(|c| c.component_bound).collect();
+        assert_eq!(bounds, vec![7, 9]);
+        assert!(summary.render().contains("figure4-repeated x2"));
+        assert!(summary.render().contains("figure4-repeated x3"));
+    }
+
+    #[test]
+    fn clean_summary_renders_ok() {
+        let summary = Summary::of(&[record(0)]);
+        assert!(summary.clean());
+        assert!(summary.render().contains("0 safety violations"));
+    }
+
+    #[test]
+    fn diff_classifies_regressions_and_drift() {
+        let old = vec![record(0), record(1), record(2)];
+        let mut drifted = record(1);
+        drifted.steps = 90;
+        let mut regressed = record(2);
+        regressed.agreement_ok = false;
+        let mut added = record(9);
+        added.seed = 9;
+        let new = vec![record(0), drifted, regressed, added];
+
+        let report = diff(&old, &new);
+        assert_eq!(report.unchanged, 1);
+        assert_eq!(report.added.len(), 1);
+        assert!(report.removed.is_empty());
+        assert_eq!(report.changed.len(), 2);
+        assert!(report.has_regressions());
+        let regressions: Vec<_> = report.changed.iter().filter(|e| e.regression).collect();
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].change.contains("safe true -> false"));
+        assert!(report.render().contains("1 regressions"));
+    }
+
+    #[test]
+    fn identical_files_diff_clean() {
+        let records = vec![record(0), record(1)];
+        let report = diff(&records, &records);
+        assert_eq!(report.unchanged, 2);
+        assert!(report.changed.is_empty());
+        assert!(!report.has_regressions());
+    }
+}

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         (
             "bursty schedule (safety only)",
-            Adversary::Bursts { burst_len: 12, seed: 5 },
+            Adversary::Bursts {
+                burst_len: 12,
+                seed: 5,
+            },
         ),
     ];
 
@@ -61,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.distinct_outputs(1),
             report.safety.is_safe()
         );
-        assert!(report.safety.is_safe(), "safety must hold under every adversary");
+        assert!(
+            report.safety.is_safe(),
+            "safety must hold under every adversary"
+        );
     }
 
     println!(

@@ -21,7 +21,9 @@ use set_agreement::runtime::{agreement_predicate, explore, Executor, ExploreConf
 
 fn executor(params: Params, width: usize) -> Executor<OneShotSetAgreement> {
     let automata: Vec<_> = (0..params.n())
-        .map(|p| OneShotSetAgreement::deficient(params, ProcessId(p), 10 + p as u64, width).unwrap())
+        .map(|p| {
+            OneShotSetAgreement::deficient(params, ProcessId(p), 10 + p as u64, width).unwrap()
+        })
         .collect();
     Executor::new(automata)
 }
@@ -52,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "violating schedule: {:?}",
-        violation.schedule.iter().map(|p| p.index()).collect::<Vec<_>>()
+        violation
+            .schedule
+            .iter()
+            .map(|p| p.index())
+            .collect::<Vec<_>>()
     );
 
     // 2. Obliteration: with a width-1 object, p0 covers the only location, so
@@ -63,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\ncovered locations by p0 (width 1): {:?}",
         covered_locations(&covered, &[ProcessId(0)])
     );
-    let fragment: Vec<ProcessId> = std::iter::repeat(ProcessId(1)).take(12).collect();
+    let fragment: Vec<ProcessId> = std::iter::repeat_n(ProcessId(1), 12).collect();
     println!(
         "block write obliterates p1's fragment at width 1:   {}",
         obliterates(&covered, &[ProcessId(0)], &fragment)

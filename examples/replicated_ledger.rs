@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .run();
 
     println!("replicated ledger over {params}");
-    println!("rounds requested: {rounds}, steps executed: {}", report.steps);
+    println!(
+        "rounds requested: {rounds}, steps executed: {}",
+        report.steps
+    );
     let mut committed = 0;
     for round in report.decisions.instances() {
         let outputs = report.decisions.outputs(round);

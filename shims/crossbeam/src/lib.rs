@@ -1,0 +1,46 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses: an
+//! unbounded MPSC channel, delegating to `std::sync::mpsc`.
+
+#![forbid(unsafe_code)]
+
+/// Channel constructors and types, mirroring `crossbeam::channel`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded channel. `Sender` is cloneable, so many producer
+    /// threads can feed one consumer.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_in_from_many_senders() {
+        let (tx, rx) = channel::unbounded::<u64>();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<u64> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn try_recv_reports_empty() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        assert!(rx.try_recv().is_err());
+        tx.send(9).unwrap();
+        assert_eq!(rx.try_recv(), Ok(9));
+    }
+}

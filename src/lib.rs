@@ -58,6 +58,7 @@ pub mod prelude {
         SwmrEmulated, WideBaseline,
     };
     pub use sa_lowerbound::bounds::{Figure1, Naming, Setting};
+    pub use sa_memory::MemoryMetrics;
     pub use sa_model::{Automaton, Decision, DecisionSet, Params, ProcessId};
     pub use sa_runtime::{
         check_k_agreement, check_validity, Executor, InputLog, ObstructionScheduler, RoundRobin,
@@ -100,6 +101,47 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
+    /// Every algorithm variant, with repeated variants running `instances`
+    /// instances — the catalog campaign sweeps iterate over.
+    pub fn catalog(instances: usize) -> Vec<Algorithm> {
+        vec![
+            Algorithm::OneShot,
+            Algorithm::Repeated(instances),
+            Algorithm::AnonymousOneShot,
+            Algorithm::AnonymousRepeated(instances),
+            Algorithm::WideBaseline,
+            Algorithm::FullInformation,
+        ]
+    }
+
+    /// Parses an algorithm from its [`Algorithm::label`] or a short alias
+    /// (`oneshot`, `repeated`, `anon-oneshot`, `anon-repeated`, `wide`,
+    /// `fullinfo`); repeated variants run `instances` instances.
+    pub fn from_label(label: &str, instances: usize) -> Option<Algorithm> {
+        match label {
+            "figure3-oneshot" | "oneshot" => Some(Algorithm::OneShot),
+            "figure4-repeated" | "repeated" => Some(Algorithm::Repeated(instances)),
+            "figure5-anon-oneshot" | "anon-oneshot" => Some(Algorithm::AnonymousOneShot),
+            "figure5-anon-repeated" | "anon-repeated" => {
+                Some(Algorithm::AnonymousRepeated(instances))
+            }
+            "baseline-wide" | "wide" => Some(Algorithm::WideBaseline),
+            "baseline-fullinfo" | "fullinfo" => Some(Algorithm::FullInformation),
+            _ => None,
+        }
+    }
+
+    /// `true` if this algorithm is defined for `params`. Only
+    /// [`Algorithm::WideBaseline`] is restricted: the `2(n−k)` construction
+    /// of \[4\] needs `n ≥ k + 2m` so that its width covers the Figure 3
+    /// minimum.
+    pub fn applicable(&self, params: Params) -> bool {
+        match self {
+            Algorithm::WideBaseline => params.n() >= params.k() + 2 * params.m(),
+            _ => true,
+        }
+    }
+
     /// A short identifier used in benchmark and experiment output.
     pub fn label(&self) -> &'static str {
         match self {
@@ -211,7 +253,11 @@ impl Adversary {
                 seed,
             } => {
                 let survivors: Vec<ProcessId> = (0..(*survivors).min(n)).map(ProcessId).collect();
-                Box::new(ObstructionScheduler::new(*contention_steps, survivors, *seed))
+                Box::new(ObstructionScheduler::new(
+                    *contention_steps,
+                    survivors,
+                    *seed,
+                ))
             }
             Adversary::Solo { process } => Box::new(SoloScheduler::new(ProcessId(*process % n))),
             Adversary::Bursts { burst_len, seed } => {
@@ -325,9 +371,9 @@ impl Scenario {
     }
 
     fn effective_workload(&self) -> Workload {
-        self.workload.clone().unwrap_or_else(|| {
-            Workload::all_distinct(self.params.n(), self.algorithm.instances())
-        })
+        self.workload
+            .clone()
+            .unwrap_or_else(|| Workload::all_distinct(self.params.n(), self.algorithm.instances()))
     }
 
     /// Runs the scenario and reports decisions, safety and space usage.
@@ -345,7 +391,9 @@ impl Scenario {
             Algorithm::Repeated(_) => self.drive(
                 (0..params.n())
                     .map(|p| {
-                        let inputs = (1..=instances as u64).map(|t| workload.input(p, t)).collect();
+                        let inputs = (1..=instances as u64)
+                            .map(|t| workload.input(p, t))
+                            .collect();
                         RepeatedSetAgreement::new(params, ProcessId(p), inputs)
                             .expect("inputs are non-empty and ids are in range")
                     })
@@ -361,7 +409,9 @@ impl Scenario {
             Algorithm::AnonymousRepeated(_) => self.drive(
                 (0..params.n())
                     .map(|p| {
-                        let inputs = (1..=instances as u64).map(|t| workload.input(p, t)).collect();
+                        let inputs = (1..=instances as u64)
+                            .map(|t| workload.input(p, t))
+                            .collect();
                         AnonymousSetAgreement::repeated(params, inputs)
                             .expect("inputs are non-empty")
                     })
@@ -438,11 +488,44 @@ mod tests {
         assert_eq!(Algorithm::OneShot.label(), "figure3-oneshot");
         // min(n + 2m - k, n) = min(7, 6) = 6.
         assert_eq!(Algorithm::OneShot.register_bound(p), 6);
-        assert_eq!(Algorithm::AnonymousRepeated(2).register_bound(p), 3 * 3 + 4 + 1);
+        assert_eq!(
+            Algorithm::AnonymousRepeated(2).register_bound(p),
+            3 * 3 + 4 + 1
+        );
         assert_eq!(Algorithm::WideBaseline.register_bound(p), 6);
         assert_eq!(Algorithm::FullInformation.register_bound(p), 6);
         assert_eq!(Algorithm::Repeated(3).instances(), 3);
         assert_eq!(Algorithm::OneShot.instances(), 1);
+    }
+
+    #[test]
+    fn catalog_round_trips_through_labels() {
+        for algorithm in Algorithm::catalog(3) {
+            assert_eq!(
+                Algorithm::from_label(algorithm.label(), 3),
+                Some(algorithm),
+                "label {} does not round-trip",
+                algorithm.label()
+            );
+        }
+        assert_eq!(
+            Algorithm::from_label("oneshot", 1),
+            Some(Algorithm::OneShot)
+        );
+        assert_eq!(Algorithm::from_label("nonsense", 1), None);
+    }
+
+    #[test]
+    fn wide_baseline_applicability_matches_its_width_requirement() {
+        // n = 8 >= k + 2m = 5: applicable.
+        assert!(Algorithm::WideBaseline.applicable(Params::new(8, 1, 3).unwrap()));
+        // n = 6 < k + 2m = 7: not applicable.
+        assert!(!Algorithm::WideBaseline.applicable(Params::new(6, 2, 3).unwrap()));
+        for algorithm in Algorithm::catalog(1) {
+            if algorithm != Algorithm::WideBaseline {
+                assert!(algorithm.applicable(params()));
+            }
+        }
     }
 
     #[test]
@@ -456,7 +539,10 @@ mod tests {
                 seed: 1,
             },
             Adversary::Solo { process: 0 },
-            Adversary::Bursts { burst_len: 8, seed: 1 },
+            Adversary::Bursts {
+                burst_len: 8,
+                seed: 1,
+            },
         ] {
             let scheduler = adversary.build(4);
             assert!(!scheduler.name().is_empty());

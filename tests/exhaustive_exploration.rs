@@ -66,9 +66,7 @@ fn under_provisioned_variant_has_a_reachable_violation() {
     // bound for this algorithm family.
     let params = Params::new(2, 1, 1).unwrap();
     let automata: Vec<_> = (0..2)
-        .map(|p| {
-            OneShotSetAgreement::deficient(params, ProcessId(p), 10 + p as u64, 1).unwrap()
-        })
+        .map(|p| OneShotSetAgreement::deficient(params, ProcessId(p), 10 + p as u64, 1).unwrap())
         .collect();
     let exec = Executor::new(automata);
     let result = explore(&exec, ExploreConfig::with_depth(40), agreement_predicate(1));
@@ -86,8 +84,16 @@ fn exploration_reports_are_reproducible() {
             .collect();
         Executor::new(automata)
     };
-    let a = explore(&build(), ExploreConfig::with_depth(20), agreement_predicate(1));
-    let b = explore(&build(), ExploreConfig::with_depth(20), agreement_predicate(1));
+    let a = explore(
+        &build(),
+        ExploreConfig::with_depth(20),
+        agreement_predicate(1),
+    );
+    let b = explore(
+        &build(),
+        ExploreConfig::with_depth(20),
+        agreement_predicate(1),
+    );
     assert_eq!(a.states_visited, b.states_visited);
     assert_eq!(a.paths, b.paths);
     assert_eq!(a.violation, b.violation);

@@ -85,9 +85,8 @@ fn repeated_agreement_survives_crashes_between_instances() {
         .collect();
     // p1..p4 crash at increasing times; p0 never crashes and must finish all
     // three instances.
-    let crash_after: BTreeMap<ProcessId, u64> = (1..5)
-        .map(|p| (ProcessId(p), 20 * p as u64))
-        .collect();
+    let crash_after: BTreeMap<ProcessId, u64> =
+        (1..5).map(|p| (ProcessId(p), 20 * p as u64)).collect();
     let mut exec = Executor::new(automata);
     let mut sched = CrashScheduler::new(RoundRobin::new(), crash_after);
     let report = exec.run(&mut sched, RunConfig::with_max_steps(1_000_000));
@@ -115,13 +114,15 @@ fn anonymous_algorithm_survives_crashes() {
         .map(|p| AnonymousSetAgreement::one_shot(params, 100 + p as u64))
         .collect();
     // Crash three processes, leaving two (= m) running forever.
-    let crash_after: BTreeMap<ProcessId, u64> = (2..5)
-        .map(|p| (ProcessId(p), 10 + p as u64))
-        .collect();
+    let crash_after: BTreeMap<ProcessId, u64> =
+        (2..5).map(|p| (ProcessId(p), 10 + p as u64)).collect();
     let mut exec = Executor::new(automata);
     let mut sched = CrashScheduler::new(RoundRobin::new(), crash_after);
     let report = exec.run(&mut sched, RunConfig::with_max_steps(1_000_000));
-    assert!(report.halted[0] && report.halted[1], "survivors did not decide");
+    assert!(
+        report.halted[0] && report.halted[1],
+        "survivors did not decide"
+    );
     check_k_agreement(3, &report.decisions).unwrap();
     check_validity(&oneshot_inputs(params), &report.decisions).unwrap();
 }

@@ -136,7 +136,9 @@ fn termination_checker_flags_starved_survivors() {
         .adversary(Adversary::RoundRobin)
         .max_steps(2_000)
         .run();
-    let halted: Vec<bool> = (0..4).map(|p| report.decisions.decision_of(ProcessId(p), 1).is_some()).collect();
+    let halted: Vec<bool> = (0..4)
+        .map(|p| report.decisions.decision_of(ProcessId(p), 1).is_some())
+        .collect();
     assert!(check_obstruction_termination(&[], &halted, 2_000).is_ok());
     if halted.iter().any(|h| !h) {
         let all: Vec<ProcessId> = (0..4).map(ProcessId).collect();

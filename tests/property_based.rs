@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use set_agreement::algorithms::History;
 use set_agreement::lowerbound::bounds::{Figure1, Naming, Setting};
-use set_agreement::model::{DecisionSet, Decision, Params, ProcessId};
+use set_agreement::model::{Decision, DecisionSet, Params, ProcessId};
 use set_agreement::runtime::Workload;
 use set_agreement::{Adversary, Algorithm, Scenario};
 
@@ -29,7 +29,8 @@ fn adversary_strategy() -> impl Strategy<Value = Adversary> {
                 seed,
             }
         }),
-        (1u64..32, any::<u64>()).prop_map(|(burst_len, seed)| Adversary::Bursts { burst_len, seed }),
+        (1u64..32, any::<u64>())
+            .prop_map(|(burst_len, seed)| Adversary::Bursts { burst_len, seed }),
         (0usize..8).prop_map(|process| Adversary::Solo { process }),
     ]
 }

@@ -24,7 +24,10 @@ fn adversaries() -> Vec<Adversary> {
         Adversary::RoundRobin,
         Adversary::Random { seed: 3 },
         Adversary::Random { seed: 99 },
-        Adversary::Bursts { burst_len: 7, seed: 5 },
+        Adversary::Bursts {
+            burst_len: 7,
+            seed: 5,
+        },
         Adversary::Solo { process: 1 },
         Adversary::Obstruction {
             contention_steps: 150,
@@ -92,7 +95,11 @@ fn decided_values_are_always_inputs_of_the_same_instance() {
     let instances = 3usize;
     let workload = Workload::from_matrix(
         (0..5)
-            .map(|p| (1..=instances as u64).map(|t| 10_000 * t + p as u64).collect())
+            .map(|p| {
+                (1..=instances as u64)
+                    .map(|t| 10_000 * t + p as u64)
+                    .collect()
+            })
             .collect(),
     );
     let report = Scenario::new(params)

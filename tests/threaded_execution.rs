@@ -2,11 +2,11 @@
 //! lock-based shared memory, checking that safety is preserved outside the
 //! deterministic simulator.
 
-use set_agreement::algorithms::{
-    AnonymousSetAgreement, OneShotSetAgreement, RepeatedSetAgreement,
-};
+use set_agreement::algorithms::{AnonymousSetAgreement, OneShotSetAgreement, RepeatedSetAgreement};
 use set_agreement::model::{Params, ProcessId};
-use set_agreement::runtime::{check_k_agreement, check_validity, run_threaded, InputLog, ThreadedConfig};
+use set_agreement::runtime::{
+    check_k_agreement, check_validity, run_threaded, InputLog, ThreadedConfig,
+};
 use std::time::Duration;
 
 fn input_log(params: Params, instances: u64) -> InputLog {
@@ -49,12 +49,8 @@ fn threaded_repeated_runs_are_safe_per_instance() {
     let params = Params::new(4, 2, 2).unwrap();
     let automata: Vec<_> = (0..4)
         .map(|p| {
-            RepeatedSetAgreement::new(
-                params,
-                ProcessId(p),
-                vec![1000 + p as u64, 2000 + p as u64],
-            )
-            .unwrap()
+            RepeatedSetAgreement::new(params, ProcessId(p), vec![1000 + p as u64, 2000 + p as u64])
+                .unwrap()
         })
         .collect();
     let report = run_threaded(automata, ThreadedConfig::with_step_budget(300_000));
