@@ -46,6 +46,7 @@ fn main() {
         workload: WorkloadSpec::Distinct,
         max_steps: 400_000,
         campaign_seed: 13,
+        ..CampaignSpec::default()
     };
 
     let (records, outcome) = run_campaign_collect(&spec, EngineConfig::default());

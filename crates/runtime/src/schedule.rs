@@ -38,6 +38,16 @@ pub trait Scheduler {
     }
 }
 
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn next(&mut self, view: &SchedulerView<'_>) -> Option<ProcessId> {
+        (**self).next(view)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
 /// Schedules runnable processes in cyclic order — the maximally fair,
 /// maximally contended schedule.
 #[derive(Debug, Clone, Default)]
@@ -448,6 +458,92 @@ mod tests {
         let mut s = CrashScheduler::new(RoundRobin::new(), crash_after);
         assert!(s.next(&view(&procs, 0)).is_some());
         assert!(s.next(&view(&procs, 1)).is_none());
+    }
+
+    #[test]
+    fn crash_at_step_zero_never_schedules_the_process() {
+        use crate::executor::{Executor, RunConfig, StopReason};
+        use crate::toy::ToyWriter;
+        let automata = vec![
+            ToyWriter::new(0, 1),
+            ToyWriter::new(1, 2),
+            ToyWriter::new(2, 3),
+        ];
+        let mut exec = Executor::new(automata);
+        let mut crash_after = BTreeMap::new();
+        crash_after.insert(ProcessId(0), 0u64);
+        let mut sched = CrashScheduler::new(RoundRobin::new(), crash_after);
+        // p0 is crashed before its first step; it must never run.
+        assert_eq!(sched.crashed(), vec![ProcessId(0)]);
+        let report = exec.run(&mut sched, RunConfig::default());
+        assert_eq!(report.steps_per_process[0], 0);
+        // The survivors run alone (obstruction-freedom) and must terminate.
+        assert!(report.halted[1] && report.halted[2]);
+        assert_eq!(report.stop, StopReason::SchedulerExhausted);
+    }
+
+    #[test]
+    fn all_processes_crashing_exhausts_the_scheduler() {
+        use crate::executor::{Executor, RunConfig, StopReason};
+        use crate::toy::Spinner;
+        let automata = vec![Spinner::new(0), Spinner::new(0), Spinner::new(0)];
+        let mut exec = Executor::new(automata);
+        let crash_after: BTreeMap<ProcessId, u64> = (0..3).map(|p| (ProcessId(p), 2u64)).collect();
+        let mut sched = CrashScheduler::new(RoundRobin::new(), crash_after);
+        let report = exec.run(&mut sched, RunConfig::default());
+        // Every process takes exactly its pre-crash budget, then the
+        // execution ends — the executor must not spin forever.
+        assert_eq!(report.stop, StopReason::SchedulerExhausted);
+        assert_eq!(report.steps, 6);
+        assert_eq!(report.steps_per_process, vec![2, 2, 2]);
+        assert_eq!(sched.crashed().len(), 3);
+    }
+
+    #[test]
+    fn crash_points_beyond_the_budget_never_bite() {
+        use crate::executor::{Executor, RunConfig, StopReason};
+        use crate::toy::ToyWriter;
+        let automata = vec![ToyWriter::new(0, 1), ToyWriter::new(1, 2)];
+        let mut exec = Executor::new(automata);
+        let crash_after: BTreeMap<ProcessId, u64> =
+            (0..2).map(|p| (ProcessId(p), 1_000_000u64)).collect();
+        let mut sched = CrashScheduler::new(RoundRobin::new(), crash_after);
+        let report = exec.run(&mut sched, RunConfig::with_max_steps(100));
+        // The crash points lie far beyond what the processes need: the run
+        // looks exactly like a crash-free one.
+        assert_eq!(report.stop, StopReason::AllHalted);
+        assert!(report.all_halted());
+        assert!(sched.crashed().is_empty());
+    }
+
+    #[test]
+    fn surviving_processes_terminate_under_crashed_obstruction() {
+        use crate::executor::{Executor, RunConfig};
+        use crate::toy::ToyWriter;
+        // Obstruction survivors {0, 1}; p1 crashes after one step. The
+        // remaining survivor runs solo and must still terminate.
+        let automata = vec![
+            ToyWriter::new(0, 1),
+            ToyWriter::new(1, 2),
+            ToyWriter::new(2, 3),
+        ];
+        let mut exec = Executor::new(automata);
+        let inner = ObstructionScheduler::new(4, vec![ProcessId(0), ProcessId(1)], 9);
+        let mut crash_after = BTreeMap::new();
+        crash_after.insert(ProcessId(1), 1u64);
+        let mut sched = CrashScheduler::new(inner, crash_after);
+        let report = exec.run(&mut sched, RunConfig::default());
+        assert!(report.halted[0], "the non-crashed survivor must decide");
+        assert!(report.steps_per_process[1] <= 1);
+    }
+
+    #[test]
+    fn boxed_schedulers_delegate() {
+        let procs = ids(3);
+        let mut boxed: Box<dyn Scheduler> = Box::new(RoundRobin::new());
+        assert_eq!(boxed.name(), "round-robin");
+        assert_eq!(boxed.next(&view(&procs, 0)), Some(ProcessId(0)));
+        assert_eq!(boxed.next(&view(&procs, 1)), Some(ProcessId(1)));
     }
 
     #[test]

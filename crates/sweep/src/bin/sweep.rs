@@ -11,12 +11,14 @@
 //!
 //! `run` writes JSONL to `--out` (default stdout) and prints the outcome to
 //! stderr. `summarize` exits non-zero if the file contains safety or bound
-//! violations — the CI gate. `diff` exits non-zero on regressions (a
-//! scenario newly unsafe, newly over its bound, or newly starving).
+//! violations, or if an exhaustive exploration was truncated before its
+//! state space was exhausted — the CI gate. `diff` exits non-zero on
+//! regressions (a scenario newly unsafe, newly over its bound, or newly
+//! starving).
 
 use sa_sweep::{
-    diff, parse_jsonl, run_campaign, AdversarySpec, CampaignSpec, EngineConfig, ParamsSpec,
-    Summary, WorkloadSpec,
+    diff, parse_jsonl, run_campaign, AdversarySpec, CampaignMode, CampaignSpec, EngineConfig,
+    ParamsSpec, Summary, WorkloadSpec,
 };
 use std::process::ExitCode;
 
@@ -36,7 +38,14 @@ run options:
                        fullinfo`, full figure labels also accepted)
   --adversaries LIST   `round-robin, random, solo, bursts:LEN,
                        obstruction[:FACTOR[:SURVIVORS]]` (factor x n steps
-                       of contention; survivors default to the cell's m)
+                       of contention; survivors default to the cell's m),
+                       or `crash:<inner>:<F>` wrapping any of the former
+                       with up to F seed-derived crash failures per run
+  --mode MODE          `sample` (default) or `explore`: exhaustively model-
+                       check every interleaving of each (cell, algorithm)
+                       pair instead of sampling schedules (tiny cells only;
+                       the adversary and seed axes are ignored)
+  --max-states N       state budget per exploration (default 2000000)
   --seeds N|LIST       plain integer = that many seeds (0..N); or `1,5,9`
   --campaign-seed S    root seed mixed into every derived seed (default 0)
   --workload SPEC      `distinct` (default), `uniform:V`, `random:UNIVERSE`
@@ -135,6 +144,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
                         .parse()
                         .map_err(|_| format!("bad step budget {value:?}"))?;
                 }
+                "--mode" => {
+                    spec.mode = CampaignMode::parse(value).map_err(|e| e.to_string())?;
+                }
+                "--max-states" => {
+                    spec.max_states = value
+                        .parse()
+                        .map_err(|_| format!("bad state budget {value:?}"))?;
+                }
                 "--threads" => {
                     config.threads = value
                         .parse()
@@ -198,6 +215,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 outcome.bound_violations,
                 outcome.progress_failures
             );
+            if outcome.explored > 0 {
+                eprintln!(
+                    "sweep: {} cells explored exhaustively, {} verified, {} truncated",
+                    outcome.explored,
+                    outcome.exhaustively_verified,
+                    outcome.unverified_explorations
+                );
+            }
             ExitCode::SUCCESS
         }
         Err(e) => fail(format!("i/o error: {e}")),
@@ -227,7 +252,11 @@ fn cmd_summarize(args: &[String]) -> ExitCode {
     };
     let summary = Summary::of(&records);
     print!("{}", summary.render());
-    if summary.clean() {
+    // The CI gate: safety and bound violations always fail; an explore
+    // campaign additionally fails if any cell could not be exhausted
+    // (claiming "exhaustively verified" after a truncated search would be
+    // wrong).
+    if summary.clean() && summary.exhaustiveness_gaps() == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

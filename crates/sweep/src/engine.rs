@@ -12,7 +12,8 @@
 
 use crate::grid::{expand, ExpansionStats, ScenarioSpec};
 use crate::record::SweepRecord;
-use crate::spec::CampaignSpec;
+use crate::spec::{CampaignMode, CampaignSpec};
+use set_agreement::runtime::ExploreConfig;
 use set_agreement::Scenario;
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -54,6 +55,15 @@ pub struct CampaignOutcome {
     pub bound_violations: u64,
     /// Records where obligated survivors failed to decide.
     pub progress_failures: u64,
+    /// Explore-mode records (exhaustive exploration instead of sampling).
+    pub explored: u64,
+    /// Explore-mode records whose state space was exhausted violation-free.
+    pub exhaustively_verified: u64,
+    /// Explore-mode records whose state space could **not** be exhausted
+    /// within the budgets and that found no violation (truncated, hence
+    /// not exhaustively verified; violation-finding explorations count as
+    /// safety violations instead).
+    pub unverified_explorations: u64,
 }
 
 impl CampaignOutcome {
@@ -67,13 +77,32 @@ impl CampaignOutcome {
 
 /// Runs one scenario to a record. Pure: depends only on the spec.
 pub fn run_scenario(campaign: &str, spec: &ScenarioSpec) -> SweepRecord {
-    let report = Scenario::new(spec.params)
-        .algorithm(spec.algorithm)
-        .adversary(spec.adversary.clone())
-        .workload(spec.workload.clone())
-        .max_steps(spec.max_steps)
-        .run();
-    SweepRecord::from_report(campaign, spec, &report)
+    match spec.mode {
+        CampaignMode::Sample => {
+            let adversary = spec
+                .adversary
+                .clone()
+                .expect("sampled scenarios carry a concrete adversary");
+            let report = Scenario::new(spec.params)
+                .algorithm(spec.algorithm)
+                .adversary(adversary)
+                .workload(spec.workload.clone())
+                .max_steps(spec.max_steps)
+                .run();
+            SweepRecord::from_report(campaign, spec, &report)
+        }
+        CampaignMode::Explore => {
+            let report = Scenario::new(spec.params)
+                .algorithm(spec.algorithm)
+                .workload(spec.workload.clone())
+                .explore(ExploreConfig {
+                    max_depth: spec.max_steps,
+                    max_states: spec.max_states,
+                    dedup: true,
+                });
+            SweepRecord::from_exploration(campaign, spec, &report)
+        }
+    }
 }
 
 /// Expands and executes `spec` on `config.threads` workers, streaming one
@@ -134,6 +163,14 @@ pub fn run_campaign(
                 if !record.progress_ok() {
                     outcome.progress_failures += 1;
                 }
+                if record.mode == "explore" {
+                    outcome.explored += 1;
+                    if record.verified {
+                        outcome.exhaustively_verified += 1;
+                    } else if record.safe() {
+                        outcome.unverified_explorations += 1;
+                    }
+                }
                 writeln!(sink, "{}", record.to_json())?;
                 next_index += 1;
                 written += 1;
@@ -186,6 +223,7 @@ mod tests {
             workload: WorkloadSpec::Distinct,
             max_steps: 500_000,
             campaign_seed: 11,
+            ..CampaignSpec::default()
         }
     }
 
@@ -228,6 +266,81 @@ mod tests {
         let single = run(1);
         assert!(!single.is_empty());
         assert_eq!(single, run(3));
+    }
+
+    #[test]
+    fn crash_campaigns_stay_safe_and_count_crashes() {
+        let mut spec = tiny_spec();
+        spec.adversaries = vec![
+            AdversarySpec::Crash {
+                inner: Box::new(AdversarySpec::Obstruction {
+                    contention_factor: 20,
+                    survivors: Survivors::M,
+                }),
+                crashes: 2,
+            },
+            AdversarySpec::Crash {
+                inner: Box::new(AdversarySpec::RoundRobin),
+                crashes: 1,
+            },
+        ];
+        let (records, outcome) = run_campaign_collect(&spec, EngineConfig::default());
+        assert!(outcome.clean(), "{outcome:?}");
+        assert_eq!(
+            outcome.progress_failures, 0,
+            "a non-crashed survivor starved"
+        );
+        assert!(records.iter().all(|r| r.safe()));
+        assert!(records.iter().all(|r| r.crashes >= 1 && r.crashes <= 2));
+        assert!(records.iter().all(|r| r.mode == "sample"));
+        assert!(records.iter().any(|r| r.adversary.starts_with("crash:")));
+    }
+
+    #[test]
+    fn explore_mode_exhaustively_verifies_tiny_cells() {
+        let spec = CampaignSpec {
+            name: "explore".into(),
+            params: ParamsSpec::Explicit(vec![sa_model::Params::new(2, 1, 1).unwrap()]),
+            algorithms: vec![Algorithm::OneShot, Algorithm::AnonymousOneShot],
+            mode: crate::spec::CampaignMode::Explore,
+            max_steps: 100_000,
+            max_states: 500_000,
+            ..CampaignSpec::default()
+        };
+        let (records, outcome) = run_campaign_collect(&spec, EngineConfig::default());
+        assert_eq!(outcome.records, 2, "adversary and seed axes must collapse");
+        assert_eq!(outcome.explored, 2);
+        assert_eq!(outcome.exhaustively_verified, 2);
+        assert_eq!(outcome.unverified_explorations, 0);
+        assert!(outcome.clean(), "{outcome:?}");
+        for record in &records {
+            assert_eq!(record.mode, "explore");
+            assert_eq!(record.adversary, "exhaustive");
+            assert_eq!(record.stop, "state-space-exhausted");
+            assert!(record.verified, "cell was not exhaustively verified");
+            assert!(record.explored_states > 0);
+            assert!(record.bound_ok, "some interleaving exceeded the bound");
+        }
+    }
+
+    #[test]
+    fn truncated_explorations_are_counted_as_unverified() {
+        let spec = CampaignSpec {
+            name: "truncated".into(),
+            params: ParamsSpec::Explicit(vec![sa_model::Params::new(4, 1, 2).unwrap()]),
+            algorithms: vec![Algorithm::OneShot],
+            mode: crate::spec::CampaignMode::Explore,
+            max_steps: 100_000,
+            max_states: 50, // far too small to exhaust the cell
+            ..CampaignSpec::default()
+        };
+        let (records, outcome) = run_campaign_collect(&spec, EngineConfig::default());
+        assert_eq!(outcome.explored, 1);
+        assert_eq!(outcome.unverified_explorations, 1);
+        // Truncation is not a safety violation — it is an exhaustiveness gap.
+        assert!(outcome.clean(), "{outcome:?}");
+        assert!(!records[0].verified);
+        assert_eq!(records[0].stop, "truncated");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! engine exploits this to produce byte-identical JSONL output at any level
 //! of parallelism.
 
-use crate::spec::{AdversarySpec, CampaignSpec, Survivors, WorkloadSpec};
+use crate::spec::{AdversarySpec, CampaignMode, CampaignSpec, Survivors, WorkloadSpec};
 use sa_model::Params;
 use set_agreement::runtime::Workload;
 use set_agreement::{Adversary, Algorithm};
@@ -44,15 +44,26 @@ pub struct ScenarioSpec {
     pub params: Params,
     /// Algorithm to run.
     pub algorithm: Algorithm,
-    /// The adversary template this scenario was expanded from.
-    pub adversary_spec: AdversarySpec,
-    /// The concrete, seeded adversary.
-    pub adversary: Adversary,
+    /// How this scenario executes: one sampled schedule, or exhaustive
+    /// exploration of every interleaving.
+    pub mode: CampaignMode,
+    /// The adversary template this scenario was expanded from (`None` for
+    /// exhaustive scenarios, which quantify over all schedules).
+    pub adversary_spec: Option<AdversarySpec>,
+    /// The concrete, seeded adversary (`None` for exhaustive scenarios).
+    pub adversary: Option<Adversary>,
+    /// A stable label for the schedule source: the adversary template's
+    /// label, or `exhaustive`.
+    pub adversary_label: String,
     /// Contention steps of the obstruction phase (0 for other adversaries).
     pub contention_steps: u64,
     /// Survivor count the adversary restricts to (0 when it never
-    /// restricts).
+    /// restricts). For crash adversaries, survivors that crash are not
+    /// counted.
     pub survivors: usize,
+    /// Processes with a seed-derived crash point (0 for crash-free
+    /// scenarios).
+    pub crashes: usize,
     /// The campaign-level seed index this scenario belongs to.
     pub seed: u64,
     /// The seed actually driving the scenario's RNGs (derived).
@@ -61,8 +72,10 @@ pub struct ScenarioSpec {
     pub workload: Workload,
     /// A stable label for the workload.
     pub workload_label: String,
-    /// Step budget.
+    /// Step budget (path depth bound for exhaustive scenarios).
     pub max_steps: u64,
+    /// State budget for exhaustive scenarios (unused when sampling).
+    pub max_states: u64,
 }
 
 impl ScenarioSpec {
@@ -85,22 +98,38 @@ pub struct ExpansionStats {
     pub skipped_inapplicable: u64,
 }
 
+/// The result of instantiating an adversary template for one cell:
+/// the concrete adversary, its contention steps, the survivor count it
+/// eventually restricts to, and how many processes it crashes.
+struct InstantiatedAdversary {
+    adversary: Adversary,
+    contention_steps: u64,
+    survivors: usize,
+    crashes: usize,
+}
+
 fn instantiate_adversary(
     spec: &AdversarySpec,
     params: Params,
     derived_seed: u64,
-) -> (Adversary, u64, usize) {
+) -> InstantiatedAdversary {
+    let plain = |adversary, contention_steps, survivors| InstantiatedAdversary {
+        adversary,
+        contention_steps,
+        survivors,
+        crashes: 0,
+    };
     match spec {
-        AdversarySpec::RoundRobin => (Adversary::RoundRobin, 0, 0),
-        AdversarySpec::Random => (Adversary::Random { seed: derived_seed }, 0, 0),
-        AdversarySpec::Solo => (
+        AdversarySpec::RoundRobin => plain(Adversary::RoundRobin, 0, 0),
+        AdversarySpec::Random => plain(Adversary::Random { seed: derived_seed }, 0, 0),
+        AdversarySpec::Solo => plain(
             Adversary::Solo {
                 process: (derived_seed % params.n() as u64) as usize,
             },
             0,
             1,
         ),
-        AdversarySpec::Bursts { burst_len } => (
+        AdversarySpec::Bursts { burst_len } => plain(
             Adversary::Bursts {
                 burst_len: *burst_len,
                 seed: derived_seed,
@@ -117,7 +146,7 @@ fn instantiate_adversary(
                 Survivors::M => params.m(),
                 Survivors::Count(c) => (*c).min(params.n()).max(1),
             };
-            (
+            plain(
                 Adversary::Obstruction {
                     contention_steps,
                     survivors: count,
@@ -126,6 +155,44 @@ fn instantiate_adversary(
                 contention_steps,
                 count,
             )
+        }
+        AdversarySpec::Crash { inner, crashes } => {
+            // Decorrelate the inner scheduler's stream from the crash
+            // pattern: both derive from the adversary sub-seed, but via
+            // distinct purposes.
+            let base =
+                instantiate_adversary(inner, params, derive_seed(derived_seed, "crash-inner"));
+            // Always leave at least one process alive: crashing all n says
+            // nothing about the algorithm.
+            let count = (*crashes).min(params.n().saturating_sub(1));
+            // Crash points are spread over a horizon of a few round-robin
+            // rounds, so early, mid-run and never-reached crashes all occur
+            // across a campaign's seeds. A point of 0 crashes the process
+            // before its first step.
+            let horizon = 8 * params.n() as u64 + 8;
+            let mut pool: Vec<usize> = (0..params.n()).collect();
+            let mut crash_after: Vec<(usize, u64)> = Vec::with_capacity(count);
+            for i in 0..count {
+                let pick = derive_seed(derived_seed, &format!("crash-pick-{i}")) as usize
+                    % (pool.len() - i);
+                pool.swap(i, i + pick);
+                let step = derive_seed(derived_seed, &format!("crash-step-{i}")) % horizon;
+                crash_after.push((pool[i], step));
+            }
+            crash_after.sort_unstable();
+            let adversary = Adversary::Crash {
+                inner: Box::new(base.adversary),
+                crash_after,
+            };
+            // A crashed survivor is off the hook, so the progress obligation
+            // covers exactly the adversary's obligated set.
+            let survivors = adversary.obligated(params.n()).len();
+            InstantiatedAdversary {
+                adversary,
+                contention_steps: base.contention_steps,
+                survivors,
+                crashes: count,
+            }
         }
     }
 }
@@ -147,72 +214,153 @@ fn instantiate_workload(
 
 /// Expands a campaign into its deterministic work list.
 ///
-/// Iteration order is cells → algorithms → adversaries → seeds. Indices
-/// number that order, but per-scenario seeds derive from scenario
-/// *identity*, so growing any axis leaves pre-existing scenarios' streams
-/// unchanged (only their stream position moves). Inapplicable
-/// (cell, algorithm) combinations are skipped and counted.
+/// In [`CampaignMode::Sample`], iteration order is cells → algorithms →
+/// adversaries → seeds. Indices number that order, but per-scenario seeds
+/// derive from scenario *identity*, so growing any axis leaves pre-existing
+/// scenarios' streams unchanged (only their stream position moves).
+/// Inapplicable (cell, algorithm) combinations are skipped and counted.
+///
+/// In [`CampaignMode::Explore`], the adversary and seed axes collapse:
+/// exhaustive exploration quantifies over **all** schedules, so one scenario
+/// per applicable (cell, algorithm) pair is produced, labelled `exhaustive`.
 pub fn expand(spec: &CampaignSpec) -> (Vec<ScenarioSpec>, ExpansionStats) {
     let mut scenarios = Vec::new();
     let mut stats = ExpansionStats::default();
     for params in spec.params.cells() {
         for &algorithm in &spec.algorithms {
             if !algorithm.applicable(params) {
-                stats.skipped_inapplicable += (spec.adversaries.len() * spec.seeds.len()) as u64;
+                stats.skipped_inapplicable += match spec.mode {
+                    CampaignMode::Sample => (spec.adversaries.len() * spec.seeds.len()) as u64,
+                    CampaignMode::Explore => 1,
+                };
                 continue;
             }
-            for adversary_spec in &spec.adversaries {
-                for &seed in &spec.seeds {
-                    let index = scenarios.len() as u64;
-                    // Seed from the scenario's identity, never its index:
-                    // extending the campaign must not reseed existing
-                    // scenarios (see `derive_seed`).
-                    let identity = format!(
-                        "n{} m{} k{} {} x{} {} seed{} {}",
-                        params.n(),
-                        params.m(),
-                        params.k(),
-                        algorithm.label(),
-                        algorithm.instances(),
-                        adversary_spec.label(),
-                        seed,
-                        spec.workload.label()
-                    );
-                    let derived_seed = derive_seed(spec.campaign_seed, &identity);
-                    // Distinct sub-seeds per purpose: a random workload and
-                    // a random scheduler must not consume the same stream,
-                    // or inputs would correlate with the schedule.
-                    let (adversary, contention_steps, survivors) = instantiate_adversary(
-                        adversary_spec,
-                        params,
-                        derive_seed(derived_seed, "adversary"),
-                    );
-                    let workload = instantiate_workload(
-                        spec.workload,
-                        params,
-                        algorithm.instances(),
-                        derive_seed(derived_seed, "workload"),
-                    );
-                    scenarios.push(ScenarioSpec {
-                        index,
+            match spec.mode {
+                CampaignMode::Sample => {
+                    for adversary_spec in &spec.adversaries {
+                        for &seed in &spec.seeds {
+                            scenarios.push(sampled_scenario(
+                                spec,
+                                scenarios.len() as u64,
+                                params,
+                                algorithm,
+                                adversary_spec,
+                                seed,
+                            ));
+                        }
+                    }
+                }
+                CampaignMode::Explore => {
+                    scenarios.push(explore_scenario(
+                        spec,
+                        scenarios.len() as u64,
                         params,
                         algorithm,
-                        adversary_spec: adversary_spec.clone(),
-                        adversary,
-                        contention_steps,
-                        survivors,
-                        seed,
-                        derived_seed,
-                        workload,
-                        workload_label: spec.workload.label(),
-                        max_steps: spec.max_steps,
-                    });
+                    ));
                 }
             }
         }
     }
     stats.scenarios = scenarios.len() as u64;
     (scenarios, stats)
+}
+
+fn sampled_scenario(
+    spec: &CampaignSpec,
+    index: u64,
+    params: Params,
+    algorithm: Algorithm,
+    adversary_spec: &AdversarySpec,
+    seed: u64,
+) -> ScenarioSpec {
+    // Seed from the scenario's identity, never its index: extending the
+    // campaign must not reseed existing scenarios (see `derive_seed`).
+    let identity = format!(
+        "n{} m{} k{} {} x{} {} seed{} {}",
+        params.n(),
+        params.m(),
+        params.k(),
+        algorithm.label(),
+        algorithm.instances(),
+        adversary_spec.label(),
+        seed,
+        spec.workload.label()
+    );
+    let derived_seed = derive_seed(spec.campaign_seed, &identity);
+    // Distinct sub-seeds per purpose: a random workload and a random
+    // scheduler must not consume the same stream, or inputs would
+    // correlate with the schedule.
+    let instantiated = instantiate_adversary(
+        adversary_spec,
+        params,
+        derive_seed(derived_seed, "adversary"),
+    );
+    let workload = instantiate_workload(
+        spec.workload,
+        params,
+        algorithm.instances(),
+        derive_seed(derived_seed, "workload"),
+    );
+    ScenarioSpec {
+        index,
+        params,
+        algorithm,
+        mode: CampaignMode::Sample,
+        adversary_label: adversary_spec.label(),
+        adversary_spec: Some(adversary_spec.clone()),
+        adversary: Some(instantiated.adversary),
+        contention_steps: instantiated.contention_steps,
+        survivors: instantiated.survivors,
+        crashes: instantiated.crashes,
+        seed,
+        derived_seed,
+        workload,
+        workload_label: spec.workload.label(),
+        max_steps: spec.max_steps,
+        max_states: spec.max_states,
+    }
+}
+
+fn explore_scenario(
+    spec: &CampaignSpec,
+    index: u64,
+    params: Params,
+    algorithm: Algorithm,
+) -> ScenarioSpec {
+    let identity = format!(
+        "n{} m{} k{} {} x{} exhaustive seed0 {}",
+        params.n(),
+        params.m(),
+        params.k(),
+        algorithm.label(),
+        algorithm.instances(),
+        spec.workload.label()
+    );
+    let derived_seed = derive_seed(spec.campaign_seed, &identity);
+    let workload = instantiate_workload(
+        spec.workload,
+        params,
+        algorithm.instances(),
+        derive_seed(derived_seed, "workload"),
+    );
+    ScenarioSpec {
+        index,
+        params,
+        algorithm,
+        mode: CampaignMode::Explore,
+        adversary_label: "exhaustive".into(),
+        adversary_spec: None,
+        adversary: None,
+        contention_steps: 0,
+        survivors: 0,
+        crashes: 0,
+        seed: 0,
+        derived_seed,
+        workload,
+        workload_label: spec.workload.label(),
+        max_steps: spec.max_steps,
+        max_states: spec.max_states,
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +382,7 @@ mod tests {
             workload: WorkloadSpec::Distinct,
             max_steps: 1000,
             campaign_seed: 7,
+            ..CampaignSpec::default()
         }
     }
 
@@ -296,7 +445,7 @@ mod tests {
         spec.workload = WorkloadSpec::Random { universe: 100 };
         let (scenarios, _) = expand(&spec);
         for s in &scenarios {
-            if let Adversary::Random { seed } = s.adversary {
+            if let Some(Adversary::Random { seed }) = s.adversary {
                 // The scheduler's seed must be neither the base derived seed
                 // nor the workload's sub-seed.
                 assert_ne!(seed, s.derived_seed);
@@ -358,7 +507,7 @@ mod tests {
         ];
         let (scenarios, _) = expand(&spec);
         for s in &scenarios {
-            match &s.adversary_spec {
+            match s.adversary_spec.as_ref().unwrap() {
                 AdversarySpec::Obstruction {
                     survivors: Survivors::M,
                     ..
@@ -380,12 +529,89 @@ mod tests {
     }
 
     #[test]
+    fn crash_templates_derive_deterministic_bounded_crash_points() {
+        let mut spec = small_spec();
+        spec.adversaries = vec![AdversarySpec::Crash {
+            inner: Box::new(AdversarySpec::RoundRobin),
+            crashes: 3,
+        }];
+        let (scenarios, _) = expand(&spec);
+        let (again, _) = expand(&spec);
+        assert!(!scenarios.is_empty());
+        for (s, t) in scenarios.iter().zip(&again) {
+            assert_eq!(s.adversary, t.adversary, "crash pattern not deterministic");
+            assert_eq!(s.crashes, 3.min(s.params.n() - 1));
+            let Some(Adversary::Crash { crash_after, .. }) = &s.adversary else {
+                panic!("expected crash adversary");
+            };
+            assert_eq!(crash_after.len(), s.crashes);
+            let mut processes: Vec<usize> = crash_after.iter().map(|(p, _)| *p).collect();
+            processes.dedup();
+            assert_eq!(processes.len(), s.crashes, "crash picks collide");
+            assert!(processes.iter().all(|p| *p < s.params.n()));
+            // Round-robin never restricts, so no process is obligated.
+            assert_eq!(s.survivors, 0);
+            assert!(!s.progress_required());
+        }
+        // Distinct seeds produce distinct crash patterns somewhere.
+        assert!(
+            scenarios
+                .iter()
+                .zip(scenarios.iter().skip(1))
+                .any(|(a, b)| a.adversary != b.adversary),
+            "all crash patterns identical"
+        );
+    }
+
+    #[test]
+    fn crashing_every_obstruction_survivor_lifts_the_obligation() {
+        // n = 4, survivors = m = 1, crash up to 3 processes: across seeds
+        // some scenarios crash the lone survivor (obligation lifted), and
+        // any scenario that keeps it obligated has survivors <= m.
+        let mut spec = small_spec();
+        spec.seeds = (0..16).collect();
+        spec.adversaries = vec![AdversarySpec::Crash {
+            inner: Box::new(AdversarySpec::Obstruction {
+                contention_factor: 10,
+                survivors: Survivors::M,
+            }),
+            crashes: 3,
+        }];
+        let (scenarios, _) = expand(&spec);
+        assert!(scenarios.iter().any(|s| s.survivors == 0));
+        assert!(scenarios.iter().any(|s| s.survivors == 1));
+        for s in &scenarios {
+            assert!(s.survivors <= s.params.m());
+            assert_eq!(s.contention_steps, 10 * s.params.n() as u64);
+        }
+    }
+
+    #[test]
+    fn explore_mode_collapses_adversary_and_seed_axes() {
+        let mut spec = small_spec();
+        spec.mode = CampaignMode::Explore;
+        spec.max_states = 1234;
+        let (scenarios, stats) = expand(&spec);
+        // 2 cells x 2 algorithms, adversaries and seeds ignored.
+        assert_eq!(scenarios.len(), 4);
+        assert_eq!(stats.scenarios, 4);
+        for s in &scenarios {
+            assert_eq!(s.mode, CampaignMode::Explore);
+            assert_eq!(s.adversary_label, "exhaustive");
+            assert!(s.adversary.is_none() && s.adversary_spec.is_none());
+            assert_eq!(s.seed, 0);
+            assert_eq!(s.max_states, 1234);
+            assert!(!s.progress_required());
+        }
+    }
+
+    #[test]
     fn solo_adversary_picks_a_process_in_range() {
         let mut spec = small_spec();
         spec.adversaries = vec![AdversarySpec::Solo];
         let (scenarios, _) = expand(&spec);
         for s in &scenarios {
-            let Adversary::Solo { process } = s.adversary else {
+            let Some(Adversary::Solo { process }) = s.adversary else {
                 panic!("expected solo adversary");
             };
             assert!(process < s.params.n());

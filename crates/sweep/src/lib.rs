@@ -7,17 +7,24 @@
 //! crate provides:
 //!
 //! * [`CampaignSpec`] — a declarative campaign: a parameter grid (or
-//!   explicit cells), algorithms, adversary templates, seeds, workload and
-//!   budget, buildable in code or parsed from `key = value` text.
+//!   explicit cells), algorithms, adversary templates (including
+//!   `crash:<inner>:<f>` crash-failure wrappers), seeds, workload, budget
+//!   and execution [mode](CampaignMode), buildable in code or parsed from
+//!   `key = value` text (and rendered back via `Display`, which
+//!   round-trips).
 //! * [`expand`] — deterministic expansion into an indexed work list with
-//!   per-scenario derived seeds.
+//!   per-scenario derived seeds (crash points included).
 //! * [`run_campaign`] — parallel execution over a thread pool, streaming
 //!   one [`SweepRecord`] JSON line per scenario **in deterministic order**:
 //!   the same campaign and seed produce byte-identical output at any thread
-//!   count.
-//! * [`Summary`] / [`diff`] — per-cell aggregation (pass/fail counts, max
-//!   space used vs the Figure 1 accounting, bound-violation flags) and a
-//!   scenario-level regression diff between two result files.
+//!   count. `mode = explore` campaigns route each (cell, algorithm) pair
+//!   through the bounded exhaustive explorer instead of sampling one
+//!   schedule, upgrading "sampled, 0 violations" to "exhaustively
+//!   verified".
+//! * [`Summary`] / [`diff`] — per-cell aggregation (pass/fail counts, crash
+//!   accounting, exhaustive-vs-sampled coverage, max space used vs the
+//!   Figure 1 accounting, bound-violation flags) and a scenario-level
+//!   regression diff between two result files.
 //! * the `sweep` CLI binary — `sweep run`, `sweep summarize`, `sweep diff`.
 //!
 //! # Example
@@ -56,15 +63,16 @@ pub use engine::{run_campaign, run_campaign_collect, run_scenario, CampaignOutco
 pub use grid::{derive_seed, expand, ExpansionStats, ScenarioSpec};
 pub use record::{parse_jsonl, ParseError, SweepRecord};
 pub use spec::{
-    parse_algorithms, parse_seeds, parse_values, AdversarySpec, CampaignSpec, ParamsSpec,
-    SpecError, Survivors, WorkloadSpec,
+    parse_algorithms, parse_seeds, parse_values, AdversarySpec, CampaignMode, CampaignSpec,
+    ParamsSpec, SpecError, Survivors, WorkloadSpec,
 };
 pub use summary::{diff, CellKey, CellSummary, DiffEntry, DiffReport, Summary};
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::{
-        diff, expand, run_campaign, run_campaign_collect, AdversarySpec, CampaignOutcome,
-        CampaignSpec, EngineConfig, ParamsSpec, Summary, Survivors, SweepRecord, WorkloadSpec,
+        diff, expand, run_campaign, run_campaign_collect, AdversarySpec, CampaignMode,
+        CampaignOutcome, CampaignSpec, EngineConfig, ParamsSpec, Summary, Survivors, SweepRecord,
+        WorkloadSpec,
     };
 }

@@ -8,7 +8,7 @@
 
 use crate::grid::ScenarioSpec;
 use set_agreement::runtime::StopReason;
-use set_agreement::ScenarioReport;
+use set_agreement::{ExploreReport, ScenarioReport};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -29,12 +29,18 @@ pub struct SweepRecord {
     pub algorithm: String,
     /// Instances of repeated agreement run (1 for one-shot).
     pub instances: usize,
-    /// Adversary template label (includes its parameters).
+    /// Adversary template label (includes its parameters), or `exhaustive`
+    /// for explore-mode scenarios.
     pub adversary: String,
+    /// Execution mode: `sample` or `explore`.
+    pub mode: String,
     /// Obstruction contention steps (0 for non-obstruction adversaries).
     pub contention_steps: u64,
-    /// Survivor count the adversary restricts to (0 = never restricts).
+    /// Survivor count the adversary restricts to (0 = never restricts;
+    /// crashed survivors are not counted).
     pub survivors: usize,
+    /// Processes given seed-derived crash points (0 = crash-free).
+    pub crashes: usize,
     /// Campaign-level seed of this scenario.
     pub seed: u64,
     /// Workload label.
@@ -75,6 +81,12 @@ pub struct SweepRecord {
     pub component_bound: usize,
     /// `locations_written ≤ component_bound`.
     pub bound_ok: bool,
+    /// States visited by the exhaustive explorer (0 for sampled records).
+    pub explored_states: u64,
+    /// `true` only for explore-mode records whose state space was exhausted
+    /// without finding a violation — "exhaustively verified", strictly
+    /// stronger than "sampled, 0 violations".
+    pub verified: bool,
 }
 
 impl SweepRecord {
@@ -96,9 +108,11 @@ impl SweepRecord {
             k: spec.params.k(),
             algorithm: spec.algorithm.label().to_string(),
             instances: spec.algorithm.instances(),
-            adversary: spec.adversary_spec.label(),
+            adversary: spec.adversary_label.clone(),
+            mode: spec.mode.label().to_string(),
             contention_steps: spec.contention_steps,
             survivors: spec.survivors,
+            crashes: spec.crashes,
             seed: spec.seed,
             workload: spec.workload_label.clone(),
             max_steps: spec.max_steps,
@@ -122,6 +136,57 @@ impl SweepRecord {
             register_bound: spec.algorithm.register_bound(spec.params),
             component_bound,
             bound_ok: report.locations_written <= component_bound,
+            explored_states: 0,
+            verified: false,
+        }
+    }
+
+    /// Builds the record for one exhaustively explored scenario. Space
+    /// fields report the **maximum over all reachable states**, so
+    /// `bound_ok` means no interleaving whatsoever exceeds the declared
+    /// footprint.
+    pub fn from_exploration(campaign: &str, spec: &ScenarioSpec, report: &ExploreReport) -> Self {
+        let component_bound = spec.algorithm.component_bound(spec.params);
+        SweepRecord {
+            campaign: campaign.to_string(),
+            scenario: spec.index,
+            n: spec.params.n(),
+            m: spec.params.m(),
+            k: spec.params.k(),
+            algorithm: spec.algorithm.label().to_string(),
+            instances: spec.algorithm.instances(),
+            adversary: spec.adversary_label.clone(),
+            mode: spec.mode.label().to_string(),
+            contention_steps: 0,
+            survivors: 0,
+            crashes: 0,
+            seed: spec.seed,
+            workload: spec.workload_label.clone(),
+            max_steps: spec.max_steps,
+            steps: 0,
+            stop: if report.violation.is_some() {
+                "violation-found"
+            } else if report.truncated {
+                "truncated"
+            } else {
+                "state-space-exhausted"
+            }
+            .to_string(),
+            validity_ok: report.validity_ok,
+            agreement_ok: report.agreement_ok,
+            progress_required: false,
+            survivors_decided: true,
+            decisions: 0,
+            distinct_outputs_max: 0,
+            total_ops: 0,
+            locations_written: report.max_locations_written,
+            registers_written: report.max_registers_written,
+            components_written: report.max_components_written,
+            register_bound: spec.algorithm.register_bound(spec.params),
+            component_bound,
+            bound_ok: report.max_locations_written <= component_bound,
+            explored_states: report.states_visited,
+            verified: report.verified(),
         }
     }
 
@@ -172,12 +237,14 @@ impl SweepRecord {
         field(&mut out, "algorithm", &json_string(&self.algorithm));
         field(&mut out, "instances", &self.instances.to_string());
         field(&mut out, "adversary", &json_string(&self.adversary));
+        field(&mut out, "mode", &json_string(&self.mode));
         field(
             &mut out,
             "contention_steps",
             &self.contention_steps.to_string(),
         );
         field(&mut out, "survivors", &self.survivors.to_string());
+        field(&mut out, "crashes", &self.crashes.to_string());
         field(&mut out, "seed", &self.seed.to_string());
         field(&mut out, "workload", &json_string(&self.workload));
         field(&mut out, "max_steps", &self.max_steps.to_string());
@@ -224,11 +291,22 @@ impl SweepRecord {
             &self.component_bound.to_string(),
         );
         field(&mut out, "bound_ok", bool_str(self.bound_ok));
+        field(
+            &mut out,
+            "explored_states",
+            &self.explored_states.to_string(),
+        );
+        field(&mut out, "verified", bool_str(self.verified));
         out.push('}');
         out
     }
 
     /// Decodes one JSON line produced by [`SweepRecord::to_json`].
+    ///
+    /// The fields introduced after the first release (`mode`, `crashes`,
+    /// `explored_states`, `verified`) default to their crash-free sampled
+    /// values when absent, so result files written by older versions remain
+    /// summarizable and diffable.
     pub fn parse(line: &str) -> Result<Self, ParseError> {
         let fields = parse_flat_object(line)?;
         let record = SweepRecord {
@@ -240,8 +318,10 @@ impl SweepRecord {
             algorithm: fields.string("algorithm")?,
             instances: fields.u64("instances")? as usize,
             adversary: fields.string("adversary")?,
+            mode: fields.string_or("mode", "sample")?,
             contention_steps: fields.u64("contention_steps")?,
             survivors: fields.u64("survivors")? as usize,
+            crashes: fields.u64_or("crashes", 0)? as usize,
             seed: fields.u64("seed")?,
             workload: fields.string("workload")?,
             max_steps: fields.u64("max_steps")?,
@@ -260,6 +340,8 @@ impl SweepRecord {
             register_bound: fields.u64("register_bound")? as usize,
             component_bound: fields.u64("component_bound")? as usize,
             bound_ok: fields.bool("bound_ok")?,
+            explored_states: fields.u64_or("explored_states", 0)?,
+            verified: fields.bool_or("verified", false)?,
         };
         Ok(record)
     }
@@ -346,6 +428,34 @@ impl Fields {
             other => Err(ParseError(format!(
                 "field {key:?} is not a bool: {other:?}"
             ))),
+        }
+    }
+
+    // `_or` variants for fields added after the first release: absent means
+    // the default (old files stay readable), present-but-mistyped is still
+    // an error.
+
+    fn string_or(&self, key: &str, default: &str) -> Result<String, ParseError> {
+        if self.0.contains_key(key) {
+            self.string(key)
+        } else {
+            Ok(default.to_string())
+        }
+    }
+
+    fn u64_or(&self, key: &str, default: u64) -> Result<u64, ParseError> {
+        if self.0.contains_key(key) {
+            self.u64(key)
+        } else {
+            Ok(default)
+        }
+    }
+
+    fn bool_or(&self, key: &str, default: bool) -> Result<bool, ParseError> {
+        if self.0.contains_key(key) {
+            self.bool(key)
+        } else {
+            Ok(default)
         }
     }
 }
@@ -474,8 +584,10 @@ mod tests {
             algorithm: "figure3-oneshot".into(),
             instances: 1,
             adversary: "obstruction:50".into(),
+            mode: "sample".into(),
             contention_steps: 300,
             survivors: 2,
+            crashes: 0,
             seed: 3,
             workload: "distinct".into(),
             max_steps: 1_000_000,
@@ -494,7 +606,43 @@ mod tests {
             register_bound: 6,
             component_bound: 7,
             bound_ok: true,
+            explored_states: 0,
+            verified: false,
         }
+    }
+
+    #[test]
+    fn explore_records_round_trip_and_carry_verification() {
+        let mut record = sample();
+        record.adversary = "exhaustive".into();
+        record.mode = "explore".into();
+        record.stop = "state-space-exhausted".into();
+        record.explored_states = 12345;
+        record.verified = true;
+        let parsed = SweepRecord::parse(&record.to_json()).unwrap();
+        assert_eq!(parsed, record);
+        assert!(parsed.verified);
+        assert_eq!(parsed.explored_states, 12345);
+    }
+
+    #[test]
+    fn records_without_the_new_fields_parse_with_defaults() {
+        // A line as written before mode/crashes/explored_states/verified
+        // existed: strip those fields from a current encoding.
+        let line = sample()
+            .to_json()
+            .replace(",\"mode\":\"sample\"", "")
+            .replace(",\"crashes\":0", "")
+            .replace(",\"explored_states\":0", "")
+            .replace(",\"verified\":false", "");
+        assert!(!line.contains("\"mode\""), "field stripping failed: {line}");
+        let parsed = SweepRecord::parse(&line).expect("old-format lines must parse");
+        assert_eq!(parsed, sample());
+        // Mistyped (rather than absent) new fields are still rejected.
+        let bad = sample()
+            .to_json()
+            .replace("\"crashes\":0", "\"crashes\":\"no\"");
+        assert!(SweepRecord::parse(&bad).is_err());
     }
 
     #[test]

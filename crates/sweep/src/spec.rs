@@ -123,6 +123,16 @@ pub enum AdversarySpec {
         /// Who survives.
         survivors: Survivors,
     },
+    /// A crash adversary layered over another template: up to `crashes`
+    /// processes (capped at `n − 1` per cell) receive deterministically
+    /// seed-derived crash points and stop being scheduled once they reach
+    /// them. Spec syntax: `crash:<inner>:<crashes>`.
+    Crash {
+        /// The template the crash pattern wraps (any non-crash template).
+        inner: Box<AdversarySpec>,
+        /// Maximum number of processes to crash.
+        crashes: usize,
+    },
 }
 
 impl AdversarySpec {
@@ -141,13 +151,41 @@ impl AdversarySpec {
                 contention_factor,
                 survivors: Survivors::Count(c),
             } => format!("obstruction:{contention_factor}:{c}"),
+            AdversarySpec::Crash { inner, crashes } => {
+                format!("crash:{}:{crashes}", inner.label())
+            }
         }
     }
 
     /// Parses one adversary template. Accepted forms: `round-robin`,
     /// `random`, `solo`, `bursts:LEN`, `obstruction` (factor 50, survivors
-    /// `m`), `obstruction:FACTOR`, `obstruction:FACTOR:SURVIVORS`.
+    /// `m`), `obstruction:FACTOR`, `obstruction:FACTOR:SURVIVORS`, and
+    /// `crash:<inner>:<crashes>` wrapping any of the former (the *last*
+    /// `:`-field is always the crash count, so e.g.
+    /// `crash:obstruction:50:2` crashes up to 2 processes under
+    /// `obstruction:50`).
     pub fn parse(text: &str) -> Result<Self, SpecError> {
+        if let Some(rest) = text.strip_prefix("crash:") {
+            let Some((inner_text, count)) = rest.rsplit_once(':') else {
+                return err(format!(
+                    "crash template {text:?} needs a crash count (crash:<inner>:<crashes>)"
+                ));
+            };
+            let crashes: usize = count
+                .parse()
+                .map_err(|_| SpecError(format!("bad crash count in {text:?}")))?;
+            if crashes == 0 {
+                return err(format!("crash count must be positive in {text:?}"));
+            }
+            let inner = AdversarySpec::parse(inner_text)?;
+            if matches!(inner, AdversarySpec::Crash { .. }) {
+                return err(format!("nested crash templates are not allowed: {text:?}"));
+            }
+            return Ok(AdversarySpec::Crash {
+                inner: Box::new(inner),
+                crashes,
+            });
+        }
         let mut parts = text.split(':');
         let head = parts.next().unwrap_or_default();
         let rest: Vec<&str> = parts.collect();
@@ -228,6 +266,39 @@ impl WorkloadSpec {
     }
 }
 
+/// How a campaign executes its cells.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CampaignMode {
+    /// Sample one schedule per (cell, algorithm, adversary, seed)
+    /// combination — the default, feasible at any scale.
+    #[default]
+    Sample,
+    /// Exhaustively explore **every** interleaving of each
+    /// (cell, algorithm) combination with the bounded model checker,
+    /// ignoring the adversary and seed axes (exploration quantifies over
+    /// all schedules). Feasible only for tiny cells.
+    Explore,
+}
+
+impl CampaignMode {
+    /// A stable label for records and summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CampaignMode::Sample => "sample",
+            CampaignMode::Explore => "explore",
+        }
+    }
+
+    /// Parses `sample` or `explore`.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        match text {
+            "sample" => Ok(CampaignMode::Sample),
+            "explore" => Ok(CampaignMode::Explore),
+            _ => err(format!("unknown mode {text:?} (want sample or explore)")),
+        }
+    }
+}
+
 /// A declarative description of a whole family of scenarios.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
@@ -244,10 +315,15 @@ pub struct CampaignSpec {
     pub seeds: Vec<u64>,
     /// The workload proposed in every scenario.
     pub workload: WorkloadSpec,
-    /// Step budget per scenario.
+    /// Step budget per scenario. In [`CampaignMode::Explore`] this bounds
+    /// the depth of any single explored path.
     pub max_steps: u64,
     /// Root seed mixed into every scenario's derived seed.
     pub campaign_seed: u64,
+    /// How cells are executed: schedule sampling or exhaustive exploration.
+    pub mode: CampaignMode,
+    /// State budget per exploration (ignored in [`CampaignMode::Sample`]).
+    pub max_states: u64,
 }
 
 impl Default for CampaignSpec {
@@ -268,6 +344,8 @@ impl Default for CampaignSpec {
             workload: WorkloadSpec::Distinct,
             max_steps: 2_000_000,
             campaign_seed: 0,
+            mode: CampaignMode::Sample,
+            max_states: 2_000_000,
         }
     }
 }
@@ -358,7 +436,9 @@ impl CampaignSpec {
     /// Parses a campaign from `key = value` lines. Unknown keys are
     /// rejected; `#` starts a comment. Recognized keys: `name`, `n`, `m`,
     /// `k`, `params` (explicit `n/m/k` triples, `;`-separated), `algorithms`,
-    /// `adversaries`, `seeds`, `workload`, `max-steps`, `campaign-seed`.
+    /// `adversaries`, `seeds`, `workload`, `max-steps`, `campaign-seed`,
+    /// `mode` (`sample` or `explore`) and `max-states` (exploration state
+    /// budget).
     pub fn parse(text: &str) -> Result<Self, SpecError> {
         let mut spec = CampaignSpec::default();
         let (mut grid_n, mut grid_m, mut grid_k) = (None, None, None);
@@ -402,6 +482,12 @@ impl CampaignSpec {
                         .parse()
                         .map_err(|_| SpecError(format!("bad campaign-seed {value:?}")))?;
                 }
+                "mode" => spec.mode = CampaignMode::parse(value)?,
+                "max-states" => {
+                    spec.max_states = value
+                        .parse()
+                        .map_err(|_| SpecError(format!("bad max-states {value:?}")))?;
+                }
                 _ => return err(format!("unknown key {key:?}")),
             }
         }
@@ -430,6 +516,67 @@ impl CampaignSpec {
             return err("no seeds");
         }
         Ok(spec)
+    }
+}
+
+fn join<T: std::fmt::Display>(values: &[T]) -> String {
+    values
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Renders the seed list in a form [`parse_seeds`] maps back to the same
+/// list: a count for `0..n` prefixes, an `a..a` range for singletons (a
+/// plain integer would be read as a count), a comma list otherwise.
+fn display_seeds(seeds: &[u64]) -> String {
+    if seeds.len() > 1 && seeds.iter().enumerate().all(|(i, s)| *s == i as u64) {
+        return seeds.len().to_string();
+    }
+    if let [only] = seeds {
+        return format!("{only}..{only}");
+    }
+    join(seeds)
+}
+
+impl std::fmt::Display for CampaignSpec {
+    /// Renders the spec in the `key = value` file format such that
+    /// `CampaignSpec::parse(&spec.to_string()) == spec` for any spec the
+    /// parser itself could have produced: the name must contain no `#`, `=`
+    /// or newline (and survive trimming), and the algorithm, adversary and
+    /// seed lists must be non-empty — the parser rejects empty lists, so a
+    /// struct-literal spec violating that renders to unparseable text.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "name = {}", self.name)?;
+        match &self.params {
+            ParamsSpec::Grid { n, m, k } => {
+                writeln!(f, "n = {}", join(n))?;
+                writeln!(f, "m = {}", join(m))?;
+                writeln!(f, "k = {}", join(k))?;
+            }
+            ParamsSpec::Explicit(cells) => {
+                let cells: Vec<String> = cells
+                    .iter()
+                    .map(|p| format!("{}/{}/{}", p.n(), p.m(), p.k()))
+                    .collect();
+                writeln!(f, "params = {}", cells.join(";"))?;
+            }
+        }
+        let algorithms: Vec<String> = self
+            .algorithms
+            .iter()
+            .map(|a| format!("{}:{}", a.label(), a.instances()))
+            .collect();
+        writeln!(f, "algorithms = {}", algorithms.join(","))?;
+        let adversaries: Vec<String> = self.adversaries.iter().map(|a| a.label()).collect();
+        writeln!(f, "adversaries = {}", adversaries.join(","))?;
+        writeln!(f, "seeds = {}", display_seeds(&self.seeds))?;
+        writeln!(f, "workload = {}", self.workload.label())?;
+        writeln!(f, "max-steps = {}", self.max_steps)?;
+        writeln!(f, "campaign-seed = {}", self.campaign_seed)?;
+        writeln!(f, "mode = {}", self.mode.label())?;
+        writeln!(f, "max-states = {}", self.max_states)
     }
 }
 
@@ -472,6 +619,11 @@ mod tests {
             "bursts:8",
             "obstruction:50",
             "obstruction:20:2",
+            "crash:round-robin:1",
+            "crash:random:3",
+            "crash:bursts:8:2",
+            "crash:obstruction:50:2",
+            "crash:obstruction:20:2:1",
         ] {
             let spec = AdversarySpec::parse(text).unwrap();
             assert_eq!(
@@ -489,6 +641,83 @@ mod tests {
         );
         assert!(AdversarySpec::parse("bursts:0").is_err());
         assert!(AdversarySpec::parse("obstruction:1:2:3").is_err());
+    }
+
+    #[test]
+    fn crash_templates_parse_with_the_last_field_as_count() {
+        assert_eq!(
+            AdversarySpec::parse("crash:obstruction:50:2").unwrap(),
+            AdversarySpec::Crash {
+                inner: Box::new(AdversarySpec::Obstruction {
+                    contention_factor: 50,
+                    survivors: Survivors::M,
+                }),
+                crashes: 2,
+            }
+        );
+        assert_eq!(
+            AdversarySpec::parse("crash:obstruction:50:3:1").unwrap(),
+            AdversarySpec::Crash {
+                inner: Box::new(AdversarySpec::Obstruction {
+                    contention_factor: 50,
+                    survivors: Survivors::Count(3),
+                }),
+                crashes: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_crash_templates_are_rejected() {
+        for bad in [
+            "crash",                       // bare, no inner or count
+            "crash:",                      // empty tail
+            "crash:2",                     // no inner template
+            "crash:round-robin",           // missing count
+            "crash:round-robin:0",         // zero crashes
+            "crash:round-robin:x",         // non-numeric count
+            "crash:bogus:2",               // unknown inner
+            "crash:crash:round-robin:1:1", // nested crash
+            "crash:bursts:0:1",            // invalid inner parameters
+        ] {
+            assert!(AdversarySpec::parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn mode_and_max_states_parse_and_default() {
+        let spec = CampaignSpec::parse("mode = explore\nmax-states = 5000").unwrap();
+        assert_eq!(spec.mode, CampaignMode::Explore);
+        assert_eq!(spec.max_states, 5000);
+        assert_eq!(CampaignSpec::parse("").unwrap().mode, CampaignMode::Sample);
+        assert!(CampaignSpec::parse("mode = fuzz").is_err());
+        assert!(CampaignSpec::parse("max-states = lots").is_err());
+    }
+
+    #[test]
+    fn display_round_trips_default_and_explicit_specs() {
+        let spec = CampaignSpec::default();
+        assert_eq!(CampaignSpec::parse(&spec.to_string()).unwrap(), spec);
+
+        let explicit = CampaignSpec {
+            name: "explicit".into(),
+            params: ParamsSpec::parse_explicit("6/2/3;8/1/4").unwrap(),
+            adversaries: vec![
+                AdversarySpec::Crash {
+                    inner: Box::new(AdversarySpec::RoundRobin),
+                    crashes: 2,
+                },
+                AdversarySpec::Solo,
+            ],
+            seeds: vec![7],
+            mode: CampaignMode::Explore,
+            max_states: 10_000,
+            ..CampaignSpec::default()
+        };
+        assert_eq!(
+            CampaignSpec::parse(&explicit.to_string()).unwrap(),
+            explicit
+        );
     }
 
     #[test]

@@ -40,6 +40,17 @@ pub struct CellSummary {
     pub progress_required: u64,
     /// Obliged scenarios whose survivors failed to decide.
     pub progress_failures: u64,
+    /// Scenarios run under a crash adversary (at least one crash point).
+    pub crashed_runs: u64,
+    /// Total crash points injected across all scenarios.
+    pub total_crashes: u64,
+    /// Scenarios executed by exhaustive exploration instead of sampling.
+    pub explored: u64,
+    /// Explored scenarios whose state space was exhausted violation-free.
+    pub verified: u64,
+    /// Explored scenarios whose search found a safety violation (a real
+    /// counterexample, as opposed to a budget truncation).
+    pub explored_violations: u64,
     /// Maximum distinct base objects written by any scenario.
     pub max_locations_written: usize,
     /// The paper's register bound (identical across the cell).
@@ -65,6 +76,17 @@ pub struct Summary {
     pub bound_violations: u64,
     /// Total progress failures among obliged scenarios.
     pub progress_failures: u64,
+    /// Total crash points injected.
+    pub total_crashes: u64,
+    /// Total explore-mode records.
+    pub explored: u64,
+    /// Explore-mode records that were exhaustively verified.
+    pub verified: u64,
+    /// Explore-mode records whose search hit a budget before exhausting the
+    /// state space *without* finding a violation (violation-finding
+    /// explorations are counted under [`Summary::safety_violations`], not
+    /// here).
+    pub truncated_explorations: u64,
 }
 
 impl Summary {
@@ -101,6 +123,26 @@ impl Summary {
                     summary.progress_failures += 1;
                 }
             }
+            if record.crashes > 0 {
+                cell.crashed_runs += 1;
+                cell.total_crashes += record.crashes as u64;
+                summary.total_crashes += record.crashes as u64;
+            }
+            if record.mode == "explore" {
+                cell.explored += 1;
+                summary.explored += 1;
+                if record.verified {
+                    cell.verified += 1;
+                    summary.verified += 1;
+                } else if record.safe() {
+                    // Unverified but no violation found: the search was cut
+                    // by a budget. (A found violation is a safety violation,
+                    // not an exhaustiveness gap.)
+                    summary.truncated_explorations += 1;
+                } else {
+                    cell.explored_violations += 1;
+                }
+            }
             summary.records += 1;
         }
         summary
@@ -111,12 +153,24 @@ impl Summary {
         self.safety_violations == 0 && self.bound_violations == 0
     }
 
-    /// Renders the summary as an aligned text table.
+    /// Explore-mode records whose state space was truncated by a budget
+    /// before it could be exhausted (and that found no violation — those
+    /// count as safety violations instead). Zero for sampled campaigns;
+    /// non-zero is an exhaustiveness violation for an explore campaign.
+    pub fn exhaustiveness_gaps(&self) -> u64 {
+        self.truncated_explorations
+    }
+
+    /// Renders the summary as an aligned text table. The `coverage` column
+    /// distinguishes exhaustively verified cells (`exhaustive`: every
+    /// reachable interleaving checked) from sampled ones (`sampled`: zero
+    /// violations observed, which is strictly weaker); `TRUNCATED` flags
+    /// explorations that hit a budget before exhausting the state space.
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:>3} {:>2} {:>2} {:<24} {:>5} {:>7} {:>7} {:>9} {:>9} {:>7} {:>6} {:>6}",
+            "{:>3} {:>2} {:>2} {:<24} {:>5} {:>7} {:>7} {:>6} {:>9} {:>9} {:>7} {:>6} {:>6} {:<10}",
             "n",
             "m",
             "k",
@@ -124,11 +178,13 @@ impl Summary {
             "runs",
             "unsafe",
             "starved",
+            "crash",
             "max-used",
             "declared",
             "bound",
             "reg",
-            "steps"
+            "steps",
+            "coverage"
         );
         for (key, cell) in &self.cells {
             let algorithm = if key.instances > 1 {
@@ -136,9 +192,23 @@ impl Summary {
             } else {
                 key.algorithm.clone()
             };
+            let coverage = if cell.explored == 0 {
+                "sampled"
+            } else if cell.explored_violations > 0 {
+                // The exploration found a real counterexample — loud and
+                // distinct from a budget truncation (and from a sampled
+                // violation in a merged file, which the unsafe column shows).
+                "REFUTED"
+            } else if cell.verified < cell.explored {
+                "TRUNCATED"
+            } else if cell.explored == cell.runs {
+                "exhaustive"
+            } else {
+                "mixed"
+            };
             let _ = writeln!(
                 out,
-                "{:>3} {:>2} {:>2} {:<24} {:>5} {:>7} {:>7} {:>9} {:>9} {:>7} {:>6} {:>6}",
+                "{:>3} {:>2} {:>2} {:<24} {:>5} {:>7} {:>7} {:>6} {:>9} {:>9} {:>7} {:>6} {:>6} {:<10}",
                 key.n,
                 key.m,
                 key.k,
@@ -146,6 +216,7 @@ impl Summary {
                 cell.runs,
                 cell.safety_violations,
                 format!("{}/{}", cell.progress_failures, cell.progress_required),
+                cell.total_crashes,
                 cell.max_locations_written,
                 cell.component_bound,
                 if cell.bound_violations == 0 {
@@ -155,13 +226,28 @@ impl Summary {
                 },
                 cell.register_bound,
                 cell.max_steps_seen,
+                coverage,
             );
         }
         let _ = writeln!(
             out,
-            "total: {} records, {} safety violations, {} bound violations, {} progress failures",
-            self.records, self.safety_violations, self.bound_violations, self.progress_failures
+            "total: {} records, {} safety violations, {} bound violations, {} progress failures, \
+             {} crashes injected",
+            self.records,
+            self.safety_violations,
+            self.bound_violations,
+            self.progress_failures,
+            self.total_crashes
         );
+        if self.explored > 0 {
+            let _ = writeln!(
+                out,
+                "exploration: {} cells explored, {} exhaustively verified, {} truncated",
+                self.explored,
+                self.verified,
+                self.exhaustiveness_gaps()
+            );
+        }
         out
     }
 }
@@ -304,8 +390,10 @@ mod tests {
             algorithm: "figure3-oneshot".into(),
             instances: 1,
             adversary: "obstruction:50".into(),
+            mode: "sample".into(),
             contention_steps: 300,
             survivors: 2,
+            crashes: 0,
             seed,
             workload: "distinct".into(),
             max_steps: 100,
@@ -324,6 +412,8 @@ mod tests {
             register_bound: 6,
             component_bound: 7,
             bound_ok: true,
+            explored_states: 0,
+            verified: false,
         }
     }
 
@@ -372,6 +462,98 @@ mod tests {
         let summary = Summary::of(&[record(0)]);
         assert!(summary.clean());
         assert!(summary.render().contains("0 safety violations"));
+        // Pure sampling: no exploration line, cells read "sampled".
+        assert!(summary.render().contains("sampled"));
+        assert!(!summary.render().contains("exploration:"));
+    }
+
+    #[test]
+    fn crash_accounting_aggregates_per_cell() {
+        let mut crashed = record(1);
+        crashed.adversary = "crash:obstruction:50:2".into();
+        crashed.crashes = 2;
+        let mut crashed_more = record(2);
+        crashed_more.adversary = "crash:obstruction:50:2".into();
+        crashed_more.crashes = 1;
+        let summary = Summary::of(&[record(0), crashed, crashed_more]);
+        assert_eq!(summary.total_crashes, 3);
+        let cell = summary.cells.values().next().unwrap();
+        assert_eq!(cell.crashed_runs, 2);
+        assert_eq!(cell.total_crashes, 3);
+        assert!(summary.render().contains("3 crashes injected"));
+    }
+
+    #[test]
+    fn exhaustively_verified_cells_are_distinguished_from_sampled() {
+        let mut explored = record(0);
+        explored.adversary = "exhaustive".into();
+        explored.mode = "explore".into();
+        explored.explored_states = 999;
+        explored.verified = true;
+        let mut sampled = record(0);
+        sampled.n = 8; // a different cell
+        let summary = Summary::of(&[explored, sampled]);
+        assert_eq!(summary.explored, 1);
+        assert_eq!(summary.verified, 1);
+        assert_eq!(summary.exhaustiveness_gaps(), 0);
+        let rendered = summary.render();
+        assert!(rendered.contains("exhaustive"), "{rendered}");
+        assert!(rendered.contains("sampled"), "{rendered}");
+        assert!(rendered.contains("exploration: 1 cells explored, 1 exhaustively verified"));
+    }
+
+    #[test]
+    fn violation_finding_explorations_are_refuted_not_truncated() {
+        let mut refuted = record(0);
+        refuted.adversary = "exhaustive".into();
+        refuted.mode = "explore".into();
+        refuted.stop = "violation-found".into();
+        refuted.agreement_ok = false;
+        refuted.explored_states = 500;
+        refuted.verified = false;
+        let summary = Summary::of(&[refuted]);
+        // A found counterexample is a safety violation, not a budget gap.
+        assert_eq!(summary.safety_violations, 1);
+        assert_eq!(summary.exhaustiveness_gaps(), 0);
+        assert!(!summary.clean());
+        let rendered = summary.render();
+        assert!(rendered.contains("REFUTED"), "{rendered}");
+        assert!(!rendered.contains("TRUNCATED"), "{rendered}");
+    }
+
+    #[test]
+    fn sampled_violations_in_merged_cells_do_not_read_as_refuted() {
+        // Merge workflow: a sampled unsafe record and a verified exploration
+        // of the same cell in one file. The violation must show in the
+        // unsafe column, not be attributed to the explorer.
+        let mut unsafe_sampled = record(0);
+        unsafe_sampled.agreement_ok = false;
+        let mut explored = record(1);
+        explored.adversary = "exhaustive".into();
+        explored.mode = "explore".into();
+        explored.explored_states = 100;
+        explored.verified = true;
+        let summary = Summary::of(&[unsafe_sampled, explored]);
+        assert_eq!(summary.safety_violations, 1);
+        assert_eq!(summary.exhaustiveness_gaps(), 0);
+        let rendered = summary.render();
+        assert!(!rendered.contains("REFUTED"), "{rendered}");
+        assert!(rendered.contains("mixed"), "{rendered}");
+    }
+
+    #[test]
+    fn truncated_explorations_show_as_gaps() {
+        let mut truncated = record(0);
+        truncated.adversary = "exhaustive".into();
+        truncated.mode = "explore".into();
+        truncated.explored_states = 10;
+        truncated.verified = false;
+        let summary = Summary::of(&[truncated]);
+        assert_eq!(summary.exhaustiveness_gaps(), 1);
+        assert!(summary.render().contains("TRUNCATED"));
+        // A truncated exploration without a violation is still "clean" —
+        // the gap is reported separately so callers can gate on it.
+        assert!(summary.clean());
     }
 
     #[test]

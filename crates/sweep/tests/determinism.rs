@@ -26,6 +26,7 @@ fn campaign() -> CampaignSpec {
         workload: WorkloadSpec::Random { universe: 6 },
         max_steps: 300_000,
         campaign_seed: 42,
+        ..CampaignSpec::default()
     }
 }
 

@@ -1,0 +1,199 @@
+//! Property tests for the spec syntax: every value the spec types can hold
+//! renders to text that parses back to the identical value, for adversary
+//! labels (`AdversarySpec::label` / `parse`) and whole campaign files
+//! (`CampaignSpec`'s `Display` / `parse`) — including the `crash:` template
+//! and `mode = explore` forms — plus rejection tests for malformed `crash:`
+//! strings.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sa_model::Params;
+use sa_sweep::{AdversarySpec, CampaignMode, CampaignSpec, ParamsSpec, Survivors, WorkloadSpec};
+use set_agreement::Algorithm;
+
+fn base_adversary() -> BoxedStrategy<AdversarySpec> {
+    prop_oneof![
+        Just(AdversarySpec::RoundRobin),
+        Just(AdversarySpec::Random),
+        Just(AdversarySpec::Solo),
+        (1u64..100).prop_map(|burst_len| AdversarySpec::Bursts { burst_len }),
+        (0u64..200).prop_map(|contention_factor| AdversarySpec::Obstruction {
+            contention_factor,
+            survivors: Survivors::M,
+        }),
+        ((0u64..200), (1usize..10)).prop_map(|(contention_factor, count)| {
+            AdversarySpec::Obstruction {
+                contention_factor,
+                survivors: Survivors::Count(count),
+            }
+        }),
+    ]
+    .boxed()
+}
+
+fn adversary() -> BoxedStrategy<AdversarySpec> {
+    prop_oneof![
+        base_adversary(),
+        (base_adversary(), 1usize..8).prop_map(|(inner, crashes)| AdversarySpec::Crash {
+            inner: Box::new(inner),
+            crashes,
+        }),
+    ]
+    .boxed()
+}
+
+fn algorithm() -> BoxedStrategy<Algorithm> {
+    (1usize..4)
+        .prop_flat_map(|instances| {
+            prop_oneof![
+                Just(Algorithm::OneShot),
+                Just(Algorithm::Repeated(instances)),
+                Just(Algorithm::AnonymousOneShot),
+                Just(Algorithm::AnonymousRepeated(instances)),
+                Just(Algorithm::WideBaseline),
+                Just(Algorithm::FullInformation),
+            ]
+        })
+        .boxed()
+}
+
+fn valid_params() -> BoxedStrategy<Params> {
+    // 1 <= m <= k < n, kept small.
+    (1usize..4)
+        .prop_flat_map(|m| (Just(m), m..5))
+        .prop_flat_map(|(m, k)| (Just(m), Just(k), k + 1..k + 6))
+        .prop_map(|(m, k, n)| Params::new(n, m, k).expect("constructed to be valid"))
+        .boxed()
+}
+
+fn params_spec() -> BoxedStrategy<ParamsSpec> {
+    prop_oneof![
+        (
+            vec(3usize..10, 1..4),
+            vec(1usize..4, 1..3),
+            vec(1usize..5, 1..3),
+        )
+            .prop_map(|(n, m, k)| ParamsSpec::Grid { n, m, k }),
+        vec(valid_params(), 1..4).prop_map(ParamsSpec::Explicit),
+    ]
+    .boxed()
+}
+
+fn seeds() -> BoxedStrategy<Vec<u64>> {
+    prop_oneof![
+        (1u64..8).prop_map(|count| (0..count).collect()),
+        (0u64..1000).prop_map(|seed| vec![seed]),
+        vec(0u64..1000, 2..5),
+    ]
+    .boxed()
+}
+
+fn workload() -> BoxedStrategy<WorkloadSpec> {
+    prop_oneof![
+        Just(WorkloadSpec::Distinct),
+        (0u64..100).prop_map(WorkloadSpec::Uniform),
+        (1u64..100).prop_map(|universe| WorkloadSpec::Random { universe }),
+    ]
+    .boxed()
+}
+
+fn campaign() -> BoxedStrategy<CampaignSpec> {
+    (
+        params_spec(),
+        vec(algorithm(), 1..4),
+        vec(adversary(), 1..4),
+        seeds(),
+        workload(),
+    )
+        .prop_map(
+            |(params, algorithms, adversaries, seeds, workload)| CampaignSpec {
+                name: "prop".into(),
+                params,
+                algorithms,
+                adversaries,
+                seeds,
+                workload,
+                ..CampaignSpec::default()
+            },
+        )
+        .prop_flat_map(|spec| {
+            (
+                Just(spec),
+                1u64..5_000_000,
+                any::<u32>(),
+                prop_oneof![Just(CampaignMode::Sample), Just(CampaignMode::Explore)],
+                1u64..5_000_000,
+            )
+        })
+        .prop_map(|(mut spec, max_steps, seed, mode, max_states)| {
+            spec.max_steps = max_steps;
+            spec.campaign_seed = seed as u64;
+            spec.mode = mode;
+            spec.max_states = max_states;
+            spec
+        })
+        .prop_flat_map(|spec| (Just(spec), vec(0usize..36, 1..12)))
+        .prop_map(|(mut spec, name)| {
+            spec.name = name
+                .into_iter()
+                .map(|c| char::from_digit(c as u32, 36).expect("digit below radix"))
+                .collect();
+            spec
+        })
+        .boxed()
+}
+
+proptest! {
+    #[test]
+    fn adversary_labels_round_trip(spec in adversary()) {
+        let label = spec.label();
+        prop_assert_eq!(
+            AdversarySpec::parse(&label).expect("labels must parse"),
+            spec,
+            "label {} does not round-trip",
+            label
+        );
+    }
+
+    #[test]
+    fn campaign_specs_round_trip_through_display(spec in campaign()) {
+        let text = spec.to_string();
+        let parsed = CampaignSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("displayed spec must parse: {e}\n{text}"));
+        prop_assert_eq!(parsed, spec, "spec file does not round-trip:\n{}", text);
+    }
+
+    #[test]
+    fn crash_counts_of_zero_never_parse(inner in base_adversary()) {
+        let text = format!("crash:{}:0", inner.label());
+        prop_assert!(AdversarySpec::parse(&text).is_err(), "{} parsed", text);
+    }
+
+    #[test]
+    fn nested_crash_templates_never_parse(spec in adversary(), crashes in 1usize..8) {
+        let text = format!("crash:crash:{}:{}", spec.label(), crashes);
+        prop_assert!(AdversarySpec::parse(&text).is_err(), "{} parsed", text);
+    }
+}
+
+#[test]
+fn malformed_crash_strings_are_rejected() {
+    for bad in [
+        "crash",
+        "crash:",
+        "crash::",
+        "crash:1",
+        "crash:round-robin",
+        "crash:round-robin:",
+        "crash:round-robin:-1",
+        "crash:round-robin:two",
+        "crash:obstruction:50:2:1:1",
+        "crash:unknown:3",
+        "crashes:round-robin:1",
+    ] {
+        assert!(
+            AdversarySpec::parse(bad).is_err(),
+            "malformed crash string {bad:?} parsed"
+        );
+    }
+}

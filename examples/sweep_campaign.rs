@@ -33,6 +33,7 @@ fn main() {
         workload: WorkloadSpec::Distinct,
         max_steps: 2_000_000,
         campaign_seed: 1,
+        ..CampaignSpec::default()
     };
 
     let (records, outcome) = run_campaign_collect(&spec, EngineConfig::default());

@@ -52,7 +52,7 @@ pub use sa_runtime as runtime;
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use crate::{Adversary, Algorithm, Scenario, ScenarioReport};
+    pub use crate::{Adversary, Algorithm, ExploreReport, Scenario, ScenarioReport};
     pub use sa_core::{
         AnonymousSetAgreement, FullInfoSetAgreement, OneShotSetAgreement, RepeatedSetAgreement,
         SwmrEmulated, WideBaseline,
@@ -72,9 +72,11 @@ use sa_core::{
 use sa_memory::MemoryMetrics;
 use sa_model::{Automaton, DecisionSet, Params, ProcessId};
 use sa_runtime::{
-    BurstScheduler, Executor, InputLog, ObstructionScheduler, RandomScheduler, RoundRobin,
-    RunConfig, SafetyReport, Scheduler, SoloScheduler, StopReason, Workload,
+    explore, BurstScheduler, CrashScheduler, Executor, ExploreConfig, ExploredViolation, InputLog,
+    ObstructionScheduler, RandomScheduler, RoundRobin, RunConfig, SafetyReport, Scheduler,
+    SoloScheduler, StopReason, Workload,
 };
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -176,6 +178,30 @@ impl Algorithm {
         }
     }
 
+    /// Converts a measured footprint (distinct plain registers and snapshot
+    /// components written) into the paper's *register* accounting.
+    ///
+    /// For the non-anonymous snapshot-backed algorithms (Figures 3 and 4) a
+    /// snapshot object of any width can be implemented from `n` single-writer
+    /// registers, so components are charged `min(components, n)` — this is
+    /// exactly how the Figure 1 upper bound `min(n + 2m − k, n)` is obtained.
+    /// Anonymous processes cannot own single-writer registers, and the
+    /// baselines' bounds are stated without the appeal, so everything else is
+    /// charged at face value.
+    pub fn register_equivalent(
+        &self,
+        params: Params,
+        registers_written: usize,
+        components_written: usize,
+    ) -> usize {
+        match self {
+            Algorithm::OneShot | Algorithm::Repeated(_) => {
+                registers_written + components_written.min(params.n())
+            }
+            _ => registers_written + components_written,
+        }
+    }
+
     /// The number of base objects (snapshot components plus plain registers)
     /// the implementation actually declares — the quantity
     /// [`ScenarioReport::locations_written`] is bounded by. It differs from
@@ -228,6 +254,16 @@ pub enum Adversary {
         /// RNG seed.
         seed: u64,
     },
+    /// A crash adversary: schedules like `inner`, but each listed process is
+    /// crashed (never scheduled again) once it has taken its configured
+    /// number of steps. A crash point of 0 means the process never runs.
+    Crash {
+        /// The scheduler the crash pattern is layered over.
+        inner: Box<Adversary>,
+        /// `(process, steps before crash)` pairs; processes absent from the
+        /// list never crash.
+        crash_after: Vec<(usize, u64)>,
+    },
 }
 
 impl Adversary {
@@ -239,6 +275,7 @@ impl Adversary {
             Adversary::Obstruction { .. } => "obstruction",
             Adversary::Solo { .. } => "solo",
             Adversary::Bursts { .. } => "bursts",
+            Adversary::Crash { .. } => "crash",
         }
     }
 
@@ -263,6 +300,13 @@ impl Adversary {
             Adversary::Bursts { burst_len, seed } => {
                 Box::new(BurstScheduler::new(*burst_len, *seed))
             }
+            Adversary::Crash { inner, crash_after } => {
+                let crash_after: BTreeMap<ProcessId, u64> = crash_after
+                    .iter()
+                    .map(|(p, steps)| (ProcessId(p % n), *steps))
+                    .collect();
+                Box::new(CrashScheduler::new(inner.build(n), crash_after))
+            }
         }
     }
 
@@ -274,6 +318,17 @@ impl Adversary {
                 (0..(*survivors).min(n)).map(ProcessId).collect()
             }
             Adversary::Solo { process } => vec![ProcessId(*process % n)],
+            // A crashed process stops taking steps eventually, so the
+            // progress condition never obliges it — only the inner
+            // adversary's survivors that never crash are on the hook.
+            Adversary::Crash { inner, crash_after } => {
+                let crashed: BTreeSet<usize> = crash_after.iter().map(|(p, _)| p % n).collect();
+                inner
+                    .obligated(n)
+                    .into_iter()
+                    .filter(|p| !crashed.contains(&p.index()))
+                    .collect()
+            }
             _ => Vec::new(),
         }
     }
@@ -308,6 +363,54 @@ impl ScenarioReport {
     /// The number of distinct values decided in `instance`.
     pub fn distinct_outputs(&self, instance: u64) -> usize {
         self.decisions.distinct_outputs(instance)
+    }
+}
+
+/// The result of exhaustively exploring a [`Scenario`]'s interleavings with
+/// [`Scenario::explore`].
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// The parameters the scenario ran with.
+    pub params: Params,
+    /// The algorithm explored.
+    pub algorithm: Algorithm,
+    /// Reachable states visited.
+    pub states_visited: u64,
+    /// Maximal paths examined.
+    pub paths: u64,
+    /// `true` if the search hit a depth or state budget before exhausting
+    /// the reachable state space.
+    pub truncated: bool,
+    /// The first safety violation found, with its witnessing schedule.
+    pub violation: Option<ExploredViolation>,
+    /// `false` if the violation (if any) was a validity violation.
+    pub validity_ok: bool,
+    /// `false` if the violation (if any) was a k-agreement violation.
+    pub agreement_ok: bool,
+    /// Maximum distinct base objects written in any reachable state.
+    pub max_locations_written: usize,
+    /// Maximum distinct plain registers written in any reachable state.
+    pub max_registers_written: usize,
+    /// Maximum distinct snapshot components written in any reachable state
+    /// (tracked per state, not derived from the other two maxima — they may
+    /// be attained in different states).
+    pub max_components_written: usize,
+}
+
+impl ExploreReport {
+    /// `true` if the safety properties hold in **every** reachable
+    /// configuration within the bounds — no violation found and the state
+    /// space was exhausted, not truncated.
+    pub fn verified(&self) -> bool {
+        self.violation.is_none() && !self.truncated
+    }
+
+    /// `true` if no violation was found (weaker than [`verified`]: the
+    /// search may have been truncated).
+    ///
+    /// [`verified`]: ExploreReport::verified
+    pub fn safe(&self) -> bool {
+        self.validity_ok && self.agreement_ok
     }
 }
 
@@ -378,17 +481,37 @@ impl Scenario {
 
     /// Runs the scenario and reports decisions, safety and space usage.
     pub fn run(&self) -> ScenarioReport {
+        self.with_automata(RunDriver)
+    }
+
+    /// Exhaustively explores **every** interleaving of the scenario's
+    /// processes up to the configured depth and state budgets, checking
+    /// validity and k-agreement in every reachable configuration.
+    ///
+    /// The adversary is deliberately ignored: exploration quantifies over
+    /// all schedules, which subsumes any single adversary. Feasible only
+    /// for tiny cells (a handful of processes, a modest depth bound).
+    pub fn explore(&self, config: ExploreConfig) -> ExploreReport {
+        self.with_automata(ExploreDriver { config })
+    }
+
+    /// Builds the automata for the configured algorithm and hands them to
+    /// `driver` — the single place where the algorithm dispatch happens, so
+    /// sampling runs and exhaustive exploration construct identical systems.
+    fn with_automata<D: AutomataDriver>(&self, driver: D) -> D::Output {
         let params = self.params;
         let workload = self.effective_workload();
         let instances = self.algorithm.instances();
         match self.algorithm {
-            Algorithm::OneShot => self.drive(
+            Algorithm::OneShot => driver.drive(
+                self,
                 (0..params.n())
                     .map(|p| OneShotSetAgreement::new(params, ProcessId(p), workload.input(p, 1)))
                     .collect(),
                 &workload,
             ),
-            Algorithm::Repeated(_) => self.drive(
+            Algorithm::Repeated(_) => driver.drive(
+                self,
                 (0..params.n())
                     .map(|p| {
                         let inputs = (1..=instances as u64)
@@ -400,13 +523,15 @@ impl Scenario {
                     .collect(),
                 &workload,
             ),
-            Algorithm::AnonymousOneShot => self.drive(
+            Algorithm::AnonymousOneShot => driver.drive(
+                self,
                 (0..params.n())
                     .map(|p| AnonymousSetAgreement::one_shot(params, workload.input(p, 1)))
                     .collect(),
                 &workload,
             ),
-            Algorithm::AnonymousRepeated(_) => self.drive(
+            Algorithm::AnonymousRepeated(_) => driver.drive(
+                self,
                 (0..params.n())
                     .map(|p| {
                         let inputs = (1..=instances as u64)
@@ -418,7 +543,8 @@ impl Scenario {
                     .collect(),
                 &workload,
             ),
-            Algorithm::WideBaseline => self.drive(
+            Algorithm::WideBaseline => driver.drive(
+                self,
                 (0..params.n())
                     .map(|p| {
                         WideBaseline::new(params, ProcessId(p), workload.input(p, 1))
@@ -427,7 +553,8 @@ impl Scenario {
                     .collect(),
                 &workload,
             ),
-            Algorithm::FullInformation => self.drive(
+            Algorithm::FullInformation => driver.drive(
+                self,
                 (0..params.n())
                     .map(|p| {
                         SwmrEmulated::<OneShotSetAgreement>::one_shot(
@@ -445,7 +572,7 @@ impl Scenario {
     fn drive<A>(&self, automata: Vec<A>, workload: &Workload) -> ScenarioReport
     where
         A: Automaton + Clone + Debug + Hash,
-        A::Value: Clone + Eq + Debug,
+        A::Value: Clone + Eq + Debug + Hash,
     {
         let mut executor = Executor::new(automata);
         let mut scheduler = self.adversary.build(self.params.n());
@@ -470,6 +597,110 @@ impl Scenario {
             safety,
             survivors_decided,
             metrics: report.metrics,
+        }
+    }
+}
+
+/// Rank-2 dispatch over the algorithm's concrete automaton type: the
+/// [`Scenario::with_automata`] match instantiates `drive` once per
+/// algorithm, so every consumer of a built system (sampling runs,
+/// exhaustive exploration) is written once, generically.
+trait AutomataDriver {
+    /// What the driver produces.
+    type Output;
+
+    /// Consumes the constructed automata.
+    fn drive<A>(self, scenario: &Scenario, automata: Vec<A>, workload: &Workload) -> Self::Output
+    where
+        A: Automaton + Clone + Debug + Hash,
+        A::Value: Clone + Eq + Debug + Hash;
+}
+
+/// Drives one sampled execution under the scenario's adversary.
+struct RunDriver;
+
+impl AutomataDriver for RunDriver {
+    type Output = ScenarioReport;
+
+    fn drive<A>(self, scenario: &Scenario, automata: Vec<A>, workload: &Workload) -> ScenarioReport
+    where
+        A: Automaton + Clone + Debug + Hash,
+        A::Value: Clone + Eq + Debug + Hash,
+    {
+        scenario.drive(automata, workload)
+    }
+}
+
+/// Exhaustively explores every interleaving, checking validity and
+/// k-agreement in each reachable configuration.
+struct ExploreDriver {
+    config: ExploreConfig,
+}
+
+impl AutomataDriver for ExploreDriver {
+    type Output = ExploreReport;
+
+    fn drive<A>(self, scenario: &Scenario, automata: Vec<A>, workload: &Workload) -> ExploreReport
+    where
+        A: Automaton + Clone + Debug + Hash,
+        A::Value: Clone + Eq + Debug + Hash,
+    {
+        let executor = Executor::new(automata);
+        let k = scenario.params.k();
+        // Validity: anything decided in instance t must have been proposed
+        // by some process in instance t.
+        let mut allowed: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+        for p in 0..workload.processes() {
+            for (i, value) in workload.sequence(p).iter().enumerate() {
+                allowed.entry(i as u64 + 1).or_default().insert(*value);
+            }
+        }
+        let mut max_locations_written = 0usize;
+        let mut max_registers_written = 0usize;
+        let mut max_components_written = 0usize;
+        let mut violated_validity = false;
+        let mut violated_agreement = false;
+        let result = explore(&executor, self.config, |exec| {
+            let metrics = exec.memory().metrics();
+            let locations = metrics.distinct_locations_written();
+            let registers = metrics.registers_written();
+            max_locations_written = max_locations_written.max(locations);
+            max_registers_written = max_registers_written.max(registers);
+            max_components_written = max_components_written.max(locations - registers);
+            for instance in exec.decisions().instances() {
+                let outputs = exec.decisions().outputs(instance);
+                if let Some(bad) = outputs
+                    .iter()
+                    .find(|v| !allowed.get(&instance).is_some_and(|a| a.contains(v)))
+                {
+                    violated_validity = true;
+                    return Some(format!(
+                        "instance {instance} decided {bad}, which nobody proposed"
+                    ));
+                }
+                if outputs.len() > k {
+                    violated_agreement = true;
+                    return Some(format!(
+                        "instance {instance} has {} distinct outputs {outputs:?}, \
+                         exceeding k = {k}",
+                        outputs.len()
+                    ));
+                }
+            }
+            None
+        });
+        ExploreReport {
+            params: scenario.params,
+            algorithm: scenario.algorithm,
+            states_visited: result.states_visited,
+            paths: result.paths,
+            truncated: result.truncated,
+            violation: result.violation,
+            validity_ok: !violated_validity,
+            agreement_ok: !violated_agreement,
+            max_locations_written,
+            max_registers_written,
+            max_components_written,
         }
     }
 }
@@ -629,6 +860,94 @@ mod tests {
             assert!(report.safety.is_safe(), "{algorithm:?} violated safety");
             assert!(report.survivors_decided, "{algorithm:?} survivor starved");
         }
+    }
+
+    #[test]
+    fn crash_adversary_preserves_safety_and_drops_obligations() {
+        let adversary = Adversary::Crash {
+            inner: Box::new(Adversary::Obstruction {
+                contention_steps: 60,
+                survivors: 2,
+                seed: 5,
+            }),
+            crash_after: vec![(1, 3), (4, 0)],
+        };
+        // Survivor p1 crashes: only p0 stays obligated.
+        assert_eq!(adversary.obligated(6), vec![ProcessId(0)]);
+        assert_eq!(adversary.label(), "crash");
+        let report = Scenario::new(params())
+            .algorithm(Algorithm::OneShot)
+            .adversary(adversary)
+            .run();
+        assert!(report.safety.is_safe());
+        assert!(report.survivors_decided, "the non-crashed survivor starved");
+    }
+
+    #[test]
+    fn crashed_processes_stop_stepping() {
+        let adversary = Adversary::Crash {
+            inner: Box::new(Adversary::RoundRobin),
+            crash_after: vec![(0, 0), (2, 2)],
+        };
+        let mut executor = Executor::new(
+            (0..4)
+                .map(|p| OneShotSetAgreement::new(params4(), ProcessId(p), p as u64))
+                .collect::<Vec<_>>(),
+        );
+        let mut scheduler = adversary.build(4);
+        let report = executor.run(&mut *scheduler, RunConfig::with_max_steps(100_000));
+        assert_eq!(report.steps_per_process[0], 0);
+        assert!(report.steps_per_process[2] <= 2);
+        assert!(report.halted[1] && report.halted[3]);
+    }
+
+    fn params4() -> Params {
+        Params::new(4, 1, 2).unwrap()
+    }
+
+    #[test]
+    fn explore_verifies_tiny_oneshot_cell() {
+        // (2, 1, 1) one-shot has ~1k reachable states: the explorer must
+        // exhaust them (the depth bound has to be generous — executions are
+        // only obstruction-free, so single paths can be much longer than
+        // the state count suggests; dedup is what closes the cycles).
+        let cell = Params::new(2, 1, 1).unwrap();
+        let report = Scenario::new(cell)
+            .algorithm(Algorithm::OneShot)
+            .explore(ExploreConfig {
+                max_depth: 100_000,
+                max_states: 1_000_000,
+                dedup: true,
+            });
+        assert!(
+            report.verified(),
+            "exploration truncated or found a violation: states={} truncated={} violation={:?}",
+            report.states_visited,
+            report.truncated,
+            report.violation
+        );
+        assert!(report.safe());
+        assert!(report.states_visited > 0 && report.paths > 0);
+        assert!(
+            report.max_locations_written <= Algorithm::OneShot.component_bound(cell),
+            "some interleaving wrote {} locations",
+            report.max_locations_written
+        );
+    }
+
+    #[test]
+    fn explore_reports_truncation_at_tiny_budgets() {
+        let report = Scenario::new(Params::new(3, 1, 2).unwrap())
+            .algorithm(Algorithm::OneShot)
+            .explore(ExploreConfig {
+                max_depth: 2,
+                max_states: 10,
+                dedup: true,
+            });
+        assert!(report.truncated);
+        assert!(!report.verified());
+        // No violation within the explored prefix, so it is still "safe".
+        assert!(report.safe());
     }
 
     #[test]
