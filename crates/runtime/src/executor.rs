@@ -10,11 +10,55 @@
 //! which is exactly what the Theorem 2 covering construction and the bounded
 //! explorer need.
 
+use crate::explore::ExploreConfig;
 use crate::schedule::{Scheduler, SchedulerView};
+use crate::threaded::ThreadedConfig;
 use crate::trace::{Trace, TraceEvent};
 use sa_memory::{MemoryMetrics, SimMemory};
 use sa_model::{Automaton, DecisionSet, MemoryLayout, Op, ProcessId, StepOutcome};
 use std::fmt::Debug;
+
+/// Which execution backend drives a system of automata — the third axis of
+/// an execution besides the algorithm and the adversary.
+///
+/// The same [`Automaton`](sa_model::Automaton) state machines can be driven
+/// three ways, and the paper's safety properties must hold under all of
+/// them:
+///
+/// * [`Backend::Scheduled`] — the deterministic simulator: one atomic step
+///   at a time under an adversarial [`Scheduler`], fully reproducible.
+/// * [`Backend::Threaded`] — one OS thread per process against the
+///   lock-based shared memory: the hardware and the OS scheduler decide the
+///   linearization order, so this measures *real* contention and is
+///   reproducible only up to interleaving.
+/// * [`Backend::Explore`] — the bounded exhaustive explorer: **every**
+///   interleaving of a (tiny) configuration is checked, which subsumes any
+///   single adversary.
+///
+/// Crash failures are *not* a backend: they are an adversary property
+/// (see [`crate::CrashScheduler`]) layered over [`Backend::Scheduled`],
+/// orthogonal to this axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Deterministic simulation under an adversarial scheduler.
+    #[default]
+    Scheduled,
+    /// One OS thread per process against real shared memory.
+    Threaded(ThreadedConfig),
+    /// Bounded exhaustive exploration of every interleaving.
+    Explore(ExploreConfig),
+}
+
+impl Backend {
+    /// A short identifier used in records and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::Scheduled => "scheduled",
+            Backend::Threaded(_) => "threaded",
+            Backend::Explore(_) => "explore",
+        }
+    }
+}
 
 /// Why an execution stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -22,7 +22,7 @@ use std::fmt::Debug;
 use std::hash::{Hash, Hasher};
 
 /// Configuration of a bounded exploration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExploreConfig {
     /// Maximum number of steps along any single execution path.
     pub max_depth: u64,
@@ -75,6 +75,10 @@ pub struct Exploration {
     /// `true` if the search stopped because a limit was hit rather than
     /// because the state space was exhausted.
     pub truncated: bool,
+    /// The deepest schedule prefix (in steps) the search examined. With
+    /// dedup on this is the longest *non-revisiting* path, which can be far
+    /// below `max_depth` even when the state space is exhausted.
+    pub max_depth_reached: u64,
 }
 
 impl Exploration {
@@ -119,6 +123,7 @@ where
         paths: 0,
         violation: None,
         truncated: false,
+        max_depth_reached: 0,
     };
     // Depth-first search over (executor state, schedule prefix).
     let mut stack: Vec<(Executor<A>, Vec<ProcessId>)> = vec![(initial.clone(), Vec::new())];
@@ -127,6 +132,7 @@ where
     }
     while let Some((state, schedule)) = stack.pop() {
         result.states_visited += 1;
+        result.max_depth_reached = result.max_depth_reached.max(schedule.len() as u64);
         if result.states_visited >= config.max_states {
             result.truncated = true;
             break;
@@ -146,6 +152,7 @@ where
             let mut next_schedule = schedule.clone();
             next_schedule.push(process);
             if let Some(description) = predicate(&next) {
+                result.max_depth_reached = result.max_depth_reached.max(next_schedule.len() as u64);
                 result.violation = Some(ExploredViolation {
                     schedule: next_schedule,
                     description,
@@ -231,6 +238,17 @@ mod tests {
         let result = explore(&exec, ExploreConfig::with_depth(1), agreement_predicate(2));
         assert!(result.truncated);
         assert!(!result.verified());
+        assert_eq!(result.max_depth_reached, 1, "depth bound caps the search");
+    }
+
+    #[test]
+    fn max_depth_reached_spans_the_full_run_when_exhausted() {
+        // Two ToyWriters halt after 2 steps each: the deepest maximal path
+        // is exactly 4 steps, and exhausting the space must report it.
+        let exec = Executor::new(vec![ToyWriter::new(0, 1), ToyWriter::new(1, 2)]);
+        let result = explore(&exec, ExploreConfig::default(), agreement_predicate(2));
+        assert!(result.verified());
+        assert_eq!(result.max_depth_reached, 4);
     }
 
     #[test]

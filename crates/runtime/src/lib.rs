@@ -49,7 +49,7 @@ pub mod toy;
 mod trace;
 mod workload;
 
-pub use executor::{Executor, RunConfig, RunReport, StopReason};
+pub use executor::{Backend, Executor, RunConfig, RunReport, StopReason};
 pub use explore::{agreement_predicate, explore, Exploration, ExploreConfig, ExploredViolation};
 pub use properties::{
     check_k_agreement, check_obstruction_termination, check_validity, AgreementViolation, InputLog,

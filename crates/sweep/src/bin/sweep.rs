@@ -3,10 +3,12 @@
 //! ```text
 //! sweep run [--spec FILE] [--name NAME] [--n 4..8] [--m 1,2] [--k 2,3]
 //!           [--params N/M/K;...] [--algorithms all|LIST] [--adversaries LIST]
-//!           [--seeds N|LIST] [--campaign-seed S] [--workload SPEC]
-//!           [--max-steps N] [--threads N] [--out FILE] [--progress N]
+//!           [--backend scheduled|threaded[,BOTH]] [--seeds N|LIST]
+//!           [--campaign-seed S] [--workload SPEC] [--max-steps N]
+//!           [--shard I/N] [--threads N] [--out FILE] [--progress N]
 //! sweep summarize FILE
 //! sweep diff OLD NEW
+//! sweep merge [--out FILE] SHARD...
 //! ```
 //!
 //! `run` writes JSONL to `--out` (default stdout) and prints the outcome to
@@ -14,11 +16,12 @@
 //! violations, or if an exhaustive exploration was truncated before its
 //! state space was exhausted — the CI gate. `diff` exits non-zero on
 //! regressions (a scenario newly unsafe, newly over its bound, or newly
-//! starving).
+//! starving). `merge` reassembles shard files produced with `--shard` into
+//! the stream an unsharded run would have written.
 
 use sa_sweep::{
-    diff, parse_jsonl, run_campaign, AdversarySpec, CampaignMode, CampaignSpec, EngineConfig,
-    ParamsSpec, Summary, WorkloadSpec,
+    diff, merge_shards, parse_jsonl, run_campaign, AdversarySpec, BackendSpec, CampaignMode,
+    CampaignSpec, EngineConfig, ParamsSpec, Summary, WorkloadSpec,
 };
 use std::process::ExitCode;
 
@@ -27,6 +30,8 @@ usage:
   sweep run [options]         expand and execute a campaign, emit JSONL
   sweep summarize FILE        aggregate a result file; exit 1 on violations
   sweep diff OLD NEW          compare result files; exit 1 on regressions
+  sweep merge [--out FILE] SHARD...
+                              merge sharded result files by scenario index
 
 run options:
   --spec FILE          load a `key = value` campaign spec, then apply flags
@@ -41,15 +46,23 @@ run options:
                        of contention; survivors default to the cell's m),
                        or `crash:<inner>:<F>` wrapping any of the former
                        with up to F seed-derived crash failures per run
+  --backend LIST       `scheduled` (default), `threaded`, or both to make
+                       the execution backend a grid axis. `threaded` runs
+                       one OS thread per process on real shared memory; the
+                       adversary axis collapses (the hardware schedules)
+                       and records carry wall-clock time and steps/s
   --mode MODE          `sample` (default) or `explore`: exhaustively model-
                        check every interleaving of each (cell, algorithm)
                        pair instead of sampling schedules (tiny cells only;
-                       the adversary and seed axes are ignored)
+                       the backend, adversary and seed axes are ignored)
   --max-states N       state budget per exploration (default 2000000)
   --seeds N|LIST       plain integer = that many seeds (0..N); or `1,5,9`
   --campaign-seed S    root seed mixed into every derived seed (default 0)
   --workload SPEC      `distinct` (default), `uniform:V`, `random:UNIVERSE`
-  --max-steps N        per-scenario step budget (default 2000000)
+  --max-steps N        per-scenario step budget (default 2000000); the
+                       threaded backend splits it across the n threads
+  --shard I/N          run only scenarios with index = I mod N (0 <= I < N);
+                       indices are preserved, `sweep merge` reassembles
   --threads N          worker threads (default: all CPUs)
   --out FILE           write JSONL here instead of stdout
   --progress N         progress line to stderr every N scenarios
@@ -66,6 +79,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("summarize") => cmd_summarize(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -128,6 +142,27 @@ fn cmd_run(args: &[String]) -> ExitCode {
                         .map(|part| AdversarySpec::parse(part.trim()))
                         .collect::<Result<_, _>>()
                         .map_err(|e| e.to_string())?;
+                }
+                "--backend" => {
+                    spec.backends = value
+                        .split(',')
+                        .map(|part| BackendSpec::parse(part.trim()))
+                        .collect::<Result<_, _>>()
+                        .map_err(|e| e.to_string())?;
+                    if spec.backends.is_empty() {
+                        return Err("no backends".into());
+                    }
+                }
+                "--shard" => {
+                    let parsed = value.split_once('/').and_then(|(i, n)| {
+                        Some((i.trim().parse::<u64>().ok()?, n.trim().parse::<u64>().ok()?))
+                    });
+                    match parsed {
+                        Some((index, count)) if count > 0 && index < count => {
+                            config.shard = Some((index, count));
+                        }
+                        _ => return Err(format!("bad shard {value:?} (want I/N with 0 <= I < N)")),
+                    }
                 }
                 "--seeds" => {
                     spec.seeds = sa_sweep::parse_seeds(value).map_err(|e| e.to_string())?;
@@ -223,6 +258,78 @@ fn cmd_run(args: &[String]) -> ExitCode {
                     outcome.unverified_explorations
                 );
             }
+            if outcome.threaded > 0 {
+                eprintln!(
+                    "sweep: {} scenarios ran on the threaded backend (real OS threads)",
+                    outcome.threaded
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!("i/o error: {e}")),
+    }
+}
+
+fn cmd_merge(args: &[String]) -> ExitCode {
+    let mut out_path: Option<String> = None;
+    let mut shard_paths: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--out" => match iter.next() {
+                Some(path) => out_path = Some(path.clone()),
+                None => return fail("--out needs a value"),
+            },
+            flag if flag.starts_with("--") => {
+                return fail(format!("unknown flag {flag:?}\n{USAGE}"))
+            }
+            _ => shard_paths.push(arg),
+        }
+    }
+    if shard_paths.is_empty() {
+        return fail(format!("merge needs at least one shard file\n{USAGE}"));
+    }
+    let mut shards = Vec::with_capacity(shard_paths.len());
+    for path in &shard_paths {
+        match load_records(path) {
+            Ok(records) => shards.push(records),
+            Err(message) => return fail(message),
+        }
+    }
+    let merged = match merge_shards(&shards) {
+        Ok(merged) => merged,
+        Err(e) => return fail(format!("cannot merge: {e}")),
+    };
+    let write_to = |sink: &mut dyn std::io::Write| -> std::io::Result<()> {
+        for record in &merged {
+            writeln!(sink, "{}", record.to_json())?;
+        }
+        sink.flush()
+    };
+    let result = match &out_path {
+        Some(path) => {
+            let file = match std::fs::File::create(path) {
+                Ok(file) => file,
+                Err(e) => return fail(format!("cannot create {path}: {e}")),
+            };
+            write_to(&mut std::io::BufWriter::new(file))
+        }
+        None => {
+            let stdout = std::io::stdout();
+            write_to(&mut std::io::BufWriter::new(stdout.lock()))
+        }
+    };
+    match result {
+        Ok(()) => {
+            eprintln!(
+                "sweep: merged {} records from {} shards",
+                merged.len(),
+                shard_paths.len()
+            );
             ExitCode::SUCCESS
         }
         Err(e) => fail(format!("i/o error: {e}")),

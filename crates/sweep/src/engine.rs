@@ -10,11 +10,11 @@
 //! invariant is what lets `sweep diff` gate regressions and is asserted by
 //! the crate's determinism integration test.
 
-use crate::grid::{expand, ExpansionStats, ScenarioSpec};
+use crate::grid::{derive_seed, expand, ExpansionStats, ScenarioSpec};
 use crate::record::SweepRecord;
-use crate::spec::{CampaignMode, CampaignSpec};
-use set_agreement::runtime::ExploreConfig;
-use set_agreement::Scenario;
+use crate::spec::{BackendSpec, CampaignMode, CampaignSpec};
+use set_agreement::runtime::{ExploreConfig, ThreadedConfig};
+use set_agreement::{Backend, ExecutionPlan, Executor};
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -28,6 +28,11 @@ pub struct EngineConfig {
     /// Print a progress line to stderr every `progress_every` scenarios
     /// (0 disables progress output).
     pub progress_every: u64,
+    /// Run only the `(index, count)` shard of the campaign: scenarios whose
+    /// campaign index is `index` modulo `count`. Records keep their
+    /// campaign-global indices, so a complete shard set reassembles into
+    /// the unsharded stream with [`merge_shards`](crate::merge_shards).
+    pub shard: Option<(u64, u64)>,
 }
 
 impl EngineConfig {
@@ -47,7 +52,8 @@ impl EngineConfig {
 pub struct CampaignOutcome {
     /// How the spec expanded.
     pub expansion: ExpansionStats,
-    /// Records emitted (= `expansion.scenarios`).
+    /// Records emitted (= `expansion.scenarios`, or the shard's share of
+    /// them when [`EngineConfig::shard`] is set).
     pub records: u64,
     /// Records violating validity or k-agreement.
     pub safety_violations: u64,
@@ -64,6 +70,8 @@ pub struct CampaignOutcome {
     /// not exhaustively verified; violation-finding explorations count as
     /// safety violations instead).
     pub unverified_explorations: u64,
+    /// Records executed on the threaded backend (real OS threads).
+    pub threaded: u64,
 }
 
 impl CampaignOutcome {
@@ -75,31 +83,45 @@ impl CampaignOutcome {
     }
 }
 
-/// Runs one scenario to a record. Pure: depends only on the spec.
+/// Runs one scenario to a record through the unified
+/// [`ExecutionPlan`] → [`Executor`] → `ExecutionReport` facade API.
+/// Deterministic for the scheduled and explore backends (depends only on
+/// the spec); threaded records are reproducible up to interleaving.
 pub fn run_scenario(campaign: &str, spec: &ScenarioSpec) -> SweepRecord {
-    match spec.mode {
-        CampaignMode::Sample => {
+    let mut plan = ExecutionPlan::new(spec.params)
+        .algorithm(spec.algorithm)
+        .workload(spec.workload.clone())
+        .max_steps(spec.max_steps);
+    let backend = match (spec.mode, spec.backend) {
+        (CampaignMode::Sample, BackendSpec::Scheduled) => {
             let adversary = spec
                 .adversary
                 .clone()
-                .expect("sampled scenarios carry a concrete adversary");
-            let report = Scenario::new(spec.params)
-                .algorithm(spec.algorithm)
-                .adversary(adversary)
-                .workload(spec.workload.clone())
-                .max_steps(spec.max_steps)
-                .run();
+                .expect("scheduled scenarios carry a concrete adversary");
+            plan = plan.adversary(adversary);
+            Backend::Scheduled
+        }
+        (CampaignMode::Sample, BackendSpec::Threaded) => Backend::Threaded(ThreadedConfig {
+            // The campaign budget is a total like the scheduled backend's,
+            // so each of the n threads gets its share.
+            max_steps_per_process: (spec.max_steps / spec.params.n() as u64).max(1),
+            stagger: None,
+            seed: derive_seed(spec.derived_seed, "threaded-start"),
+        }),
+        (CampaignMode::Explore, _) => Backend::Explore(ExploreConfig {
+            max_depth: spec.max_steps,
+            max_states: spec.max_states,
+            dedup: true,
+        }),
+    };
+    match Executor::new(backend).execute(&plan) {
+        set_agreement::ExecutionReport::Scheduled(report) => {
             SweepRecord::from_report(campaign, spec, &report)
         }
-        CampaignMode::Explore => {
-            let report = Scenario::new(spec.params)
-                .algorithm(spec.algorithm)
-                .workload(spec.workload.clone())
-                .explore(ExploreConfig {
-                    max_depth: spec.max_steps,
-                    max_states: spec.max_states,
-                    dedup: true,
-                });
+        set_agreement::ExecutionReport::Threaded(report) => {
+            SweepRecord::from_threaded(campaign, spec, &report)
+        }
+        set_agreement::ExecutionReport::Explored(report) => {
             SweepRecord::from_exploration(campaign, spec, &report)
         }
     }
@@ -107,6 +129,10 @@ pub fn run_scenario(campaign: &str, spec: &ScenarioSpec) -> SweepRecord {
 
 /// Expands and executes `spec` on `config.threads` workers, streaming one
 /// JSON line per scenario to `sink` in deterministic scenario order.
+///
+/// With [`EngineConfig::shard`] set, only that shard's scenarios run;
+/// records keep their campaign-global indices so shards merge back into
+/// the unsharded stream.
 ///
 /// # Errors
 ///
@@ -117,7 +143,11 @@ pub fn run_campaign(
     config: EngineConfig,
     sink: &mut dyn Write,
 ) -> std::io::Result<CampaignOutcome> {
-    let (scenarios, expansion) = expand(spec);
+    let (mut scenarios, expansion) = expand(spec);
+    if let Some((index, count)) = config.shard {
+        assert!(count > 0 && index < count, "shard index out of range");
+        scenarios.retain(|s| s.index % count == index);
+    }
     let mut outcome = CampaignOutcome {
         expansion,
         ..CampaignOutcome::default()
@@ -146,13 +176,15 @@ pub fn run_campaign(
         drop(tx);
 
         // Reorder buffer: records arrive in completion order but leave in
-        // scenario order, keeping the stream deterministic.
+        // scenario order, keeping the stream deterministic. Under sharding
+        // the expected indices are the (sorted) filtered ones, not 0..len.
         let mut pending: BTreeMap<u64, SweepRecord> = BTreeMap::new();
-        let mut next_index = 0u64;
+        let mut expected = scenarios.iter().map(|s| s.index);
+        let mut next_index = expected.next();
         let mut written = 0u64;
         while let Ok((index, record)) = rx.recv() {
             pending.insert(index, record);
-            while let Some(record) = pending.remove(&next_index) {
+            while let Some(record) = next_index.and_then(|i| pending.remove(&i)) {
                 outcome.records += 1;
                 if !record.safe() {
                     outcome.safety_violations += 1;
@@ -163,6 +195,9 @@ pub fn run_campaign(
                 if !record.progress_ok() {
                     outcome.progress_failures += 1;
                 }
+                if record.backend == "threaded" {
+                    outcome.threaded += 1;
+                }
                 if record.mode == "explore" {
                     outcome.explored += 1;
                     if record.verified {
@@ -172,7 +207,7 @@ pub fn run_campaign(
                     }
                 }
                 writeln!(sink, "{}", record.to_json())?;
-                next_index += 1;
+                next_index = expected.next();
                 written += 1;
                 if config.progress_every > 0 && written.is_multiple_of(config.progress_every) {
                     eprintln!("sweep: {written}/{} scenarios done", scenarios.len());
@@ -233,7 +268,7 @@ mod tests {
             &tiny_spec(),
             EngineConfig {
                 threads: 4,
-                progress_every: 0,
+                ..EngineConfig::default()
             },
         );
         assert_eq!(outcome.records, records.len() as u64);
@@ -256,7 +291,7 @@ mod tests {
                 &spec,
                 EngineConfig {
                     threads,
-                    progress_every: 0,
+                    ..EngineConfig::default()
                 },
                 &mut bytes,
             )
@@ -341,6 +376,86 @@ mod tests {
         assert!(outcome.clean(), "{outcome:?}");
         assert!(!records[0].verified);
         assert_eq!(records[0].stop, "truncated");
+    }
+
+    #[test]
+    fn threaded_campaigns_run_clean_with_throughput_records() {
+        let mut spec = tiny_spec();
+        spec.backends = vec![crate::spec::BackendSpec::Threaded];
+        spec.max_steps = 200_000;
+        let (records, outcome) = run_campaign_collect(&spec, EngineConfig::default());
+        assert!(outcome.clean(), "{outcome:?}");
+        assert_eq!(outcome.threaded, records.len() as u64);
+        // Adversary axis collapsed: cells x algorithms x seeds.
+        assert_eq!(records.len(), 4 * 2 * 2);
+        for record in &records {
+            assert_eq!(record.backend, "threaded");
+            assert_eq!(record.adversary, "hardware");
+            assert_eq!(record.mode, "sample");
+            assert!(record.safe(), "threaded run violated safety");
+            assert!(record.bound_ok, "threaded run exceeded its bound");
+            assert!(record.steps > 0, "threaded run took no steps");
+            assert!(!record.progress_required);
+            let line = record.to_json();
+            assert!(line.contains("\"backend\":\"threaded\""));
+            assert!(line.contains("\"wall_us\":"));
+        }
+    }
+
+    #[test]
+    fn mixed_backend_campaigns_keep_scheduled_output_deterministic() {
+        let mut spec = tiny_spec();
+        spec.backends = vec![
+            crate::spec::BackendSpec::Scheduled,
+            crate::spec::BackendSpec::Threaded,
+        ];
+        spec.max_steps = 200_000;
+        let (a, outcome) = run_campaign_collect(&spec, EngineConfig::default());
+        let (b, _) = run_campaign_collect(&spec, EngineConfig::default());
+        assert!(outcome.clean(), "{outcome:?}");
+        assert!(outcome.threaded > 0);
+        assert!(a.iter().any(|r| r.backend == "scheduled"));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.scenario, y.scenario);
+            if x.backend == "scheduled" {
+                // Scheduled records are bit-for-bit reproducible even in a
+                // mixed campaign.
+                assert_eq!(x.to_json(), y.to_json());
+            } else {
+                // Threaded records are reproducible up to interleaving:
+                // identity and safety agree, steps/wall-clock may not.
+                assert_eq!(x.key(), y.key());
+                assert_eq!(x.safe(), y.safe());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_runs_merge_back_into_the_unsharded_stream() {
+        let spec = tiny_spec();
+        let full = {
+            let mut bytes = Vec::new();
+            run_campaign(&spec, EngineConfig::default(), &mut bytes).unwrap();
+            bytes
+        };
+        let mut shards = Vec::new();
+        let count = 3;
+        for index in 0..count {
+            let config = EngineConfig {
+                shard: Some((index, count)),
+                ..EngineConfig::default()
+            };
+            let mut bytes = Vec::new();
+            let outcome = run_campaign(&spec, config, &mut bytes).unwrap();
+            assert!(outcome.records > 0 && outcome.records < outcome.expansion.scenarios);
+            shards.push(crate::record::parse_jsonl(std::str::from_utf8(&bytes).unwrap()).unwrap());
+        }
+        let merged = crate::merge_shards(&shards).unwrap();
+        let merged_bytes: Vec<u8> = merged
+            .iter()
+            .flat_map(|r| format!("{}\n", r.to_json()).into_bytes())
+            .collect();
+        assert_eq!(merged_bytes, full, "merged shards differ from full run");
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! engine exploits this to produce byte-identical JSONL output at any level
 //! of parallelism.
 
-use crate::spec::{AdversarySpec, CampaignMode, CampaignSpec, Survivors, WorkloadSpec};
+use crate::spec::{
+    AdversarySpec, BackendSpec, CampaignMode, CampaignSpec, Survivors, WorkloadSpec,
+};
 use sa_model::Params;
 use set_agreement::runtime::Workload;
 use set_agreement::{Adversary, Algorithm};
@@ -47,13 +49,19 @@ pub struct ScenarioSpec {
     /// How this scenario executes: one sampled schedule, or exhaustive
     /// exploration of every interleaving.
     pub mode: CampaignMode,
+    /// Which backend runs a sampled scenario (the explorer always runs
+    /// explore-mode scenarios; this field is [`BackendSpec::Scheduled`]
+    /// there).
+    pub backend: BackendSpec,
     /// The adversary template this scenario was expanded from (`None` for
-    /// exhaustive scenarios, which quantify over all schedules).
+    /// exhaustive and threaded scenarios: exploration quantifies over all
+    /// schedules, and on real threads the hardware schedules).
     pub adversary_spec: Option<AdversarySpec>,
-    /// The concrete, seeded adversary (`None` for exhaustive scenarios).
+    /// The concrete, seeded adversary (`None` for exhaustive and threaded
+    /// scenarios).
     pub adversary: Option<Adversary>,
     /// A stable label for the schedule source: the adversary template's
-    /// label, or `exhaustive`.
+    /// label, `hardware` for threaded scenarios, or `exhaustive`.
     pub adversary_label: String,
     /// Contention steps of the obstruction phase (0 for other adversaries).
     pub contention_steps: u64,
@@ -84,6 +92,15 @@ impl ScenarioSpec {
     /// to decide.
     pub fn progress_required(&self) -> bool {
         self.survivors > 0 && self.survivors <= self.params.m()
+    }
+
+    /// The execution-backend label recorded for this scenario: `scheduled`
+    /// or `threaded` for sampled scenarios, `explore` for exhaustive ones.
+    pub fn backend_label(&self) -> &'static str {
+        match self.mode {
+            CampaignMode::Explore => "explore",
+            CampaignMode::Sample => self.backend.label(),
+        }
     }
 }
 
@@ -215,38 +232,68 @@ fn instantiate_workload(
 /// Expands a campaign into its deterministic work list.
 ///
 /// In [`CampaignMode::Sample`], iteration order is cells → algorithms →
-/// adversaries → seeds. Indices number that order, but per-scenario seeds
-/// derive from scenario *identity*, so growing any axis leaves pre-existing
-/// scenarios' streams unchanged (only their stream position moves).
-/// Inapplicable (cell, algorithm) combinations are skipped and counted.
+/// backends → adversaries → seeds. Indices number that order, but
+/// per-scenario seeds derive from scenario *identity*, so growing any axis
+/// leaves pre-existing scenarios' streams unchanged (only their stream
+/// position moves). Inapplicable (cell, algorithm) combinations are skipped
+/// and counted.
 ///
-/// In [`CampaignMode::Explore`], the adversary and seed axes collapse:
-/// exhaustive exploration quantifies over **all** schedules, so one scenario
-/// per applicable (cell, algorithm) pair is produced, labelled `exhaustive`.
+/// The threaded backend collapses the adversary axis (the hardware
+/// schedules, so adversary templates do not apply): one scenario per seed,
+/// labelled `hardware`. Seeds still matter — they pin the workload and the
+/// thread spawn order.
+///
+/// In [`CampaignMode::Explore`], the backend, adversary and seed axes all
+/// collapse: exhaustive exploration quantifies over **all** schedules, so
+/// one scenario per applicable (cell, algorithm) pair is produced, labelled
+/// `exhaustive`.
 pub fn expand(spec: &CampaignSpec) -> (Vec<ScenarioSpec>, ExpansionStats) {
     let mut scenarios = Vec::new();
     let mut stats = ExpansionStats::default();
+    let combinations_per_backend = |backend: &BackendSpec| match backend {
+        BackendSpec::Scheduled => (spec.adversaries.len() * spec.seeds.len()) as u64,
+        BackendSpec::Threaded => spec.seeds.len() as u64,
+    };
     for params in spec.params.cells() {
         for &algorithm in &spec.algorithms {
             if !algorithm.applicable(params) {
                 stats.skipped_inapplicable += match spec.mode {
-                    CampaignMode::Sample => (spec.adversaries.len() * spec.seeds.len()) as u64,
+                    CampaignMode::Sample => {
+                        spec.backends.iter().map(combinations_per_backend).sum()
+                    }
                     CampaignMode::Explore => 1,
                 };
                 continue;
             }
             match spec.mode {
                 CampaignMode::Sample => {
-                    for adversary_spec in &spec.adversaries {
-                        for &seed in &spec.seeds {
-                            scenarios.push(sampled_scenario(
-                                spec,
-                                scenarios.len() as u64,
-                                params,
-                                algorithm,
-                                adversary_spec,
-                                seed,
-                            ));
+                    for backend in &spec.backends {
+                        match backend {
+                            BackendSpec::Scheduled => {
+                                for adversary_spec in &spec.adversaries {
+                                    for &seed in &spec.seeds {
+                                        scenarios.push(sampled_scenario(
+                                            spec,
+                                            scenarios.len() as u64,
+                                            params,
+                                            algorithm,
+                                            adversary_spec,
+                                            seed,
+                                        ));
+                                    }
+                                }
+                            }
+                            BackendSpec::Threaded => {
+                                for &seed in &spec.seeds {
+                                    scenarios.push(threaded_scenario(
+                                        spec,
+                                        scenarios.len() as u64,
+                                        params,
+                                        algorithm,
+                                        seed,
+                                    ));
+                                }
+                            }
                         }
                     }
                 }
@@ -306,12 +353,63 @@ fn sampled_scenario(
         params,
         algorithm,
         mode: CampaignMode::Sample,
+        backend: BackendSpec::Scheduled,
         adversary_label: adversary_spec.label(),
         adversary_spec: Some(adversary_spec.clone()),
         adversary: Some(instantiated.adversary),
         contention_steps: instantiated.contention_steps,
         survivors: instantiated.survivors,
         crashes: instantiated.crashes,
+        seed,
+        derived_seed,
+        workload,
+        workload_label: spec.workload.label(),
+        max_steps: spec.max_steps,
+        max_states: spec.max_states,
+    }
+}
+
+/// A sampled scenario on the threaded backend. The adversary axis does not
+/// apply (the hardware schedules — labelled `hardware`), no process is
+/// obligated to decide (all `n` threads may contend forever, which the
+/// paper's progress condition permits), and the derived seed pins the
+/// workload and spawn order so the run is reproducible up to interleaving.
+fn threaded_scenario(
+    spec: &CampaignSpec,
+    index: u64,
+    params: Params,
+    algorithm: Algorithm,
+    seed: u64,
+) -> ScenarioSpec {
+    let identity = format!(
+        "n{} m{} k{} {} x{} hardware seed{} {}",
+        params.n(),
+        params.m(),
+        params.k(),
+        algorithm.label(),
+        algorithm.instances(),
+        seed,
+        spec.workload.label()
+    );
+    let derived_seed = derive_seed(spec.campaign_seed, &identity);
+    let workload = instantiate_workload(
+        spec.workload,
+        params,
+        algorithm.instances(),
+        derive_seed(derived_seed, "workload"),
+    );
+    ScenarioSpec {
+        index,
+        params,
+        algorithm,
+        mode: CampaignMode::Sample,
+        backend: BackendSpec::Threaded,
+        adversary_label: "hardware".into(),
+        adversary_spec: None,
+        adversary: None,
+        contention_steps: 0,
+        survivors: 0,
+        crashes: 0,
         seed,
         derived_seed,
         workload,
@@ -348,6 +446,7 @@ fn explore_scenario(
         params,
         algorithm,
         mode: CampaignMode::Explore,
+        backend: BackendSpec::Scheduled,
         adversary_label: "exhaustive".into(),
         adversary_spec: None,
         adversary: None,
@@ -584,6 +683,75 @@ mod tests {
             assert!(s.survivors <= s.params.m());
             assert_eq!(s.contention_steps, 10 * s.params.n() as u64);
         }
+    }
+
+    #[test]
+    fn threaded_backend_collapses_the_adversary_axis() {
+        let mut spec = small_spec();
+        spec.backends = vec![BackendSpec::Scheduled, BackendSpec::Threaded];
+        let (scenarios, stats) = expand(&spec);
+        // 2 cells x 2 algorithms x (2 adversaries x 3 seeds scheduled
+        // + 3 seeds threaded).
+        assert_eq!(scenarios.len(), 2 * 2 * (2 * 3 + 3));
+        assert_eq!(stats.scenarios, scenarios.len() as u64);
+        let threaded: Vec<_> = scenarios
+            .iter()
+            .filter(|s| s.backend == BackendSpec::Threaded)
+            .collect();
+        assert_eq!(threaded.len(), 2 * 2 * 3);
+        for s in &threaded {
+            assert_eq!(s.backend_label(), "threaded");
+            assert_eq!(s.adversary_label, "hardware");
+            assert!(s.adversary.is_none() && s.adversary_spec.is_none());
+            assert_eq!((s.survivors, s.crashes, s.contention_steps), (0, 0, 0));
+            assert!(!s.progress_required());
+        }
+        for s in &scenarios {
+            if s.backend == BackendSpec::Scheduled {
+                assert_eq!(s.backend_label(), "scheduled");
+                assert!(s.adversary.is_some());
+            }
+        }
+        // Indices still number the deterministic order.
+        for (i, s) in scenarios.iter().enumerate() {
+            assert_eq!(s.index, i as u64);
+        }
+    }
+
+    #[test]
+    fn adding_the_threaded_backend_does_not_reseed_scheduled_scenarios() {
+        let (before, _) = expand(&small_spec());
+        let mut grown = small_spec();
+        grown.backends = vec![BackendSpec::Scheduled, BackendSpec::Threaded];
+        let (after, _) = expand(&grown);
+        let scheduled_after: Vec<_> = after
+            .iter()
+            .filter(|s| s.backend == BackendSpec::Scheduled)
+            .collect();
+        assert_eq!(before.len(), scheduled_after.len());
+        for (b, a) in before.iter().zip(&scheduled_after) {
+            assert_eq!(b.derived_seed, a.derived_seed, "scheduled run reseeded");
+            assert_eq!(b.adversary, a.adversary);
+        }
+    }
+
+    #[test]
+    fn threaded_scenarios_have_deterministic_distinct_seeds() {
+        let mut spec = small_spec();
+        spec.backends = vec![BackendSpec::Threaded];
+        let (scenarios, stats) = expand(&spec);
+        // Adversary axis collapsed: 2 cells x 2 algorithms x 3 seeds.
+        assert_eq!(scenarios.len(), 12);
+        assert_eq!(stats.skipped_inapplicable, 0);
+        let (again, _) = expand(&spec);
+        let mut seeds = Vec::new();
+        for (s, t) in scenarios.iter().zip(&again) {
+            assert_eq!(s.derived_seed, t.derived_seed, "not deterministic");
+            seeds.push(s.derived_seed);
+        }
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), scenarios.len(), "derived seeds collide");
     }
 
     #[test]

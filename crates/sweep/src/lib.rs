@@ -61,18 +61,18 @@ mod summary;
 
 pub use engine::{run_campaign, run_campaign_collect, run_scenario, CampaignOutcome, EngineConfig};
 pub use grid::{derive_seed, expand, ExpansionStats, ScenarioSpec};
-pub use record::{parse_jsonl, ParseError, SweepRecord};
+pub use record::{merge_shards, parse_jsonl, ParseError, SweepRecord};
 pub use spec::{
-    parse_algorithms, parse_seeds, parse_values, AdversarySpec, CampaignMode, CampaignSpec,
-    ParamsSpec, SpecError, Survivors, WorkloadSpec,
+    parse_algorithms, parse_seeds, parse_values, AdversarySpec, BackendSpec, CampaignMode,
+    CampaignSpec, ParamsSpec, SpecError, Survivors, WorkloadSpec,
 };
 pub use summary::{diff, CellKey, CellSummary, DiffEntry, DiffReport, Summary};
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::{
-        diff, expand, run_campaign, run_campaign_collect, AdversarySpec, CampaignMode,
-        CampaignOutcome, CampaignSpec, EngineConfig, ParamsSpec, Summary, Survivors, SweepRecord,
-        WorkloadSpec,
+        diff, expand, merge_shards, run_campaign, run_campaign_collect, AdversarySpec, BackendSpec,
+        CampaignMode, CampaignOutcome, CampaignSpec, EngineConfig, ParamsSpec, Summary, Survivors,
+        SweepRecord, WorkloadSpec,
     };
 }

@@ -8,7 +8,7 @@
 
 use crate::grid::ScenarioSpec;
 use set_agreement::runtime::StopReason;
-use set_agreement::{ExploreReport, ScenarioReport};
+use set_agreement::{ExploreReport, ScenarioReport, ThreadedRunReport};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -29,11 +29,15 @@ pub struct SweepRecord {
     pub algorithm: String,
     /// Instances of repeated agreement run (1 for one-shot).
     pub instances: usize,
-    /// Adversary template label (includes its parameters), or `exhaustive`
-    /// for explore-mode scenarios.
+    /// Adversary template label (includes its parameters), `hardware` for
+    /// threaded scenarios, or `exhaustive` for explore-mode scenarios.
     pub adversary: String,
     /// Execution mode: `sample` or `explore`.
     pub mode: String,
+    /// Execution backend: `scheduled`, `threaded` or `explore`. Encoded
+    /// only when `threaded` (the other two are implied by `mode`, and
+    /// omitting them keeps pre-backend result files byte-identical).
+    pub backend: String,
     /// Obstruction contention steps (0 for non-obstruction adversaries).
     pub contention_steps: u64,
     /// Survivor count the adversary restricts to (0 = never restricts;
@@ -83,10 +87,19 @@ pub struct SweepRecord {
     pub bound_ok: bool,
     /// States visited by the exhaustive explorer (0 for sampled records).
     pub explored_states: u64,
+    /// Deepest schedule prefix the explorer examined (0 for sampled
+    /// records; encoded only for explore-mode records).
+    pub explored_depth: u64,
     /// `true` only for explore-mode records whose state space was exhausted
     /// without finding a violation — "exhaustively verified", strictly
     /// stronger than "sampled, 0 violations".
     pub verified: bool,
+    /// Wall-clock microseconds of a threaded run (0 otherwise; encoded only
+    /// for threaded records, whose output makes no byte-determinism claim).
+    pub wall_us: u64,
+    /// Aggregate throughput of a threaded run in shared-memory steps per
+    /// second (0 otherwise; encoded only for threaded records).
+    pub steps_per_sec: u64,
 }
 
 impl SweepRecord {
@@ -110,6 +123,7 @@ impl SweepRecord {
             instances: spec.algorithm.instances(),
             adversary: spec.adversary_label.clone(),
             mode: spec.mode.label().to_string(),
+            backend: spec.backend_label().to_string(),
             contention_steps: spec.contention_steps,
             survivors: spec.survivors,
             crashes: spec.crashes,
@@ -137,7 +151,70 @@ impl SweepRecord {
             component_bound,
             bound_ok: report.locations_written <= component_bound,
             explored_states: 0,
+            explored_depth: 0,
             verified: false,
+            wall_us: 0,
+            steps_per_sec: 0,
+        }
+    }
+
+    /// Builds the record for one scenario executed on the threaded backend.
+    /// Steps, decisions and throughput are whatever the hardware's
+    /// interleaving produced — only the safety verdicts and the space
+    /// accounting are meaningful to compare across runs.
+    pub fn from_threaded(campaign: &str, spec: &ScenarioSpec, report: &ThreadedRunReport) -> Self {
+        let distinct_outputs_max = report
+            .decisions
+            .instances()
+            .map(|t| report.decisions.distinct_outputs(t))
+            .max()
+            .unwrap_or(0);
+        let registers_written = report.metrics.registers_written();
+        let component_bound = spec.algorithm.component_bound(spec.params);
+        SweepRecord {
+            campaign: campaign.to_string(),
+            scenario: spec.index,
+            n: spec.params.n(),
+            m: spec.params.m(),
+            k: spec.params.k(),
+            algorithm: spec.algorithm.label().to_string(),
+            instances: spec.algorithm.instances(),
+            adversary: spec.adversary_label.clone(),
+            mode: spec.mode.label().to_string(),
+            backend: spec.backend_label().to_string(),
+            contention_steps: 0,
+            survivors: 0,
+            crashes: 0,
+            seed: spec.seed,
+            workload: spec.workload_label.clone(),
+            max_steps: spec.max_steps,
+            steps: report.steps,
+            stop: if report.all_halted() {
+                "all-halted"
+            } else {
+                "step-limit"
+            }
+            .to_string(),
+            validity_ok: report.safety.validity.is_none(),
+            agreement_ok: report.safety.agreement.is_none(),
+            // Nobody is obligated: all n threads may contend forever, which
+            // the m-obstruction progress condition permits.
+            progress_required: false,
+            survivors_decided: true,
+            decisions: report.decisions.len() as u64,
+            distinct_outputs_max,
+            total_ops: report.metrics.total_ops(),
+            locations_written: report.locations_written,
+            registers_written,
+            components_written: report.locations_written - registers_written,
+            register_bound: spec.algorithm.register_bound(spec.params),
+            component_bound,
+            bound_ok: report.locations_written <= component_bound,
+            explored_states: 0,
+            explored_depth: 0,
+            verified: false,
+            wall_us: report.wall.as_micros() as u64,
+            steps_per_sec: report.steps_per_sec() as u64,
         }
     }
 
@@ -157,6 +234,7 @@ impl SweepRecord {
             instances: spec.algorithm.instances(),
             adversary: spec.adversary_label.clone(),
             mode: spec.mode.label().to_string(),
+            backend: spec.backend_label().to_string(),
             contention_steps: 0,
             survivors: 0,
             crashes: 0,
@@ -186,7 +264,10 @@ impl SweepRecord {
             component_bound,
             bound_ok: report.max_locations_written <= component_bound,
             explored_states: report.states_visited,
+            explored_depth: report.max_depth_reached,
             verified: report.verified(),
+            wall_us: 0,
+            steps_per_sec: 0,
         }
     }
 
@@ -218,6 +299,12 @@ impl SweepRecord {
 
     /// Encodes the record as one JSON line (no trailing newline). Field
     /// order is fixed, so equal records encode to equal bytes.
+    ///
+    /// Backend-specific fields are encoded only where they carry
+    /// information: `backend`, `wall_us` and `steps_per_sec` appear on
+    /// threaded records, `explored_depth` on explore-mode records. Scheduled
+    /// sampled output is therefore byte-identical to what pre-backend
+    /// releases emitted.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(512);
         out.push('{');
@@ -238,6 +325,9 @@ impl SweepRecord {
         field(&mut out, "instances", &self.instances.to_string());
         field(&mut out, "adversary", &json_string(&self.adversary));
         field(&mut out, "mode", &json_string(&self.mode));
+        if self.backend == "threaded" {
+            field(&mut out, "backend", &json_string(&self.backend));
+        }
         field(
             &mut out,
             "contention_steps",
@@ -296,7 +386,14 @@ impl SweepRecord {
             "explored_states",
             &self.explored_states.to_string(),
         );
+        if self.mode == "explore" {
+            field(&mut out, "explored_depth", &self.explored_depth.to_string());
+        }
         field(&mut out, "verified", bool_str(self.verified));
+        if self.backend == "threaded" {
+            field(&mut out, "wall_us", &self.wall_us.to_string());
+            field(&mut out, "steps_per_sec", &self.steps_per_sec.to_string());
+        }
         out.push('}');
         out
     }
@@ -304,11 +401,20 @@ impl SweepRecord {
     /// Decodes one JSON line produced by [`SweepRecord::to_json`].
     ///
     /// The fields introduced after the first release (`mode`, `crashes`,
-    /// `explored_states`, `verified`) default to their crash-free sampled
-    /// values when absent, so result files written by older versions remain
-    /// summarizable and diffable.
+    /// `explored_states`, `verified`, and the backend fields `backend`,
+    /// `explored_depth`, `wall_us`, `steps_per_sec`) default to their
+    /// crash-free scheduled values when absent, so result files written by
+    /// older versions remain summarizable and diffable.
     pub fn parse(line: &str) -> Result<Self, ParseError> {
         let fields = parse_flat_object(line)?;
+        let mode = fields.string_or("mode", "sample")?;
+        // Absent backend is implied by the mode: explore-mode records run
+        // on the explorer, everything else on the simulator.
+        let default_backend = if mode == "explore" {
+            "explore"
+        } else {
+            "scheduled"
+        };
         let record = SweepRecord {
             campaign: fields.string("campaign")?,
             scenario: fields.u64("scenario")?,
@@ -318,7 +424,8 @@ impl SweepRecord {
             algorithm: fields.string("algorithm")?,
             instances: fields.u64("instances")? as usize,
             adversary: fields.string("adversary")?,
-            mode: fields.string_or("mode", "sample")?,
+            backend: fields.string_or("backend", default_backend)?,
+            mode,
             contention_steps: fields.u64("contention_steps")?,
             survivors: fields.u64("survivors")? as usize,
             crashes: fields.u64_or("crashes", 0)? as usize,
@@ -341,7 +448,10 @@ impl SweepRecord {
             component_bound: fields.u64("component_bound")? as usize,
             bound_ok: fields.bool("bound_ok")?,
             explored_states: fields.u64_or("explored_states", 0)?,
+            explored_depth: fields.u64_or("explored_depth", 0)?,
             verified: fields.bool_or("verified", false)?,
+            wall_us: fields.u64_or("wall_us", 0)?,
+            steps_per_sec: fields.u64_or("steps_per_sec", 0)?,
         };
         Ok(record)
     }
@@ -558,6 +668,54 @@ fn parse_string(
     }
 }
 
+/// Merges sharded campaign result files into the single stream
+/// `sweep run` (unsharded) would have produced: records are reordered by
+/// scenario index, which is a pure function of the spec and therefore
+/// globally unique and gap-free across a complete shard set.
+///
+/// # Errors
+///
+/// Rejects duplicate scenario indices (overlapping shards — merging them
+/// would silently drop measurements), index gaps (an incomplete shard
+/// set — a summary of it would claim campaign coverage it does not have),
+/// and shards that disagree on the campaign name or step budget (shards of
+/// *different* runs — their measurements are not comparable, e.g. one
+/// shard re-run after changing `--max-steps` or `--name`).
+pub fn merge_shards(shards: &[Vec<SweepRecord>]) -> Result<Vec<SweepRecord>, ParseError> {
+    let mut by_index: BTreeMap<u64, SweepRecord> = BTreeMap::new();
+    let mut run_identity: Option<(String, u64)> = None;
+    for shard in shards {
+        for record in shard {
+            let identity = (record.campaign.clone(), record.max_steps);
+            match &run_identity {
+                None => run_identity = Some(identity),
+                Some(expected) if *expected != identity => {
+                    return Err(ParseError(format!(
+                        "shards come from different campaign runs: \
+                         campaign {:?} with max_steps {} vs campaign {:?} with max_steps {}",
+                        expected.0, expected.1, identity.0, identity.1
+                    )));
+                }
+                Some(_) => {}
+            }
+            if by_index.insert(record.scenario, record.clone()).is_some() {
+                return Err(ParseError(format!(
+                    "scenario index {} appears in more than one shard",
+                    record.scenario
+                )));
+            }
+        }
+    }
+    for (expected, actual) in by_index.keys().enumerate() {
+        if expected as u64 != *actual {
+            return Err(ParseError(format!(
+                "scenario index {expected} is missing (shard set is incomplete)"
+            )));
+        }
+    }
+    Ok(by_index.into_values().collect())
+}
+
 /// Parses every non-empty line of a JSONL document.
 pub fn parse_jsonl(text: &str) -> Result<Vec<SweepRecord>, ParseError> {
     text.lines()
@@ -585,6 +743,7 @@ mod tests {
             instances: 1,
             adversary: "obstruction:50".into(),
             mode: "sample".into(),
+            backend: "scheduled".into(),
             contention_steps: 300,
             survivors: 2,
             crashes: 0,
@@ -607,7 +766,10 @@ mod tests {
             component_bound: 7,
             bound_ok: true,
             explored_states: 0,
+            explored_depth: 0,
             verified: false,
+            wall_us: 0,
+            steps_per_sec: 0,
         }
     }
 
@@ -616,13 +778,82 @@ mod tests {
         let mut record = sample();
         record.adversary = "exhaustive".into();
         record.mode = "explore".into();
+        record.backend = "explore".into();
         record.stop = "state-space-exhausted".into();
         record.explored_states = 12345;
+        record.explored_depth = 77;
         record.verified = true;
-        let parsed = SweepRecord::parse(&record.to_json()).unwrap();
+        let line = record.to_json();
+        assert!(line.contains("\"explored_depth\":77"), "{line}");
+        let parsed = SweepRecord::parse(&line).unwrap();
         assert_eq!(parsed, record);
         assert!(parsed.verified);
         assert_eq!(parsed.explored_states, 12345);
+        assert_eq!(parsed.explored_depth, 77);
+    }
+
+    #[test]
+    fn threaded_records_round_trip_with_wall_clock_fields() {
+        let mut record = sample();
+        record.adversary = "hardware".into();
+        record.backend = "threaded".into();
+        record.wall_us = 42_000;
+        record.steps_per_sec = 1_000_000;
+        let line = record.to_json();
+        assert!(line.contains("\"backend\":\"threaded\""), "{line}");
+        assert!(line.contains("\"wall_us\":42000"), "{line}");
+        assert!(line.contains("\"steps_per_sec\":1000000"), "{line}");
+        let parsed = SweepRecord::parse(&line).unwrap();
+        assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn scheduled_records_omit_backend_fields_for_byte_compatibility() {
+        // A scheduled sampled record must encode exactly as before the
+        // backend axis existed — no backend, wall-clock or depth fields.
+        let line = sample().to_json();
+        for absent in ["backend", "wall_us", "steps_per_sec", "explored_depth"] {
+            assert!(!line.contains(absent), "{absent} leaked into {line}");
+        }
+        let parsed = SweepRecord::parse(&line).unwrap();
+        assert_eq!(parsed.backend, "scheduled");
+        // Explore-mode lines without an explicit backend imply the explorer.
+        let mut explored = sample();
+        explored.mode = "explore".into();
+        explored.backend = "explore".into();
+        let reparsed = SweepRecord::parse(&explored.to_json()).unwrap();
+        assert_eq!(reparsed.backend, "explore");
+    }
+
+    #[test]
+    fn merge_shards_reassembles_the_unsharded_stream() {
+        let records: Vec<SweepRecord> = (0..6)
+            .map(|i| {
+                let mut r = sample();
+                r.scenario = i;
+                r
+            })
+            .collect();
+        let even: Vec<SweepRecord> = records.iter().step_by(2).cloned().collect();
+        let odd: Vec<SweepRecord> = records.iter().skip(1).step_by(2).cloned().collect();
+        // Shard order must not matter.
+        let merged = merge_shards(&[odd.clone(), even.clone()]).unwrap();
+        assert_eq!(merged, records);
+
+        let overlapping = merge_shards(&[even.clone(), records.clone()]);
+        assert!(overlapping.unwrap_err().0.contains("more than one shard"));
+        let incomplete = merge_shards(std::slice::from_ref(&odd));
+        assert!(incomplete.unwrap_err().0.contains("incomplete"));
+        assert_eq!(merge_shards(&[]).unwrap(), Vec::<SweepRecord>::new());
+
+        // Shards of different runs (here: a re-run with another step
+        // budget) must be rejected — their measurements are incomparable.
+        let mut rerun = odd;
+        for record in &mut rerun {
+            record.max_steps = 999;
+        }
+        let mixed = merge_shards(&[even, rerun]);
+        assert!(mixed.unwrap_err().0.contains("different campaign runs"));
     }
 
     #[test]

@@ -266,6 +266,50 @@ impl WorkloadSpec {
     }
 }
 
+/// Which execution backend runs a campaign's sampled scenarios — the
+/// campaign-level face of the facade's
+/// [`Backend`](set_agreement::Backend) axis.
+///
+/// Listing several backends makes the backend a grid axis: each
+/// (cell, algorithm) pair is run on every listed backend. The threaded
+/// backend collapses the adversary axis (the hardware schedules, so
+/// adversary templates do not apply; its scenarios are labelled
+/// `hardware`), while seeds still vary the workload and the thread spawn
+/// order. Ignored entirely in [`CampaignMode::Explore`], which always uses
+/// the explorer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// The deterministic simulator under the campaign's adversaries.
+    #[default]
+    Scheduled,
+    /// One OS thread per process against real shared memory. Records carry
+    /// wall-clock time and throughput; output is **not** byte-deterministic
+    /// (steps and decisions depend on the hardware's interleaving), so
+    /// determinism gates only apply to scheduled/explore campaigns.
+    Threaded,
+}
+
+impl BackendSpec {
+    /// A stable label for records and summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendSpec::Scheduled => "scheduled",
+            BackendSpec::Threaded => "threaded",
+        }
+    }
+
+    /// Parses `scheduled` or `threaded`.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        match text {
+            "scheduled" => Ok(BackendSpec::Scheduled),
+            "threaded" => Ok(BackendSpec::Threaded),
+            _ => err(format!(
+                "unknown backend {text:?} (want scheduled or threaded)"
+            )),
+        }
+    }
+}
+
 /// How a campaign executes its cells.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum CampaignMode {
@@ -309,8 +353,12 @@ pub struct CampaignSpec {
     /// Algorithms to run in every cell (inapplicable combinations are
     /// skipped during expansion).
     pub algorithms: Vec<Algorithm>,
-    /// Adversary templates, instantiated per cell and seed.
+    /// Adversary templates, instantiated per cell and seed (scheduled
+    /// backend only; the threaded backend lets the hardware schedule).
     pub adversaries: Vec<AdversarySpec>,
+    /// Execution backends for sampled scenarios; listing several makes the
+    /// backend a grid axis. Ignored in [`CampaignMode::Explore`].
+    pub backends: Vec<BackendSpec>,
     /// Seeds; each seed produces an independent scenario per cell.
     pub seeds: Vec<u64>,
     /// The workload proposed in every scenario.
@@ -340,6 +388,7 @@ impl Default for CampaignSpec {
                 contention_factor: 50,
                 survivors: Survivors::M,
             }],
+            backends: vec![BackendSpec::Scheduled],
             seeds: (0..4).collect(),
             workload: WorkloadSpec::Distinct,
             max_steps: 2_000_000,
@@ -436,9 +485,10 @@ impl CampaignSpec {
     /// Parses a campaign from `key = value` lines. Unknown keys are
     /// rejected; `#` starts a comment. Recognized keys: `name`, `n`, `m`,
     /// `k`, `params` (explicit `n/m/k` triples, `;`-separated), `algorithms`,
-    /// `adversaries`, `seeds`, `workload`, `max-steps`, `campaign-seed`,
-    /// `mode` (`sample` or `explore`) and `max-states` (exploration state
-    /// budget).
+    /// `adversaries`, `backend` (`scheduled`, `threaded`, or a comma list to
+    /// make the backend a grid axis), `seeds`, `workload`, `max-steps`,
+    /// `campaign-seed`, `mode` (`sample` or `explore`) and `max-states`
+    /// (exploration state budget).
     pub fn parse(text: &str) -> Result<Self, SpecError> {
         let mut spec = CampaignSpec::default();
         let (mut grid_n, mut grid_m, mut grid_k) = (None, None, None);
@@ -468,6 +518,12 @@ impl CampaignSpec {
                     spec.adversaries = value
                         .split(',')
                         .map(|part| AdversarySpec::parse(part.trim()))
+                        .collect::<Result<_, _>>()?;
+                }
+                "backend" => {
+                    spec.backends = value
+                        .split(',')
+                        .map(|part| BackendSpec::parse(part.trim()))
                         .collect::<Result<_, _>>()?;
                 }
                 "seeds" => spec.seeds = parse_seeds(value)?,
@@ -511,6 +567,9 @@ impl CampaignSpec {
         }
         if spec.adversaries.is_empty() {
             return err("no adversaries");
+        }
+        if spec.backends.is_empty() {
+            return err("no backends");
         }
         if spec.seeds.is_empty() {
             return err("no seeds");
@@ -571,6 +630,8 @@ impl std::fmt::Display for CampaignSpec {
         writeln!(f, "algorithms = {}", algorithms.join(","))?;
         let adversaries: Vec<String> = self.adversaries.iter().map(|a| a.label()).collect();
         writeln!(f, "adversaries = {}", adversaries.join(","))?;
+        let backends: Vec<&str> = self.backends.iter().map(|b| b.label()).collect();
+        writeln!(f, "backend = {}", backends.join(","))?;
         writeln!(f, "seeds = {}", display_seeds(&self.seeds))?;
         writeln!(f, "workload = {}", self.workload.label())?;
         writeln!(f, "max-steps = {}", self.max_steps)?;
@@ -681,6 +742,27 @@ mod tests {
             "crash:bursts:0:1",            // invalid inner parameters
         ] {
             assert!(AdversarySpec::parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn backend_lists_parse_display_and_default() {
+        assert_eq!(
+            CampaignSpec::parse("").unwrap().backends,
+            vec![BackendSpec::Scheduled]
+        );
+        let spec = CampaignSpec::parse("backend = threaded").unwrap();
+        assert_eq!(spec.backends, vec![BackendSpec::Threaded]);
+        let both = CampaignSpec::parse("backend = scheduled, threaded").unwrap();
+        assert_eq!(
+            both.backends,
+            vec![BackendSpec::Scheduled, BackendSpec::Threaded]
+        );
+        assert_eq!(CampaignSpec::parse(&both.to_string()).unwrap(), both);
+        assert!(CampaignSpec::parse("backend = gpu").is_err());
+        assert!(CampaignSpec::parse("backend = ").is_err());
+        for backend in [BackendSpec::Scheduled, BackendSpec::Threaded] {
+            assert_eq!(BackendSpec::parse(backend.label()).unwrap(), backend);
         }
     }
 

@@ -51,6 +51,17 @@ pub struct CellSummary {
     /// Explored scenarios whose search found a safety violation (a real
     /// counterexample, as opposed to a budget truncation).
     pub explored_violations: u64,
+    /// Maximum states visited by any exploration of this cell.
+    pub max_explored_states: u64,
+    /// Maximum exploration depth (longest schedule prefix examined) of any
+    /// exploration of this cell.
+    pub max_explored_depth: u64,
+    /// Scenarios executed on the threaded backend (real OS threads).
+    pub threaded_runs: u64,
+    /// Total wall-clock microseconds across the cell's threaded runs.
+    pub total_wall_us: u64,
+    /// Total shared-memory steps across the cell's threaded runs.
+    pub threaded_steps: u64,
     /// Maximum distinct base objects written by any scenario.
     pub max_locations_written: usize,
     /// The paper's register bound (identical across the cell).
@@ -87,6 +98,12 @@ pub struct Summary {
     /// explorations are counted under [`Summary::safety_violations`], not
     /// here).
     pub truncated_explorations: u64,
+    /// Records executed on the threaded backend.
+    pub threaded_runs: u64,
+    /// Total wall-clock microseconds across all threaded records.
+    pub total_wall_us: u64,
+    /// Total shared-memory steps across all threaded records.
+    pub threaded_steps: u64,
 }
 
 impl Summary {
@@ -128,9 +145,19 @@ impl Summary {
                 cell.total_crashes += record.crashes as u64;
                 summary.total_crashes += record.crashes as u64;
             }
+            if record.backend == "threaded" {
+                cell.threaded_runs += 1;
+                cell.total_wall_us += record.wall_us;
+                cell.threaded_steps += record.steps;
+                summary.threaded_runs += 1;
+                summary.total_wall_us += record.wall_us;
+                summary.threaded_steps += record.steps;
+            }
             if record.mode == "explore" {
                 cell.explored += 1;
                 summary.explored += 1;
+                cell.max_explored_states = cell.max_explored_states.max(record.explored_states);
+                cell.max_explored_depth = cell.max_explored_depth.max(record.explored_depth);
                 if record.verified {
                     cell.verified += 1;
                     summary.verified += 1;
@@ -166,10 +193,17 @@ impl Summary {
     /// reachable interleaving checked) from sampled ones (`sampled`: zero
     /// violations observed, which is strictly weaker); `TRUNCATED` flags
     /// explorations that hit a budget before exhausting the state space.
+    ///
+    /// Campaigns with explore-mode records gain `states`/`depth` columns
+    /// (maximum states visited and maximum exploration depth per cell);
+    /// campaigns with threaded records gain `wall-ms`/`steps/s` columns
+    /// (total wall clock, millisecond display of the microsecond totals, and
+    /// aggregate throughput per cell).
     pub fn render(&self) -> String {
+        let show_explore = self.explored > 0;
+        let show_threaded = self.threaded_runs > 0;
         let mut out = String::new();
-        let _ = writeln!(
-            out,
+        let mut header = format!(
             "{:>3} {:>2} {:>2} {:<24} {:>5} {:>7} {:>7} {:>6} {:>9} {:>9} {:>7} {:>6} {:>6} {:<10}",
             "n",
             "m",
@@ -186,6 +220,13 @@ impl Summary {
             "steps",
             "coverage"
         );
+        if show_explore {
+            let _ = write!(header, " {:>9} {:>6}", "states", "depth");
+        }
+        if show_threaded {
+            let _ = write!(header, " {:>8} {:>9}", "wall-ms", "steps/s");
+        }
+        let _ = writeln!(out, "{header}");
         for (key, cell) in &self.cells {
             let algorithm = if key.instances > 1 {
                 format!("{} x{}", key.algorithm, key.instances)
@@ -206,8 +247,7 @@ impl Summary {
             } else {
                 "mixed"
             };
-            let _ = writeln!(
-                out,
+            let mut row = format!(
                 "{:>3} {:>2} {:>2} {:<24} {:>5} {:>7} {:>7} {:>6} {:>9} {:>9} {:>7} {:>6} {:>6} {:<10}",
                 key.n,
                 key.m,
@@ -228,6 +268,31 @@ impl Summary {
                 cell.max_steps_seen,
                 coverage,
             );
+            if show_explore {
+                if cell.explored > 0 {
+                    let _ = write!(
+                        row,
+                        " {:>9} {:>6}",
+                        cell.max_explored_states, cell.max_explored_depth
+                    );
+                } else {
+                    let _ = write!(row, " {:>9} {:>6}", "-", "-");
+                }
+            }
+            if show_threaded {
+                if cell.threaded_runs > 0 {
+                    let _ = write!(
+                        row,
+                        " {:>8.3} {:>9}",
+                        cell.total_wall_us as f64 / 1000.0,
+                        steps_per_sec(cell.threaded_steps, cell.total_wall_us)
+                            .map_or_else(|| "-".into(), |r| r.to_string())
+                    );
+                } else {
+                    let _ = write!(row, " {:>8} {:>9}", "-", "-");
+                }
+            }
+            let _ = writeln!(out, "{row}");
         }
         let _ = writeln!(
             out,
@@ -248,8 +313,29 @@ impl Summary {
                 self.exhaustiveness_gaps()
             );
         }
+        if self.threaded_runs > 0 {
+            let rate = steps_per_sec(self.threaded_steps, self.total_wall_us)
+                .map_or_else(|| "-".into(), |r| format!("~{r}"));
+            let _ = writeln!(
+                out,
+                "threaded: {} runs on real threads, {} total steps in {:.3} ms wall clock \
+                 ({rate} steps/s)",
+                self.threaded_runs,
+                self.threaded_steps,
+                self.total_wall_us as f64 / 1000.0
+            );
+        }
         out
     }
+}
+
+/// Aggregate steps-per-second over `wall_us` microseconds; `None` when the
+/// wall clock never resolved (throughput would be meaningless, not huge).
+fn steps_per_sec(steps: u64, wall_us: u64) -> Option<u64> {
+    if wall_us == 0 {
+        return None;
+    }
+    Some(steps.saturating_mul(1_000_000) / wall_us)
 }
 
 /// One scenario whose measurements changed between two result files.
@@ -391,6 +477,7 @@ mod tests {
             instances: 1,
             adversary: "obstruction:50".into(),
             mode: "sample".into(),
+            backend: "scheduled".into(),
             contention_steps: 300,
             survivors: 2,
             crashes: 0,
@@ -413,7 +500,10 @@ mod tests {
             component_bound: 7,
             bound_ok: true,
             explored_states: 0,
+            explored_depth: 0,
             verified: false,
+            wall_us: 0,
+            steps_per_sec: 0,
         }
     }
 
@@ -488,7 +578,9 @@ mod tests {
         let mut explored = record(0);
         explored.adversary = "exhaustive".into();
         explored.mode = "explore".into();
+        explored.backend = "explore".into();
         explored.explored_states = 999;
+        explored.explored_depth = 55;
         explored.verified = true;
         let mut sampled = record(0);
         sampled.n = 8; // a different cell
@@ -496,10 +588,72 @@ mod tests {
         assert_eq!(summary.explored, 1);
         assert_eq!(summary.verified, 1);
         assert_eq!(summary.exhaustiveness_gaps(), 0);
+        let cell = summary.cells.values().next().unwrap();
+        assert_eq!(cell.max_explored_states, 999);
+        assert_eq!(cell.max_explored_depth, 55);
         let rendered = summary.render();
         assert!(rendered.contains("exhaustive"), "{rendered}");
         assert!(rendered.contains("sampled"), "{rendered}");
         assert!(rendered.contains("exploration: 1 cells explored, 1 exhaustively verified"));
+        // The explore columns show states and depth for the explored cell
+        // and dashes for the sampled one.
+        assert!(rendered.contains("states"), "{rendered}");
+        assert!(rendered.contains("depth"), "{rendered}");
+        assert!(rendered.contains("999"), "{rendered}");
+        assert!(rendered.contains("55"), "{rendered}");
+        assert!(rendered.contains('-'), "{rendered}");
+    }
+
+    #[test]
+    fn threaded_cells_report_wall_clock_and_throughput() {
+        let mut threaded = record(0);
+        threaded.adversary = "hardware".into();
+        threaded.backend = "threaded".into();
+        threaded.steps = 5000;
+        threaded.wall_us = 10_000;
+        threaded.steps_per_sec = 500_000;
+        let mut more = record(1);
+        more.adversary = "hardware".into();
+        more.backend = "threaded".into();
+        more.steps = 3000;
+        more.wall_us = 10_000;
+        let mut sampled = record(2);
+        sampled.n = 8; // a different cell
+        let summary = Summary::of(&[threaded, more, sampled]);
+        assert_eq!(summary.threaded_runs, 2);
+        assert_eq!(summary.total_wall_us, 20_000);
+        assert_eq!(summary.threaded_steps, 8000);
+        let cell = summary.cells.values().next().unwrap();
+        assert_eq!(cell.threaded_runs, 2);
+        assert_eq!(cell.total_wall_us, 20_000);
+        let rendered = summary.render();
+        assert!(rendered.contains("wall-ms"), "{rendered}");
+        assert!(rendered.contains("steps/s"), "{rendered}");
+        // 8000 steps over 20 ms = 400000 steps/s.
+        assert!(rendered.contains("400000"), "{rendered}");
+        assert!(
+            rendered.contains("threaded: 2 runs on real threads"),
+            "{rendered}"
+        );
+        // Campaigns without threaded records do not grow the columns.
+        let plain = Summary::of(&[record(0)]).render();
+        assert!(!plain.contains("wall-ms"), "{plain}");
+    }
+
+    #[test]
+    fn unresolved_wall_clocks_render_as_dashes_not_infinity() {
+        let mut fast = record(0);
+        fast.adversary = "hardware".into();
+        fast.backend = "threaded".into();
+        fast.steps = 5000;
+        fast.wall_us = 0;
+        let summary = Summary::of(&[fast]);
+        assert_eq!(steps_per_sec(5000, 0), None);
+        assert!(
+            summary.render().contains("- steps/s"),
+            "{}",
+            summary.render()
+        );
     }
 
     #[test]

@@ -48,7 +48,7 @@ fn run_bytes(threads: usize) -> Vec<u8> {
         &crash_campaign(),
         EngineConfig {
             threads,
-            progress_every: 0,
+            ..EngineConfig::default()
         },
         &mut bytes,
     )

@@ -36,7 +36,7 @@ fn run_bytes(threads: usize) -> Vec<u8> {
         &campaign(),
         EngineConfig {
             threads,
-            progress_every: 0,
+            ..EngineConfig::default()
         },
         &mut bytes,
     )

@@ -8,7 +8,9 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use sa_model::Params;
-use sa_sweep::{AdversarySpec, CampaignMode, CampaignSpec, ParamsSpec, Survivors, WorkloadSpec};
+use sa_sweep::{
+    AdversarySpec, BackendSpec, CampaignMode, CampaignSpec, ParamsSpec, Survivors, WorkloadSpec,
+};
 use set_agreement::Algorithm;
 
 fn base_adversary() -> BoxedStrategy<AdversarySpec> {
@@ -97,20 +99,31 @@ fn workload() -> BoxedStrategy<WorkloadSpec> {
     .boxed()
 }
 
+fn backends() -> BoxedStrategy<Vec<BackendSpec>> {
+    prop_oneof![
+        Just(vec![BackendSpec::Scheduled]),
+        Just(vec![BackendSpec::Threaded]),
+        Just(vec![BackendSpec::Scheduled, BackendSpec::Threaded]),
+        Just(vec![BackendSpec::Threaded, BackendSpec::Scheduled]),
+    ]
+    .boxed()
+}
+
 fn campaign() -> BoxedStrategy<CampaignSpec> {
     (
         params_spec(),
         vec(algorithm(), 1..4),
-        vec(adversary(), 1..4),
+        (vec(adversary(), 1..4), backends()),
         seeds(),
         workload(),
     )
         .prop_map(
-            |(params, algorithms, adversaries, seeds, workload)| CampaignSpec {
+            |(params, algorithms, (adversaries, backends), seeds, workload)| CampaignSpec {
                 name: "prop".into(),
                 params,
                 algorithms,
                 adversaries,
+                backends,
                 seeds,
                 workload,
                 ..CampaignSpec::default()

@@ -11,7 +11,7 @@
 //! ```
 
 use set_agreement::model::Params;
-use set_agreement::{Adversary, Algorithm, Scenario};
+use set_agreement::{Adversary, Algorithm, ExecutionPlan, Executor};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = Params::new(6, 2, 3)?;
@@ -50,12 +50,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<44} {:>8} {:>9} {:>9} {:>6}",
         "adversary", "steps", "deciders", "distinct", "safe"
     );
+    // One executor, many plans: the adversary is the only thing that varies.
+    let executor = Executor::scheduled();
     for (label, adversary) in adversaries {
-        let report = Scenario::new(params)
+        let plan = ExecutionPlan::new(params)
             .algorithm(Algorithm::OneShot)
             .adversary(adversary)
-            .max_steps(60_000)
-            .run();
+            .max_steps(60_000);
+        let report = executor.execute(&plan).expect_scheduled();
         println!(
             "{:<44} {:>8} {:>9} {:>9} {:>6}",
             label,

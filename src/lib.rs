@@ -15,26 +15,46 @@
 //!   a bounded exhaustive explorer — [`runtime`],
 //! * the bounds of Figure 1 and executable witnesses of both lower-bound
 //!   mechanisms — [`lowerbound`],
-//! * this facade crate, which re-exports everything and adds the
-//!   [`Scenario`] builder used by the examples and benches.
+//! * this facade crate, which re-exports everything and adds the unified
+//!   execution API — [`ExecutionPlan`] → [`Executor`] → [`ExecutionReport`]
+//!   — used by the examples, benches and the sweep engine, plus the
+//!   [`Scenario`] shim kept for the original builder surface.
+//!
+//! # Execution model
+//!
+//! An execution has three orthogonal axes:
+//!
+//! 1. **what** runs — an [`ExecutionPlan`]: parameters, [`Algorithm`],
+//!    [`Adversary`], workload and step budget;
+//! 2. **how** it runs — a [`Backend`]: the deterministic simulator
+//!    (`Scheduled`), real OS threads (`Threaded`), or the bounded
+//!    exhaustive explorer (`Explore`);
+//! 3. **who fails** — crash failures are part of the *adversary*
+//!    ([`Adversary::Crash`]), not a backend, so they compose with any
+//!    scheduler.
+//!
+//! An [`Executor`] binds a backend (any [`ExecutionBackend`] trait object)
+//! and turns plans into [`ExecutionReport`]s.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use set_agreement::{Adversary, Algorithm, Scenario};
+//! use set_agreement::{Adversary, Algorithm, Backend, ExecutionPlan, Executor};
 //! use set_agreement::model::Params;
 //!
 //! // 2-obstruction-free 3-set agreement among 8 processes, every process
 //! // proposing a distinct value, under the obstruction adversary.
 //! let params = Params::new(8, 2, 3)?;
-//! let report = Scenario::new(params)
+//! let plan = ExecutionPlan::new(params)
 //!     .algorithm(Algorithm::OneShot)
 //!     .adversary(Adversary::Obstruction {
 //!         contention_steps: 200,
 //!         survivors: 2,
 //!         seed: 42,
-//!     })
-//!     .run();
+//!     });
+//! let report = Executor::new(Backend::Scheduled)
+//!     .execute(&plan)
+//!     .expect_scheduled();
 //! assert!(report.safety.is_safe());
 //! assert!(report.survivors_decided);
 //! # Ok::<(), set_agreement::model::ParamsError>(())
@@ -52,7 +72,10 @@ pub use sa_runtime as runtime;
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use crate::{Adversary, Algorithm, ExploreReport, Scenario, ScenarioReport};
+    pub use crate::{
+        Adversary, Algorithm, Backend, ExecutionBackend, ExecutionPlan, ExecutionReport, Executor,
+        ExploreReport, Scenario, ScenarioReport, ThreadedRunReport,
+    };
     pub use sa_core::{
         AnonymousSetAgreement, FullInfoSetAgreement, OneShotSetAgreement, RepeatedSetAgreement,
         SwmrEmulated, WideBaseline,
@@ -61,10 +84,12 @@ pub mod prelude {
     pub use sa_memory::MemoryMetrics;
     pub use sa_model::{Automaton, Decision, DecisionSet, Params, ProcessId};
     pub use sa_runtime::{
-        check_k_agreement, check_validity, Executor, InputLog, ObstructionScheduler, RoundRobin,
-        RunConfig, Scheduler, Workload,
+        check_k_agreement, check_validity, ExploreConfig, InputLog, ObstructionScheduler,
+        RoundRobin, RunConfig, Scheduler, ThreadedConfig, Workload,
     };
 }
+
+pub use sa_runtime::Backend;
 
 use sa_core::{
     AnonymousSetAgreement, OneShotSetAgreement, RepeatedSetAgreement, SwmrEmulated, WideBaseline,
@@ -72,13 +97,14 @@ use sa_core::{
 use sa_memory::MemoryMetrics;
 use sa_model::{Automaton, DecisionSet, Params, ProcessId};
 use sa_runtime::{
-    explore, BurstScheduler, CrashScheduler, Executor, ExploreConfig, ExploredViolation, InputLog,
-    ObstructionScheduler, RandomScheduler, RoundRobin, RunConfig, SafetyReport, Scheduler,
-    SoloScheduler, StopReason, Workload,
+    explore, run_threaded, BurstScheduler, CrashScheduler, Executor as StepExecutor, ExploreConfig,
+    ExploredViolation, InputLog, ObstructionScheduler, RandomScheduler, RoundRobin, RunConfig,
+    SafetyReport, Scheduler, SoloScheduler, StopReason, ThreadedConfig, Workload,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Debug;
 use std::hash::Hash;
+use std::time::{Duration, Instant};
 
 /// Which algorithm of the paper (or baseline) a [`Scenario`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -378,6 +404,10 @@ pub struct ExploreReport {
     pub states_visited: u64,
     /// Maximal paths examined.
     pub paths: u64,
+    /// The deepest schedule prefix (in steps) the search examined; with
+    /// dedup this is the longest non-revisiting path, which can be far
+    /// below the depth budget even when the state space is exhausted.
+    pub max_depth_reached: u64,
     /// `true` if the search hit a depth or state budget before exhausting
     /// the reachable state space.
     pub truncated: bool,
@@ -414,14 +444,198 @@ impl ExploreReport {
     }
 }
 
-/// A declarative description of one simulated execution: parameters,
-/// algorithm, workload, adversary and step budget.
+/// The result of running an [`ExecutionPlan`] on [`Backend::Threaded`]:
+/// the same automata driven by one OS thread per process against the
+/// lock-based shared memory.
 ///
-/// `Scenario` is the high-level entry point used by the examples and the
-/// benchmark harness; tests that need finer control drive
-/// [`Executor`] directly.
+/// Unlike a [`ScenarioReport`], nothing here is deterministic beyond the
+/// inputs: the hardware decides the linearization order, so consumers
+/// assert *safety counters* (validity, k-agreement, space bounds), never
+/// step traces. Given the same [`ThreadedConfig::seed`] the run is
+/// reproducible **up to interleaving** — inputs and spawn order are pinned.
 #[derive(Debug, Clone)]
-pub struct Scenario {
+pub struct ThreadedRunReport {
+    /// The parameters the plan ran with.
+    pub params: Params,
+    /// The algorithm that ran.
+    pub algorithm: Algorithm,
+    /// The threaded configuration (per-thread budget, stagger, seed).
+    pub config: ThreadedConfig,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Total shared-memory steps across all threads.
+    pub steps: u64,
+    /// Steps taken by each process.
+    pub steps_per_process: Vec<u64>,
+    /// Which processes halted (completed all their operations) in budget.
+    pub halted: Vec<bool>,
+    /// All decisions, grouped by instance.
+    pub decisions: DecisionSet,
+    /// Decisions in wall-clock arrival order — the only ordering evidence a
+    /// threaded run yields (e.g. that each process decides its repeated
+    /// instances in instance order).
+    pub arrival_order: Vec<(ProcessId, model::Decision)>,
+    /// Validity and k-agreement evaluated over the run.
+    pub safety: SafetyReport,
+    /// Shared-memory usage metrics.
+    pub metrics: MemoryMetrics,
+    /// Distinct base objects (registers or snapshot components) written.
+    pub locations_written: usize,
+}
+
+impl ThreadedRunReport {
+    /// `true` if every process halted within its budget. Not guaranteed for
+    /// obstruction-free algorithms when all `n` threads keep contending —
+    /// that is the paper's whole point — so tests assert safety, not this.
+    pub fn all_halted(&self) -> bool {
+        self.halted.iter().all(|h| *h)
+    }
+
+    /// Aggregate throughput in shared-memory steps per second (0.0 when the
+    /// run was too fast for the clock to resolve).
+    pub fn steps_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.steps as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The result of executing an [`ExecutionPlan`] — one variant per
+/// [`Backend`], with backend-agnostic accessors for the fields campaigns
+/// aggregate.
+#[derive(Debug, Clone)]
+pub enum ExecutionReport {
+    /// A [`Backend::Scheduled`] run.
+    Scheduled(ScenarioReport),
+    /// A [`Backend::Threaded`] run.
+    Threaded(ThreadedRunReport),
+    /// A [`Backend::Explore`] exhaustive exploration.
+    Explored(ExploreReport),
+}
+
+impl ExecutionReport {
+    /// The label of the backend that produced this report.
+    pub fn backend_label(&self) -> &'static str {
+        match self {
+            ExecutionReport::Scheduled(_) => "scheduled",
+            ExecutionReport::Threaded(_) => "threaded",
+            ExecutionReport::Explored(_) => "explore",
+        }
+    }
+
+    /// `true` if validity and k-agreement held (for explorations: in every
+    /// configuration the search reached).
+    pub fn safe(&self) -> bool {
+        match self {
+            ExecutionReport::Scheduled(r) => r.safety.is_safe(),
+            ExecutionReport::Threaded(r) => r.safety.is_safe(),
+            ExecutionReport::Explored(r) => r.safe(),
+        }
+    }
+
+    /// Steps executed (0 for explorations, which count states instead).
+    pub fn steps(&self) -> u64 {
+        match self {
+            ExecutionReport::Scheduled(r) => r.steps,
+            ExecutionReport::Threaded(r) => r.steps,
+            ExecutionReport::Explored(_) => 0,
+        }
+    }
+
+    /// Distinct base objects written (for explorations: the maximum over
+    /// all reachable states).
+    pub fn locations_written(&self) -> usize {
+        match self {
+            ExecutionReport::Scheduled(r) => r.locations_written,
+            ExecutionReport::Threaded(r) => r.locations_written,
+            ExecutionReport::Explored(r) => r.max_locations_written,
+        }
+    }
+
+    /// The scheduled report, if this was a [`Backend::Scheduled`] run.
+    pub fn as_scheduled(&self) -> Option<&ScenarioReport> {
+        match self {
+            ExecutionReport::Scheduled(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The threaded report, if this was a [`Backend::Threaded`] run.
+    pub fn as_threaded(&self) -> Option<&ThreadedRunReport> {
+        match self {
+            ExecutionReport::Threaded(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The exploration report, if this was a [`Backend::Explore`] run.
+    pub fn as_explored(&self) -> Option<&ExploreReport> {
+        match self {
+            ExecutionReport::Explored(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Unwraps a [`Backend::Scheduled`] report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another backend produced this report.
+    pub fn expect_scheduled(self) -> ScenarioReport {
+        match self {
+            ExecutionReport::Scheduled(r) => r,
+            other => panic!(
+                "expected a scheduled report, got {:?}",
+                other.backend_label()
+            ),
+        }
+    }
+
+    /// Unwraps a [`Backend::Threaded`] report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another backend produced this report.
+    pub fn expect_threaded(self) -> ThreadedRunReport {
+        match self {
+            ExecutionReport::Threaded(r) => r,
+            other => panic!(
+                "expected a threaded report, got {:?}",
+                other.backend_label()
+            ),
+        }
+    }
+
+    /// Unwraps a [`Backend::Explore`] report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another backend produced this report.
+    pub fn expect_explored(self) -> ExploreReport {
+        match self {
+            ExecutionReport::Explored(r) => r,
+            other => panic!(
+                "expected an exploration report, got {:?}",
+                other.backend_label()
+            ),
+        }
+    }
+}
+
+/// A declarative description of **what** to execute: parameters, algorithm,
+/// workload, adversary and step budget. **How** it executes is the
+/// [`Executor`]'s backend, so the same plan can be simulated, run on real
+/// threads, or exhaustively explored without being rebuilt.
+///
+/// Backends ignore the parts of the plan that do not apply to them: the
+/// threaded backend lets the hardware schedule (the adversary is unused),
+/// and the explorer quantifies over *all* schedules (adversary unused) with
+/// `max_steps` reinterpreted by [`ExploreConfig`]'s own budgets.
+#[derive(Debug, Clone)]
+pub struct ExecutionPlan {
     params: Params,
     algorithm: Algorithm,
     adversary: Adversary,
@@ -429,12 +643,12 @@ pub struct Scenario {
     max_steps: u64,
 }
 
-impl Scenario {
-    /// Creates a scenario with the default algorithm (Figure 3 one-shot), a
+impl ExecutionPlan {
+    /// Creates a plan with the default algorithm (Figure 3 one-shot), a
     /// round-robin adversary, an all-distinct workload and a one-million-step
     /// budget.
     pub fn new(params: Params) -> Self {
-        Scenario {
+        ExecutionPlan {
             params,
             algorithm: Algorithm::OneShot,
             adversary: Adversary::RoundRobin,
@@ -449,7 +663,7 @@ impl Scenario {
         self
     }
 
-    /// Selects the adversary schedule.
+    /// Selects the adversary schedule (used by [`Backend::Scheduled`] only).
     pub fn adversary(mut self, adversary: Adversary) -> Self {
         self.adversary = adversary;
         self
@@ -462,15 +676,32 @@ impl Scenario {
         self
     }
 
-    /// Sets the step budget.
+    /// Sets the step budget ([`Backend::Scheduled`]; the other backends
+    /// carry their own budgets in their configs).
     pub fn max_steps(mut self, max_steps: u64) -> Self {
         self.max_steps = max_steps;
         self
     }
 
-    /// The parameters of this scenario.
+    /// The parameters of this plan.
     pub fn params(&self) -> Params {
         self.params
+    }
+
+    /// The algorithm this plan runs.
+    pub fn algorithm_selected(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The adversary this plan schedules under ([`Backend::Scheduled`]).
+    pub fn adversary_selected(&self) -> &Adversary {
+        &self.adversary
+    }
+
+    /// Executes this plan on `backend` — shorthand for
+    /// `Executor::new(backend).execute(&plan)`.
+    pub fn execute(&self, backend: Backend) -> ExecutionReport {
+        Executor::new(backend).execute(self)
     }
 
     fn effective_workload(&self) -> Workload {
@@ -479,25 +710,9 @@ impl Scenario {
             .unwrap_or_else(|| Workload::all_distinct(self.params.n(), self.algorithm.instances()))
     }
 
-    /// Runs the scenario and reports decisions, safety and space usage.
-    pub fn run(&self) -> ScenarioReport {
-        self.with_automata(RunDriver)
-    }
-
-    /// Exhaustively explores **every** interleaving of the scenario's
-    /// processes up to the configured depth and state budgets, checking
-    /// validity and k-agreement in every reachable configuration.
-    ///
-    /// The adversary is deliberately ignored: exploration quantifies over
-    /// all schedules, which subsumes any single adversary. Feasible only
-    /// for tiny cells (a handful of processes, a modest depth bound).
-    pub fn explore(&self, config: ExploreConfig) -> ExploreReport {
-        self.with_automata(ExploreDriver { config })
-    }
-
     /// Builds the automata for the configured algorithm and hands them to
     /// `driver` — the single place where the algorithm dispatch happens, so
-    /// sampling runs and exhaustive exploration construct identical systems.
+    /// every backend constructs identical systems.
     fn with_automata<D: AutomataDriver>(&self, driver: D) -> D::Output {
         let params = self.params;
         let workload = self.effective_workload();
@@ -569,12 +784,14 @@ impl Scenario {
         }
     }
 
-    fn drive<A>(&self, automata: Vec<A>, workload: &Workload) -> ScenarioReport
+    /// One sampled execution under the plan's adversary on the
+    /// deterministic simulator.
+    fn run_scheduled<A>(&self, automata: Vec<A>, workload: &Workload) -> ScenarioReport
     where
         A: Automaton + Clone + Debug + Hash,
         A::Value: Clone + Eq + Debug + Hash,
     {
-        let mut executor = Executor::new(automata);
+        let mut executor = StepExecutor::new(automata);
         let mut scheduler = self.adversary.build(self.params.n());
         let report = executor.run(&mut *scheduler, RunConfig::with_max_steps(self.max_steps));
 
@@ -599,54 +816,63 @@ impl Scenario {
             metrics: report.metrics,
         }
     }
-}
 
-/// Rank-2 dispatch over the algorithm's concrete automaton type: the
-/// [`Scenario::with_automata`] match instantiates `drive` once per
-/// algorithm, so every consumer of a built system (sampling runs,
-/// exhaustive exploration) is written once, generically.
-trait AutomataDriver {
-    /// What the driver produces.
-    type Output;
-
-    /// Consumes the constructed automata.
-    fn drive<A>(self, scenario: &Scenario, automata: Vec<A>, workload: &Workload) -> Self::Output
+    /// One execution on real OS threads: the hardware linearizes, the
+    /// adversary is unused, and the report carries wall-clock throughput.
+    fn run_on_threads<A>(
+        &self,
+        automata: Vec<A>,
+        workload: &Workload,
+        config: ThreadedConfig,
+    ) -> ThreadedRunReport
     where
-        A: Automaton + Clone + Debug + Hash,
-        A::Value: Clone + Eq + Debug + Hash;
-}
-
-/// Drives one sampled execution under the scenario's adversary.
-struct RunDriver;
-
-impl AutomataDriver for RunDriver {
-    type Output = ScenarioReport;
-
-    fn drive<A>(self, scenario: &Scenario, automata: Vec<A>, workload: &Workload) -> ScenarioReport
-    where
-        A: Automaton + Clone + Debug + Hash,
-        A::Value: Clone + Eq + Debug + Hash,
+        A: Automaton + Send,
+        A::Value: Clone + Eq + Debug + Send + Sync,
     {
-        scenario.drive(automata, workload)
+        let start = Instant::now();
+        let report = run_threaded(automata, config);
+        // Prefer the runtime's own measurement but never report a zero wall
+        // clock for a run that visibly took time.
+        let wall = if report.wall > Duration::ZERO {
+            report.wall
+        } else {
+            start.elapsed()
+        };
+
+        let mut inputs = InputLog::new();
+        inputs.record_matrix(workload.matrix());
+        let safety = SafetyReport::evaluate(self.params.k(), &inputs, &report.decisions);
+
+        ThreadedRunReport {
+            params: self.params,
+            algorithm: self.algorithm,
+            config,
+            wall,
+            steps: report.total_steps(),
+            steps_per_process: report.steps_per_process,
+            halted: report.halted,
+            locations_written: report.metrics.distinct_locations_written(),
+            decisions: report.decisions,
+            arrival_order: report.arrival_order,
+            safety,
+            metrics: report.metrics,
+        }
     }
-}
 
-/// Exhaustively explores every interleaving, checking validity and
-/// k-agreement in each reachable configuration.
-struct ExploreDriver {
-    config: ExploreConfig,
-}
-
-impl AutomataDriver for ExploreDriver {
-    type Output = ExploreReport;
-
-    fn drive<A>(self, scenario: &Scenario, automata: Vec<A>, workload: &Workload) -> ExploreReport
+    /// Bounded exhaustive exploration of every interleaving, checking
+    /// validity and k-agreement in each reachable configuration.
+    fn run_exploration<A>(
+        &self,
+        automata: Vec<A>,
+        workload: &Workload,
+        config: ExploreConfig,
+    ) -> ExploreReport
     where
         A: Automaton + Clone + Debug + Hash,
         A::Value: Clone + Eq + Debug + Hash,
     {
-        let executor = Executor::new(automata);
-        let k = scenario.params.k();
+        let executor = StepExecutor::new(automata);
+        let k = self.params.k();
         // Validity: anything decided in instance t must have been proposed
         // by some process in instance t.
         let mut allowed: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
@@ -660,7 +886,7 @@ impl AutomataDriver for ExploreDriver {
         let mut max_components_written = 0usize;
         let mut violated_validity = false;
         let mut violated_agreement = false;
-        let result = explore(&executor, self.config, |exec| {
+        let result = explore(&executor, config, |exec| {
             let metrics = exec.memory().metrics();
             let locations = metrics.distinct_locations_written();
             let registers = metrics.registers_written();
@@ -690,10 +916,11 @@ impl AutomataDriver for ExploreDriver {
             None
         });
         ExploreReport {
-            params: scenario.params,
-            algorithm: scenario.algorithm,
+            params: self.params,
+            algorithm: self.algorithm,
             states_visited: result.states_visited,
             paths: result.paths,
+            max_depth_reached: result.max_depth_reached,
             truncated: result.truncated,
             violation: result.violation,
             validity_ok: !violated_validity,
@@ -702,6 +929,216 @@ impl AutomataDriver for ExploreDriver {
             max_registers_written,
             max_components_written,
         }
+    }
+}
+
+/// An execution backend behind object-safe dispatch: anything that can turn
+/// an [`ExecutionPlan`] into an [`ExecutionReport`].
+///
+/// The built-in implementation is the [`Backend`] enum itself — an
+/// [`Executor`] is "the `Backend` enum behind one trait object". Downstream
+/// code can implement this trait to plug in custom backends (e.g. a
+/// distributed or work-stealing executor) and run unchanged plans through
+/// [`Executor::with_backend`].
+pub trait ExecutionBackend: Debug {
+    /// A short identifier used in records and reports.
+    fn label(&self) -> &'static str;
+
+    /// Executes the plan.
+    fn execute(&self, plan: &ExecutionPlan) -> ExecutionReport;
+}
+
+impl ExecutionBackend for Backend {
+    fn label(&self) -> &'static str {
+        Backend::label(self)
+    }
+
+    fn execute(&self, plan: &ExecutionPlan) -> ExecutionReport {
+        plan.with_automata(BackendDriver { backend: self })
+    }
+}
+
+/// Executes [`ExecutionPlan`]s on a fixed backend.
+///
+/// This is the single execution surface of the workspace: the examples, the
+/// bench binaries and the sweep engine all run through it, so an execution
+/// differs between a campaign and a one-off test only in *what* plan it was
+/// given, never in how the system was assembled.
+#[derive(Debug)]
+pub struct Executor {
+    backend: Box<dyn ExecutionBackend>,
+}
+
+impl Executor {
+    /// An executor for one of the built-in [`Backend`]s.
+    pub fn new(backend: Backend) -> Self {
+        Executor::with_backend(Box::new(backend))
+    }
+
+    /// An executor for the deterministic simulator.
+    pub fn scheduled() -> Self {
+        Executor::new(Backend::Scheduled)
+    }
+
+    /// An executor running one OS thread per process.
+    pub fn threaded(config: ThreadedConfig) -> Self {
+        Executor::new(Backend::Threaded(config))
+    }
+
+    /// An executor that exhaustively explores every interleaving.
+    pub fn exploring(config: ExploreConfig) -> Self {
+        Executor::new(Backend::Explore(config))
+    }
+
+    /// An executor for a custom [`ExecutionBackend`] trait object.
+    pub fn with_backend(backend: Box<dyn ExecutionBackend>) -> Self {
+        Executor { backend }
+    }
+
+    /// The label of this executor's backend.
+    pub fn label(&self) -> &'static str {
+        self.backend.label()
+    }
+
+    /// Executes a plan on this executor's backend.
+    pub fn execute(&self, plan: &ExecutionPlan) -> ExecutionReport {
+        self.backend.execute(plan)
+    }
+}
+
+/// Rank-2 dispatch over the algorithm's concrete automaton type: the
+/// [`ExecutionPlan::with_automata`] match instantiates `drive` once per
+/// algorithm, so every consumer of a built system is written once,
+/// generically.
+trait AutomataDriver {
+    /// What the driver produces.
+    type Output;
+
+    /// Consumes the constructed automata.
+    fn drive<A>(self, plan: &ExecutionPlan, automata: Vec<A>, workload: &Workload) -> Self::Output
+    where
+        A: Automaton + Clone + Debug + Hash + Send,
+        A::Value: Clone + Eq + Debug + Hash + Send + Sync;
+}
+
+/// The one driver behind every backend: dispatches the constructed system
+/// to the simulator, the thread pool or the explorer. This replaces the
+/// former separate `RunDriver`/`ExploreDriver` pair, so adding a backend
+/// touches exactly this match.
+struct BackendDriver<'a> {
+    backend: &'a Backend,
+}
+
+impl AutomataDriver for BackendDriver<'_> {
+    type Output = ExecutionReport;
+
+    fn drive<A>(
+        self,
+        plan: &ExecutionPlan,
+        automata: Vec<A>,
+        workload: &Workload,
+    ) -> ExecutionReport
+    where
+        A: Automaton + Clone + Debug + Hash + Send,
+        A::Value: Clone + Eq + Debug + Hash + Send + Sync,
+    {
+        match self.backend {
+            Backend::Scheduled => {
+                ExecutionReport::Scheduled(plan.run_scheduled(automata, workload))
+            }
+            Backend::Threaded(config) => {
+                ExecutionReport::Threaded(plan.run_on_threads(automata, workload, *config))
+            }
+            Backend::Explore(config) => {
+                ExecutionReport::Explored(plan.run_exploration(automata, workload, *config))
+            }
+        }
+    }
+}
+
+/// The original builder surface, kept as a **thin shim** over the unified
+/// [`ExecutionPlan`] → [`Executor`] → [`ExecutionReport`] API.
+///
+/// [`Scenario::run`] is `Executor::scheduled().execute(&plan)` and
+/// [`Scenario::explore`] is `Executor::exploring(config).execute(&plan)`,
+/// nothing more; new code (and anything that wants the threaded backend)
+/// should hold an [`ExecutionPlan`] directly.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    plan: ExecutionPlan,
+}
+
+impl Scenario {
+    /// Creates a scenario with the default algorithm (Figure 3 one-shot), a
+    /// round-robin adversary, an all-distinct workload and a one-million-step
+    /// budget.
+    pub fn new(params: Params) -> Self {
+        Scenario {
+            plan: ExecutionPlan::new(params),
+        }
+    }
+
+    /// Selects the algorithm to run.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.plan = self.plan.algorithm(algorithm);
+        self
+    }
+
+    /// Selects the adversary schedule.
+    pub fn adversary(mut self, adversary: Adversary) -> Self {
+        self.plan = self.plan.adversary(adversary);
+        self
+    }
+
+    /// Supplies an explicit workload (inputs per process and instance). The
+    /// default is [`Workload::all_distinct`].
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.plan = self.plan.workload(workload);
+        self
+    }
+
+    /// Sets the step budget.
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.plan = self.plan.max_steps(max_steps);
+        self
+    }
+
+    /// The parameters of this scenario.
+    pub fn params(&self) -> Params {
+        self.plan.params()
+    }
+
+    /// The underlying [`ExecutionPlan`].
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
+    /// Converts this scenario into its [`ExecutionPlan`].
+    pub fn into_plan(self) -> ExecutionPlan {
+        self.plan
+    }
+
+    /// Runs the scenario on the deterministic simulator and reports
+    /// decisions, safety and space usage.
+    ///
+    /// Shim for `Executor::scheduled().execute(plan).expect_scheduled()`.
+    pub fn run(&self) -> ScenarioReport {
+        Executor::scheduled().execute(&self.plan).expect_scheduled()
+    }
+
+    /// Exhaustively explores **every** interleaving of the scenario's
+    /// processes up to the configured depth and state budgets, checking
+    /// validity and k-agreement in every reachable configuration.
+    ///
+    /// The adversary is deliberately ignored: exploration quantifies over
+    /// all schedules, which subsumes any single adversary. Feasible only
+    /// for tiny cells (a handful of processes, a modest depth bound).
+    ///
+    /// Shim for `Executor::exploring(config).execute(plan).expect_explored()`.
+    pub fn explore(&self, config: ExploreConfig) -> ExploreReport {
+        Executor::exploring(config)
+            .execute(&self.plan)
+            .expect_explored()
     }
 }
 
@@ -889,7 +1326,7 @@ mod tests {
             inner: Box::new(Adversary::RoundRobin),
             crash_after: vec![(0, 0), (2, 2)],
         };
-        let mut executor = Executor::new(
+        let mut executor = StepExecutor::new(
             (0..4)
                 .map(|p| OneShotSetAgreement::new(params4(), ProcessId(p), p as u64))
                 .collect::<Vec<_>>(),
@@ -962,5 +1399,106 @@ mod tests {
             assert_eq!(value, 99);
         }
         assert_eq!(report.distinct_outputs(1), 1);
+    }
+
+    #[test]
+    fn executor_dispatches_every_backend_on_one_plan() {
+        let plan = ExecutionPlan::new(Params::new(2, 1, 1).unwrap())
+            .algorithm(Algorithm::OneShot)
+            .adversary(Adversary::Solo { process: 0 });
+
+        let scheduled = Executor::scheduled().execute(&plan);
+        assert_eq!(scheduled.backend_label(), "scheduled");
+        assert!(scheduled.safe());
+        assert!(scheduled.steps() > 0);
+        assert!(scheduled.as_scheduled().is_some());
+        assert!(scheduled.as_threaded().is_none());
+
+        let threaded = Executor::threaded(ThreadedConfig::with_step_budget(100_000)).execute(&plan);
+        assert_eq!(threaded.backend_label(), "threaded");
+        assert!(threaded.safe());
+        assert!(threaded.locations_written() > 0);
+
+        let explored = Executor::exploring(ExploreConfig {
+            max_depth: 100_000,
+            max_states: 1_000_000,
+            dedup: true,
+        })
+        .execute(&plan);
+        assert_eq!(explored.backend_label(), "explore");
+        let explored = explored.expect_explored();
+        assert!(explored.verified());
+        assert!(explored.max_depth_reached > 0);
+    }
+
+    #[test]
+    fn scenario_is_a_shim_over_the_plan_api() {
+        let scenario = Scenario::new(params())
+            .algorithm(Algorithm::OneShot)
+            .adversary(Adversary::Obstruction {
+                contention_steps: 100,
+                survivors: 2,
+                seed: 7,
+            });
+        let via_shim = scenario.run();
+        let via_plan = Executor::scheduled()
+            .execute(scenario.plan())
+            .expect_scheduled();
+        // The scheduled backend is deterministic: the shim and the direct
+        // path must agree step-for-step.
+        assert_eq!(via_shim.steps, via_plan.steps);
+        assert_eq!(via_shim.locations_written, via_plan.locations_written);
+        assert_eq!(
+            via_shim.decisions.outputs(1).len(),
+            via_plan.decisions.outputs(1).len()
+        );
+        assert_eq!(scenario.params(), scenario.plan().params());
+    }
+
+    #[test]
+    fn threaded_backend_checks_safety_and_reports_throughput() {
+        let plan = ExecutionPlan::new(params()).algorithm(Algorithm::OneShot);
+        let config = ThreadedConfig::with_step_budget(200_000).seeded(9);
+        let report = Executor::threaded(config).execute(&plan).expect_threaded();
+        // Safety counters, never step traces: the hardware linearizes.
+        assert!(report.safety.is_safe());
+        assert!(report.steps > 0);
+        assert_eq!(report.steps_per_process.len(), 6);
+        assert_eq!(report.config.seed, 9);
+        assert!(report.wall > Duration::ZERO);
+        assert!(report.steps_per_sec() > 0.0);
+        assert!(report.locations_written <= Algorithm::OneShot.component_bound(params()));
+    }
+
+    #[test]
+    fn custom_backends_plug_in_as_trait_objects() {
+        /// A backend that delegates to the simulator but tags its label —
+        /// the extension point future multi-backend scaling uses.
+        #[derive(Debug)]
+        struct Recorder;
+        impl ExecutionBackend for Recorder {
+            fn label(&self) -> &'static str {
+                "recorder"
+            }
+            fn execute(&self, plan: &ExecutionPlan) -> ExecutionReport {
+                Backend::Scheduled.execute(plan)
+            }
+        }
+        let executor = Executor::with_backend(Box::new(Recorder));
+        assert_eq!(executor.label(), "recorder");
+        let plan = ExecutionPlan::new(params()).adversary(Adversary::Solo { process: 1 });
+        assert!(executor.execute(&plan).safe());
+    }
+
+    #[test]
+    fn plan_execute_shorthand_matches_explicit_executor() {
+        let plan = ExecutionPlan::new(params()).adversary(Adversary::Solo { process: 0 });
+        let a = plan.execute(Backend::Scheduled).expect_scheduled();
+        let b = Executor::new(Backend::Scheduled)
+            .execute(&plan)
+            .expect_scheduled();
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(plan.algorithm_selected(), Algorithm::OneShot);
+        assert_eq!(plan.adversary_selected().label(), "solo");
     }
 }
