@@ -139,17 +139,34 @@ impl<V: Clone + Eq + Debug> SimMemory<V> {
     }
 
     /// A compact fingerprint of the register/snapshot contents (not the
-    /// metrics), used by the bounded explorer to deduplicate states.
+    /// metrics), used by the covering adversary to compare configurations.
+    ///
+    /// This is a single 64-bit hash, so distinct contents *can* collide;
+    /// consumers that need collision resistance (the explorers' dedup keys)
+    /// should feed [`SimMemory::hash_contents`] into their own wide hash
+    /// instead of hashing this fingerprint.
     pub fn content_fingerprint(&self) -> u64
     where
         V: std::hash::Hash,
     {
         use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
+        use std::hash::Hasher;
         let mut hasher = DefaultHasher::new();
-        self.registers.hash(&mut hasher);
-        self.snapshots.hash(&mut hasher);
+        self.hash_contents(&mut hasher);
         hasher.finish()
+    }
+
+    /// Hashes the full register/snapshot contents (not the metrics) into
+    /// `hasher`. Unlike [`SimMemory::content_fingerprint`] this exposes the
+    /// raw content stream, so a caller hashing into a wide (or salted) state
+    /// key is not bottlenecked by a 64-bit intermediate.
+    pub fn hash_contents<H: std::hash::Hasher>(&self, hasher: &mut H)
+    where
+        V: std::hash::Hash,
+    {
+        use std::hash::Hash;
+        self.registers.hash(hasher);
+        self.snapshots.hash(hasher);
     }
 }
 

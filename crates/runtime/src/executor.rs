@@ -11,6 +11,7 @@
 //! explorer need.
 
 use crate::explore::ExploreConfig;
+use crate::parallel::ParallelExploreConfig;
 use crate::schedule::{Scheduler, SchedulerView};
 use crate::threaded::ThreadedConfig;
 use crate::trace::{Trace, TraceEvent};
@@ -22,7 +23,7 @@ use std::fmt::Debug;
 /// an execution besides the algorithm and the adversary.
 ///
 /// The same [`Automaton`](sa_model::Automaton) state machines can be driven
-/// three ways, and the paper's safety properties must hold under all of
+/// four ways, and the paper's safety properties must hold under all of
 /// them:
 ///
 /// * [`Backend::Scheduled`] — the deterministic simulator: one atomic step
@@ -34,6 +35,10 @@ use std::fmt::Debug;
 /// * [`Backend::Explore`] — the bounded exhaustive explorer: **every**
 ///   interleaving of a (tiny) configuration is checked, which subsumes any
 ///   single adversary.
+/// * [`Backend::ParallelExplore`] — the same exhaustive check spread over a
+///   work-stealing worker pool, with byte-identical results at any thread
+///   count; the backend that pushes exhaustive verification past the cells
+///   the serial explorer can finish.
 ///
 /// Crash failures are *not* a backend: they are an adversary property
 /// (see [`crate::CrashScheduler`]) layered over [`Backend::Scheduled`],
@@ -47,6 +52,8 @@ pub enum Backend {
     Threaded(ThreadedConfig),
     /// Bounded exhaustive exploration of every interleaving.
     Explore(ExploreConfig),
+    /// Work-stealing exhaustive exploration of every interleaving.
+    ParallelExplore(ParallelExploreConfig),
 }
 
 impl Backend {
@@ -56,6 +63,7 @@ impl Backend {
             Backend::Scheduled => "scheduled",
             Backend::Threaded(_) => "threaded",
             Backend::Explore(_) => "explore",
+            Backend::ParallelExplore(_) => "parallel-explore",
         }
     }
 }

@@ -11,9 +11,15 @@
 //!   bounds allow) are shown to have *some* interleaving that violates
 //!   k-agreement — an executable companion to the Theorem 2 argument.
 //!
-//! States are deduplicated by hashing the automata, the memory contents and
-//! the decisions taken so far, which keeps the search tractable well beyond
-//! naive schedule enumeration.
+//! States are deduplicated by a collision-resistant 128-bit [`StateKey`]
+//! over the automata, the raw memory contents and the decisions taken so
+//! far, which keeps the search tractable well beyond naive schedule
+//! enumeration without risking an unsound prune (see
+//! [`Exploration::verified`]).
+//!
+//! This module is the serial depth-first explorer; its work-stealing
+//! counterpart, which shares the [`StateKey`] dedup guarantee, lives in
+//! [`parallel_explore`](crate::parallel_explore).
 
 use crate::executor::Executor;
 use sa_model::{Automaton, ProcessId};
@@ -27,6 +33,9 @@ pub struct ExploreConfig {
     /// Maximum number of steps along any single execution path.
     pub max_depth: u64,
     /// Maximum number of states to visit before giving up (truncation).
+    /// A state space of **exactly** `max_states` states is exhausted, not
+    /// truncated: truncation means the budget ran out while unexplored
+    /// work remained.
     pub max_states: u64,
     /// Whether to deduplicate states (requires hashing each state; almost
     /// always worth it).
@@ -57,7 +66,9 @@ impl ExploreConfig {
 /// that exhibits it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExploredViolation {
-    /// The schedule (sequence of process ids) leading to the violation.
+    /// The schedule (sequence of process ids) leading to the violation. An
+    /// empty schedule means the **initial** configuration already violates
+    /// the predicate.
     pub schedule: Vec<ProcessId>,
     /// A human-readable description produced by the predicate.
     pub description: String,
@@ -76,37 +87,148 @@ pub struct Exploration {
     /// because the state space was exhausted.
     pub truncated: bool,
     /// The deepest schedule prefix (in steps) the search examined. With
-    /// dedup on this is the longest *non-revisiting* path, which can be far
-    /// below `max_depth` even when the state space is exhausted.
+    /// dedup on this is the longest *non-revisiting* path for the serial
+    /// explorer, and the breadth-first radius of the explored state space
+    /// for the parallel explorer — both can be far below `max_depth` even
+    /// when the state space is exhausted.
     pub max_depth_reached: u64,
+    /// Peak size of the frontier of states awaiting expansion: the deepest
+    /// DFS stack for [`explore`](crate::explore), the widest BFS level for
+    /// [`parallel_explore`](crate::parallel_explore).
+    pub frontier_peak: u64,
+    /// Entries held by the dedup seen-set when the search stopped (0 with
+    /// dedup disabled).
+    pub seen_entries: u64,
+    /// A rough, deterministic estimate of the bytes held by the explorer's
+    /// data structures at their peak: seen-set keys plus frontier states.
+    /// It is an accounting of the dominant terms, not a measurement.
+    pub approx_bytes: u64,
 }
 
 impl Exploration {
     /// `true` if no violation was found and the search was not truncated —
     /// i.e. the predicate holds in **every** reachable configuration within
     /// the depth bound.
+    ///
+    /// # Soundness
+    ///
+    /// Deduplication keys are 128-bit salted hashes of the **full** canonical
+    /// state (every automaton, the raw register/snapshot contents and all
+    /// decisions — see [`StateKey`]), so a reachable state is pruned only if
+    /// a state with the same key was already expanded. A false `verified`
+    /// therefore requires a 128-bit collision between two distinct reachable
+    /// states (probability ≈ `s² / 2¹²⁹` for `s` states — below `10⁻²⁵` even
+    /// at the default two-million-state budget), not a 64-bit one as in
+    /// earlier releases.
     pub fn verified(&self) -> bool {
         self.violation.is_none() && !self.truncated
     }
 }
 
-fn state_key<A>(executor: &Executor<A>) -> u64
+/// A collision-resistant dedup key: two independently salted 64-bit hashes
+/// over the full canonical state.
+///
+/// The pre-fix explorer keyed its seen-set by a single 64-bit
+/// `DefaultHasher` value, so one hash collision anywhere in a million-state
+/// search (birthday probability ≈ `s² / 2⁶⁵`, i.e. one in ~10⁷ per cell —
+/// material across whole campaigns) could unsoundly prune a reachable state
+/// while still reporting `verified`. The widened key makes that probability
+/// negligible; see [`Exploration::verified`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateKey([u64; 2]);
+
+impl StateKey {
+    /// The two independently salted halves of the key.
+    pub fn parts(&self) -> [u64; 2] {
+        self.0
+    }
+
+    /// The shard index this key belongs to when the seen-set is split into
+    /// `shards` parts — a prefix of the first half, so keys spread evenly.
+    pub fn shard(&self, shards: usize) -> usize {
+        debug_assert!(shards.is_power_of_two(), "shard counts are powers of two");
+        ((self.0[0] >> 48) as usize) & (shards - 1)
+    }
+}
+
+/// Feeds one canonical-state stream into two differently salted
+/// `DefaultHasher`s, producing both halves of a [`StateKey`] in one
+/// traversal of the state.
+struct SplitHasher {
+    plain: std::collections::hash_map::DefaultHasher,
+    salted: std::collections::hash_map::DefaultHasher,
+}
+
+impl SplitHasher {
+    fn new() -> Self {
+        let plain = std::collections::hash_map::DefaultHasher::new();
+        let mut salted = std::collections::hash_map::DefaultHasher::new();
+        // Any fixed non-trivial prefix decorrelates the two finishes; the
+        // SplitMix64 increment is as good as any.
+        salted.write_u64(0x9E37_79B9_7F4A_7C15);
+        SplitHasher { plain, salted }
+    }
+
+    /// Consumes the hasher into the full 128-bit key. Deliberately not
+    /// named `finish`: the `Hasher::finish` impl below yields only the
+    /// unsalted half, and shadowing it would invite exactly the 64-bit-key
+    /// bug this type exists to fix.
+    fn into_key(self) -> StateKey {
+        StateKey([self.plain.finish(), self.salted.finish()])
+    }
+}
+
+impl Hasher for SplitHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        self.plain.write(bytes);
+        self.salted.write(bytes);
+    }
+
+    fn finish(&self) -> u64 {
+        self.plain.finish()
+    }
+}
+
+/// The dedup key of an executor configuration: automata, raw memory
+/// contents and decisions, hashed into a [`StateKey`]. Shared by the serial
+/// and the parallel explorer so their seen-sets agree on state identity.
+pub fn state_key<A>(executor: &Executor<A>) -> StateKey
 where
     A: Automaton + Hash,
     A::Value: Hash + Clone + Eq + Debug,
 {
-    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    let mut hasher = SplitHasher::new();
     for p in 0..executor.process_count() {
         executor.automaton(ProcessId(p)).hash(&mut hasher);
     }
-    executor.memory().content_fingerprint().hash(&mut hasher);
+    // Hash the raw contents, not `content_fingerprint()`: routing the state
+    // through a 64-bit intermediate would cap the whole key at 64 bits of
+    // collision resistance no matter how wide the final key is.
+    executor.memory().hash_contents(&mut hasher);
     executor.decisions().hash(&mut hasher);
-    hasher.finish()
+    hasher.into_key()
+}
+
+/// The deterministic rough byte estimate behind
+/// [`Exploration::approx_bytes`]: seen-set keys (plus table overhead) and
+/// peak frontier entries (state struct shell, per-process automata, and the
+/// schedule prefix).
+pub(crate) fn estimate_bytes<A: Automaton>(
+    processes: usize,
+    seen_entries: u64,
+    frontier_peak: u64,
+    depth: u64,
+) -> u64 {
+    let key_entry = (std::mem::size_of::<StateKey>() + std::mem::size_of::<u64>()) as u64;
+    let state_entry = (std::mem::size_of::<Executor<A>>() + processes * std::mem::size_of::<A>())
+        as u64
+        + depth * std::mem::size_of::<ProcessId>() as u64;
+    seen_entries * key_entry + frontier_peak * state_entry
 }
 
 /// Exhaustively explores every interleaving of the executor's processes up to
 /// the configured depth, checking `predicate` in every reachable
-/// configuration.
+/// configuration — **including the initial one**.
 ///
 /// The predicate receives the executor after each step and returns
 /// `Some(description)` to report a violation (which stops the search) or
@@ -117,26 +239,46 @@ where
     A::Value: Hash + Clone + Eq + Debug,
     F: FnMut(&Executor<A>) -> Option<String>,
 {
-    let mut seen: HashSet<u64> = HashSet::new();
+    let mut seen: HashSet<StateKey> = HashSet::new();
     let mut result = Exploration {
         states_visited: 0,
         paths: 0,
         violation: None,
         truncated: false,
         max_depth_reached: 0,
+        frontier_peak: 0,
+        seen_entries: 0,
+        approx_bytes: 0,
     };
+    // The initial configuration is reachable (by the empty schedule): a
+    // predicate that rejects it must be reported, not silently skipped.
+    if let Some(description) = predicate(initial) {
+        result.states_visited = 1;
+        result.violation = Some(ExploredViolation {
+            schedule: Vec::new(),
+            description,
+        });
+        return result;
+    }
     // Depth-first search over (executor state, schedule prefix).
     let mut stack: Vec<(Executor<A>, Vec<ProcessId>)> = vec![(initial.clone(), Vec::new())];
+    result.frontier_peak = 1;
     if config.dedup {
         seen.insert(state_key(initial));
     }
-    while let Some((state, schedule)) = stack.pop() {
-        result.states_visited += 1;
-        result.max_depth_reached = result.max_depth_reached.max(schedule.len() as u64);
+    loop {
+        // Truncation means the budget ran out while work remained; visiting
+        // exactly `max_states` states and then finding the stack empty is an
+        // exhausted search.
+        let Some((state, schedule)) = stack.pop() else {
+            break;
+        };
         if result.states_visited >= config.max_states {
             result.truncated = true;
             break;
         }
+        result.states_visited += 1;
+        result.max_depth_reached = result.max_depth_reached.max(schedule.len() as u64);
         let runnable = state.runnable();
         if runnable.is_empty() || schedule.len() as u64 >= config.max_depth {
             if !runnable.is_empty() {
@@ -157,6 +299,13 @@ where
                     schedule: next_schedule,
                     description,
                 });
+                result.seen_entries = seen.len() as u64;
+                result.approx_bytes = estimate_bytes::<A>(
+                    initial.process_count(),
+                    result.seen_entries,
+                    result.frontier_peak,
+                    result.max_depth_reached,
+                );
                 return result;
             }
             if config.dedup {
@@ -167,13 +316,25 @@ where
             }
             stack.push((next, next_schedule));
         }
+        result.frontier_peak = result.frontier_peak.max(stack.len() as u64);
     }
+    result.seen_entries = seen.len() as u64;
+    result.approx_bytes = estimate_bytes::<A>(
+        initial.process_count(),
+        result.seen_entries,
+        result.frontier_peak,
+        result.max_depth_reached,
+    );
     result
 }
 
 /// Convenience predicate: fail whenever more than `k` distinct values have
 /// been decided in any instance (the k-Agreement safety property).
-pub fn agreement_predicate<A>(k: usize) -> impl FnMut(&Executor<A>) -> Option<String>
+///
+/// The closure is `Fn + Sync`, so one definition serves both [`explore`]
+/// (which accepts any `FnMut`) and
+/// [`parallel_explore`](crate::parallel_explore).
+pub fn agreement_predicate<A>(k: usize) -> impl Fn(&Executor<A>) -> Option<String> + Sync
 where
     A: Automaton,
     A::Value: Clone + Eq + Debug,
@@ -233,6 +394,28 @@ mod tests {
     }
 
     #[test]
+    fn explorer_checks_the_initial_configuration() {
+        // A predicate that rejects ONLY the initial configuration (before
+        // any step is taken): pre-fix, the explorer never evaluated the
+        // predicate on the root, so this system read as `verified`.
+        let exec = Executor::new(vec![ToyWriter::new(0, 1), ToyWriter::new(1, 2)]);
+        let result = explore(&exec, ExploreConfig::default(), |e| {
+            (e.steps() == 0).then(|| "the initial configuration is rejected".to_string())
+        });
+        assert!(!result.verified());
+        assert_eq!(result.states_visited, 1);
+        let violation = result
+            .violation
+            .expect("a depth-0 violation must be reported");
+        assert!(
+            violation.schedule.is_empty(),
+            "the witnessing schedule for a root violation is empty, got {:?}",
+            violation.schedule
+        );
+        assert!(violation.description.contains("initial configuration"));
+    }
+
+    #[test]
     fn depth_bound_reports_truncation() {
         let exec = Executor::new(vec![ToyWriter::new(0, 1), ToyWriter::new(1, 2)]);
         let result = explore(&exec, ExploreConfig::with_depth(1), agreement_predicate(2));
@@ -260,6 +443,60 @@ mod tests {
         };
         let result = explore(&exec, config, agreement_predicate(2));
         assert!(result.truncated);
+        assert_eq!(result.states_visited, 2, "the budget itself is honored");
+    }
+
+    #[test]
+    fn exact_state_budget_is_exhausted_not_truncated() {
+        // The 2-writer space has a known, fixed size; a budget of exactly
+        // that size must report an exhausted (verified) search. Pre-fix, the
+        // `>=`-after-increment comparison flagged it as truncated.
+        let exec = Executor::new(vec![ToyWriter::new(0, 1), ToyWriter::new(1, 2)]);
+        let space = explore(&exec, ExploreConfig::default(), agreement_predicate(2));
+        assert!(space.verified());
+        let exact = ExploreConfig {
+            max_states: space.states_visited,
+            ..ExploreConfig::default()
+        };
+        let result = explore(&exec, exact, agreement_predicate(2));
+        assert!(
+            result.verified(),
+            "a budget of exactly the space size ({}) must exhaust, got {result:?}",
+            space.states_visited
+        );
+        assert_eq!(result.states_visited, space.states_visited);
+
+        // One state fewer genuinely truncates.
+        let short = ExploreConfig {
+            max_states: space.states_visited - 1,
+            ..ExploreConfig::default()
+        };
+        let result = explore(&exec, short, agreement_predicate(2));
+        assert!(result.truncated);
+        assert!(!result.verified());
+    }
+
+    #[test]
+    fn state_keys_are_wide_and_distinguish_states() {
+        // Regression shape for the 64-bit dedup keys: the seen-set key is
+        // 128 bits wide, its halves are independently salted, and distinct
+        // reachable states produce distinct keys. (The pre-fix code had a
+        // single `u64` key, so this test did not even compile against it.)
+        assert_eq!(std::mem::size_of::<StateKey>(), 16);
+        let mut exec = Executor::new(vec![ToyWriter::new(0, 1), ToyWriter::new(1, 2)]);
+        let root = state_key(&exec);
+        assert_ne!(
+            root.parts()[0],
+            root.parts()[1],
+            "the salt must decorrelate the two halves"
+        );
+        exec.step(ProcessId(0));
+        let stepped = state_key(&exec);
+        assert_ne!(root, stepped);
+        // Keys are pure functions of the state.
+        assert_eq!(stepped, state_key(&exec));
+        // Shards are a prefix of the first half and stay in range.
+        assert!(root.shard(64) < 64);
     }
 
     #[test]
@@ -282,6 +519,22 @@ mod tests {
         assert!(
             with_dedup.states_visited <= without.states_visited,
             "dedup should not increase the number of visited states"
+        );
+        assert_eq!(with_dedup.seen_entries, with_dedup.states_visited);
+        assert_eq!(without.seen_entries, 0, "dedup off stores no keys");
+    }
+
+    #[test]
+    fn memory_statistics_are_populated_and_deterministic() {
+        let exec = Executor::new(vec![ToyWriter::new(0, 1), ToyWriter::new(1, 2)]);
+        let a = explore(&exec, ExploreConfig::default(), agreement_predicate(2));
+        let b = explore(&exec, ExploreConfig::default(), agreement_predicate(2));
+        assert!(a.frontier_peak > 0);
+        assert_eq!(a.seen_entries, a.states_visited);
+        assert!(a.approx_bytes > 0);
+        assert_eq!(
+            (a.frontier_peak, a.seen_entries, a.approx_bytes),
+            (b.frontier_peak, b.seen_entries, b.approx_bytes)
         );
     }
 }

@@ -17,6 +17,8 @@
 //! * [`explore`] — a bounded exhaustive explorer (tiny model checker) that
 //!   checks a safety predicate in **every** interleaving of small
 //!   configurations.
+//! * [`parallel_explore`] — the same exhaustive check on a work-stealing
+//!   worker pool, byte-identical at any thread count.
 //! * [`run_threaded`] — runs the same automata on real OS threads against a
 //!   [`SharedMemory`](sa_memory::SharedMemory).
 //! * [`Workload`] — reproducible input generators.
@@ -42,6 +44,7 @@
 
 mod executor;
 mod explore;
+mod parallel;
 pub mod properties;
 mod schedule;
 mod threaded;
@@ -50,7 +53,11 @@ mod trace;
 mod workload;
 
 pub use executor::{Backend, Executor, RunConfig, RunReport, StopReason};
-pub use explore::{agreement_predicate, explore, Exploration, ExploreConfig, ExploredViolation};
+pub use explore::{
+    agreement_predicate, explore, state_key, Exploration, ExploreConfig, ExploredViolation,
+    StateKey,
+};
+pub use parallel::{parallel_explore, ParallelExploreConfig};
 pub use properties::{
     check_k_agreement, check_obstruction_termination, check_validity, AgreementViolation, InputLog,
     SafetyReport, TerminationViolation, ValidityViolation,

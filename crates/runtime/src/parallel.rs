@@ -1,0 +1,550 @@
+//! The work-stealing exhaustive explorer.
+//!
+//! [`parallel_explore`] checks the same property as [`explore`](crate::explore)
+//! — a safety predicate in **every** reachable configuration — but spreads
+//! the search over a pool of worker threads, which is what pushes exhaustive
+//! verification past the cell sizes the serial depth-first explorer can
+//! finish in a reasonable budget.
+//!
+//! # Design
+//!
+//! The search is a **level-synchronized breadth-first traversal** with
+//! work-stealing inside each level:
+//!
+//! * the current BFS level is the shared frontier: its `(Executor, schedule)`
+//!   entries are pushed into a [`crossbeam::deque::Injector`], and each
+//!   worker refills a local [`crossbeam::deque::Worker`] deque in batches,
+//!   stealing from its peers' [`Stealer`](crossbeam::deque::Stealer)s when
+//!   both run dry (cooperative termination: a worker exits once its own
+//!   deque, the injector and every peer report `Empty`, retrying on
+//!   contended `Retry` results);
+//! * discovered successors are deduplicated against a **sharded seen-set**
+//!   (shards selected by a [`StateKey`] prefix) holding the same
+//!   collision-resistant 128-bit keys as the serial explorer;
+//! * levels are separated by a barrier at which the next frontier is frozen,
+//!   the predicate is evaluated once per newly discovered state, and
+//!   violations are resolved.
+//!
+//! # Determinism
+//!
+//! The report is **byte-identical at any thread count** — matching the sweep
+//! engine's guarantee that parallelism changes wall-clock time, never
+//! output. Every reported field is a pure function of the state space:
+//!
+//! * a state's BFS depth does not depend on which worker discovered it, so
+//!   `states_visited`, `paths`, `max_depth_reached` and the memory
+//!   statistics are fixed by the reachable state space and the budgets;
+//! * when the same successor is discovered from several parents in one
+//!   level, the **lexicographically smallest** schedule is kept (parents'
+//!   schedules are final when their level expands, so by induction every
+//!   state carries the lexicographically smallest of its shortest
+//!   schedules);
+//! * budgets are enforced at level barriers, so truncation decisions never
+//!   depend on scheduling races;
+//! * when a level discovers violations, the whole level is still finished
+//!   and the violation with the lexicographically smallest schedule is
+//!   reported — the first violation in breadth-first order, deterministic
+//!   regardless of which worker stumbled on it first.
+//!
+//! Note the serial explorer visits states in depth-first order, so against
+//! *violating* systems the two explorers may report different (both
+//! correct) witness schedules, and `max_depth_reached`/`frontier_peak`
+//! measure a stack rather than a level. On *verified* runs `states_visited`,
+//! `verified` and the absence of a violation agree exactly; the
+//! serial-vs-parallel equivalence suite pins that.
+
+use crate::executor::Executor;
+use crate::explore::{estimate_bytes, state_key, Exploration, ExploredViolation, StateKey};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use sa_model::{Automaton, ProcessId};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of seen-set (and next-frontier) shards. A power of two so a
+/// [`StateKey`] prefix selects a shard with a mask; 64 shards keep lock
+/// contention negligible at any realistic worker count.
+const SHARDS: usize = 64;
+
+/// Configuration of a parallel bounded exploration.
+///
+/// Compared to [`ExploreConfig`](crate::ExploreConfig) there is no `dedup`
+/// flag: the sharded seen-set *is* the shared search structure, and sound
+/// (collision-resistant) dedup is always on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelExploreConfig {
+    /// Worker threads; 0 means one per available CPU. The result does not
+    /// depend on this value — only the wall-clock time does.
+    pub threads: usize,
+    /// Maximum schedule depth (breadth-first radius) to explore.
+    pub max_depth: u64,
+    /// Maximum number of states to visit before giving up. Enforced at
+    /// level granularity: a level in flight is always finished, so the
+    /// count may overshoot by up to one level, but never silently — the
+    /// report is marked truncated whenever unexplored work remains.
+    pub max_states: u64,
+}
+
+impl Default for ParallelExploreConfig {
+    fn default() -> Self {
+        ParallelExploreConfig {
+            threads: 0,
+            max_depth: 60,
+            max_states: 2_000_000,
+        }
+    }
+}
+
+impl ParallelExploreConfig {
+    /// A config with the given worker count.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelExploreConfig {
+            threads,
+            ..ParallelExploreConfig::default()
+        }
+    }
+
+    /// Resolves `threads = 0` to the machine's parallelism.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// A frontier entry: a reachable configuration and the schedule that
+/// produced it (the lexicographically smallest among its shortest
+/// schedules).
+type Entry<A> = (Executor<A>, Vec<ProcessId>);
+
+/// A successor discovered while expanding a level, before the barrier
+/// resolves it: the state, its (still mergeable) schedule, and the
+/// predicate's verdict.
+struct Discovered<A: Automaton> {
+    state: Executor<A>,
+    schedule: Vec<ProcessId>,
+    violation: Option<String>,
+}
+
+/// The seen-set, sharded by key prefix so workers rarely contend on the
+/// same lock.
+struct ShardedSeen {
+    shards: Vec<Mutex<HashSet<StateKey>>>,
+}
+
+impl ShardedSeen {
+    fn new() -> Self {
+        ShardedSeen {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+        }
+    }
+
+    fn contains(&self, key: &StateKey) -> bool {
+        self.shards[key.shard(SHARDS)]
+            .lock()
+            .expect("seen shard poisoned")
+            .contains(key)
+    }
+
+    fn insert(&self, key: StateKey) -> bool {
+        self.shards[key.shard(SHARDS)]
+            .lock()
+            .expect("seen shard poisoned")
+            .insert(key)
+    }
+
+    fn len(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("seen shard poisoned").len() as u64)
+            .sum()
+    }
+}
+
+/// Pulls the next task for a worker: local deque first, then the shared
+/// injector (in batches), then the peers — retrying while any source
+/// reports a contended `Retry`, terminating once all report `Empty`.
+fn find_task<T>(local: &Worker<T>, injector: &Injector<T>, stealers: &[Stealer<T>]) -> Option<T> {
+    if let Some(task) = local.pop() {
+        return Some(task);
+    }
+    loop {
+        let mut contended = false;
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(task) => return Some(task),
+            Steal::Retry => contended = true,
+            Steal::Empty => {}
+        }
+        for stealer in stealers {
+            match stealer.steal() {
+                Steal::Success(task) => return Some(task),
+                Steal::Retry => contended = true,
+                Steal::Empty => {}
+            }
+        }
+        if !contended {
+            return None;
+        }
+        std::hint::spin_loop();
+    }
+}
+
+/// Exhaustively explores every interleaving of the executor's processes on a
+/// pool of work-stealing workers, checking `predicate` in every reachable
+/// configuration — including the initial one.
+///
+/// The report is byte-identical at any `config.threads` (see the module
+/// docs for how); the predicate must therefore be pure with respect to the
+/// reported fields, though it may accumulate its own statistics through
+/// interior mutability (it is evaluated exactly once per reachable state,
+/// in nondeterministic order).
+pub fn parallel_explore<A, F>(
+    initial: &Executor<A>,
+    config: ParallelExploreConfig,
+    predicate: F,
+) -> Exploration
+where
+    A: Automaton + Clone + Hash + Send,
+    A::Value: Hash + Clone + Eq + Debug + Send + Sync,
+    F: Fn(&Executor<A>) -> Option<String> + Sync,
+{
+    let threads = config.effective_threads();
+    let mut result = Exploration {
+        states_visited: 0,
+        paths: 0,
+        violation: None,
+        truncated: false,
+        max_depth_reached: 0,
+        frontier_peak: 0,
+        seen_entries: 0,
+        approx_bytes: 0,
+    };
+    if let Some(description) = predicate(initial) {
+        result.states_visited = 1;
+        result.violation = Some(ExploredViolation {
+            schedule: Vec::new(),
+            description,
+        });
+        return result;
+    }
+    let seen = ShardedSeen::new();
+    seen.insert(state_key(initial));
+    let mut level: Vec<Entry<A>> = vec![(initial.clone(), Vec::new())];
+    let mut depth: u64 = 0;
+    loop {
+        result.states_visited += level.len() as u64;
+        result.frontier_peak = result.frontier_peak.max(level.len() as u64);
+        result.max_depth_reached = depth;
+        let at_depth_limit = depth >= config.max_depth;
+
+        // Expand the level across the worker pool. Successors land in the
+        // sharded next-frontier map keyed by state, merging duplicate
+        // discoveries to the lexicographically smallest schedule.
+        let next: Vec<Mutex<HashMap<StateKey, Discovered<A>>>> =
+            (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
+        let terminal_paths = AtomicU64::new(0);
+        let depth_cut = AtomicBool::new(false);
+        let injector: Injector<Entry<A>> = Injector::new();
+        for entry in level.drain(..) {
+            injector.push(entry);
+        }
+        let workers: Vec<Worker<Entry<A>>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<Entry<A>>> = workers.iter().map(Worker::stealer).collect();
+        std::thread::scope(|scope| {
+            for local in workers {
+                let stealers = &stealers;
+                let injector = &injector;
+                let seen = &seen;
+                let next = &next;
+                let terminal_paths = &terminal_paths;
+                let depth_cut = &depth_cut;
+                let predicate = &predicate;
+                scope.spawn(move || {
+                    while let Some((state, schedule)) = find_task(&local, injector, stealers) {
+                        let runnable = state.runnable();
+                        if runnable.is_empty() {
+                            terminal_paths.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        if at_depth_limit {
+                            // The depth bound cut this path short.
+                            terminal_paths.fetch_add(1, Ordering::Relaxed);
+                            depth_cut.store(true, Ordering::Relaxed);
+                            continue;
+                        }
+                        for process in runnable {
+                            let mut successor = state.clone();
+                            successor.step(process);
+                            let key = state_key(&successor);
+                            if seen.contains(&key) {
+                                continue;
+                            }
+                            let mut successor_schedule = schedule.clone();
+                            successor_schedule.push(process);
+                            let mut shard =
+                                next[key.shard(SHARDS)].lock().expect("next shard poisoned");
+                            match shard.entry(key) {
+                                std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                                    // Same state, different parent: keep the
+                                    // lexicographically smallest schedule so
+                                    // the winner never depends on timing.
+                                    if successor_schedule < occupied.get().schedule {
+                                        occupied.get_mut().schedule = successor_schedule;
+                                    }
+                                }
+                                std::collections::hash_map::Entry::Vacant(vacant) => {
+                                    // First discovery: evaluate the predicate
+                                    // exactly once per state.
+                                    let violation = predicate(&successor);
+                                    vacant.insert(Discovered {
+                                        state: successor,
+                                        schedule: successor_schedule,
+                                        violation,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        result.paths += terminal_paths.load(Ordering::Relaxed);
+        if at_depth_limit {
+            result.truncated |= depth_cut.load(Ordering::Relaxed);
+            break;
+        }
+
+        // Barrier: freeze the next frontier, resolve violations, commit the
+        // discovered keys to the seen-set.
+        let mut violations: Vec<ExploredViolation> = Vec::new();
+        let mut next_level: Vec<Entry<A>> = Vec::new();
+        for shard in next {
+            let shard = shard.into_inner().expect("next shard poisoned");
+            for (key, discovered) in shard {
+                seen.insert(key);
+                match discovered.violation {
+                    Some(description) => violations.push(ExploredViolation {
+                        schedule: discovered.schedule,
+                        description,
+                    }),
+                    None => next_level.push((discovered.state, discovered.schedule)),
+                }
+            }
+        }
+        if !violations.is_empty() {
+            violations.sort_by(|a, b| a.schedule.cmp(&b.schedule));
+            let chosen = violations.swap_remove(0);
+            result.max_depth_reached = result.max_depth_reached.max(chosen.schedule.len() as u64);
+            result.violation = Some(chosen);
+            break;
+        }
+        if next_level.is_empty() {
+            break;
+        }
+        if result.states_visited >= config.max_states {
+            // Budget exhausted while work remains — at level granularity,
+            // so the decision is a pure function of the state space.
+            result.truncated = true;
+            break;
+        }
+        level = next_level;
+        depth += 1;
+    }
+    result.seen_entries = seen.len();
+    result.approx_bytes = estimate_bytes::<A>(
+        initial.process_count(),
+        result.seen_entries,
+        result.frontier_peak,
+        result.max_depth_reached,
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{agreement_predicate, explore, ExploreConfig};
+    use crate::toy::{RacyConsensus, ToyWriter};
+
+    fn writers(n: usize) -> Executor<ToyWriter> {
+        Executor::new((0..n).map(|p| ToyWriter::new(p, p as u64 + 1)).collect())
+    }
+
+    fn racy() -> Executor<RacyConsensus> {
+        Executor::new(vec![
+            RacyConsensus::new(ProcessId(0), 10),
+            RacyConsensus::new(ProcessId(1), 20),
+        ])
+    }
+
+    #[test]
+    fn matches_the_serial_explorer_on_verified_systems() {
+        let exec = writers(3);
+        let serial = explore(&exec, ExploreConfig::default(), agreement_predicate(3));
+        assert!(serial.verified());
+        for threads in [1, 2, 8] {
+            let parallel = parallel_explore(
+                &exec,
+                ParallelExploreConfig::with_threads(threads),
+                agreement_predicate(3),
+            );
+            assert!(parallel.verified(), "threads={threads}: {parallel:?}");
+            assert_eq!(
+                parallel.states_visited, serial.states_visited,
+                "threads={threads}"
+            );
+            assert_eq!(parallel.paths, serial.paths, "threads={threads}");
+            assert_eq!(parallel.violation, serial.violation);
+            assert_eq!(parallel.seen_entries, serial.seen_entries);
+        }
+    }
+
+    #[test]
+    fn reports_are_identical_at_any_thread_count() {
+        let exec = racy();
+        let reference = parallel_explore(
+            &exec,
+            ParallelExploreConfig::with_threads(1),
+            agreement_predicate(1),
+        );
+        let violation = reference.violation.clone().expect("the race must be found");
+        assert!(violation.description.contains("exceeding k = 1"));
+        for threads in [2, 4, 8] {
+            let other = parallel_explore(
+                &exec,
+                ParallelExploreConfig::with_threads(threads),
+                agreement_predicate(1),
+            );
+            assert_eq!(other.states_visited, reference.states_visited);
+            assert_eq!(other.paths, reference.paths);
+            assert_eq!(other.max_depth_reached, reference.max_depth_reached);
+            assert_eq!(other.truncated, reference.truncated);
+            assert_eq!(other.violation, reference.violation);
+            assert_eq!(other.frontier_peak, reference.frontier_peak);
+            assert_eq!(other.seen_entries, reference.seen_entries);
+            assert_eq!(other.approx_bytes, reference.approx_bytes);
+        }
+    }
+
+    #[test]
+    fn violating_schedule_is_breadth_first_minimal_and_replays() {
+        let exec = racy();
+        let result = parallel_explore(
+            &exec,
+            ParallelExploreConfig::default(),
+            agreement_predicate(1),
+        );
+        let violation = result.violation.expect("the race must be found");
+        // The witness replays: stepping the schedule on a fresh executor
+        // reproduces the violation in the final configuration.
+        let mut replay = racy();
+        for &process in &violation.schedule {
+            replay.step(process);
+        }
+        assert!(
+            agreement_predicate(1)(&replay).is_some(),
+            "the reported schedule must reproduce the violation"
+        );
+        // Breadth-first minimality: no strictly shorter schedule violates
+        // (the serial explorer, which enumerates every interleaving, finds
+        // no violation below that depth).
+        let shallower = explore(
+            &exec,
+            ExploreConfig {
+                max_depth: violation.schedule.len() as u64 - 1,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(1),
+        );
+        assert!(shallower.violation.is_none());
+    }
+
+    #[test]
+    fn checks_the_initial_configuration() {
+        let exec = writers(2);
+        let result = parallel_explore(
+            &exec,
+            ParallelExploreConfig::default(),
+            |e: &Executor<ToyWriter>| (e.steps() == 0).then(|| "rejected root".to_string()),
+        );
+        assert!(!result.verified());
+        let violation = result.violation.expect("root violation must be reported");
+        assert!(violation.schedule.is_empty());
+    }
+
+    #[test]
+    fn exact_state_budget_is_exhausted_not_truncated() {
+        let exec = writers(2);
+        let space = parallel_explore(
+            &exec,
+            ParallelExploreConfig::default(),
+            agreement_predicate(2),
+        );
+        assert!(space.verified());
+        let exact = ParallelExploreConfig {
+            max_states: space.states_visited,
+            ..ParallelExploreConfig::default()
+        };
+        let result = parallel_explore(&exec, exact, agreement_predicate(2));
+        assert!(result.verified(), "{result:?}");
+        assert_eq!(result.states_visited, space.states_visited);
+    }
+
+    #[test]
+    fn depth_bound_truncates_deterministically() {
+        let exec = writers(2);
+        let config = ParallelExploreConfig {
+            max_depth: 1,
+            ..ParallelExploreConfig::default()
+        };
+        let a = parallel_explore(&exec, config, agreement_predicate(2));
+        let b = parallel_explore(&exec, config, agreement_predicate(2));
+        assert!(a.truncated && !a.verified());
+        assert_eq!(a.max_depth_reached, 1);
+        assert_eq!(a.states_visited, b.states_visited);
+        assert_eq!(a.paths, b.paths);
+    }
+
+    #[test]
+    fn state_budget_truncates_at_level_granularity() {
+        let exec = writers(3);
+        let config = ParallelExploreConfig {
+            max_states: 2,
+            ..ParallelExploreConfig::default()
+        };
+        let result = parallel_explore(&exec, config, agreement_predicate(3));
+        assert!(result.truncated);
+        assert!(!result.verified());
+        // The level in flight is finished, so the count can overshoot the
+        // budget, but only by that level.
+        assert!(result.states_visited >= 2);
+    }
+
+    #[test]
+    fn memory_statistics_reflect_the_widest_level() {
+        let exec = writers(3);
+        let result = parallel_explore(
+            &exec,
+            ParallelExploreConfig::default(),
+            agreement_predicate(3),
+        );
+        assert!(result.verified());
+        assert!(result.frontier_peak > 1, "BFS levels must widen");
+        assert_eq!(result.seen_entries, result.states_visited);
+        assert!(result.approx_bytes > 0);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        assert!(ParallelExploreConfig::default().effective_threads() >= 1);
+        assert_eq!(
+            ParallelExploreConfig::with_threads(3).effective_threads(),
+            3
+        );
+    }
+}

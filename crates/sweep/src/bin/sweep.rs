@@ -56,6 +56,12 @@ run options:
                        pair instead of sampling schedules (tiny cells only;
                        the backend, adversary and seed axes are ignored)
   --max-states N       state budget per exploration (default 2000000)
+  --explore-threads N  worker threads per exploration: 0 (default) runs the
+                       serial explorer, N >= 1 the work-stealing parallel
+                       explorer. Output is byte-identical across all worker
+                       counts >= 1 (only the wall clock changes); 0 emits
+                       the plain explore record shape, without the
+                       parallel-explore backend label and memory-stat fields
   --seeds N|LIST       plain integer = that many seeds (0..N); or `1,5,9`
   --campaign-seed S    root seed mixed into every derived seed (default 0)
   --workload SPEC      `distinct` (default), `uniform:V`, `random:UNIVERSE`
@@ -187,6 +193,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
                         .parse()
                         .map_err(|_| format!("bad state budget {value:?}"))?;
                 }
+                "--explore-threads" => {
+                    spec.explore_threads = value
+                        .parse()
+                        .map_err(|_| format!("bad explorer thread count {value:?}"))?;
+                }
                 "--threads" => {
                     config.threads = value
                         .parse()
@@ -256,6 +267,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
                     outcome.explored,
                     outcome.exhaustively_verified,
                     outcome.unverified_explorations
+                );
+            }
+            if outcome.parallel_explored > 0 {
+                eprintln!(
+                    "sweep: {} explorations ran on the work-stealing parallel explorer \
+                     ({} workers each)",
+                    outcome.parallel_explored, spec.explore_threads
                 );
             }
             if outcome.threaded > 0 {

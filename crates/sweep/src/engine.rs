@@ -13,7 +13,7 @@
 use crate::grid::{derive_seed, expand, ExpansionStats, ScenarioSpec};
 use crate::record::SweepRecord;
 use crate::spec::{BackendSpec, CampaignMode, CampaignSpec};
-use set_agreement::runtime::{ExploreConfig, ThreadedConfig};
+use set_agreement::runtime::{ExploreConfig, ParallelExploreConfig, ThreadedConfig};
 use set_agreement::{Backend, ExecutionPlan, Executor};
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -72,6 +72,9 @@ pub struct CampaignOutcome {
     pub unverified_explorations: u64,
     /// Records executed on the threaded backend (real OS threads).
     pub threaded: u64,
+    /// Explore-mode records executed by the work-stealing parallel
+    /// explorer (a subset of [`CampaignOutcome::explored`]).
+    pub parallel_explored: u64,
 }
 
 impl CampaignOutcome {
@@ -108,6 +111,13 @@ pub fn run_scenario(campaign: &str, spec: &ScenarioSpec) -> SweepRecord {
             stagger: None,
             seed: derive_seed(spec.derived_seed, "threaded-start"),
         }),
+        (CampaignMode::Explore, _) if spec.explore_threads > 0 => {
+            Backend::ParallelExplore(ParallelExploreConfig {
+                threads: spec.explore_threads,
+                max_depth: spec.max_steps,
+                max_states: spec.max_states,
+            })
+        }
         (CampaignMode::Explore, _) => Backend::Explore(ExploreConfig {
             max_depth: spec.max_steps,
             max_states: spec.max_states,
@@ -200,6 +210,9 @@ pub fn run_campaign(
                 }
                 if record.mode == "explore" {
                     outcome.explored += 1;
+                    if record.backend == "parallel-explore" {
+                        outcome.parallel_explored += 1;
+                    }
                     if record.verified {
                         outcome.exhaustively_verified += 1;
                     } else if record.safe() {
@@ -355,6 +368,85 @@ mod tests {
             assert!(record.verified, "cell was not exhaustively verified");
             assert!(record.explored_states > 0);
             assert!(record.bound_ok, "some interleaving exceeded the bound");
+        }
+    }
+
+    #[test]
+    fn parallel_explore_output_is_byte_identical_at_any_worker_count() {
+        let spec = CampaignSpec {
+            name: "parallel-explore".into(),
+            params: ParamsSpec::Explicit(vec![sa_model::Params::new(2, 1, 1).unwrap()]),
+            algorithms: vec![Algorithm::OneShot, Algorithm::AnonymousOneShot],
+            mode: crate::spec::CampaignMode::Explore,
+            max_steps: 100_000,
+            max_states: 500_000,
+            explore_threads: 1,
+            ..CampaignSpec::default()
+        };
+        let run = |explore_threads, engine_threads| {
+            let mut bytes = Vec::new();
+            let spec = CampaignSpec {
+                explore_threads,
+                ..spec.clone()
+            };
+            let outcome = run_campaign(
+                &spec,
+                EngineConfig {
+                    threads: engine_threads,
+                    ..EngineConfig::default()
+                },
+                &mut bytes,
+            )
+            .unwrap();
+            (bytes, outcome)
+        };
+        let (reference, outcome) = run(1, 1);
+        assert_eq!(outcome.parallel_explored, 2);
+        assert_eq!(outcome.exhaustively_verified, 2);
+        // Neither the explorer's worker count nor the engine's thread count
+        // may change a single byte of the stream.
+        for (explore_threads, engine_threads) in [(2, 1), (8, 2), (8, 4)] {
+            let (bytes, outcome) = run(explore_threads, engine_threads);
+            assert_eq!(
+                bytes, reference,
+                "output drifted at explore_threads={explore_threads}, \
+                 engine threads={engine_threads}"
+            );
+            assert_eq!(outcome.parallel_explored, 2);
+        }
+        let records = crate::record::parse_jsonl(std::str::from_utf8(&reference).unwrap()).unwrap();
+        for record in &records {
+            assert_eq!(record.backend, "parallel-explore");
+            assert_eq!(record.mode, "explore");
+            assert!(record.verified);
+            assert!(record.frontier_peak > 0, "memory stats must be recorded");
+            assert_eq!(record.seen_entries, record.explored_states);
+            assert!(record.approx_bytes > 0);
+            let line = record.to_json();
+            assert!(line.contains("\"backend\":\"parallel-explore\""));
+            assert!(line.contains("\"frontier_peak\":"));
+        }
+
+        // The serial explorer agrees on every verification-bearing field —
+        // only the backend label and the (serial-absent) memory statistics
+        // differ.
+        let (serial_bytes, serial_outcome) = run(0, 1);
+        assert_eq!(serial_outcome.parallel_explored, 0);
+        assert_eq!(serial_outcome.exhaustively_verified, 2);
+        let serial =
+            crate::record::parse_jsonl(std::str::from_utf8(&serial_bytes).unwrap()).unwrap();
+        for (s, p) in serial.iter().zip(&records) {
+            assert_eq!(s.backend, "explore");
+            assert_eq!(s.explored_states, p.explored_states);
+            assert_eq!(s.verified, p.verified);
+            assert_eq!(s.stop, p.stop);
+            assert_eq!(s.key(), p.key(), "worker count must not change identity");
+            for absent in ["frontier_peak", "seen_entries", "approx_bytes", "backend"] {
+                assert!(
+                    !s.to_json().contains(absent),
+                    "{absent} leaked into serial explore output"
+                );
+            }
         }
     }
 

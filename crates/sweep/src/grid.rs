@@ -84,6 +84,11 @@ pub struct ScenarioSpec {
     pub max_steps: u64,
     /// State budget for exhaustive scenarios (unused when sampling).
     pub max_states: u64,
+    /// Worker threads for exhaustive scenarios: 0 = serial explorer, any
+    /// other value = the work-stealing parallel explorer (unused when
+    /// sampling). Not part of the scenario's identity — exploration output
+    /// is byte-identical at any worker count.
+    pub explore_threads: usize,
 }
 
 impl ScenarioSpec {
@@ -95,9 +100,11 @@ impl ScenarioSpec {
     }
 
     /// The execution-backend label recorded for this scenario: `scheduled`
-    /// or `threaded` for sampled scenarios, `explore` for exhaustive ones.
+    /// or `threaded` for sampled scenarios, `explore` or `parallel-explore`
+    /// for exhaustive ones.
     pub fn backend_label(&self) -> &'static str {
         match self.mode {
+            CampaignMode::Explore if self.explore_threads > 0 => "parallel-explore",
             CampaignMode::Explore => "explore",
             CampaignMode::Sample => self.backend.label(),
         }
@@ -366,6 +373,7 @@ fn sampled_scenario(
         workload_label: spec.workload.label(),
         max_steps: spec.max_steps,
         max_states: spec.max_states,
+        explore_threads: 0,
     }
 }
 
@@ -416,6 +424,7 @@ fn threaded_scenario(
         workload_label: spec.workload.label(),
         max_steps: spec.max_steps,
         max_states: spec.max_states,
+        explore_threads: 0,
     }
 }
 
@@ -459,6 +468,7 @@ fn explore_scenario(
         workload_label: spec.workload.label(),
         max_steps: spec.max_steps,
         max_states: spec.max_states,
+        explore_threads: spec.explore_threads,
     }
 }
 

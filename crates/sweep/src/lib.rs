@@ -20,7 +20,9 @@
 //!   count. `mode = explore` campaigns route each (cell, algorithm) pair
 //!   through the bounded exhaustive explorer instead of sampling one
 //!   schedule, upgrading "sampled, 0 violations" to "exhaustively
-//!   verified".
+//!   verified"; `explore-threads = N` hands them to the work-stealing
+//!   parallel explorer, whose records (including memory statistics) are
+//!   byte-identical at any worker count.
 //! * [`Summary`] / [`diff`] — per-cell aggregation (pass/fail counts, crash
 //!   accounting, exhaustive-vs-sampled coverage, max space used vs the
 //!   Figure 1 accounting, bound-violation flags) and a scenario-level

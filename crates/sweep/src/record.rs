@@ -34,8 +34,9 @@ pub struct SweepRecord {
     pub adversary: String,
     /// Execution mode: `sample` or `explore`.
     pub mode: String,
-    /// Execution backend: `scheduled`, `threaded` or `explore`. Encoded
-    /// only when `threaded` (the other two are implied by `mode`, and
+    /// Execution backend: `scheduled`, `threaded`, `explore` or
+    /// `parallel-explore`. Encoded only for `threaded` and
+    /// `parallel-explore` (the other two are implied by `mode`, and
     /// omitting them keeps pre-backend result files byte-identical).
     pub backend: String,
     /// Obstruction contention steps (0 for non-obstruction adversaries).
@@ -94,6 +95,16 @@ pub struct SweepRecord {
     /// without finding a violation — "exhaustively verified", strictly
     /// stronger than "sampled, 0 violations".
     pub verified: bool,
+    /// Peak frontier size of an exploration (widest BFS level for the
+    /// parallel explorer; encoded only for parallel-explore records, whose
+    /// memory statistics are deterministic at any worker count).
+    pub frontier_peak: u64,
+    /// Dedup seen-set entries when an exploration stopped (0 for sampled
+    /// records; encoded only for parallel-explore records).
+    pub seen_entries: u64,
+    /// Deterministic rough estimate of the explorer's peak memory in bytes
+    /// (0 for sampled records; encoded only for parallel-explore records).
+    pub approx_bytes: u64,
     /// Wall-clock microseconds of a threaded run (0 otherwise; encoded only
     /// for threaded records, whose output makes no byte-determinism claim).
     pub wall_us: u64,
@@ -153,6 +164,9 @@ impl SweepRecord {
             explored_states: 0,
             explored_depth: 0,
             verified: false,
+            frontier_peak: 0,
+            seen_entries: 0,
+            approx_bytes: 0,
             wall_us: 0,
             steps_per_sec: 0,
         }
@@ -213,6 +227,9 @@ impl SweepRecord {
             explored_states: 0,
             explored_depth: 0,
             verified: false,
+            frontier_peak: 0,
+            seen_entries: 0,
+            approx_bytes: 0,
             wall_us: report.wall.as_micros() as u64,
             steps_per_sec: report.steps_per_sec() as u64,
         }
@@ -266,6 +283,9 @@ impl SweepRecord {
             explored_states: report.states_visited,
             explored_depth: report.max_depth_reached,
             verified: report.verified(),
+            frontier_peak: report.frontier_peak,
+            seen_entries: report.seen_entries,
+            approx_bytes: report.approx_bytes,
             wall_us: 0,
             steps_per_sec: 0,
         }
@@ -325,7 +345,7 @@ impl SweepRecord {
         field(&mut out, "instances", &self.instances.to_string());
         field(&mut out, "adversary", &json_string(&self.adversary));
         field(&mut out, "mode", &json_string(&self.mode));
-        if self.backend == "threaded" {
+        if self.backend == "threaded" || self.backend == "parallel-explore" {
             field(&mut out, "backend", &json_string(&self.backend));
         }
         field(
@@ -389,6 +409,11 @@ impl SweepRecord {
         if self.mode == "explore" {
             field(&mut out, "explored_depth", &self.explored_depth.to_string());
         }
+        if self.backend == "parallel-explore" {
+            field(&mut out, "frontier_peak", &self.frontier_peak.to_string());
+            field(&mut out, "seen_entries", &self.seen_entries.to_string());
+            field(&mut out, "approx_bytes", &self.approx_bytes.to_string());
+        }
         field(&mut out, "verified", bool_str(self.verified));
         if self.backend == "threaded" {
             field(&mut out, "wall_us", &self.wall_us.to_string());
@@ -450,6 +475,9 @@ impl SweepRecord {
             explored_states: fields.u64_or("explored_states", 0)?,
             explored_depth: fields.u64_or("explored_depth", 0)?,
             verified: fields.bool_or("verified", false)?,
+            frontier_peak: fields.u64_or("frontier_peak", 0)?,
+            seen_entries: fields.u64_or("seen_entries", 0)?,
+            approx_bytes: fields.u64_or("approx_bytes", 0)?,
             wall_us: fields.u64_or("wall_us", 0)?,
             steps_per_sec: fields.u64_or("steps_per_sec", 0)?,
         };
@@ -768,6 +796,9 @@ mod tests {
             explored_states: 0,
             explored_depth: 0,
             verified: false,
+            frontier_peak: 0,
+            seen_entries: 0,
+            approx_bytes: 0,
             wall_us: 0,
             steps_per_sec: 0,
         }

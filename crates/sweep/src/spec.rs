@@ -372,6 +372,15 @@ pub struct CampaignSpec {
     pub mode: CampaignMode,
     /// State budget per exploration (ignored in [`CampaignMode::Sample`]).
     pub max_states: u64,
+    /// Worker threads per exploration (ignored in [`CampaignMode::Sample`]):
+    /// 0 runs the serial explorer, any other value the work-stealing
+    /// parallel explorer with that many workers. Parallel results are
+    /// byte-identical across all worker counts ≥ 1, so this is a "how"
+    /// knob like the engine's thread count, not part of a scenario's
+    /// identity. (Serial records use the plain `explore` shape without the
+    /// memory-stat fields, so 0 vs ≥ 1 differ in record shape — though
+    /// never in any verification-bearing field.)
+    pub explore_threads: usize,
 }
 
 impl Default for CampaignSpec {
@@ -395,6 +404,7 @@ impl Default for CampaignSpec {
             campaign_seed: 0,
             mode: CampaignMode::Sample,
             max_states: 2_000_000,
+            explore_threads: 0,
         }
     }
 }
@@ -487,8 +497,9 @@ impl CampaignSpec {
     /// `k`, `params` (explicit `n/m/k` triples, `;`-separated), `algorithms`,
     /// `adversaries`, `backend` (`scheduled`, `threaded`, or a comma list to
     /// make the backend a grid axis), `seeds`, `workload`, `max-steps`,
-    /// `campaign-seed`, `mode` (`sample` or `explore`) and `max-states`
-    /// (exploration state budget).
+    /// `campaign-seed`, `mode` (`sample` or `explore`), `max-states`
+    /// (exploration state budget) and `explore-threads` (exploration worker
+    /// threads; 0 = serial explorer).
     pub fn parse(text: &str) -> Result<Self, SpecError> {
         let mut spec = CampaignSpec::default();
         let (mut grid_n, mut grid_m, mut grid_k) = (None, None, None);
@@ -543,6 +554,11 @@ impl CampaignSpec {
                     spec.max_states = value
                         .parse()
                         .map_err(|_| SpecError(format!("bad max-states {value:?}")))?;
+                }
+                "explore-threads" => {
+                    spec.explore_threads = value
+                        .parse()
+                        .map_err(|_| SpecError(format!("bad explore-threads {value:?}")))?;
                 }
                 _ => return err(format!("unknown key {key:?}")),
             }
@@ -637,7 +653,8 @@ impl std::fmt::Display for CampaignSpec {
         writeln!(f, "max-steps = {}", self.max_steps)?;
         writeln!(f, "campaign-seed = {}", self.campaign_seed)?;
         writeln!(f, "mode = {}", self.mode.label())?;
-        writeln!(f, "max-states = {}", self.max_states)
+        writeln!(f, "max-states = {}", self.max_states)?;
+        writeln!(f, "explore-threads = {}", self.explore_threads)
     }
 }
 
@@ -774,6 +791,15 @@ mod tests {
         assert_eq!(CampaignSpec::parse("").unwrap().mode, CampaignMode::Sample);
         assert!(CampaignSpec::parse("mode = fuzz").is_err());
         assert!(CampaignSpec::parse("max-states = lots").is_err());
+    }
+
+    #[test]
+    fn explore_threads_parse_round_trip_and_default() {
+        assert_eq!(CampaignSpec::parse("").unwrap().explore_threads, 0);
+        let spec = CampaignSpec::parse("mode = explore\nexplore-threads = 8").unwrap();
+        assert_eq!(spec.explore_threads, 8);
+        assert_eq!(CampaignSpec::parse(&spec.to_string()).unwrap(), spec);
+        assert!(CampaignSpec::parse("explore-threads = many").is_err());
     }
 
     #[test]

@@ -56,6 +56,13 @@ pub struct CellSummary {
     /// Maximum exploration depth (longest schedule prefix examined) of any
     /// exploration of this cell.
     pub max_explored_depth: u64,
+    /// Explored scenarios run on the work-stealing parallel explorer.
+    pub parallel_explored: u64,
+    /// Maximum peak frontier size of any parallel exploration of this cell.
+    pub max_frontier_peak: u64,
+    /// Maximum estimated explorer memory (bytes) of any parallel
+    /// exploration of this cell.
+    pub max_approx_bytes: u64,
     /// Scenarios executed on the threaded backend (real OS threads).
     pub threaded_runs: u64,
     /// Total wall-clock microseconds across the cell's threaded runs.
@@ -98,6 +105,13 @@ pub struct Summary {
     /// explorations are counted under [`Summary::safety_violations`], not
     /// here).
     pub truncated_explorations: u64,
+    /// Explore-mode records run on the work-stealing parallel explorer.
+    pub parallel_explored: u64,
+    /// Maximum peak frontier size across all parallel explorations.
+    pub max_frontier_peak: u64,
+    /// Maximum estimated explorer memory (bytes) across all parallel
+    /// explorations.
+    pub max_approx_bytes: u64,
     /// Records executed on the threaded backend.
     pub threaded_runs: u64,
     /// Total wall-clock microseconds across all threaded records.
@@ -158,6 +172,14 @@ impl Summary {
                 summary.explored += 1;
                 cell.max_explored_states = cell.max_explored_states.max(record.explored_states);
                 cell.max_explored_depth = cell.max_explored_depth.max(record.explored_depth);
+                if record.backend == "parallel-explore" {
+                    cell.parallel_explored += 1;
+                    summary.parallel_explored += 1;
+                    cell.max_frontier_peak = cell.max_frontier_peak.max(record.frontier_peak);
+                    cell.max_approx_bytes = cell.max_approx_bytes.max(record.approx_bytes);
+                    summary.max_frontier_peak = summary.max_frontier_peak.max(record.frontier_peak);
+                    summary.max_approx_bytes = summary.max_approx_bytes.max(record.approx_bytes);
+                }
                 if record.verified {
                     cell.verified += 1;
                     summary.verified += 1;
@@ -196,11 +218,15 @@ impl Summary {
     ///
     /// Campaigns with explore-mode records gain `states`/`depth` columns
     /// (maximum states visited and maximum exploration depth per cell);
-    /// campaigns with threaded records gain `wall-ms`/`steps/s` columns
+    /// campaigns with parallel-explore records additionally gain
+    /// `frontier`/`mem-MB` columns (peak BFS frontier and estimated peak
+    /// explorer memory per cell); campaigns with threaded records gain
+    /// `wall-ms`/`steps/s` columns
     /// (total wall clock, millisecond display of the microsecond totals, and
     /// aggregate throughput per cell).
     pub fn render(&self) -> String {
         let show_explore = self.explored > 0;
+        let show_parallel = self.parallel_explored > 0;
         let show_threaded = self.threaded_runs > 0;
         let mut out = String::new();
         let mut header = format!(
@@ -222,6 +248,9 @@ impl Summary {
         );
         if show_explore {
             let _ = write!(header, " {:>9} {:>6}", "states", "depth");
+        }
+        if show_parallel {
+            let _ = write!(header, " {:>9} {:>8}", "frontier", "mem-MB");
         }
         if show_threaded {
             let _ = write!(header, " {:>8} {:>9}", "wall-ms", "steps/s");
@@ -279,6 +308,18 @@ impl Summary {
                     let _ = write!(row, " {:>9} {:>6}", "-", "-");
                 }
             }
+            if show_parallel {
+                if cell.parallel_explored > 0 {
+                    let _ = write!(
+                        row,
+                        " {:>9} {:>8.1}",
+                        cell.max_frontier_peak,
+                        cell.max_approx_bytes as f64 / (1024.0 * 1024.0)
+                    );
+                } else {
+                    let _ = write!(row, " {:>9} {:>8}", "-", "-");
+                }
+            }
             if show_threaded {
                 if cell.threaded_runs > 0 {
                     let _ = write!(
@@ -311,6 +352,16 @@ impl Summary {
                 self.explored,
                 self.verified,
                 self.exhaustiveness_gaps()
+            );
+        }
+        if self.parallel_explored > 0 {
+            let _ = writeln!(
+                out,
+                "parallel explore: {} cells on the work-stealing explorer, \
+                 peak frontier {} states, ~{:.1} MB peak explorer memory",
+                self.parallel_explored,
+                self.max_frontier_peak,
+                self.max_approx_bytes as f64 / (1024.0 * 1024.0)
             );
         }
         if self.threaded_runs > 0 {
@@ -502,6 +553,9 @@ mod tests {
             explored_states: 0,
             explored_depth: 0,
             verified: false,
+            frontier_peak: 0,
+            seen_entries: 0,
+            approx_bytes: 0,
             wall_us: 0,
             steps_per_sec: 0,
         }

@@ -27,8 +27,9 @@
 //! 1. **what** runs — an [`ExecutionPlan`]: parameters, [`Algorithm`],
 //!    [`Adversary`], workload and step budget;
 //! 2. **how** it runs — a [`Backend`]: the deterministic simulator
-//!    (`Scheduled`), real OS threads (`Threaded`), or the bounded
-//!    exhaustive explorer (`Explore`);
+//!    (`Scheduled`), real OS threads (`Threaded`), the bounded exhaustive
+//!    explorer (`Explore`), or its work-stealing counterpart
+//!    (`ParallelExplore`, byte-identical results at any thread count);
 //! 3. **who fails** — crash failures are part of the *adversary*
 //!    ([`Adversary::Crash`]), not a backend, so they compose with any
 //!    scheduler.
@@ -85,7 +86,7 @@ pub mod prelude {
     pub use sa_model::{Automaton, Decision, DecisionSet, Params, ProcessId};
     pub use sa_runtime::{
         check_k_agreement, check_validity, ExploreConfig, InputLog, ObstructionScheduler,
-        RoundRobin, RunConfig, Scheduler, ThreadedConfig, Workload,
+        ParallelExploreConfig, RoundRobin, RunConfig, Scheduler, ThreadedConfig, Workload,
     };
 }
 
@@ -97,13 +98,15 @@ use sa_core::{
 use sa_memory::MemoryMetrics;
 use sa_model::{Automaton, DecisionSet, Params, ProcessId};
 use sa_runtime::{
-    explore, run_threaded, BurstScheduler, CrashScheduler, Executor as StepExecutor, ExploreConfig,
-    ExploredViolation, InputLog, ObstructionScheduler, RandomScheduler, RoundRobin, RunConfig,
-    SafetyReport, Scheduler, SoloScheduler, StopReason, ThreadedConfig, Workload,
+    explore, parallel_explore, run_threaded, BurstScheduler, CrashScheduler,
+    Executor as StepExecutor, ExploreConfig, ExploredViolation, InputLog, ObstructionScheduler,
+    ParallelExploreConfig, RandomScheduler, RoundRobin, RunConfig, SafetyReport, Scheduler,
+    SoloScheduler, StopReason, ThreadedConfig, Workload,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Debug;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Which algorithm of the paper (or baseline) a [`Scenario`] runs.
@@ -425,12 +428,33 @@ pub struct ExploreReport {
     /// (tracked per state, not derived from the other two maxima — they may
     /// be attained in different states).
     pub max_components_written: usize,
+    /// Worker threads the exploration ran on (0 = the serial explorer).
+    /// Everything else in the report is independent of this value:
+    /// [`Backend::ParallelExplore`] results are byte-identical at any
+    /// thread count.
+    pub threads: usize,
+    /// Peak size of the frontier of states awaiting expansion (the deepest
+    /// DFS stack for the serial explorer, the widest BFS level for the
+    /// parallel one).
+    pub frontier_peak: u64,
+    /// Entries held by the dedup seen-set when the search stopped.
+    pub seen_entries: u64,
+    /// Rough, deterministic estimate of the bytes held by the explorer's
+    /// data structures at their peak (see
+    /// [`Exploration::approx_bytes`](sa_runtime::Exploration)).
+    pub approx_bytes: u64,
 }
 
 impl ExploreReport {
     /// `true` if the safety properties hold in **every** reachable
     /// configuration within the bounds — no violation found and the state
     /// space was exhausted, not truncated.
+    ///
+    /// Dedup keys are collision-resistant 128-bit hashes of the full
+    /// canonical state (see
+    /// [`Exploration::verified`](sa_runtime::Exploration::verified) for the
+    /// precise guarantee), so this claim does not rest on a 64-bit hash
+    /// never colliding.
     pub fn verified(&self) -> bool {
         self.violation.is_none() && !self.truncated
     }
@@ -522,6 +546,7 @@ impl ExecutionReport {
         match self {
             ExecutionReport::Scheduled(_) => "scheduled",
             ExecutionReport::Threaded(_) => "threaded",
+            ExecutionReport::Explored(r) if r.threads > 0 => "parallel-explore",
             ExecutionReport::Explored(_) => "explore",
         }
     }
@@ -872,49 +897,36 @@ impl ExecutionPlan {
         A::Value: Clone + Eq + Debug + Hash,
     {
         let executor = StepExecutor::new(automata);
-        let k = self.params.k();
-        // Validity: anything decided in instance t must have been proposed
-        // by some process in instance t.
-        let mut allowed: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
-        for p in 0..workload.processes() {
-            for (i, value) in workload.sequence(p).iter().enumerate() {
-                allowed.entry(i as u64 + 1).or_default().insert(*value);
-            }
-        }
-        let mut max_locations_written = 0usize;
-        let mut max_registers_written = 0usize;
-        let mut max_components_written = 0usize;
-        let mut violated_validity = false;
-        let mut violated_agreement = false;
-        let result = explore(&executor, config, |exec| {
-            let metrics = exec.memory().metrics();
-            let locations = metrics.distinct_locations_written();
-            let registers = metrics.registers_written();
-            max_locations_written = max_locations_written.max(locations);
-            max_registers_written = max_registers_written.max(registers);
-            max_components_written = max_components_written.max(locations - registers);
-            for instance in exec.decisions().instances() {
-                let outputs = exec.decisions().outputs(instance);
-                if let Some(bad) = outputs
-                    .iter()
-                    .find(|v| !allowed.get(&instance).is_some_and(|a| a.contains(v)))
-                {
-                    violated_validity = true;
-                    return Some(format!(
-                        "instance {instance} decided {bad}, which nobody proposed"
-                    ));
-                }
-                if outputs.len() > k {
-                    violated_agreement = true;
-                    return Some(format!(
-                        "instance {instance} has {} distinct outputs {outputs:?}, \
-                         exceeding k = {k}",
-                        outputs.len()
-                    ));
-                }
-            }
-            None
-        });
+        let probe = SafetyProbe::new(self.params.k(), workload);
+        let result = explore(&executor, config, |exec| probe.check(exec));
+        self.explore_report(result, probe, 0)
+    }
+
+    /// Bounded exhaustive exploration on the work-stealing worker pool —
+    /// the same check as `run_exploration`, byte-identical at any thread
+    /// count.
+    fn run_parallel_exploration<A>(
+        &self,
+        automata: Vec<A>,
+        workload: &Workload,
+        config: ParallelExploreConfig,
+    ) -> ExploreReport
+    where
+        A: Automaton + Clone + Debug + Hash + Send,
+        A::Value: Clone + Eq + Debug + Hash + Send + Sync,
+    {
+        let executor = StepExecutor::new(automata);
+        let probe = SafetyProbe::new(self.params.k(), workload);
+        let result = parallel_explore(&executor, config, |exec| probe.check(exec));
+        self.explore_report(result, probe, config.effective_threads())
+    }
+
+    fn explore_report(
+        &self,
+        result: sa_runtime::Exploration,
+        probe: SafetyProbe,
+        threads: usize,
+    ) -> ExploreReport {
         ExploreReport {
             params: self.params,
             algorithm: self.algorithm,
@@ -923,12 +935,89 @@ impl ExecutionPlan {
             max_depth_reached: result.max_depth_reached,
             truncated: result.truncated,
             violation: result.violation,
-            validity_ok: !violated_validity,
-            agreement_ok: !violated_agreement,
-            max_locations_written,
-            max_registers_written,
-            max_components_written,
+            validity_ok: !probe.violated_validity.into_inner(),
+            agreement_ok: !probe.violated_agreement.into_inner(),
+            max_locations_written: probe.max_locations.into_inner(),
+            max_registers_written: probe.max_registers.into_inner(),
+            max_components_written: probe.max_components.into_inner(),
+            threads,
+            frontier_peak: result.frontier_peak,
+            seen_entries: result.seen_entries,
+            approx_bytes: result.approx_bytes,
         }
+    }
+}
+
+/// The per-state safety check both explorers run: validity and k-agreement,
+/// plus running maxima of the space actually used. Interior mutability
+/// (atomics) lets the parallel explorer's workers share one probe; the
+/// maxima and flags are monotone, so the accumulated result is independent
+/// of evaluation order.
+struct SafetyProbe {
+    k: usize,
+    /// Validity: anything decided in instance t must have been proposed
+    /// by some process in instance t.
+    allowed: BTreeMap<u64, BTreeSet<u64>>,
+    max_locations: AtomicUsize,
+    max_registers: AtomicUsize,
+    max_components: AtomicUsize,
+    violated_validity: AtomicBool,
+    violated_agreement: AtomicBool,
+}
+
+impl SafetyProbe {
+    fn new(k: usize, workload: &Workload) -> Self {
+        let mut allowed: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+        for p in 0..workload.processes() {
+            for (i, value) in workload.sequence(p).iter().enumerate() {
+                allowed.entry(i as u64 + 1).or_default().insert(*value);
+            }
+        }
+        SafetyProbe {
+            k,
+            allowed,
+            max_locations: AtomicUsize::new(0),
+            max_registers: AtomicUsize::new(0),
+            max_components: AtomicUsize::new(0),
+            violated_validity: AtomicBool::new(false),
+            violated_agreement: AtomicBool::new(false),
+        }
+    }
+
+    fn check<A>(&self, exec: &StepExecutor<A>) -> Option<String>
+    where
+        A: Automaton,
+        A::Value: Clone + Eq + Debug,
+    {
+        let metrics = exec.memory().metrics();
+        let locations = metrics.distinct_locations_written();
+        let registers = metrics.registers_written();
+        self.max_locations.fetch_max(locations, Ordering::Relaxed);
+        self.max_registers.fetch_max(registers, Ordering::Relaxed);
+        self.max_components
+            .fetch_max(locations - registers, Ordering::Relaxed);
+        for instance in exec.decisions().instances() {
+            let outputs = exec.decisions().outputs(instance);
+            if let Some(bad) = outputs
+                .iter()
+                .find(|v| !self.allowed.get(&instance).is_some_and(|a| a.contains(v)))
+            {
+                self.violated_validity.store(true, Ordering::Relaxed);
+                return Some(format!(
+                    "instance {instance} decided {bad}, which nobody proposed"
+                ));
+            }
+            if outputs.len() > self.k {
+                self.violated_agreement.store(true, Ordering::Relaxed);
+                return Some(format!(
+                    "instance {instance} has {} distinct outputs {outputs:?}, \
+                     exceeding k = {}",
+                    outputs.len(),
+                    self.k
+                ));
+            }
+        }
+        None
     }
 }
 
@@ -988,6 +1077,13 @@ impl Executor {
     /// An executor that exhaustively explores every interleaving.
     pub fn exploring(config: ExploreConfig) -> Self {
         Executor::new(Backend::Explore(config))
+    }
+
+    /// An executor that exhaustively explores every interleaving on a
+    /// work-stealing worker pool, with byte-identical results at any
+    /// thread count.
+    pub fn exploring_parallel(config: ParallelExploreConfig) -> Self {
+        Executor::new(Backend::ParallelExplore(config))
     }
 
     /// An executor for a custom [`ExecutionBackend`] trait object.
@@ -1052,6 +1148,9 @@ impl AutomataDriver for BackendDriver<'_> {
             Backend::Explore(config) => {
                 ExecutionReport::Explored(plan.run_exploration(automata, workload, *config))
             }
+            Backend::ParallelExplore(config) => ExecutionReport::Explored(
+                plan.run_parallel_exploration(automata, workload, *config),
+            ),
         }
     }
 }
@@ -1429,6 +1528,61 @@ mod tests {
         let explored = explored.expect_explored();
         assert!(explored.verified());
         assert!(explored.max_depth_reached > 0);
+        assert_eq!(explored.threads, 0);
+
+        let parallel = Executor::exploring_parallel(ParallelExploreConfig {
+            threads: 2,
+            max_depth: 100_000,
+            max_states: 1_000_000,
+        })
+        .execute(&plan);
+        assert_eq!(parallel.backend_label(), "parallel-explore");
+        let parallel = parallel.expect_explored();
+        assert!(parallel.verified());
+        assert_eq!(parallel.threads, 2);
+        assert_eq!(parallel.states_visited, explored.states_visited);
+    }
+
+    #[test]
+    fn parallel_exploration_matches_serial_at_every_thread_count() {
+        let plan = ExecutionPlan::new(Params::new(2, 1, 1).unwrap()).algorithm(Algorithm::OneShot);
+        let serial = Executor::exploring(ExploreConfig {
+            max_depth: 100_000,
+            max_states: 1_000_000,
+            dedup: true,
+        })
+        .execute(&plan)
+        .expect_explored();
+        assert!(serial.verified());
+        let mut previous: Option<ExploreReport> = None;
+        for threads in [1, 2, 8] {
+            let report = Executor::exploring_parallel(ParallelExploreConfig {
+                threads,
+                max_depth: 100_000,
+                max_states: 1_000_000,
+            })
+            .execute(&plan)
+            .expect_explored();
+            assert!(report.verified(), "threads={threads}");
+            assert_eq!(report.states_visited, serial.states_visited);
+            assert_eq!(report.paths, serial.paths);
+            assert_eq!(report.violation, serial.violation);
+            // Safety verdicts and space maxima range over the same state
+            // set, so they agree with the serial explorer exactly.
+            assert_eq!(report.validity_ok, serial.validity_ok);
+            assert_eq!(report.agreement_ok, serial.agreement_ok);
+            assert_eq!(report.max_locations_written, serial.max_locations_written);
+            assert_eq!(report.max_registers_written, serial.max_registers_written);
+            assert_eq!(report.max_components_written, serial.max_components_written);
+            // And every parallel field is identical at any worker count.
+            if let Some(previous) = &previous {
+                assert_eq!(report.frontier_peak, previous.frontier_peak);
+                assert_eq!(report.seen_entries, previous.seen_entries);
+                assert_eq!(report.approx_bytes, previous.approx_bytes);
+                assert_eq!(report.max_depth_reached, previous.max_depth_reached);
+            }
+            previous = Some(report);
+        }
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Serial-vs-parallel explorer equivalence suite.
+//!
+//! For every (cell, algorithm) of `campaigns/exhaustive.spec`, the serial
+//! depth-first explorer and the work-stealing parallel explorer must agree
+//! on everything a verification claim rests on: `states_visited` (the two
+//! seen-sets share the same 128-bit state keys, so an exhausted search
+//! counts the identical state set), `verified`, and the violating schedule
+//! (`None` for these verified cells). The parallel explorer must addition-
+//! ally be self-consistent at 1, 2 and 8 worker threads — its results are
+//! byte-identical at any thread count.
+//!
+//! The 3/1/2 cells have a few hundred thousand states each, which is minutes
+//! of work without optimization, so debug builds cover the n = 2 cells only;
+//! `cargo test --release --test explorer_equivalence` (run in CI) covers
+//! every cell of the spec.
+
+use sa_sweep::{expand, CampaignMode, CampaignSpec, ScenarioSpec};
+use set_agreement::runtime::{ExploreConfig, ParallelExploreConfig};
+use set_agreement::{Backend, ExecutionPlan, Executor, ExploreReport};
+
+fn spec_scenarios() -> Vec<ScenarioSpec> {
+    let text = std::fs::read_to_string("campaigns/exhaustive.spec")
+        .expect("campaigns/exhaustive.spec is checked in");
+    let spec = CampaignSpec::parse(&text).expect("the checked-in spec parses");
+    assert_eq!(spec.mode, CampaignMode::Explore);
+    let (scenarios, _) = expand(&spec);
+    assert!(!scenarios.is_empty());
+    scenarios
+}
+
+fn explore_with(scenario: &ScenarioSpec, backend: Backend) -> ExploreReport {
+    let plan = ExecutionPlan::new(scenario.params)
+        .algorithm(scenario.algorithm)
+        .workload(scenario.workload.clone());
+    Executor::new(backend).execute(&plan).expect_explored()
+}
+
+#[test]
+fn serial_and_parallel_explorers_agree_on_every_spec_cell() {
+    // Debug builds are ~20x slower than release; keep tier-1 fast by
+    // restricting them to the n = 2 cells. Release runs (CI) cover all.
+    let full = !cfg!(debug_assertions);
+    let mut covered = 0;
+    for scenario in spec_scenarios() {
+        if !full && scenario.params.n() > 2 {
+            continue;
+        }
+        covered += 1;
+        let cell = format!(
+            "{}/{}/{} {}",
+            scenario.params.n(),
+            scenario.params.m(),
+            scenario.params.k(),
+            scenario.algorithm.label()
+        );
+        let serial = explore_with(
+            &scenario,
+            Backend::Explore(ExploreConfig {
+                max_depth: scenario.max_steps,
+                max_states: scenario.max_states,
+                dedup: true,
+            }),
+        );
+        assert!(serial.verified(), "{cell}: serial exploration not verified");
+        let mut previous: Option<ExploreReport> = None;
+        for threads in [1, 2, 8] {
+            let parallel = explore_with(
+                &scenario,
+                Backend::ParallelExplore(ParallelExploreConfig {
+                    threads,
+                    max_depth: scenario.max_steps,
+                    max_states: scenario.max_states,
+                }),
+            );
+            assert_eq!(
+                parallel.states_visited, serial.states_visited,
+                "{cell} at {threads} threads: states_visited diverged"
+            );
+            assert_eq!(
+                parallel.verified(),
+                serial.verified(),
+                "{cell} at {threads} threads: verified diverged"
+            );
+            assert_eq!(
+                parallel.violation, serial.violation,
+                "{cell} at {threads} threads: violating schedule diverged"
+            );
+            assert_eq!(parallel.validity_ok, serial.validity_ok, "{cell}");
+            assert_eq!(parallel.agreement_ok, serial.agreement_ok, "{cell}");
+            assert_eq!(
+                parallel.max_locations_written, serial.max_locations_written,
+                "{cell}: space maxima range over the same state set"
+            );
+            if let Some(previous) = &previous {
+                // Parallel-vs-parallel: every field is thread-count
+                // invariant, including the ones serial DFS measures
+                // differently (depth, frontier, memory estimate).
+                assert_eq!(parallel.paths, previous.paths, "{cell}");
+                assert_eq!(
+                    parallel.max_depth_reached, previous.max_depth_reached,
+                    "{cell}"
+                );
+                assert_eq!(parallel.frontier_peak, previous.frontier_peak, "{cell}");
+                assert_eq!(parallel.seen_entries, previous.seen_entries, "{cell}");
+                assert_eq!(parallel.approx_bytes, previous.approx_bytes, "{cell}");
+            }
+            previous = Some(parallel);
+        }
+    }
+    assert!(covered > 0, "the spec filter left nothing to check");
+}
+
+#[test]
+fn parallel_explorer_finds_violations_deterministically() {
+    // A deliberately under-provisioned cell (snapshot stripped to one
+    // component) has reachable k-agreement violations; the parallel
+    // explorer must report the same breadth-first-minimal witness at any
+    // thread count.
+    use set_agreement::algorithms::OneShotSetAgreement;
+    use set_agreement::model::{Params, ProcessId};
+    use set_agreement::runtime::{agreement_predicate, parallel_explore, Executor as StepExecutor};
+
+    let params = Params::new(2, 1, 1).unwrap();
+    let automata: Vec<_> = (0..2)
+        .map(|p| OneShotSetAgreement::deficient(params, ProcessId(p), 10 + p as u64, 1).unwrap())
+        .collect();
+    let executor = StepExecutor::new(automata);
+    let reference = parallel_explore(
+        &executor,
+        ParallelExploreConfig::with_threads(1),
+        agreement_predicate(1),
+    );
+    let witness = reference
+        .violation
+        .as_ref()
+        .expect("a violation must be reachable at width 1");
+    assert!(!witness.schedule.is_empty());
+    for threads in [2, 8] {
+        let other = parallel_explore(
+            &executor,
+            ParallelExploreConfig::with_threads(threads),
+            agreement_predicate(1),
+        );
+        assert_eq!(other.violation, reference.violation);
+        assert_eq!(other.states_visited, reference.states_visited);
+    }
+}
