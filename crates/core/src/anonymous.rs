@@ -26,8 +26,12 @@
 
 use crate::error::AlgorithmError;
 use crate::values::{AnonTuple, AnonValue, History};
-use sa_model::{Automaton, Decision, InputValue, InstanceId, MemoryLayout, Op, Params, Response};
+use sa_model::{
+    Automaton, Decision, IdRelabeling, InputValue, InstanceId, MemoryLayout, Op, Params, Response,
+    SymmetryClass,
+};
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
 
 /// Which step the process performs next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -426,6 +430,49 @@ impl Automaton for AnonymousSetAgreement {
             }
             Phase::Done => panic!("apply called on a halted process"),
         }
+    }
+
+    fn symmetry_class(&self) -> SymmetryClass {
+        // No id anywhere: not in the local state, not in the stored
+        // `(pref, t, history)` tuples, not in an address. *Any* permutation
+        // of the process slots is a transition-system automorphism, which
+        // is what lets symmetry reduction collapse distinct-workload cells.
+        SymmetryClass::Anonymous
+    }
+
+    // `relabeled` and `relabel_value` keep their no-op defaults: there is
+    // no id to rewrite.
+
+    fn hash_behavior<H: Hasher>(&self, _relabel: &IdRelabeling, state: &mut H) {
+        // The *behavioral* projection: everything a future `poised`/`apply`
+        // can read. Two fields are provably dead and deliberately omitted —
+        // this is where the reduction on distinct workloads comes from,
+        // because anonymous processes whose mutable state has converged
+        // become interchangeable even though their original inputs differ:
+        //
+        // * a halted process never takes another step, so nothing beyond
+        //   the fact that it halted matters (its outputs live in the
+        //   `DecisionSet`, hashed separately by the canonical key);
+        // * `begin_propose` consumes `inputs[t - 1]` on entering instance
+        //   `t` (or skips it when the history already covers `t`), so only
+        //   the inputs of instances not yet begun can still be read.
+        if matches!(self.phase, Phase::Done) {
+            state.write_u8(0xD0);
+            return;
+        }
+        state.write_u8(0xA1);
+        self.params.hash(state);
+        self.components.hash(state);
+        self.ell.hash(state);
+        self.inputs[(self.instance as usize).min(self.inputs.len())..].hash(state);
+        self.use_helper.hash(state);
+        self.helper_period.hash(state);
+        self.location.hash(state);
+        self.instance.hash(state);
+        self.history.hash(state);
+        self.pref.hash(state);
+        self.phase.hash(state);
+        self.iterations_since_helper_check.hash(state);
     }
 }
 

@@ -20,7 +20,11 @@
 use crate::error::AlgorithmError;
 use crate::oneshot::OneShotSetAgreement;
 use crate::values::Pair;
-use sa_model::{Automaton, Decision, InputValue, MemoryLayout, Op, Params, ProcessId, Response};
+use sa_model::{
+    Automaton, Decision, IdRelabeling, InputValue, MemoryLayout, Op, Params, ProcessId, Response,
+    SymmetryClass,
+};
+use std::hash::Hasher;
 
 /// The Figure 3 one-shot algorithm run over a snapshot object with
 /// `2(n − k)` components — the space of the prior algorithm \[4\] for
@@ -95,6 +99,24 @@ impl Automaton for WideBaseline {
 
     fn apply(&mut self, response: Response<Pair>) -> Vec<Decision> {
         self.inner.apply(response)
+    }
+
+    fn symmetry_class(&self) -> SymmetryClass {
+        self.inner.symmetry_class()
+    }
+
+    fn relabeled(&self, relabel: &IdRelabeling) -> Self {
+        WideBaseline {
+            inner: self.inner.relabeled(relabel),
+        }
+    }
+
+    fn hash_behavior<H: Hasher>(&self, relabel: &IdRelabeling, state: &mut H) {
+        self.inner.hash_behavior(relabel, state);
+    }
+
+    fn relabel_value(value: &Pair, relabel: &IdRelabeling) -> Pair {
+        OneShotSetAgreement::relabel_value(value, relabel)
     }
 }
 
@@ -324,6 +346,13 @@ where
     A::Value: Clone,
 {
     type Value = FullInfoRecord<A::Value>;
+
+    // `symmetry_class` deliberately keeps its `Opaque` default: this
+    // emulation addresses its own single-writer register *by process id*
+    // (`register: self.id.index()`), so a relabeling would also have to
+    // permute register locations — beyond what value relabeling can
+    // express. Symmetry-reduced explorers therefore fall back to plain
+    // exploration for this automaton instead of pruning unsoundly.
 
     fn layout(&self) -> MemoryLayout {
         MemoryLayout::registers_only(self.params.n())

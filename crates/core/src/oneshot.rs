@@ -18,7 +18,11 @@
 
 use crate::error::AlgorithmError;
 use crate::values::Pair;
-use sa_model::{Automaton, Decision, InputValue, MemoryLayout, Op, Params, ProcessId, Response};
+use sa_model::{
+    Automaton, Decision, IdRelabeling, InputValue, MemoryLayout, Op, Params, ProcessId, Response,
+    SymmetryClass,
+};
+use std::hash::{Hash, Hasher};
 
 /// Which shared-memory operation the process performs next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -271,6 +275,39 @@ impl Automaton for OneShotSetAgreement {
             }
             Phase::Done => panic!("apply called on a halted process"),
         }
+    }
+
+    fn symmetry_class(&self) -> SymmetryClass {
+        // The id appears in the local state and in every stored pair, but
+        // never in an object address (components are location-indexed), so
+        // consistent relabeling is a transition-system automorphism.
+        SymmetryClass::IdCarrying
+    }
+
+    fn relabeled(&self, relabel: &IdRelabeling) -> Self {
+        OneShotSetAgreement {
+            id: relabel.apply(self.id),
+            ..self.clone()
+        }
+    }
+
+    fn hash_behavior<H: Hasher>(&self, relabel: &IdRelabeling, state: &mut H) {
+        // The full state with the id mapped. The (immutable, post-init
+        // unread) `input` field is hashed deliberately: a non-anonymous
+        // process is identified with its input, so slots with distinct
+        // inputs never merge and symmetry-reduced exploration of a
+        // distinct-workload cell visits exactly the full state count.
+        self.params.hash(state);
+        self.components.hash(state);
+        relabel.apply(self.id).hash(state);
+        self.input.hash(state);
+        self.pref.hash(state);
+        self.location.hash(state);
+        self.phase.hash(state);
+    }
+
+    fn relabel_value(value: &Pair, relabel: &IdRelabeling) -> Pair {
+        Pair::new(value.value, relabel.apply(value.id))
     }
 }
 

@@ -18,8 +18,10 @@
 use crate::error::AlgorithmError;
 use crate::values::{History, Tuple};
 use sa_model::{
-    Automaton, Decision, InputValue, InstanceId, MemoryLayout, Op, Params, ProcessId, Response,
+    Automaton, Decision, IdRelabeling, InputValue, InstanceId, MemoryLayout, Op, Params, ProcessId,
+    Response, SymmetryClass,
 };
+use std::hash::{Hash, Hasher};
 
 /// Which step the process performs next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -345,6 +347,43 @@ impl Automaton for RepeatedSetAgreement {
             }
             Phase::Done => panic!("apply called on a halted process"),
         }
+    }
+
+    fn symmetry_class(&self) -> SymmetryClass {
+        // As in Figure 3: the id lives in local state and stored tuples,
+        // never in an object address.
+        SymmetryClass::IdCarrying
+    }
+
+    fn relabeled(&self, relabel: &IdRelabeling) -> Self {
+        RepeatedSetAgreement {
+            id: relabel.apply(self.id),
+            ..self.clone()
+        }
+    }
+
+    fn hash_behavior<H: Hasher>(&self, relabel: &IdRelabeling, state: &mut H) {
+        // The full state with the id mapped; like the one-shot algorithm,
+        // the input sequence is hashed whole (no dead-field projection) so
+        // non-anonymous slots are identified with their inputs.
+        self.params.hash(state);
+        self.components.hash(state);
+        relabel.apply(self.id).hash(state);
+        self.inputs.hash(state);
+        self.location.hash(state);
+        self.instance.hash(state);
+        self.history.hash(state);
+        self.pref.hash(state);
+        self.phase.hash(state);
+    }
+
+    fn relabel_value(value: &Tuple, relabel: &IdRelabeling) -> Tuple {
+        Tuple::new(
+            value.value,
+            relabel.apply(value.id),
+            value.instance,
+            value.history.clone(),
+        )
     }
 }
 

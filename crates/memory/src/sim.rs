@@ -168,6 +168,71 @@ impl<V: Clone + Eq + Debug> SimMemory<V> {
         self.registers.hash(hasher);
         self.snapshots.hash(hasher);
     }
+
+    /// Hashes the register/snapshot contents with every stored value first
+    /// passed through `map`, without materializing the mapped memory.
+    ///
+    /// This is how the symmetry-reduced explorers hash memory under a
+    /// process-id relabeling: `map` rewrites the ids a value embeds, while
+    /// the *locations* (register indices, snapshot components) keep their
+    /// positions — the paper's algorithms never address shared objects by
+    /// process id (the one that does, the single-writer emulation, is
+    /// excluded from symmetry reduction for exactly that reason).
+    pub fn hash_contents_mapped<H, F>(&self, hasher: &mut H, mut map: F)
+    where
+        V: std::hash::Hash,
+        H: std::hash::Hasher,
+        F: FnMut(&V) -> V,
+    {
+        let mut hash_slot = |hasher: &mut H, slot: &Option<V>| match slot {
+            None => hasher.write_u8(0),
+            Some(value) => {
+                hasher.write_u8(1);
+                map(value).hash(hasher);
+            }
+        };
+        hasher.write_usize(self.registers.len());
+        for slot in &self.registers {
+            hash_slot(hasher, slot);
+        }
+        hasher.write_usize(self.snapshots.len());
+        for snapshot in &self.snapshots {
+            hasher.write_usize(snapshot.len());
+            for slot in snapshot {
+                hash_slot(hasher, slot);
+            }
+        }
+    }
+
+    /// A copy of this memory with every stored value passed through `map`
+    /// (locations keep their positions, metrics are cloned unchanged) — the
+    /// materialized counterpart of [`SimMemory::hash_contents_mapped`],
+    /// used when a whole configuration is canonicalized (e.g. by the
+    /// orbit-soundness tests).
+    pub fn canonicalized<F>(&self, mut map: F) -> SimMemory<V>
+    where
+        F: FnMut(&V) -> V,
+    {
+        SimMemory {
+            layout: self.layout.clone(),
+            registers: self
+                .registers
+                .iter()
+                .map(|slot| slot.as_ref().map(&mut map))
+                .collect(),
+            snapshots: self
+                .snapshots
+                .iter()
+                .map(|snapshot| {
+                    snapshot
+                        .iter()
+                        .map(|slot| slot.as_ref().map(&mut map))
+                        .collect()
+                })
+                .collect(),
+            metrics: self.metrics.clone(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +402,46 @@ mod tests {
         // Metrics do not influence the fingerprint.
         a.apply(ProcessId(0), Op::Read { register: 0 }).unwrap();
         assert_eq!(a.content_fingerprint(), f1);
+    }
+
+    #[test]
+    fn mapped_hash_matches_materialized_canonicalization() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::Hasher;
+        let mut mem: SimMemory<u64> = SimMemory::for_layout(&layout());
+        mem.apply(
+            ProcessId(0),
+            Op::Write {
+                register: 1,
+                value: 10,
+            },
+        )
+        .unwrap();
+        mem.apply(
+            ProcessId(1),
+            Op::Update {
+                snapshot: 0,
+                component: 2,
+                value: 20,
+            },
+        )
+        .unwrap();
+        let hash_mapped = |mem: &SimMemory<u64>, map: fn(&u64) -> u64| {
+            let mut hasher = DefaultHasher::new();
+            mem.hash_contents_mapped(&mut hasher, map);
+            hasher.finish()
+        };
+        // Mapping then hashing raw equals hashing with the map inline.
+        let doubled = mem.canonicalized(|v| v * 2);
+        assert_eq!(doubled.peek_register(1), Some(&20));
+        assert_eq!(doubled.peek_snapshot(0)[2], Some(40));
+        assert_eq!(hash_mapped(&mem, |v| v * 2), hash_mapped(&doubled, |v| *v));
+        // The identity map distinguishes contents like the raw hash does.
+        assert_ne!(hash_mapped(&mem, |v| *v), hash_mapped(&doubled, |v| *v));
+        // Locations stay put: canonicalization never moves a value.
+        assert_eq!(doubled.peek_register(0), None);
+        // Metrics ride along unchanged.
+        assert_eq!(doubled.metrics().total_ops(), mem.metrics().total_ops());
     }
 
     #[test]

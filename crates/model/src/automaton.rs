@@ -3,8 +3,10 @@
 use crate::ids::{InputValue, InstanceId};
 use crate::layout::MemoryLayout;
 use crate::op::{Op, OpKind, Response};
+use crate::symmetry::{IdRelabeling, SymmetryClass};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Debug;
+use std::hash::{Hash, Hasher};
 
 /// An output event of a `Propose` operation: in instance `instance` the
 /// process decided `value`.
@@ -79,6 +81,77 @@ pub trait Automaton {
     /// `true` once the process has halted.
     fn is_halted(&self) -> bool {
         self.poised().is_none()
+    }
+
+    /// How this automaton transforms under process-id relabeling — what a
+    /// symmetry-reduced explorer may assume about it.
+    ///
+    /// The default is [`SymmetryClass::Opaque`]: nothing is known, and a
+    /// symmetry-reduced exploration must fall back to plain exploration
+    /// rather than risk an unsound prune. Automata opting in declare
+    /// [`SymmetryClass::Anonymous`] (no ids anywhere) or
+    /// [`SymmetryClass::IdCarrying`] (ids rewritten completely by
+    /// [`Automaton::relabeled`] and [`Automaton::relabel_value`]).
+    fn symmetry_class(&self) -> SymmetryClass {
+        SymmetryClass::Opaque
+    }
+
+    /// A copy of this automaton with every embedded process id written
+    /// through `relabel` (which must be a bijection).
+    ///
+    /// The default returns an unchanged clone, which is correct only for
+    /// automata whose local state embeds no process id
+    /// ([`SymmetryClass::Anonymous`]); [`SymmetryClass::IdCarrying`]
+    /// automata must override it.
+    fn relabeled(&self, relabel: &IdRelabeling) -> Self
+    where
+        Self: Sized + Clone,
+    {
+        let _ = relabel;
+        self.clone()
+    }
+
+    /// Hashes the automaton's **behavioral** state — every field that can
+    /// still influence a future [`Automaton::poised`] or
+    /// [`Automaton::apply`] — with every embedded process id first mapped
+    /// through `relabel`.
+    ///
+    /// This is the per-slot ingredient of the explorers' canonical state
+    /// keys. Two contracts, checked by the orbit-soundness test battery:
+    ///
+    /// * **completeness** — together with the (relabeled) memory contents
+    ///   and decisions, the hashed projection must determine all future
+    ///   behavior. Fields that are provably dead (e.g. an input already
+    ///   consumed into the preference) *may* be omitted, which is what lets
+    ///   anonymous processes that have converged merge even when their
+    ///   original inputs differed;
+    /// * **relabel-consistency** — hashing `self.relabeled(σ)` under
+    ///   `relabel` must equal hashing `self` under `relabel ∘ σ`.
+    ///
+    /// The default hashes the full state and ignores `relabel`, which is
+    /// correct only for [`SymmetryClass::Anonymous`] automata without dead
+    /// fields.
+    fn hash_behavior<H: Hasher>(&self, relabel: &IdRelabeling, state: &mut H)
+    where
+        Self: Sized + Hash,
+    {
+        let _ = relabel;
+        self.hash(state);
+    }
+
+    /// A copy of a shared-memory value with every embedded process id
+    /// written through `relabel`.
+    ///
+    /// The default returns an unchanged clone, correct only for value types
+    /// that embed no process id; [`SymmetryClass::IdCarrying`] automata
+    /// whose values carry ids (e.g. Figure 3's `(pref, id)` pairs) must
+    /// override it.
+    fn relabel_value(value: &Self::Value, relabel: &IdRelabeling) -> Self::Value
+    where
+        Self: Sized,
+    {
+        let _ = relabel;
+        value.clone()
     }
 }
 
@@ -203,6 +276,21 @@ impl DecisionSet {
                 entry.insert(*p, *v);
             }
         }
+    }
+
+    /// A copy of this set with every process id written through `relabel`
+    /// (which must be a bijection): the decisions of process `p` become the
+    /// decisions of `relabel.apply(p)`. Used by the symmetry-reduced
+    /// explorers' canonical state keys and the orbit-soundness tests.
+    pub fn relabeled(&self, relabel: &crate::symmetry::IdRelabeling) -> DecisionSet {
+        debug_assert!(relabel.is_bijection(), "relabeling a set needs a bijection");
+        let mut relabeled = DecisionSet::new();
+        for (instance, decisions) in &self.by_instance {
+            for (p, v) in decisions {
+                relabeled.record(relabel.apply(*p), Decision::new(*instance, *v));
+            }
+        }
+        relabeled
     }
 }
 

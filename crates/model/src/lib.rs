@@ -43,6 +43,7 @@ mod ids;
 mod layout;
 mod op;
 mod params;
+mod symmetry;
 
 pub use automaton::{Automaton, Decision, DecisionSet, StepOutcome};
 pub use error::{LayoutError, ParamsError};
@@ -50,3 +51,4 @@ pub use ids::{InputValue, InstanceId, ProcessId};
 pub use layout::{MemoryLayout, RegisterId, SnapshotId};
 pub use op::{Op, OpKind, Response};
 pub use params::{ParamSweep, Params};
+pub use symmetry::{IdRelabeling, SymmetryClass};

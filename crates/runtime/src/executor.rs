@@ -16,7 +16,7 @@ use crate::schedule::{Scheduler, SchedulerView};
 use crate::threaded::ThreadedConfig;
 use crate::trace::{Trace, TraceEvent};
 use sa_memory::{MemoryMetrics, SimMemory};
-use sa_model::{Automaton, DecisionSet, MemoryLayout, Op, ProcessId, StepOutcome};
+use sa_model::{Automaton, DecisionSet, IdRelabeling, MemoryLayout, Op, ProcessId, StepOutcome};
 use std::fmt::Debug;
 
 /// Which execution backend drives a system of automata — the third axis of
@@ -272,6 +272,51 @@ where
             halted: self.automata[process.index()].is_halted(),
             decisions,
         })
+    }
+
+    /// The image of this configuration under a process-id relabeling,
+    /// applied **consistently**: the automaton of old slot `p` moves to
+    /// slot `relabel(p)` with its embedded ids rewritten
+    /// ([`Automaton::relabeled`]), every shared-memory value is rewritten
+    /// ([`Automaton::relabel_value`]), decisions and per-process step
+    /// counts move with their process. Memory *locations* stay put.
+    ///
+    /// This is the group action the symmetry-reduced explorers quotient
+    /// by; it is exposed so the orbit-soundness tests (and diagnostics) can
+    /// apply concrete permutations and compare state keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relabel` is not a bijection on exactly this executor's
+    /// process set.
+    pub fn permuted(&self, relabel: &IdRelabeling) -> Executor<A>
+    where
+        A: Clone,
+    {
+        let n = self.automata.len();
+        assert!(
+            relabel.len() == n && relabel.is_bijection(),
+            "permuting {n} processes needs a bijection on 0..{n}"
+        );
+        let mut automata: Vec<Option<A>> = vec![None; n];
+        let mut steps_per_process = vec![0u64; n];
+        for old in 0..n {
+            let new = relabel.apply(ProcessId(old)).index();
+            automata[new] = Some(self.automata[old].relabeled(relabel));
+            steps_per_process[new] = self.steps_per_process[old];
+        }
+        Executor {
+            automata: automata
+                .into_iter()
+                .map(|a| a.expect("a bijection fills every slot"))
+                .collect(),
+            memory: self
+                .memory
+                .canonicalized(|value| A::relabel_value(value, relabel)),
+            decisions: self.decisions.relabeled(relabel),
+            steps: self.steps,
+            steps_per_process,
+        }
     }
 
     /// Runs the execution under `scheduler` until every process halts, the

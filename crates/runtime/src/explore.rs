@@ -22,10 +22,49 @@
 //! [`parallel_explore`](crate::parallel_explore).
 
 use crate::executor::Executor;
-use sa_model::{Automaton, ProcessId};
+use sa_model::{Automaton, IdRelabeling, InstanceId, ProcessId, SymmetryClass};
 use std::collections::HashSet;
 use std::fmt::Debug;
 use std::hash::{Hash, Hasher};
+
+/// Whether an explorer deduplicates reachable configurations up to
+/// process-id symmetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SymmetryMode {
+    /// Every configuration is its own dedup key — the historical behavior.
+    #[default]
+    Off,
+    /// Configurations are canonicalized up to process-id orbits before
+    /// computing their [`StateKey`]: processes that the algorithm cannot
+    /// distinguish may be relabeled, so one representative per orbit is
+    /// explored.
+    ///
+    /// This is **requested**, not guaranteed: automata must opt in through
+    /// [`Automaton::symmetry_class`], and a system whose automata report
+    /// [`SymmetryClass::Opaque`] (or disable dedup) falls back to [`Off`]
+    /// rather than prune unsoundly —
+    /// [`Exploration::symmetry_applied`] records what actually happened.
+    ProcessIds,
+}
+
+impl SymmetryMode {
+    /// A stable label used by records and CLIs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SymmetryMode::Off => "off",
+            SymmetryMode::ProcessIds => "process-ids",
+        }
+    }
+
+    /// Parses [`SymmetryMode::label`] output.
+    pub fn parse(text: &str) -> Option<SymmetryMode> {
+        match text {
+            "off" => Some(SymmetryMode::Off),
+            "process-ids" => Some(SymmetryMode::ProcessIds),
+            _ => None,
+        }
+    }
+}
 
 /// Configuration of a bounded exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +79,10 @@ pub struct ExploreConfig {
     /// Whether to deduplicate states (requires hashing each state; almost
     /// always worth it).
     pub dedup: bool,
+    /// Whether to deduplicate up to process-id symmetry (requires `dedup`;
+    /// falls back to [`SymmetryMode::Off`] for automata that do not opt
+    /// in — see [`SymmetryMode::ProcessIds`]).
+    pub symmetry: SymmetryMode,
 }
 
 impl Default for ExploreConfig {
@@ -48,6 +91,7 @@ impl Default for ExploreConfig {
             max_depth: 60,
             max_states: 2_000_000,
             dedup: true,
+            symmetry: SymmetryMode::Off,
         }
     }
 }
@@ -103,6 +147,21 @@ pub struct Exploration {
     /// data structures at their peak: seen-set keys plus frontier states.
     /// It is an accounting of the dominant terms, not a measurement.
     pub approx_bytes: u64,
+    /// `true` if the search deduplicated up to process-id symmetry:
+    /// [`SymmetryMode::ProcessIds`] was requested **and** every automaton
+    /// opted in (see [`Automaton::symmetry_class`]). When `false` despite a
+    /// request, the search fell back to plain exploration — same verdicts,
+    /// no reduction.
+    pub symmetry_applied: bool,
+    /// A lower bound on the number of distinct reachable configurations
+    /// represented by the visited states: with symmetry applied, the sum
+    /// over visited orbit representatives of the number of distinct
+    /// configurations their input-preserving relabelings produce (every one
+    /// of them reachable); without symmetry, exactly `states_visited`. The
+    /// ratio `full_states_lower_bound / states_visited` is the reduction
+    /// factor the quotient achieved. Exact up to 128-bit signature
+    /// collisions between distinct slot states.
+    pub full_states_lower_bound: u64,
 }
 
 impl Exploration {
@@ -209,6 +268,342 @@ where
     hasher.into_key()
 }
 
+/// The precomputed symmetry structure of one exploration: whether reduction
+/// applies at all, and which process slots may exchange positions during
+/// canonicalization.
+///
+/// Built once per search from the **initial** configuration (see
+/// [`SymmetryPlan::for_executor`]) and shared by the serial and the parallel
+/// explorer, so their canonical keys agree exactly.
+#[derive(Debug, Clone)]
+pub struct SymmetryPlan {
+    applied: bool,
+    n: usize,
+    /// The automata's declared class; id-carrying systems additionally sign
+    /// slots with their memory-occurrence profile (see `canonical_order`).
+    class: SymmetryClass,
+    /// Canonical sorting domain per slot: slots may only exchange canonical
+    /// positions with slots of the same domain. One domain for anonymous
+    /// systems (full-group permutation); equal-initial-behavior domains for
+    /// id-carrying systems (so the relabelings quotiented by are exactly
+    /// those fixing the initial configuration).
+    canon_class: Vec<usize>,
+    /// Equal-initial-behavior class per slot, used by the orbit-size lower
+    /// bound: relabelings within these classes fix the initial
+    /// configuration, so every orbit member they produce is reachable.
+    initial_class: Vec<usize>,
+    /// The id-erasing map used for order-independent slot signatures.
+    erase: IdRelabeling,
+}
+
+impl SymmetryPlan {
+    /// A plan that applies no reduction.
+    fn off(n: usize) -> SymmetryPlan {
+        SymmetryPlan {
+            applied: false,
+            n,
+            class: SymmetryClass::Opaque,
+            canon_class: Vec::new(),
+            initial_class: Vec::new(),
+            erase: IdRelabeling::erase(n),
+        }
+    }
+
+    /// Builds the plan for exploring from `initial` under `mode`.
+    ///
+    /// [`SymmetryMode::ProcessIds`] is **established** (rather than assumed)
+    /// here: every automaton must report the same non-
+    /// [`Opaque`](SymmetryClass::Opaque) [`Automaton::symmetry_class`],
+    /// otherwise the plan falls back to no reduction — an unsound prune is
+    /// worse than a slow search. Anonymous systems get one orbit group over
+    /// all slots; id-carrying systems get one group per class of processes
+    /// with identical (id-erased) initial behavior, i.e. identical inputs.
+    pub fn for_executor<A>(initial: &Executor<A>, mode: SymmetryMode) -> SymmetryPlan
+    where
+        A: Automaton + Hash,
+        A::Value: Hash + Clone + Eq + Debug,
+    {
+        let n = initial.process_count();
+        if mode == SymmetryMode::Off || n == 0 {
+            return SymmetryPlan::off(n);
+        }
+        let class = initial.automaton(ProcessId(0)).symmetry_class();
+        if class == SymmetryClass::Opaque {
+            return SymmetryPlan::off(n);
+        }
+        for p in 1..n {
+            if initial.automaton(ProcessId(p)).symmetry_class() != class {
+                return SymmetryPlan::off(n);
+            }
+        }
+        let erase = IdRelabeling::erase(n);
+        // Group slots by their id-erased initial behavior: for the paper's
+        // algorithms this is exactly "identical input sequence".
+        let signatures: Vec<StateKey> = (0..n)
+            .map(|p| {
+                let mut hasher = SplitHasher::new();
+                initial
+                    .automaton(ProcessId(p))
+                    .hash_behavior(&erase, &mut hasher);
+                hasher.into_key()
+            })
+            .collect();
+        let mut initial_class = vec![0usize; n];
+        let mut representatives: Vec<StateKey> = Vec::new();
+        for p in 0..n {
+            initial_class[p] = representatives
+                .iter()
+                .position(|sig| *sig == signatures[p])
+                .unwrap_or_else(|| {
+                    representatives.push(signatures[p]);
+                    representatives.len() - 1
+                });
+        }
+        let canon_class = match class {
+            // Anonymous algorithms permit full-group permutation: nothing
+            // in the transition system references a slot index.
+            SymmetryClass::Anonymous => vec![0usize; n],
+            // Id-carrying algorithms only within equal-input groups, where
+            // the consistent relabeling fixes the initial configuration.
+            SymmetryClass::IdCarrying => initial_class.clone(),
+            SymmetryClass::Opaque => unreachable!("checked above"),
+        };
+        SymmetryPlan {
+            applied: true,
+            n,
+            class,
+            canon_class,
+            initial_class,
+            erase,
+        }
+    }
+
+    /// `true` if this plan performs symmetry reduction.
+    pub fn applied(&self) -> bool {
+        self.applied
+    }
+
+    /// `true` if every orbit group is a single slot, so canonicalization is
+    /// provably the identity and no two distinct configurations can ever
+    /// merge — e.g. a distinct-workload cell of an id-carrying algorithm.
+    /// The explorers use this to take the plain [`state_key`] fast path
+    /// (same dedup semantics, none of the per-slot signature work) while
+    /// still reporting the symmetry as applied.
+    pub fn is_trivial(&self) -> bool {
+        let groups = self.orbit_groups();
+        groups == self.n && self.n > 0
+    }
+
+    /// The number of orbit groups canonicalization sorts within (`0` when
+    /// the plan applies no reduction).
+    pub fn orbit_groups(&self) -> usize {
+        self.canon_class.iter().copied().max().map_or(0, |c| c + 1)
+    }
+
+    /// The canonical relabeling of `executor`'s configuration: a bijection
+    /// `old id → new id` that, applied consistently to slots, local states,
+    /// memory values and decisions, yields the orbit representative whose
+    /// [`canonical_state_key`] is computed. The identity when the plan
+    /// applies no reduction.
+    pub fn canonical_relabeling<A>(&self, executor: &Executor<A>) -> IdRelabeling
+    where
+        A: Automaton + Hash,
+        A::Value: Hash + Clone + Eq + Debug,
+    {
+        if !self.applied {
+            return IdRelabeling::identity(self.n);
+        }
+        let (order, _) = self.canonical_order(executor);
+        let mut map = vec![ProcessId(0); self.n];
+        for (new_slot, &old_slot) in order.iter().enumerate() {
+            map[old_slot] = ProcessId(new_slot);
+        }
+        IdRelabeling::from_map(map)
+    }
+
+    /// The canonical slot order (`order[new_slot] = old_slot`) plus the
+    /// orbit-size lower bound of the configuration.
+    ///
+    /// Within each orbit group, slots are sorted by an id-erased signature
+    /// of their behavioral state and per-slot decisions; ties keep original
+    /// slot order, so the result is a deterministic function of the
+    /// configuration alone (never of thread count or discovery order).
+    fn canonical_order<A>(&self, executor: &Executor<A>) -> (Vec<usize>, u64)
+    where
+        A: Automaton + Hash,
+        A::Value: Hash + Clone + Eq + Debug,
+    {
+        let n = self.n;
+        let instances: Vec<InstanceId> = executor.decisions().instances().collect();
+        let signatures: Vec<[u64; 2]> = (0..n)
+            .map(|p| {
+                let mut hasher = SplitHasher::new();
+                executor
+                    .automaton(ProcessId(p))
+                    .hash_behavior(&self.erase, &mut hasher);
+                // The slot's decisions travel with it under relabeling, so
+                // they are part of what makes slots interchangeable.
+                for &instance in &instances {
+                    if let Some(value) = executor.decisions().decision_of(ProcessId(p), instance) {
+                        instance.hash(&mut hasher);
+                        value.hash(&mut hasher);
+                    }
+                }
+                // Id-carrying values couple slots to memory: two slots whose
+                // local states differ only in the id are still distinguished
+                // by WHERE their ids occur in memory (e.g. only p1 has a
+                // pair in the snapshot). Sign each slot with its
+                // id-occurrence profile — every value hashed under a
+                // "spotlight" map sending this slot's id to p1 and every
+                // other id to p0 — so the canonical order separates them
+                // consistently across the whole orbit. (Anonymous values
+                // embed no ids; the profile would be constant, so skip it.)
+                if self.class == SymmetryClass::IdCarrying && n > 1 {
+                    let mut spotlight = vec![ProcessId(0); n];
+                    spotlight[p] = ProcessId(1);
+                    let spotlight = IdRelabeling::from_map(spotlight);
+                    executor
+                        .memory()
+                        .hash_contents_mapped(&mut hasher, |value| {
+                            A::relabel_value(value, &spotlight)
+                        });
+                }
+                hasher.into_key().parts()
+            })
+            .collect();
+        // Within each orbit group, reassign the group's slot positions to
+        // its members in signature order (stable: ties keep slot order).
+        let mut order: Vec<usize> = (0..n).collect();
+        let groups = self.canon_class.iter().copied().max().map_or(0, |c| c + 1);
+        for group in 0..groups {
+            let positions: Vec<usize> = (0..n).filter(|p| self.canon_class[*p] == group).collect();
+            let mut members = positions.clone();
+            members.sort_by_key(|p| (signatures[*p], *p));
+            for (position, member) in positions.into_iter().zip(members) {
+                order[position] = member;
+            }
+        }
+        // Orbit-size lower bound: within each equal-initial-behavior class,
+        // relabelings fix the initial configuration, so they produce
+        // class_size! / (product of equal-signature run lengths!) distinct
+        // reachable configurations. Slots whose *projected* states collide
+        // are conservatively treated as interchangeable, keeping this a
+        // lower bound.
+        let classes = self
+            .initial_class
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |c| c + 1);
+        let mut orbit_lower: u64 = 1;
+        for class in 0..classes {
+            let mut sigs: Vec<[u64; 2]> = (0..n)
+                .filter(|p| self.initial_class[*p] == class)
+                .map(|p| signatures[p])
+                .collect();
+            sigs.sort_unstable();
+            let mut arrangements: u64 = factorial(sigs.len() as u64);
+            let mut run = 1u64;
+            for i in 1..=sigs.len() {
+                if i < sigs.len() && sigs[i] == sigs[i - 1] {
+                    run += 1;
+                } else {
+                    arrangements /= factorial(run);
+                    run = 1;
+                }
+            }
+            orbit_lower = orbit_lower.saturating_mul(arrangements);
+        }
+        (order, orbit_lower)
+    }
+}
+
+/// `n!`, saturating — orbit groups are at most `n` slots wide, and a
+/// saturated count still satisfies the "lower bound" contract because it is
+/// only ever *divided* by factorials of run lengths that partition `n`.
+fn factorial(n: u64) -> u64 {
+    (2..=n).fold(1u64, |acc, i| acc.saturating_mul(i))
+}
+
+/// The symmetry-reduced dedup key of a configuration, plus the orbit-size
+/// lower bound feeding [`Exploration::full_states_lower_bound`].
+///
+/// The key is the 128-bit [`StateKey`] of the configuration's **canonical
+/// orbit representative**: slots are reordered within their orbit groups by
+/// id-erased behavioral signature, then the automata
+/// ([`Automaton::hash_behavior`]), the memory contents
+/// ([`SimMemory::hash_contents_mapped`](sa_memory::SimMemory::hash_contents_mapped)
+/// with [`Automaton::relabel_value`]) and the decisions are hashed under the
+/// resulting relabeling. Two configurations share a key **only if** one is
+/// the other's image under an orbit-group permutation applied consistently
+/// through states, values and decisions (up to the same 128-bit collision
+/// bound as plain [`state_key`]) — so pruning on this key is sound: the
+/// pruned configuration's entire future is the relabeled image of an
+/// explored one, with identical safety verdicts.
+///
+/// A plan that applies no reduction (a fallback for Opaque automata, or
+/// [`SymmetryMode::Off`]) degrades gracefully to the plain [`state_key`]
+/// with a singleton orbit weight.
+pub fn canonical_state_key<A>(executor: &Executor<A>, plan: &SymmetryPlan) -> (StateKey, u64)
+where
+    A: Automaton + Hash,
+    A::Value: Hash + Clone + Eq + Debug,
+{
+    if !plan.applied {
+        // A fallback plan (Opaque automata, or `SymmetryMode::Off`) defines
+        // no orbits: the canonical key degrades to the plain key with a
+        // singleton orbit, so callers can use the two interchangeably.
+        return (state_key(executor), 1);
+    }
+    let (order, orbit_lower) = plan.canonical_order(executor);
+    let mut map = vec![ProcessId(0); plan.n];
+    for (new_slot, &old_slot) in order.iter().enumerate() {
+        map[old_slot] = ProcessId(new_slot);
+    }
+    let relabel = IdRelabeling::from_map(map);
+    let mut hasher = SplitHasher::new();
+    for &old_slot in &order {
+        executor
+            .automaton(ProcessId(old_slot))
+            .hash_behavior(&relabel, &mut hasher);
+    }
+    executor
+        .memory()
+        .hash_contents_mapped(&mut hasher, |value| A::relabel_value(value, &relabel));
+    for instance in executor.decisions().instances() {
+        instance.hash(&mut hasher);
+        for (new_slot, &old_slot) in order.iter().enumerate() {
+            if let Some(value) = executor
+                .decisions()
+                .decision_of(ProcessId(old_slot), instance)
+            {
+                new_slot.hash(&mut hasher);
+                value.hash(&mut hasher);
+            }
+        }
+    }
+    (hasher.into_key(), orbit_lower)
+}
+
+/// The dedup key (and visited-orbit weight) of a configuration under a
+/// plan: [`canonical_state_key`] when the plan applies non-trivially, the
+/// plain [`state_key`] (weight 1) otherwise. The single key function both
+/// explorers share. Trivial plans (every orbit group a singleton, e.g. a
+/// distinct-workload id-carrying cell) provably cannot merge anything, so
+/// they skip the per-slot signature work entirely rather than pay n extra
+/// memory hashes per state for a 1.0x reduction.
+pub(crate) fn keyed<A>(executor: &Executor<A>, plan: &SymmetryPlan) -> (StateKey, u64)
+where
+    A: Automaton + Hash,
+    A::Value: Hash + Clone + Eq + Debug,
+{
+    if plan.applied && !plan.is_trivial() {
+        canonical_state_key(executor, plan)
+    } else {
+        (state_key(executor), 1)
+    }
+}
+
 /// The deterministic rough byte estimate behind
 /// [`Exploration::approx_bytes`]: seen-set keys (plus table overhead) and
 /// peak frontier entries (state struct shell, per-process automata, and the
@@ -239,6 +634,16 @@ where
     A::Value: Hash + Clone + Eq + Debug,
     F: FnMut(&Executor<A>) -> Option<String>,
 {
+    // Symmetry reduction needs the seen-set (it *is* a dedup strategy), so
+    // dedup-off searches fall back to plain enumeration.
+    let plan = SymmetryPlan::for_executor(
+        initial,
+        if config.dedup {
+            config.symmetry
+        } else {
+            SymmetryMode::Off
+        },
+    );
     let mut seen: HashSet<StateKey> = HashSet::new();
     let mut result = Exploration {
         states_visited: 0,
@@ -249,28 +654,36 @@ where
         frontier_peak: 0,
         seen_entries: 0,
         approx_bytes: 0,
+        symmetry_applied: plan.applied(),
+        full_states_lower_bound: 0,
     };
     // The initial configuration is reachable (by the empty schedule): a
     // predicate that rejects it must be reported, not silently skipped.
     if let Some(description) = predicate(initial) {
         result.states_visited = 1;
+        result.full_states_lower_bound = 1;
         result.violation = Some(ExploredViolation {
             schedule: Vec::new(),
             description,
         });
         return result;
     }
-    // Depth-first search over (executor state, schedule prefix).
-    let mut stack: Vec<(Executor<A>, Vec<ProcessId>)> = vec![(initial.clone(), Vec::new())];
+    // Depth-first search over (executor state, schedule prefix, orbit
+    // weight). States are kept in their *original* labeling — canonical
+    // forms exist only inside the dedup keys — so witness schedules replay
+    // on the caller's executor as-is.
+    let (initial_key, initial_orbit) = keyed(initial, &plan);
+    let mut stack: Vec<(Executor<A>, Vec<ProcessId>, u64)> =
+        vec![(initial.clone(), Vec::new(), initial_orbit)];
     result.frontier_peak = 1;
     if config.dedup {
-        seen.insert(state_key(initial));
+        seen.insert(initial_key);
     }
     loop {
         // Truncation means the budget ran out while work remained; visiting
         // exactly `max_states` states and then finding the stack empty is an
         // exhausted search.
-        let Some((state, schedule)) = stack.pop() else {
+        let Some((state, schedule, orbit_lower)) = stack.pop() else {
             break;
         };
         if result.states_visited >= config.max_states {
@@ -278,6 +691,7 @@ where
             break;
         }
         result.states_visited += 1;
+        result.full_states_lower_bound = result.full_states_lower_bound.saturating_add(orbit_lower);
         result.max_depth_reached = result.max_depth_reached.max(schedule.len() as u64);
         let runnable = state.runnable();
         if runnable.is_empty() || schedule.len() as u64 >= config.max_depth {
@@ -308,15 +722,25 @@ where
                 );
                 return result;
             }
+            let mut next_orbit = 1;
             if config.dedup {
-                let key = state_key(&next);
+                let (key, orbit) = keyed(&next, &plan);
                 if !seen.insert(key) {
+                    // Plain keys: an identical state was expanded. Canonical
+                    // keys: a configuration whose entire future is the
+                    // consistently relabeled image of an expanded one —
+                    // same verdicts, so pruning it is sound.
                     continue;
                 }
+                next_orbit = orbit;
             }
-            stack.push((next, next_schedule));
+            stack.push((next, next_schedule, next_orbit));
         }
         result.frontier_peak = result.frontier_peak.max(stack.len() as u64);
+    }
+    if !plan.applied() {
+        // Without reduction every visited state is its own orbit.
+        result.full_states_lower_bound = result.states_visited;
     }
     result.seen_entries = seen.len() as u64;
     result.approx_bytes = estimate_bytes::<A>(
@@ -522,6 +946,162 @@ mod tests {
         );
         assert_eq!(with_dedup.seen_entries, with_dedup.states_visited);
         assert_eq!(without.seen_entries, 0, "dedup off stores no keys");
+    }
+
+    #[test]
+    fn symmetric_toy_writers_merge_under_process_id_symmetry() {
+        // Two identical ToyWriters (same register, same value) are
+        // interchangeable: the quotient halves the mixed-progress states.
+        let exec = Executor::new(vec![ToyWriter::new(0, 7), ToyWriter::new(0, 7)]);
+        let off = explore(&exec, ExploreConfig::default(), agreement_predicate(2));
+        let sym = explore(
+            &exec,
+            ExploreConfig {
+                symmetry: SymmetryMode::ProcessIds,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(2),
+        );
+        assert!(off.verified() && sym.verified());
+        assert!(!off.symmetry_applied);
+        assert!(sym.symmetry_applied);
+        assert!(
+            sym.states_visited < off.states_visited,
+            "equal-input slots must merge: {} !< {}",
+            sym.states_visited,
+            off.states_visited
+        );
+        // Equal-initial slots: every orbit member is reachable, so the
+        // lower bound recovers the full state count exactly.
+        assert_eq!(sym.full_states_lower_bound, off.states_visited);
+        assert_eq!(off.full_states_lower_bound, off.states_visited);
+    }
+
+    #[test]
+    fn id_carrying_slots_with_distinct_inputs_do_not_merge() {
+        // RacyConsensus is IdCarrying: with distinct values the orbit
+        // groups are singletons, so the quotient equals the full space and
+        // the same witness is found.
+        let exec = Executor::new(vec![
+            RacyConsensus::new(ProcessId(0), 10),
+            RacyConsensus::new(ProcessId(1), 20),
+        ]);
+        let off = explore(&exec, ExploreConfig::default(), agreement_predicate(1));
+        let sym = explore(
+            &exec,
+            ExploreConfig {
+                symmetry: SymmetryMode::ProcessIds,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(1),
+        );
+        assert!(sym.symmetry_applied);
+        assert_eq!(sym.violation, off.violation, "witness must not change");
+        assert_eq!(sym.states_visited, off.states_visited);
+        assert_eq!(sym.full_states_lower_bound, off.states_visited);
+
+        // With equal values the two slots form one orbit group and merge.
+        let uniform = Executor::new(vec![
+            RacyConsensus::new(ProcessId(0), 5),
+            RacyConsensus::new(ProcessId(1), 5),
+        ]);
+        let off = explore(&uniform, ExploreConfig::default(), agreement_predicate(1));
+        let sym = explore(
+            &uniform,
+            ExploreConfig {
+                symmetry: SymmetryMode::ProcessIds,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(1),
+        );
+        assert!(off.verified() && sym.verified());
+        assert!(sym.states_visited < off.states_visited);
+        assert_eq!(sym.full_states_lower_bound, off.states_visited);
+    }
+
+    #[test]
+    fn opaque_automata_fall_back_to_plain_exploration() {
+        use crate::toy::Spinner;
+        // Spinner keeps the Opaque default, so the request must be refused
+        // (fall back) and the results must equal a plain exploration.
+        let exec = Executor::new(vec![Spinner::new(0), Spinner::new(1)]);
+        let config = ExploreConfig {
+            max_depth: 4,
+            max_states: 10_000,
+            ..ExploreConfig::default()
+        };
+        let off = explore(&exec, config, agreement_predicate(2));
+        let requested = explore(
+            &exec,
+            ExploreConfig {
+                symmetry: SymmetryMode::ProcessIds,
+                ..config
+            },
+            agreement_predicate(2),
+        );
+        assert!(!requested.symmetry_applied, "Opaque must refuse symmetry");
+        assert_eq!(requested.states_visited, off.states_visited);
+        assert_eq!(requested.paths, off.paths);
+        assert_eq!(requested.truncated, off.truncated);
+        assert_eq!(requested.full_states_lower_bound, off.states_visited);
+    }
+
+    #[test]
+    fn symmetry_requires_dedup() {
+        let exec = Executor::new(vec![ToyWriter::new(0, 7), ToyWriter::new(0, 7)]);
+        let result = explore(
+            &exec,
+            ExploreConfig {
+                dedup: false,
+                symmetry: SymmetryMode::ProcessIds,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(2),
+        );
+        assert!(
+            !result.symmetry_applied,
+            "symmetry is a dedup strategy; without a seen-set it must fall back"
+        );
+        assert_eq!(result.full_states_lower_bound, result.states_visited);
+    }
+
+    #[test]
+    fn canonical_keys_are_invariant_under_orbit_permutations() {
+        use sa_model::IdRelabeling;
+        let mut exec = Executor::new(vec![ToyWriter::new(0, 7), ToyWriter::new(0, 7)]);
+        exec.step(ProcessId(1));
+        let plan = SymmetryPlan::for_executor(&exec, SymmetryMode::ProcessIds);
+        assert!(plan.applied());
+        assert_eq!(plan.orbit_groups(), 1);
+        assert!(!plan.is_trivial(), "a 2-slot orbit group can merge");
+        // Distinct-input id-carrying slots form singleton groups: the plan
+        // is trivial, so the explorers take the plain-key fast path.
+        let distinct = Executor::new(vec![
+            RacyConsensus::new(ProcessId(0), 10),
+            RacyConsensus::new(ProcessId(1), 20),
+        ]);
+        let trivial = SymmetryPlan::for_executor(&distinct, SymmetryMode::ProcessIds);
+        assert!(trivial.applied() && trivial.is_trivial());
+        // A fallback plan degrades canonical keys to plain keys.
+        let off = SymmetryPlan::for_executor(&exec, SymmetryMode::Off);
+        assert!(!off.applied());
+        assert_eq!(canonical_state_key(&exec, &off), (state_key(&exec), 1));
+        let swap = IdRelabeling::swap(2, ProcessId(0), ProcessId(1));
+        let swapped = exec.permuted(&swap);
+        // The permuted configuration is a genuinely different state...
+        assert_ne!(state_key(&exec), state_key(&swapped));
+        // ...but canonicalization maps both to the same key and weight.
+        assert_eq!(
+            canonical_state_key(&exec, &plan),
+            canonical_state_key(&swapped, &plan)
+        );
+        // Canonicalizing a canonical state is the identity.
+        let canonical = exec.permuted(&plan.canonical_relabeling(&exec));
+        assert!(plan.canonical_relabeling(&canonical).is_identity());
+        assert_eq!(
+            canonical_state_key(&canonical, &plan).0,
+            canonical_state_key(&exec, &plan).0
+        );
     }
 
     #[test]

@@ -54,8 +54,8 @@ mod workload;
 
 pub use executor::{Backend, Executor, RunConfig, RunReport, StopReason};
 pub use explore::{
-    agreement_predicate, explore, state_key, Exploration, ExploreConfig, ExploredViolation,
-    StateKey,
+    agreement_predicate, canonical_state_key, explore, state_key, Exploration, ExploreConfig,
+    ExploredViolation, StateKey, SymmetryMode, SymmetryPlan,
 };
 pub use parallel::{parallel_explore, ParallelExploreConfig};
 pub use properties::{

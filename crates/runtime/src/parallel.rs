@@ -54,7 +54,9 @@
 //! serial-vs-parallel equivalence suite pins that.
 
 use crate::executor::Executor;
-use crate::explore::{estimate_bytes, state_key, Exploration, ExploredViolation, StateKey};
+use crate::explore::{
+    estimate_bytes, keyed, Exploration, ExploredViolation, StateKey, SymmetryMode, SymmetryPlan,
+};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use sa_model::{Automaton, ProcessId};
 use std::collections::{HashMap, HashSet};
@@ -85,6 +87,12 @@ pub struct ParallelExploreConfig {
     /// count may overshoot by up to one level, but never silently — the
     /// report is marked truncated whenever unexplored work remains.
     pub max_states: u64,
+    /// Whether to deduplicate up to process-id symmetry. Like everything
+    /// else here, canonicalization is a pure function of the state, so the
+    /// byte-identical-at-any-thread-count guarantee holds with symmetry on.
+    /// Falls back to [`SymmetryMode::Off`] for automata that do not opt in
+    /// (see [`SymmetryMode::ProcessIds`]).
+    pub symmetry: SymmetryMode,
 }
 
 impl Default for ParallelExploreConfig {
@@ -93,6 +101,7 @@ impl Default for ParallelExploreConfig {
             threads: 0,
             max_depth: 60,
             max_states: 2_000_000,
+            symmetry: SymmetryMode::Off,
         }
     }
 }
@@ -117,18 +126,27 @@ impl ParallelExploreConfig {
     }
 }
 
-/// A frontier entry: a reachable configuration and the schedule that
-/// produced it (the lexicographically smallest among its shortest
-/// schedules).
-type Entry<A> = (Executor<A>, Vec<ProcessId>);
+/// A frontier entry: a reachable configuration, the schedule that produced
+/// it (the lexicographically smallest among its shortest schedules), and
+/// its orbit-size lower bound.
+type Entry<A> = (Executor<A>, Vec<ProcessId>, u64);
 
 /// A successor discovered while expanding a level, before the barrier
-/// resolves it: the state, its (still mergeable) schedule, and the
-/// predicate's verdict.
+/// resolves it: the state, its (still mergeable) schedule, the orbit-size
+/// lower bound, and whether the predicate rejected it.
+///
+/// With symmetry on, several *distinct* configurations of one orbit can be
+/// discovered under the same canonical key in one level; the barrier keeps
+/// the one whose schedule is lexicographically smallest (state and schedule
+/// are always replaced together, so the retained pair stays consistent and
+/// deterministic). All orbit members have relabel-identical futures and
+/// identical predicate verdicts, so which one expands cannot change any
+/// reported verdict — only the (deterministically chosen) witness labels.
 struct Discovered<A: Automaton> {
     state: Executor<A>,
     schedule: Vec<ProcessId>,
-    violation: Option<String>,
+    orbit_lower: u64,
+    violating: bool,
 }
 
 /// The seen-set, sharded by key prefix so workers rarely contend on the
@@ -201,8 +219,12 @@ fn find_task<T>(local: &Worker<T>, injector: &Injector<T>, stealers: &[Stealer<T
 /// The report is byte-identical at any `config.threads` (see the module
 /// docs for how); the predicate must therefore be pure with respect to the
 /// reported fields, though it may accumulate its own statistics through
-/// interior mutability (it is evaluated exactly once per reachable state,
-/// in nondeterministic order).
+/// interior mutability. It is evaluated once per newly discovered dedup key
+/// (in nondeterministic order), plus once more per *violating* key at the
+/// level barrier to bind the description to the retained witness state.
+/// With [`SymmetryMode::ProcessIds`] the predicate must additionally be
+/// relabeling-invariant — true of any predicate over decided value sets
+/// and memory contents, like the safety properties.
 pub fn parallel_explore<A, F>(
     initial: &Executor<A>,
     config: ParallelExploreConfig,
@@ -214,6 +236,7 @@ where
     F: Fn(&Executor<A>) -> Option<String> + Sync,
 {
     let threads = config.effective_threads();
+    let plan = SymmetryPlan::for_executor(initial, config.symmetry);
     let mut result = Exploration {
         states_visited: 0,
         paths: 0,
@@ -223,9 +246,12 @@ where
         frontier_peak: 0,
         seen_entries: 0,
         approx_bytes: 0,
+        symmetry_applied: plan.applied(),
+        full_states_lower_bound: 0,
     };
     if let Some(description) = predicate(initial) {
         result.states_visited = 1;
+        result.full_states_lower_bound = 1;
         result.violation = Some(ExploredViolation {
             schedule: Vec::new(),
             description,
@@ -233,11 +259,16 @@ where
         return result;
     }
     let seen = ShardedSeen::new();
-    seen.insert(state_key(initial));
-    let mut level: Vec<Entry<A>> = vec![(initial.clone(), Vec::new())];
+    let (initial_key, initial_orbit) = keyed(initial, &plan);
+    seen.insert(initial_key);
+    let mut level: Vec<Entry<A>> = vec![(initial.clone(), Vec::new(), initial_orbit)];
     let mut depth: u64 = 0;
     loop {
         result.states_visited += level.len() as u64;
+        for (_, _, orbit_lower) in &level {
+            result.full_states_lower_bound =
+                result.full_states_lower_bound.saturating_add(*orbit_lower);
+        }
         result.frontier_peak = result.frontier_peak.max(level.len() as u64);
         result.max_depth_reached = depth;
         let at_depth_limit = depth >= config.max_depth;
@@ -264,8 +295,9 @@ where
                 let terminal_paths = &terminal_paths;
                 let depth_cut = &depth_cut;
                 let predicate = &predicate;
+                let plan = &plan;
                 scope.spawn(move || {
-                    while let Some((state, schedule)) = find_task(&local, injector, stealers) {
+                    while let Some((state, schedule, _)) = find_task(&local, injector, stealers) {
                         let runnable = state.runnable();
                         if runnable.is_empty() {
                             terminal_paths.fetch_add(1, Ordering::Relaxed);
@@ -280,7 +312,7 @@ where
                         for process in runnable {
                             let mut successor = state.clone();
                             successor.step(process);
-                            let key = state_key(&successor);
+                            let (key, orbit_lower) = keyed(&successor, plan);
                             if seen.contains(&key) {
                                 continue;
                             }
@@ -290,21 +322,37 @@ where
                                 next[key.shard(SHARDS)].lock().expect("next shard poisoned");
                             match shard.entry(key) {
                                 std::collections::hash_map::Entry::Occupied(mut occupied) => {
-                                    // Same state, different parent: keep the
-                                    // lexicographically smallest schedule so
-                                    // the winner never depends on timing.
+                                    // Same key, different parent: keep the
+                                    // lexicographically smallest schedule —
+                                    // and the state it produced, which with
+                                    // symmetry on may be a different member
+                                    // of the same orbit — so the retained
+                                    // (state, schedule) pair never depends
+                                    // on timing.
                                     if successor_schedule < occupied.get().schedule {
-                                        occupied.get_mut().schedule = successor_schedule;
+                                        let kept = occupied.get_mut();
+                                        kept.state = successor;
+                                        kept.schedule = successor_schedule;
+                                        // The orbit weight belongs to the
+                                        // retained member (members of one
+                                        // orbit can carry different weights
+                                        // when merging crossed input
+                                        // classes), so it must travel with
+                                        // the state to stay deterministic.
+                                        kept.orbit_lower = orbit_lower;
                                     }
                                 }
                                 std::collections::hash_map::Entry::Vacant(vacant) => {
                                     // First discovery: evaluate the predicate
-                                    // exactly once per state.
-                                    let violation = predicate(&successor);
+                                    // once per key (verdicts are identical
+                                    // across an orbit, so whichever member
+                                    // arrives first decides the same way).
+                                    let violating = predicate(&successor).is_some();
                                     vacant.insert(Discovered {
                                         state: successor,
                                         schedule: successor_schedule,
-                                        violation,
+                                        orbit_lower,
+                                        violating,
                                     });
                                 }
                             }
@@ -320,19 +368,31 @@ where
         }
 
         // Barrier: freeze the next frontier, resolve violations, commit the
-        // discovered keys to the seen-set.
+        // discovered keys to the seen-set. Violation descriptions are
+        // (re)computed from the *retained* state, so the reported witness
+        // schedule and its description always describe the same
+        // configuration, whichever orbit member was discovered first.
         let mut violations: Vec<ExploredViolation> = Vec::new();
         let mut next_level: Vec<Entry<A>> = Vec::new();
         for shard in next {
             let shard = shard.into_inner().expect("next shard poisoned");
             for (key, discovered) in shard {
                 seen.insert(key);
-                match discovered.violation {
-                    Some(description) => violations.push(ExploredViolation {
+                if discovered.violating {
+                    let description = predicate(&discovered.state).expect(
+                        "the predicate rejected an orbit member of this state; verdicts \
+                         must be pure and relabeling-invariant",
+                    );
+                    violations.push(ExploredViolation {
                         schedule: discovered.schedule,
                         description,
-                    }),
-                    None => next_level.push((discovered.state, discovered.schedule)),
+                    });
+                } else {
+                    next_level.push((
+                        discovered.state,
+                        discovered.schedule,
+                        discovered.orbit_lower,
+                    ));
                 }
             }
         }
@@ -537,6 +597,98 @@ mod tests {
         assert!(result.frontier_peak > 1, "BFS levels must widen");
         assert_eq!(result.seen_entries, result.states_visited);
         assert!(result.approx_bytes > 0);
+    }
+
+    #[test]
+    fn symmetry_reduction_matches_serial_and_is_thread_count_invariant() {
+        let exec = Executor::new(vec![
+            ToyWriter::new(0, 7),
+            ToyWriter::new(0, 7),
+            ToyWriter::new(1, 9),
+        ]);
+        let serial_off = explore(&exec, ExploreConfig::default(), agreement_predicate(3));
+        let serial_sym = explore(
+            &exec,
+            ExploreConfig {
+                symmetry: SymmetryMode::ProcessIds,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(3),
+        );
+        assert!(serial_sym.symmetry_applied);
+        assert!(serial_sym.states_visited < serial_off.states_visited);
+        let mut previous: Option<Exploration> = None;
+        for threads in [1, 2, 8] {
+            let parallel = parallel_explore(
+                &exec,
+                ParallelExploreConfig {
+                    threads,
+                    symmetry: SymmetryMode::ProcessIds,
+                    ..ParallelExploreConfig::default()
+                },
+                agreement_predicate(3),
+            );
+            assert!(parallel.symmetry_applied, "threads={threads}");
+            assert!(parallel.verified(), "threads={threads}");
+            // The two explorers share one canonical key function, so the
+            // quotient they exhaust is the identical state set.
+            assert_eq!(parallel.states_visited, serial_sym.states_visited);
+            assert_eq!(parallel.seen_entries, serial_sym.seen_entries);
+            assert_eq!(
+                parallel.full_states_lower_bound,
+                serial_sym.full_states_lower_bound
+            );
+            assert_eq!(parallel.full_states_lower_bound, serial_off.states_visited);
+            if let Some(previous) = &previous {
+                assert_eq!(parallel.paths, previous.paths);
+                assert_eq!(parallel.frontier_peak, previous.frontier_peak);
+                assert_eq!(parallel.max_depth_reached, previous.max_depth_reached);
+                assert_eq!(parallel.approx_bytes, previous.approx_bytes);
+            }
+            previous = Some(parallel);
+        }
+    }
+
+    #[test]
+    fn symmetric_witnesses_are_deterministic_and_replay() {
+        // Two racy processes with the same input value are one orbit; the
+        // third carries a distinct value, so 1-agreement is violated. The
+        // witness must be identical at any thread count (and between runs)
+        // and must replay on the ORIGINAL (un-relabeled) process ids.
+        let exec = Executor::new(vec![
+            RacyConsensus::new(ProcessId(0), 5),
+            RacyConsensus::new(ProcessId(1), 5),
+            RacyConsensus::new(ProcessId(2), 9),
+        ]);
+        let config = |threads| ParallelExploreConfig {
+            threads,
+            symmetry: SymmetryMode::ProcessIds,
+            ..ParallelExploreConfig::default()
+        };
+        let reference = parallel_explore(&exec, config(1), agreement_predicate(1));
+        assert!(reference.symmetry_applied);
+        let witness = reference.violation.clone().expect("the race must be found");
+        for threads in [2, 8] {
+            let other = parallel_explore(&exec, config(threads), agreement_predicate(1));
+            assert_eq!(
+                other.violation.as_ref(),
+                Some(&witness),
+                "threads={threads}"
+            );
+            assert_eq!(other.states_visited, reference.states_visited);
+        }
+        let mut replay = Executor::new(vec![
+            RacyConsensus::new(ProcessId(0), 5),
+            RacyConsensus::new(ProcessId(1), 5),
+            RacyConsensus::new(ProcessId(2), 9),
+        ]);
+        for &process in &witness.schedule {
+            assert!(replay.step(process).is_some(), "witness must be steppable");
+        }
+        assert!(
+            agreement_predicate(1)(&replay).is_some(),
+            "the witness schedule must reproduce the violation"
+        );
     }
 
     #[test]

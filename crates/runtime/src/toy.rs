@@ -6,7 +6,11 @@
 //! they are *not* correct set-agreement algorithms (that is the point — the
 //! explorer and the property checkers must be able to catch their violations).
 
-use sa_model::{Automaton, Decision, InputValue, MemoryLayout, Op, ProcessId, Response};
+use sa_model::{
+    Automaton, Decision, IdRelabeling, InputValue, MemoryLayout, Op, ProcessId, Response,
+    SymmetryClass,
+};
+use std::hash::{Hash, Hasher};
 
 /// Writes its value to a register, then reads it back, decides it and halts.
 /// Useful for smoke-testing executors and traces.
@@ -62,6 +66,13 @@ impl Automaton for ToyWriter {
             }
             _ => panic!("apply called on a halted ToyWriter"),
         }
+    }
+
+    fn symmetry_class(&self) -> SymmetryClass {
+        // No process id anywhere; the register index is construction data
+        // that travels with the slot, like any other local state. The
+        // default `relabeled`/`hash_behavior`/`relabel_value` are correct.
+        SymmetryClass::Anonymous
     }
 }
 
@@ -129,6 +140,27 @@ impl Automaton for RacyConsensus {
             }
             _ => panic!("apply called on a halted RacyConsensus"),
         }
+    }
+
+    fn symmetry_class(&self) -> SymmetryClass {
+        // The id is carried in local state (though never consulted); the
+        // register address is fixed and the values are plain `u64`s, so
+        // consistent relabeling only has to rewrite the `id` field.
+        SymmetryClass::IdCarrying
+    }
+
+    fn relabeled(&self, relabel: &IdRelabeling) -> Self {
+        RacyConsensus {
+            id: relabel.apply(self.id),
+            ..self.clone()
+        }
+    }
+
+    fn hash_behavior<H: Hasher>(&self, relabel: &IdRelabeling, state: &mut H) {
+        relabel.apply(self.id).hash(state);
+        self.value.hash(state);
+        self.stage.hash(state);
+        self.saw.hash(state);
     }
 }
 

@@ -23,6 +23,7 @@ use sa_sweep::{
     diff, merge_shards, parse_jsonl, run_campaign, AdversarySpec, BackendSpec, CampaignMode,
     CampaignSpec, EngineConfig, ParamsSpec, Summary, WorkloadSpec,
 };
+use set_agreement::runtime::SymmetryMode;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -62,6 +63,14 @@ run options:
                        counts >= 1 (only the wall clock changes); 0 emits
                        the plain explore record shape, without the
                        parallel-explore backend label and memory-stat fields
+  --symmetry MODE      `off` (default) or `process-ids`: deduplicate
+                       explored states up to process-id orbits. Verdicts are
+                       identical to full exploration; explored_states counts
+                       one representative per orbit, and records carry
+                       orbit_states / full_states_lower_bound. Cells whose
+                       automata cannot establish the symmetry fall back to
+                       plain exploration (symmetry = fallback-off in the
+                       record) instead of pruning unsoundly
   --seeds N|LIST       plain integer = that many seeds (0..N); or `1,5,9`
   --campaign-seed S    root seed mixed into every derived seed (default 0)
   --workload SPEC      `distinct` (default), `uniform:V`, `random:UNIVERSE`
@@ -197,6 +206,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
                     spec.explore_threads = value
                         .parse()
                         .map_err(|_| format!("bad explorer thread count {value:?}"))?;
+                }
+                "--symmetry" => {
+                    spec.symmetry = SymmetryMode::parse(value).ok_or_else(|| {
+                        format!("bad symmetry mode {value:?} (want off or process-ids)")
+                    })?;
                 }
                 "--threads" => {
                     config.threads = value

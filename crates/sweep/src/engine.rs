@@ -116,12 +116,14 @@ pub fn run_scenario(campaign: &str, spec: &ScenarioSpec) -> SweepRecord {
                 threads: spec.explore_threads,
                 max_depth: spec.max_steps,
                 max_states: spec.max_states,
+                symmetry: spec.symmetry,
             })
         }
         (CampaignMode::Explore, _) => Backend::Explore(ExploreConfig {
             max_depth: spec.max_steps,
             max_states: spec.max_states,
             dedup: true,
+            symmetry: spec.symmetry,
         }),
     };
     match Executor::new(backend).execute(&plan) {

@@ -11,7 +11,7 @@ use crate::spec::{
     AdversarySpec, BackendSpec, CampaignMode, CampaignSpec, Survivors, WorkloadSpec,
 };
 use sa_model::Params;
-use set_agreement::runtime::Workload;
+use set_agreement::runtime::{SymmetryMode, Workload};
 use set_agreement::{Adversary, Algorithm};
 
 /// Mixes a campaign seed and a scenario's *identity* (its
@@ -89,6 +89,10 @@ pub struct ScenarioSpec {
     /// sampling). Not part of the scenario's identity — exploration output
     /// is byte-identical at any worker count.
     pub explore_threads: usize,
+    /// Symmetry reduction for exhaustive scenarios (always
+    /// [`SymmetryMode::Off`] when sampling). Like `explore_threads`, not
+    /// part of the scenario's identity.
+    pub symmetry: SymmetryMode,
 }
 
 impl ScenarioSpec {
@@ -374,6 +378,7 @@ fn sampled_scenario(
         max_steps: spec.max_steps,
         max_states: spec.max_states,
         explore_threads: 0,
+        symmetry: SymmetryMode::Off,
     }
 }
 
@@ -425,6 +430,7 @@ fn threaded_scenario(
         max_steps: spec.max_steps,
         max_states: spec.max_states,
         explore_threads: 0,
+        symmetry: SymmetryMode::Off,
     }
 }
 
@@ -469,6 +475,7 @@ fn explore_scenario(
         max_steps: spec.max_steps,
         max_states: spec.max_states,
         explore_threads: spec.explore_threads,
+        symmetry: spec.symmetry,
     }
 }
 

@@ -7,7 +7,7 @@
 //! `sweep summarize` and `sweep diff`.
 
 use crate::grid::ScenarioSpec;
-use set_agreement::runtime::StopReason;
+use set_agreement::runtime::{StopReason, SymmetryMode};
 use set_agreement::{ExploreReport, ScenarioReport, ThreadedRunReport};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -105,6 +105,22 @@ pub struct SweepRecord {
     /// Deterministic rough estimate of the explorer's peak memory in bytes
     /// (0 for sampled records; encoded only for parallel-explore records).
     pub approx_bytes: u64,
+    /// Symmetry status of an exploration: `off` (not requested),
+    /// `process-ids` (requested and applied: `explored_states` counts orbit
+    /// representatives) or `fallback-off` (requested, but the cell's
+    /// automata could not establish the symmetry, so plain exploration ran
+    /// instead). Encoded, together with the two orbit statistics below,
+    /// only when the campaign requested symmetry — records of
+    /// symmetry-off campaigns stay byte-identical to pre-symmetry releases.
+    pub symmetry: String,
+    /// Orbit representatives visited (= `explored_states`; 0 for sampled
+    /// records). Encoded only when symmetry was requested.
+    pub orbit_states: u64,
+    /// Lower bound on the distinct reachable configurations the visited
+    /// representatives stand for; `full_states_lower_bound / orbit_states`
+    /// is the achieved reduction factor. Encoded only when symmetry was
+    /// requested.
+    pub full_states_lower_bound: u64,
     /// Wall-clock microseconds of a threaded run (0 otherwise; encoded only
     /// for threaded records, whose output makes no byte-determinism claim).
     pub wall_us: u64,
@@ -167,6 +183,9 @@ impl SweepRecord {
             frontier_peak: 0,
             seen_entries: 0,
             approx_bytes: 0,
+            symmetry: "off".into(),
+            orbit_states: 0,
+            full_states_lower_bound: 0,
             wall_us: 0,
             steps_per_sec: 0,
         }
@@ -230,6 +249,9 @@ impl SweepRecord {
             frontier_peak: 0,
             seen_entries: 0,
             approx_bytes: 0,
+            symmetry: "off".into(),
+            orbit_states: 0,
+            full_states_lower_bound: 0,
             wall_us: report.wall.as_micros() as u64,
             steps_per_sec: report.steps_per_sec() as u64,
         }
@@ -286,6 +308,24 @@ impl SweepRecord {
             frontier_peak: report.frontier_peak,
             seen_entries: report.seen_entries,
             approx_bytes: report.approx_bytes,
+            symmetry: match (spec.symmetry, report.symmetry_applied) {
+                (SymmetryMode::Off, _) => "off".into(),
+                (SymmetryMode::ProcessIds, true) => "process-ids".into(),
+                // Requested but not established (e.g. the single-writer
+                // emulation): the explorer fell back rather than prune
+                // unsoundly, and the record says so.
+                (SymmetryMode::ProcessIds, false) => "fallback-off".into(),
+            },
+            orbit_states: if spec.symmetry == SymmetryMode::Off {
+                0
+            } else {
+                report.orbit_states
+            },
+            full_states_lower_bound: if spec.symmetry == SymmetryMode::Off {
+                0
+            } else {
+                report.full_states_lower_bound
+            },
             wall_us: 0,
             steps_per_sec: 0,
         }
@@ -414,6 +454,15 @@ impl SweepRecord {
             field(&mut out, "seen_entries", &self.seen_entries.to_string());
             field(&mut out, "approx_bytes", &self.approx_bytes.to_string());
         }
+        if self.symmetry != "off" {
+            field(&mut out, "symmetry", &json_string(&self.symmetry));
+            field(&mut out, "orbit_states", &self.orbit_states.to_string());
+            field(
+                &mut out,
+                "full_states_lower_bound",
+                &self.full_states_lower_bound.to_string(),
+            );
+        }
         field(&mut out, "verified", bool_str(self.verified));
         if self.backend == "threaded" {
             field(&mut out, "wall_us", &self.wall_us.to_string());
@@ -478,6 +527,9 @@ impl SweepRecord {
             frontier_peak: fields.u64_or("frontier_peak", 0)?,
             seen_entries: fields.u64_or("seen_entries", 0)?,
             approx_bytes: fields.u64_or("approx_bytes", 0)?,
+            symmetry: fields.string_or("symmetry", "off")?,
+            orbit_states: fields.u64_or("orbit_states", 0)?,
+            full_states_lower_bound: fields.u64_or("full_states_lower_bound", 0)?,
             wall_us: fields.u64_or("wall_us", 0)?,
             steps_per_sec: fields.u64_or("steps_per_sec", 0)?,
         };
@@ -799,9 +851,42 @@ mod tests {
             frontier_peak: 0,
             seen_entries: 0,
             approx_bytes: 0,
+            symmetry: "off".into(),
+            orbit_states: 0,
+            full_states_lower_bound: 0,
             wall_us: 0,
             steps_per_sec: 0,
         }
+    }
+
+    #[test]
+    fn symmetry_records_round_trip_and_off_stays_byte_compatible() {
+        // Off: none of the three fields may leak into the line.
+        let line = sample().to_json();
+        for absent in ["symmetry", "orbit_states", "full_states_lower_bound"] {
+            assert!(!line.contains(absent), "{absent} leaked into {line}");
+        }
+        // Requested + applied: all three round-trip.
+        let mut reduced = sample();
+        reduced.adversary = "exhaustive".into();
+        reduced.mode = "explore".into();
+        reduced.backend = "explore".into();
+        reduced.symmetry = "process-ids".into();
+        reduced.explored_states = 111;
+        reduced.orbit_states = 111;
+        reduced.full_states_lower_bound = 555;
+        reduced.verified = true;
+        let line = reduced.to_json();
+        assert!(line.contains("\"symmetry\":\"process-ids\""), "{line}");
+        assert!(line.contains("\"full_states_lower_bound\":555"), "{line}");
+        assert_eq!(SweepRecord::parse(&line).unwrap(), reduced);
+        // Requested + fell back: visible as fallback-off.
+        let mut fallback = reduced;
+        fallback.symmetry = "fallback-off".into();
+        fallback.full_states_lower_bound = 111;
+        let line = fallback.to_json();
+        assert!(line.contains("\"symmetry\":\"fallback-off\""), "{line}");
+        assert_eq!(SweepRecord::parse(&line).unwrap(), fallback);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! CLI accepts via `--spec`.
 
 use sa_model::Params;
+use set_agreement::runtime::SymmetryMode;
 use set_agreement::Algorithm;
 
 /// Errors produced while building or parsing a campaign spec.
@@ -381,6 +382,16 @@ pub struct CampaignSpec {
     /// memory-stat fields, so 0 vs ≥ 1 differ in record shape — though
     /// never in any verification-bearing field.)
     pub explore_threads: usize,
+    /// Symmetry reduction per exploration (ignored in
+    /// [`CampaignMode::Sample`]): `process-ids` deduplicates reachable
+    /// configurations up to process-id orbits, which shrinks
+    /// `explored_states` without changing any verdict. Like
+    /// `explore-threads` this is a "how" knob, not part of a scenario's
+    /// identity; cells whose automata cannot establish the symmetry fall
+    /// back to plain exploration (recorded as `fallback-off`) rather than
+    /// prune unsoundly. Off by default, which keeps record bytes identical
+    /// to pre-symmetry releases.
+    pub symmetry: SymmetryMode,
 }
 
 impl Default for CampaignSpec {
@@ -405,6 +416,7 @@ impl Default for CampaignSpec {
             mode: CampaignMode::Sample,
             max_states: 2_000_000,
             explore_threads: 0,
+            symmetry: SymmetryMode::Off,
         }
     }
 }
@@ -498,8 +510,10 @@ impl CampaignSpec {
     /// `adversaries`, `backend` (`scheduled`, `threaded`, or a comma list to
     /// make the backend a grid axis), `seeds`, `workload`, `max-steps`,
     /// `campaign-seed`, `mode` (`sample` or `explore`), `max-states`
-    /// (exploration state budget) and `explore-threads` (exploration worker
-    /// threads; 0 = serial explorer).
+    /// (exploration state budget), `explore-threads` (exploration worker
+    /// threads; 0 = serial explorer) and `symmetry` (`off` or
+    /// `process-ids`: deduplicate explored states up to process-id
+    /// orbits).
     pub fn parse(text: &str) -> Result<Self, SpecError> {
         let mut spec = CampaignSpec::default();
         let (mut grid_n, mut grid_m, mut grid_k) = (None, None, None);
@@ -559,6 +573,13 @@ impl CampaignSpec {
                     spec.explore_threads = value
                         .parse()
                         .map_err(|_| SpecError(format!("bad explore-threads {value:?}")))?;
+                }
+                "symmetry" => {
+                    spec.symmetry = SymmetryMode::parse(value).ok_or_else(|| {
+                        SpecError(format!(
+                            "unknown symmetry {value:?} (want off or process-ids)"
+                        ))
+                    })?;
                 }
                 _ => return err(format!("unknown key {key:?}")),
             }
@@ -654,7 +675,8 @@ impl std::fmt::Display for CampaignSpec {
         writeln!(f, "campaign-seed = {}", self.campaign_seed)?;
         writeln!(f, "mode = {}", self.mode.label())?;
         writeln!(f, "max-states = {}", self.max_states)?;
-        writeln!(f, "explore-threads = {}", self.explore_threads)
+        writeln!(f, "explore-threads = {}", self.explore_threads)?;
+        writeln!(f, "symmetry = {}", self.symmetry.label())
     }
 }
 
@@ -800,6 +822,19 @@ mod tests {
         assert_eq!(spec.explore_threads, 8);
         assert_eq!(CampaignSpec::parse(&spec.to_string()).unwrap(), spec);
         assert!(CampaignSpec::parse("explore-threads = many").is_err());
+    }
+
+    #[test]
+    fn symmetry_parses_round_trips_and_defaults_off() {
+        assert_eq!(CampaignSpec::parse("").unwrap().symmetry, SymmetryMode::Off);
+        let spec = CampaignSpec::parse(
+            "mode = explore
+symmetry = process-ids",
+        )
+        .unwrap();
+        assert_eq!(spec.symmetry, SymmetryMode::ProcessIds);
+        assert_eq!(CampaignSpec::parse(&spec.to_string()).unwrap(), spec);
+        assert!(CampaignSpec::parse("symmetry = mirror").is_err());
     }
 
     #[test]

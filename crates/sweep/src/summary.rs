@@ -58,6 +58,18 @@ pub struct CellSummary {
     pub max_explored_depth: u64,
     /// Explored scenarios run on the work-stealing parallel explorer.
     pub parallel_explored: u64,
+    /// Explored scenarios deduplicated up to process-id orbits
+    /// (`symmetry = process-ids` applied).
+    pub symmetry_reduced: u64,
+    /// Explored scenarios that requested symmetry but fell back to plain
+    /// exploration (`symmetry = fallback-off`).
+    pub symmetry_fallbacks: u64,
+    /// Maximum orbit representatives visited by any symmetry-reduced
+    /// exploration of this cell.
+    pub max_orbit_states: u64,
+    /// Maximum full-state lower bound of any symmetry-reduced exploration
+    /// of this cell.
+    pub max_full_states_lower_bound: u64,
     /// Maximum peak frontier size of any parallel exploration of this cell.
     pub max_frontier_peak: u64,
     /// Maximum estimated explorer memory (bytes) of any parallel
@@ -107,6 +119,14 @@ pub struct Summary {
     pub truncated_explorations: u64,
     /// Explore-mode records run on the work-stealing parallel explorer.
     pub parallel_explored: u64,
+    /// Explore-mode records deduplicated up to process-id orbits.
+    pub symmetry_reduced: u64,
+    /// Explore-mode records that requested symmetry but fell back.
+    pub symmetry_fallbacks: u64,
+    /// Total orbit representatives across all symmetry-reduced records.
+    pub total_orbit_states: u64,
+    /// Total full-state lower bound across all symmetry-reduced records.
+    pub total_full_states_lower_bound: u64,
     /// Maximum peak frontier size across all parallel explorations.
     pub max_frontier_peak: u64,
     /// Maximum estimated explorer memory (bytes) across all parallel
@@ -172,6 +192,19 @@ impl Summary {
                 summary.explored += 1;
                 cell.max_explored_states = cell.max_explored_states.max(record.explored_states);
                 cell.max_explored_depth = cell.max_explored_depth.max(record.explored_depth);
+                if record.symmetry == "process-ids" {
+                    cell.symmetry_reduced += 1;
+                    summary.symmetry_reduced += 1;
+                    cell.max_orbit_states = cell.max_orbit_states.max(record.orbit_states);
+                    cell.max_full_states_lower_bound = cell
+                        .max_full_states_lower_bound
+                        .max(record.full_states_lower_bound);
+                    summary.total_orbit_states += record.orbit_states;
+                    summary.total_full_states_lower_bound += record.full_states_lower_bound;
+                } else if record.symmetry == "fallback-off" {
+                    cell.symmetry_fallbacks += 1;
+                    summary.symmetry_fallbacks += 1;
+                }
                 if record.backend == "parallel-explore" {
                     cell.parallel_explored += 1;
                     summary.parallel_explored += 1;
@@ -227,6 +260,7 @@ impl Summary {
     pub fn render(&self) -> String {
         let show_explore = self.explored > 0;
         let show_parallel = self.parallel_explored > 0;
+        let show_symmetry = self.symmetry_reduced + self.symmetry_fallbacks > 0;
         let show_threaded = self.threaded_runs > 0;
         let mut out = String::new();
         let mut header = format!(
@@ -251,6 +285,13 @@ impl Summary {
         }
         if show_parallel {
             let _ = write!(header, " {:>9} {:>8}", "frontier", "mem-MB");
+        }
+        if show_symmetry {
+            let _ = write!(
+                header,
+                " {:>9} {:>11} {:>6}",
+                "orbits", "full-states", "red"
+            );
         }
         if show_threaded {
             let _ = write!(header, " {:>8} {:>9}", "wall-ms", "steps/s");
@@ -320,6 +361,22 @@ impl Summary {
                     let _ = write!(row, " {:>9} {:>8}", "-", "-");
                 }
             }
+            if show_symmetry {
+                if cell.symmetry_reduced > 0 {
+                    let _ = write!(
+                        row,
+                        " {:>9} {:>11} {:>6}",
+                        cell.max_orbit_states,
+                        format!("\u{2265}{}", cell.max_full_states_lower_bound),
+                        reduction_factor(cell.max_full_states_lower_bound, cell.max_orbit_states)
+                            .map_or_else(|| "-".into(), |r| format!("{r:.1}x"))
+                    );
+                } else if cell.symmetry_fallbacks > 0 {
+                    let _ = write!(row, " {:>9} {:>11} {:>6}", "-", "fallback", "-");
+                } else {
+                    let _ = write!(row, " {:>9} {:>11} {:>6}", "-", "-", "-");
+                }
+            }
             if show_threaded {
                 if cell.threaded_runs > 0 {
                     let _ = write!(
@@ -364,6 +421,20 @@ impl Summary {
                 self.max_approx_bytes as f64 / (1024.0 * 1024.0)
             );
         }
+        if self.symmetry_reduced + self.symmetry_fallbacks > 0 {
+            let rate =
+                reduction_factor(self.total_full_states_lower_bound, self.total_orbit_states)
+                    .map_or_else(|| "-".into(), |r| format!("{r:.1}x"));
+            let _ = writeln!(
+                out,
+                "symmetry: {} orbit-reduced explorations ({} fell back), \
+                 {} orbit states standing for \u{2265}{} full states ({rate} reduction)",
+                self.symmetry_reduced,
+                self.symmetry_fallbacks,
+                self.total_orbit_states,
+                self.total_full_states_lower_bound
+            );
+        }
         if self.threaded_runs > 0 {
             let rate = steps_per_sec(self.threaded_steps, self.total_wall_us)
                 .map_or_else(|| "-".into(), |r| format!("~{r}"));
@@ -378,6 +449,15 @@ impl Summary {
         }
         out
     }
+}
+
+/// The reduction factor `full_states / orbit_states`; `None` when no orbit
+/// was counted.
+fn reduction_factor(full_states: u64, orbit_states: u64) -> Option<f64> {
+    if orbit_states == 0 {
+        return None;
+    }
+    Some(full_states as f64 / orbit_states as f64)
 }
 
 /// Aggregate steps-per-second over `wall_us` microseconds; `None` when the
@@ -556,9 +636,48 @@ mod tests {
             frontier_peak: 0,
             seen_entries: 0,
             approx_bytes: 0,
+            symmetry: "off".into(),
+            orbit_states: 0,
+            full_states_lower_bound: 0,
             wall_us: 0,
             steps_per_sec: 0,
         }
+    }
+
+    #[test]
+    fn symmetry_reduced_cells_report_orbits_and_reduction() {
+        let mut reduced = record(0);
+        reduced.adversary = "exhaustive".into();
+        reduced.mode = "explore".into();
+        reduced.backend = "explore".into();
+        reduced.symmetry = "process-ids".into();
+        reduced.explored_states = 100;
+        reduced.orbit_states = 100;
+        reduced.full_states_lower_bound = 400;
+        reduced.verified = true;
+        let mut fallback = record(1);
+        fallback.n = 8; // a different cell
+        fallback.adversary = "exhaustive".into();
+        fallback.mode = "explore".into();
+        fallback.symmetry = "fallback-off".into();
+        fallback.explored_states = 50;
+        fallback.verified = true;
+        let summary = Summary::of(&[reduced, fallback]);
+        assert_eq!(summary.symmetry_reduced, 1);
+        assert_eq!(summary.symmetry_fallbacks, 1);
+        assert_eq!(summary.total_orbit_states, 100);
+        assert_eq!(summary.total_full_states_lower_bound, 400);
+        let rendered = summary.render();
+        assert!(rendered.contains("orbits"), "{rendered}");
+        assert!(rendered.contains("4.0x"), "{rendered}");
+        assert!(rendered.contains("fallback"), "{rendered}");
+        assert!(
+            rendered.contains("symmetry: 1 orbit-reduced explorations (1 fell back)"),
+            "{rendered}"
+        );
+        // Symmetry-free campaigns do not grow the columns.
+        let plain = Summary::of(&[record(0)]).render();
+        assert!(!plain.contains("orbits"), "{plain}");
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Campaign-level behavior of the `symmetry` knob: record shape, byte
+//! determinism, verdict equality with full exploration, and the honest
+//! fallback for cells that cannot establish the symmetry.
+
+use sa_sweep::{
+    parse_jsonl, run_campaign, run_campaign_collect, CampaignMode, CampaignSpec, EngineConfig,
+    ParamsSpec,
+};
+use set_agreement::runtime::SymmetryMode;
+use set_agreement::Algorithm;
+
+fn explore_spec(algorithms: Vec<Algorithm>, symmetry: SymmetryMode) -> CampaignSpec {
+    CampaignSpec {
+        name: "symmetry".into(),
+        params: ParamsSpec::Explicit(vec![sa_model::Params::new(2, 1, 1).unwrap()]),
+        algorithms,
+        mode: CampaignMode::Explore,
+        max_steps: 100_000,
+        max_states: 500_000,
+        symmetry,
+        ..CampaignSpec::default()
+    }
+}
+
+#[test]
+fn symmetry_campaigns_reduce_anonymous_cells_with_identical_verdicts() {
+    let algorithms = vec![Algorithm::OneShot, Algorithm::AnonymousOneShot];
+    let (off, off_outcome) =
+        run_campaign_collect(&explore_spec(algorithms.clone(), SymmetryMode::Off), {
+            EngineConfig::default()
+        });
+    let (sym, sym_outcome) = run_campaign_collect(
+        &explore_spec(algorithms, SymmetryMode::ProcessIds),
+        EngineConfig::default(),
+    );
+    assert!(off_outcome.clean() && sym_outcome.clean());
+    assert_eq!(off_outcome.exhaustively_verified, 2);
+    assert_eq!(sym_outcome.exhaustively_verified, 2);
+    for (o, s) in off.iter().zip(&sym) {
+        assert_eq!(o.key(), s.key(), "symmetry must not change identity");
+        assert_eq!(o.verified, s.verified);
+        assert_eq!(o.stop, s.stop);
+        assert_eq!(o.locations_written, s.locations_written);
+        // Off-records must not even mention symmetry (byte-compat).
+        assert_eq!(o.symmetry, "off");
+        for absent in ["symmetry", "orbit_states", "full_states_lower_bound"] {
+            assert!(
+                !o.to_json().contains(&format!("\"{absent}\":")),
+                "{absent} leaked"
+            );
+        }
+        assert_eq!(s.symmetry, "process-ids");
+        assert_eq!(s.orbit_states, s.explored_states);
+        assert!(s.full_states_lower_bound >= s.orbit_states);
+        assert!(s.full_states_lower_bound <= o.explored_states);
+        if s.algorithm == "figure5-anon-oneshot" {
+            assert!(
+                s.explored_states < o.explored_states,
+                "anonymous cells must reduce: {} !< {}",
+                s.explored_states,
+                o.explored_states
+            );
+        } else {
+            // Distinct inputs + non-anonymous: the quotient is the space.
+            assert_eq!(s.explored_states, o.explored_states);
+        }
+    }
+}
+
+#[test]
+fn symmetry_output_is_byte_identical_at_any_thread_count() {
+    let run = |explore_threads: usize, engine_threads: usize| {
+        let spec = CampaignSpec {
+            explore_threads,
+            ..explore_spec(
+                vec![Algorithm::OneShot, Algorithm::AnonymousOneShot],
+                SymmetryMode::ProcessIds,
+            )
+        };
+        let mut bytes = Vec::new();
+        run_campaign(
+            &spec,
+            EngineConfig {
+                threads: engine_threads,
+                ..EngineConfig::default()
+            },
+            &mut bytes,
+        )
+        .unwrap();
+        bytes
+    };
+    let reference = run(1, 1);
+    assert!(!reference.is_empty());
+    for (explore_threads, engine_threads) in [(2, 1), (8, 2), (8, 4)] {
+        assert_eq!(
+            run(explore_threads, engine_threads),
+            reference,
+            "symmetry-reduced output drifted at explore_threads={explore_threads}, \
+             engine threads={engine_threads}"
+        );
+    }
+    let records = parse_jsonl(std::str::from_utf8(&reference).unwrap()).unwrap();
+    assert!(records.iter().all(|r| r.symmetry == "process-ids"));
+}
+
+#[test]
+fn opaque_cells_record_an_honest_fallback() {
+    // The full-information baseline addresses registers by process id, so
+    // it cannot establish the symmetry: the record must say `fallback-off`
+    // (and, since its state space is unbounded, stay truncated) instead of
+    // silently claiming an orbit reduction.
+    let spec = CampaignSpec {
+        max_states: 2_000,
+        ..explore_spec(vec![Algorithm::FullInformation], SymmetryMode::ProcessIds)
+    };
+    let (records, outcome) = run_campaign_collect(&spec, EngineConfig::default());
+    assert_eq!(records.len(), 1);
+    assert_eq!(outcome.unverified_explorations, 1);
+    let record = &records[0];
+    assert_eq!(record.symmetry, "fallback-off");
+    assert!(!record.verified);
+    assert_eq!(record.stop, "truncated");
+    assert_eq!(record.orbit_states, record.explored_states);
+    assert_eq!(record.full_states_lower_bound, record.explored_states);
+    let line = record.to_json();
+    assert!(line.contains("\"symmetry\":\"fallback-off\""), "{line}");
+    let reparsed = sa_sweep::SweepRecord::parse(&line).unwrap();
+    assert_eq!(&reparsed, record);
+}

@@ -55,6 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_depth: 100_000,
         max_states: 2_000_000,
         dedup: true,
+        ..ExploreConfig::default()
     })
     .execute(&plan)
     .expect_explored();

@@ -86,7 +86,8 @@ pub mod prelude {
     pub use sa_model::{Automaton, Decision, DecisionSet, Params, ProcessId};
     pub use sa_runtime::{
         check_k_agreement, check_validity, ExploreConfig, InputLog, ObstructionScheduler,
-        ParallelExploreConfig, RoundRobin, RunConfig, Scheduler, ThreadedConfig, Workload,
+        ParallelExploreConfig, RoundRobin, RunConfig, Scheduler, SymmetryMode, ThreadedConfig,
+        Workload,
     };
 }
 
@@ -443,6 +444,25 @@ pub struct ExploreReport {
     /// data structures at their peak (see
     /// [`Exploration::approx_bytes`](sa_runtime::Exploration)).
     pub approx_bytes: u64,
+    /// `true` if the search deduplicated up to process-id symmetry:
+    /// [`SymmetryMode::ProcessIds`](sa_runtime::SymmetryMode) was requested
+    /// **and** every automaton opted in via its
+    /// [`symmetry_class`](sa_model::Automaton::symmetry_class). `false`
+    /// covers both "not requested" and "requested but fell back" (e.g. the
+    /// single-writer emulation, whose register addresses are process ids).
+    pub symmetry_applied: bool,
+    /// Orbit representatives visited. This always equals
+    /// [`states_visited`](ExploreReport::states_visited) — with symmetry
+    /// applied the visited states *are* one representative per explored
+    /// orbit; without it every state is its own orbit — and is carried
+    /// separately so symmetry-enabled records are self-describing.
+    pub orbit_states: u64,
+    /// A lower bound on the number of distinct reachable configurations the
+    /// visited states represent (see
+    /// [`Exploration::full_states_lower_bound`](sa_runtime::Exploration)).
+    /// `full_states_lower_bound / orbit_states` is the reduction factor the
+    /// quotient achieved; 1x without symmetry.
+    pub full_states_lower_bound: u64,
 }
 
 impl ExploreReport {
@@ -944,6 +964,9 @@ impl ExecutionPlan {
             frontier_peak: result.frontier_peak,
             seen_entries: result.seen_entries,
             approx_bytes: result.approx_bytes,
+            symmetry_applied: result.symmetry_applied,
+            orbit_states: result.states_visited,
+            full_states_lower_bound: result.full_states_lower_bound,
         }
     }
 }
@@ -1454,6 +1477,7 @@ mod tests {
                 max_depth: 100_000,
                 max_states: 1_000_000,
                 dedup: true,
+                ..ExploreConfig::default()
             });
         assert!(
             report.verified(),
@@ -1479,6 +1503,7 @@ mod tests {
                 max_depth: 2,
                 max_states: 10,
                 dedup: true,
+                ..ExploreConfig::default()
             });
         assert!(report.truncated);
         assert!(!report.verified());
@@ -1522,6 +1547,7 @@ mod tests {
             max_depth: 100_000,
             max_states: 1_000_000,
             dedup: true,
+            ..ExploreConfig::default()
         })
         .execute(&plan);
         assert_eq!(explored.backend_label(), "explore");
@@ -1534,6 +1560,7 @@ mod tests {
             threads: 2,
             max_depth: 100_000,
             max_states: 1_000_000,
+            ..ParallelExploreConfig::default()
         })
         .execute(&plan);
         assert_eq!(parallel.backend_label(), "parallel-explore");
@@ -1550,6 +1577,7 @@ mod tests {
             max_depth: 100_000,
             max_states: 1_000_000,
             dedup: true,
+            ..ExploreConfig::default()
         })
         .execute(&plan)
         .expect_explored();
@@ -1560,6 +1588,7 @@ mod tests {
                 threads,
                 max_depth: 100_000,
                 max_states: 1_000_000,
+                ..ParallelExploreConfig::default()
             })
             .execute(&plan)
             .expect_explored();

@@ -59,6 +59,7 @@ fn serial_and_parallel_explorers_agree_on_every_spec_cell() {
                 max_depth: scenario.max_steps,
                 max_states: scenario.max_states,
                 dedup: true,
+                ..ExploreConfig::default()
             }),
         );
         assert!(serial.verified(), "{cell}: serial exploration not verified");
@@ -70,6 +71,7 @@ fn serial_and_parallel_explorers_agree_on_every_spec_cell() {
                     threads,
                     max_depth: scenario.max_steps,
                     max_states: scenario.max_states,
+                    ..ParallelExploreConfig::default()
                 }),
             );
             assert_eq!(
@@ -108,6 +110,166 @@ fn serial_and_parallel_explorers_agree_on_every_spec_cell() {
         }
     }
     assert!(covered > 0, "the spec filter left nothing to check");
+}
+
+/// The symmetry-equivalence matrix: for every (cell, algorithm) of
+/// `campaigns/exhaustive.spec`, symmetry-on and symmetry-off exploration
+/// (serial and parallel at 1, 2 and 8 threads) must report identical
+/// `verified`/`violation` verdicts — the quotient may only shrink the
+/// search, never change its answer. The reduction itself is pinned exactly:
+/// `orbit_states ≤ states_visited`, with equality exactly when all inputs
+/// are distinct and the algorithm is non-anonymous (a non-anonymous process
+/// is identified with its input, so distinct-input slots never merge, while
+/// anonymous processes that converge become interchangeable).
+#[test]
+fn symmetry_quotient_preserves_verdicts_on_every_spec_cell() {
+    use set_agreement::runtime::SymmetryMode;
+    use set_agreement::Algorithm;
+    let full = !cfg!(debug_assertions);
+    let mut covered = 0;
+    let mut reduced_cells = 0;
+    for scenario in spec_scenarios() {
+        if !full && scenario.params.n() > 2 {
+            continue;
+        }
+        covered += 1;
+        let cell = format!(
+            "{}/{}/{} {}",
+            scenario.params.n(),
+            scenario.params.m(),
+            scenario.params.k(),
+            scenario.algorithm.label()
+        );
+        let serial = |symmetry| {
+            Backend::Explore(ExploreConfig {
+                max_depth: scenario.max_steps,
+                max_states: scenario.max_states,
+                dedup: true,
+                symmetry,
+            })
+        };
+        let off = explore_with(&scenario, serial(SymmetryMode::Off));
+        let sym = explore_with(&scenario, serial(SymmetryMode::ProcessIds));
+        assert!(
+            sym.symmetry_applied,
+            "{cell}: the paper's algorithms opt in"
+        );
+        assert!(!off.symmetry_applied, "{cell}");
+        assert_eq!(sym.verified(), off.verified(), "{cell}: verdict changed");
+        assert_eq!(sym.violation, off.violation, "{cell}: violation changed");
+        assert_eq!(sym.validity_ok, off.validity_ok, "{cell}");
+        assert_eq!(sym.agreement_ok, off.agreement_ok, "{cell}");
+        assert_eq!(
+            sym.max_locations_written, off.max_locations_written,
+            "{cell}: space maxima are orbit-invariant"
+        );
+        assert_eq!(sym.orbit_states, sym.states_visited, "{cell}");
+        assert!(
+            sym.orbit_states <= off.states_visited,
+            "{cell}: a quotient cannot be larger than the full space"
+        );
+        assert!(
+            sym.full_states_lower_bound <= off.states_visited,
+            "{cell}: the lower bound must not exceed the true count"
+        );
+        assert!(sym.full_states_lower_bound >= sym.orbit_states, "{cell}");
+        // exhaustive.spec uses the all-distinct workload, so equality holds
+        // exactly for the non-anonymous algorithm.
+        let anonymous = matches!(
+            scenario.algorithm,
+            Algorithm::AnonymousOneShot | Algorithm::AnonymousRepeated(_)
+        );
+        if anonymous {
+            assert!(
+                sym.orbit_states < off.states_visited,
+                "{cell}: anonymous cells must genuinely reduce \
+                 ({} !< {})",
+                sym.orbit_states,
+                off.states_visited
+            );
+            reduced_cells += 1;
+        } else {
+            assert_eq!(
+                sym.orbit_states, off.states_visited,
+                "{cell}: distinct-input non-anonymous slots must never merge"
+            );
+        }
+        // The parallel explorer computes the identical quotient at any
+        // worker count.
+        for threads in [1, 2, 8] {
+            let parallel = explore_with(
+                &scenario,
+                Backend::ParallelExplore(ParallelExploreConfig {
+                    threads,
+                    max_depth: scenario.max_steps,
+                    max_states: scenario.max_states,
+                    symmetry: SymmetryMode::ProcessIds,
+                }),
+            );
+            assert!(parallel.symmetry_applied, "{cell} x{threads}");
+            assert_eq!(
+                parallel.states_visited, sym.states_visited,
+                "{cell} x{threads}: quotient size diverged"
+            );
+            assert_eq!(parallel.verified(), sym.verified(), "{cell} x{threads}");
+            assert_eq!(parallel.violation, sym.violation, "{cell} x{threads}");
+            assert_eq!(
+                parallel.full_states_lower_bound, sym.full_states_lower_bound,
+                "{cell} x{threads}: orbit statistics diverged"
+            );
+        }
+    }
+    assert!(covered > 0, "the spec filter left nothing to check");
+    assert!(
+        reduced_cells > 0,
+        "no anonymous cell exercised the reduction"
+    );
+}
+
+/// Uniform workloads make the non-anonymous orbit groups non-trivial: all
+/// processes propose the same value, so every slot is interchangeable under
+/// consistent id relabeling and Figure 3 must reduce too — with identical
+/// verdicts, mirroring the distinct-workload matrix above.
+#[test]
+fn uniform_workloads_reduce_id_carrying_cells_too() {
+    use set_agreement::model::Params;
+    use set_agreement::runtime::{SymmetryMode, Workload};
+    use set_agreement::Algorithm;
+    let cells: &[(usize, usize, usize)] = if cfg!(debug_assertions) {
+        &[(2, 1, 1)]
+    } else {
+        &[(2, 1, 1), (3, 1, 2)]
+    };
+    for &(n, m, k) in cells {
+        let params = Params::new(n, m, k).unwrap();
+        let plan = ExecutionPlan::new(params)
+            .algorithm(Algorithm::OneShot)
+            .workload(Workload::uniform(n, 1, 7));
+        let explore = |symmetry| {
+            Executor::new(Backend::Explore(ExploreConfig {
+                max_depth: 100_000,
+                max_states: 1_000_000,
+                dedup: true,
+                symmetry,
+            }))
+            .execute(&plan)
+            .expect_explored()
+        };
+        let off = explore(SymmetryMode::Off);
+        let sym = explore(SymmetryMode::ProcessIds);
+        let cell = format!("{n}/{m}/{k} uniform");
+        assert!(off.verified() && sym.verified(), "{cell}");
+        assert!(sym.symmetry_applied, "{cell}");
+        assert!(
+            sym.orbit_states < off.states_visited,
+            "{cell}: equal-input id-carrying slots must merge ({} !< {})",
+            sym.orbit_states,
+            off.states_visited
+        );
+        // Equal-input orbits are fully reachable, so the lower bound
+        // recovers the full count exactly here.
+        assert_eq!(sym.full_states_lower_bound, off.states_visited, "{cell}");
+    }
 }
 
 #[test]
