@@ -55,6 +55,7 @@
 mod anonymous;
 mod baseline;
 mod error;
+mod instance;
 mod oneshot;
 mod repeated;
 pub mod values;
@@ -62,6 +63,7 @@ pub mod values;
 pub use anonymous::AnonymousSetAgreement;
 pub use baseline::{FullInfoRecord, FullInfoSetAgreement, SwmrEmulated, WideBaseline};
 pub use error::AlgorithmError;
+pub use instance::AgreementInstance;
 pub use oneshot::OneShotSetAgreement;
 pub use repeated::RepeatedSetAgreement;
 pub use values::{AnonTuple, AnonValue, History, Pair, Tuple};

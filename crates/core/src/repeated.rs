@@ -580,6 +580,95 @@ mod tests {
     }
 
     #[test]
+    fn adoption_picks_the_highest_instance_in_the_view() {
+        // Two tuples from the future: the line 15 shortcut must adopt the
+        // history of the *highest* instance present, not merely the first
+        // found — driven through the full `Automaton` interface.
+        let params = Params::new(4, 1, 2).unwrap();
+        let mut a = RepeatedSetAgreement::new(params, ProcessId(0), vec![5]).unwrap();
+        a.apply(Response::Nop); // instance 1
+        a.apply(Response::Updated);
+        assert_eq!(a.poised(), Some(Op::Scan { snapshot: 0 }));
+        let near = Tuple::new(30, ProcessId(1), 2, History::from_vec(vec![80]));
+        let far = Tuple::new(50, ProcessId(2), 4, History::from_vec(vec![60, 61, 62]));
+        let d = a.apply(Response::Snapshot(vec![Some(near), None, Some(far), None]));
+        assert_eq!(d, vec![Decision::new(1, 60)]);
+        assert_eq!(a.history().len(), 3, "the longer history must be adopted");
+        assert!(a.is_halted());
+    }
+
+    #[test]
+    fn covered_history_never_issues_shared_memory_ops() {
+        // A process whose adopted history covers every planned instance
+        // answers each Propose locally: every poised op across its whole
+        // remaining life must be `Op::Nop` — no Update, no Scan.
+        let params = Params::new(3, 1, 1).unwrap();
+        let mut a = RepeatedSetAgreement::new(params, ProcessId(2), vec![5, 6, 7]).unwrap();
+        a.history = History::from_vec(vec![40, 41, 42]);
+        let mut decided = Vec::new();
+        while let Some(op) = a.poised() {
+            assert_eq!(op, Op::Nop, "history shortcut must stay off shared memory");
+            decided.extend(a.apply(Response::Nop));
+        }
+        let expected: Vec<Decision> = (1..=3).map(|t| Decision::new(t, 39 + t)).collect();
+        assert_eq!(decided, expected);
+        assert!(a.is_halted());
+    }
+
+    #[test]
+    fn lower_instance_tuples_act_as_bottom_in_the_decision_condition() {
+        let params = Params::new(4, 1, 2).unwrap();
+        let mut a = RepeatedSetAgreement::new(params, ProcessId(0), vec![5, 6]).unwrap();
+        a.apply(Response::Nop);
+        a.history = History::from_vec(vec![9]);
+        a.instance = 2;
+        a.pref = 6;
+        a.phase = Phase::Scan;
+        let mine = Tuple::new(6, ProcessId(0), 2, History::from_vec(vec![9]));
+        let stale = Tuple::new(6, ProcessId(1), 1, History::empty());
+        // Unanimous *values*, but one tuple is from instance 1 < t = 2: the
+        // paper treats it like ⊥, so line 17's "no ⊥ in the view" fails.
+        let blocked = vec![
+            Some(mine.clone()),
+            Some(stale),
+            Some(mine.clone()),
+            Some(mine.clone()),
+        ];
+        assert!(a.handle_scan(&blocked).is_none());
+        // Replacing the stale entry with a current copy makes the same view
+        // decide: the lower instance, not value disagreement, was the blocker.
+        let mut b = a.clone();
+        let unanimous = vec![
+            Some(mine.clone()),
+            Some(mine.clone()),
+            Some(mine.clone()),
+            Some(mine),
+        ];
+        let d = b.handle_scan(&unanimous).expect("current view must decide");
+        assert_eq!(d, Decision::new(2, 6));
+        assert_eq!(b.history().get(2), Some(6));
+    }
+
+    #[test]
+    fn duplicated_stale_tuples_do_not_change_the_preference() {
+        // Line 22 adopts a duplicated *t*-tuple's value; a pair of identical
+        // tuples from an earlier instance is ⊥-like and must not be adopted.
+        let params = Params::new(4, 1, 2).unwrap();
+        let mut a = RepeatedSetAgreement::new(params, ProcessId(0), vec![5, 6]).unwrap();
+        a.apply(Response::Nop);
+        a.history = History::from_vec(vec![9]);
+        a.instance = 2;
+        a.pref = 6;
+        a.phase = Phase::Scan;
+        let stale = Tuple::new(7, ProcessId(1), 1, History::empty());
+        let view = vec![Some(stale.clone()), Some(stale), None, None];
+        assert!(a.handle_scan(&view).is_none());
+        assert_eq!(a.pref, 6, "stale duplicates must not be adopted");
+        // The process fell through to line 25 and merely advanced.
+        assert_eq!(a.location, 1);
+    }
+
+    #[test]
     fn space_usage_stays_within_width() {
         let params = Params::new(5, 2, 3).unwrap();
         let workload = Workload::all_distinct(5, 2);

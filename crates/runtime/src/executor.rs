@@ -54,6 +54,10 @@ pub enum Backend {
     Explore(ExploreConfig),
     /// Work-stealing exhaustive exploration of every interleaving.
     ParallelExplore(ParallelExploreConfig),
+    /// A long-running batched agreement service under an open-loop load
+    /// generator (implemented by the `sa-serve` crate; this variant only
+    /// carries its knobs so the unified executor can dispatch to it).
+    Serve(ServeOptions),
 }
 
 impl Backend {
@@ -64,6 +68,85 @@ impl Backend {
             Backend::Threaded(_) => "threaded",
             Backend::Explore(_) => "explore",
             Backend::ParallelExplore(_) => "parallel-explore",
+            Backend::Serve(_) => "serve",
+        }
+    }
+}
+
+/// The clock a [`Backend::Serve`] run is driven by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeClock {
+    /// A deterministic virtual clock: one tick per millisecond of modelled
+    /// time, execution cost modelled as one microsecond per algorithm step.
+    /// Reports are reproducible bit-for-bit at any shard count.
+    #[default]
+    Virtual,
+    /// The real wall clock: ticks are paced by `std::thread::sleep` and
+    /// latencies are measured with `std::time::Instant`. Reports are *not*
+    /// reproducible.
+    Wall,
+}
+
+impl ServeClock {
+    /// A short identifier used in reports and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServeClock::Virtual => "virtual",
+            ServeClock::Wall => "wall",
+        }
+    }
+}
+
+/// How a [`Backend::Serve`] load generator picks proposal values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeLoad {
+    /// Every proposal carries a globally unique value.
+    #[default]
+    Distinct,
+    /// Every proposal carries the same value.
+    Uniform(u64),
+    /// Seed-derived values drawn from `0..universe`.
+    Random {
+        /// The number of distinct values to draw from.
+        universe: u64,
+    },
+}
+
+/// The knobs of a [`Backend::Serve`] run: a service sharded over
+/// `shards` worker threads, batching proposals from `clients` simulated
+/// clients arriving open-loop at `rate` proposals per tick for
+/// `duration_ticks` ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Worker threads executing batches (at least 1).
+    pub shards: usize,
+    /// A batch is cut as soon as it holds this many proposals (at least 1).
+    pub batch_max: usize,
+    /// The number of simulated clients issuing proposals.
+    pub clients: usize,
+    /// Proposals issued per clock tick (open-loop, at least 1).
+    pub rate: u64,
+    /// How many ticks the load generator runs before the graceful drain.
+    pub duration_ticks: u64,
+    /// Virtual (deterministic) or wall (real time) clock.
+    pub clock: ServeClock,
+    /// How proposal values are generated.
+    pub load: ServeLoad,
+    /// Seed for the load generator's value stream.
+    pub seed: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            shards: 2,
+            batch_max: 8,
+            clients: 64,
+            rate: 8,
+            duration_ticks: 1000,
+            clock: ServeClock::Virtual,
+            load: ServeLoad::Distinct,
+            seed: 0,
         }
     }
 }

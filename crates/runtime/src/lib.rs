@@ -52,7 +52,9 @@ pub mod toy;
 mod trace;
 mod workload;
 
-pub use executor::{Backend, Executor, RunConfig, RunReport, StopReason};
+pub use executor::{
+    Backend, Executor, RunConfig, RunReport, ServeClock, ServeLoad, ServeOptions, StopReason,
+};
 pub use explore::{
     agreement_predicate, canonical_state_key, explore, state_key, Exploration, ExploreConfig,
     ExploredViolation, StateKey, SymmetryMode, SymmetryPlan,

@@ -1,0 +1,200 @@
+//! The global sequencer/batcher: turns a stream of proposals into numbered
+//! agreement instances.
+//!
+//! Batching is **shard-independent by construction**: a batch is cut purely
+//! by arrival order and the `batch_max` cutoff (plus the end-of-tick and
+//! drain flushes the service issues), and instance ids are assigned
+//! sequentially at cut time. Which worker thread later *executes* a batch
+//! is decided downstream (`instance % shards`), so changing the shard count
+//! can never change batch composition — the keystone of the service's
+//! determinism guarantee under the virtual clock.
+
+/// One in-flight `propose(client, value)` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Proposal {
+    /// The simulated client issuing the proposal.
+    pub client: u64,
+    /// The proposed value.
+    pub value: u64,
+    /// Arrival stamp: a tick under the virtual clock, microseconds since
+    /// service start under the wall clock.
+    pub arrival: u64,
+}
+
+/// A cut batch: one repeated-agreement instance with one participating
+/// process per proposal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// The sequentially assigned instance id (starting at 0).
+    pub instance: u64,
+    /// The proposals participating in this instance, in arrival order.
+    pub proposals: Vec<Proposal>,
+    /// Flush stamp (same unit as [`Proposal::arrival`]).
+    pub flushed_at: u64,
+}
+
+/// Accumulates proposals and cuts [`Batch`]es at the `batch_max` cutoff or
+/// on an explicit flush. Tracks accepted vs batched counts so a drain can
+/// assert that no proposal was lost.
+#[derive(Debug, Clone)]
+pub struct Batcher {
+    batch_max: usize,
+    pending: Vec<Proposal>,
+    next_instance: u64,
+    accepted: u64,
+    batched: u64,
+}
+
+impl Batcher {
+    /// A batcher cutting batches of at most `batch_max` proposals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_max` is 0.
+    pub fn new(batch_max: usize) -> Self {
+        assert!(batch_max >= 1, "batch_max must be at least 1");
+        Batcher {
+            batch_max,
+            pending: Vec::with_capacity(batch_max),
+            next_instance: 0,
+            accepted: 0,
+            batched: 0,
+        }
+    }
+
+    /// Accepts one proposal; returns a cut batch if this proposal filled it.
+    pub fn push(&mut self, proposal: Proposal, now: u64) -> Option<Batch> {
+        self.pending.push(proposal);
+        self.accepted += 1;
+        if self.pending.len() >= self.batch_max {
+            self.cut(now)
+        } else {
+            None
+        }
+    }
+
+    /// Flushes the open batch, if any (end of tick, or drain on shutdown).
+    pub fn flush(&mut self, now: u64) -> Option<Batch> {
+        self.cut(now)
+    }
+
+    fn cut(&mut self, now: u64) -> Option<Batch> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let proposals = std::mem::replace(&mut self.pending, Vec::with_capacity(self.batch_max));
+        self.batched += proposals.len() as u64;
+        let instance = self.next_instance;
+        self.next_instance += 1;
+        Some(Batch {
+            instance,
+            proposals,
+            flushed_at: now,
+        })
+    }
+
+    /// Proposals accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Proposals handed out in cut batches so far.
+    pub fn batched(&self) -> u64 {
+        self.batched
+    }
+
+    /// Proposals currently waiting in the open batch.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Batches cut so far (also the next instance id to be assigned).
+    pub fn batches(&self) -> u64 {
+        self.next_instance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proposal(i: u64) -> Proposal {
+        Proposal {
+            client: i % 4,
+            value: 100 + i,
+            arrival: i,
+        }
+    }
+
+    #[test]
+    fn batch_max_cuts_exactly_at_the_cutoff() {
+        let mut batcher = Batcher::new(3);
+        assert!(batcher.push(proposal(0), 0).is_none());
+        assert!(batcher.push(proposal(1), 0).is_none());
+        let batch = batcher.push(proposal(2), 0).expect("third proposal cuts");
+        assert_eq!(batch.instance, 0);
+        assert_eq!(batch.proposals.len(), 3);
+        assert_eq!(
+            batch.proposals.iter().map(|p| p.value).collect::<Vec<_>>(),
+            vec![100, 101, 102],
+            "proposals keep arrival order"
+        );
+        assert_eq!(batcher.pending(), 0);
+        // The next cut gets the next sequential instance id.
+        for i in 3..5 {
+            assert!(batcher.push(proposal(i), 1).is_none());
+        }
+        let batch = batcher.push(proposal(5), 1).unwrap();
+        assert_eq!(batch.instance, 1);
+        assert_eq!(batch.flushed_at, 1);
+    }
+
+    #[test]
+    fn batch_max_of_one_cuts_every_proposal() {
+        let mut batcher = Batcher::new(1);
+        for i in 0..4 {
+            let batch = batcher.push(proposal(i), i).expect("every push cuts");
+            assert_eq!(batch.instance, i);
+            assert_eq!(batch.proposals.len(), 1);
+        }
+    }
+
+    #[test]
+    fn flush_drains_the_open_batch_and_empty_flushes_are_noops() {
+        let mut batcher = Batcher::new(10);
+        assert!(batcher.flush(0).is_none(), "nothing pending");
+        batcher.push(proposal(0), 0);
+        batcher.push(proposal(1), 0);
+        let batch = batcher.flush(7).expect("partial batch drains");
+        assert_eq!(batch.proposals.len(), 2);
+        assert_eq!(batch.flushed_at, 7);
+        assert!(batcher.flush(8).is_none(), "already drained");
+    }
+
+    #[test]
+    fn no_proposal_is_lost_across_cuts_and_drain() {
+        let mut batcher = Batcher::new(4);
+        let mut seen = Vec::new();
+        for i in 0..23 {
+            if let Some(batch) = batcher.push(proposal(i), i / 4) {
+                seen.extend(batch.proposals);
+            }
+        }
+        if let Some(batch) = batcher.flush(99) {
+            seen.extend(batch.proposals);
+        }
+        assert_eq!(batcher.accepted(), 23);
+        assert_eq!(batcher.batched(), 23);
+        assert_eq!(batcher.pending(), 0);
+        assert_eq!(seen.len(), 23);
+        let values: Vec<u64> = seen.iter().map(|p| p.value).collect();
+        assert_eq!(values, (100..123).collect::<Vec<_>>(), "order preserved");
+        assert_eq!(batcher.batches(), 6, "ceil(23 / 4) batches cut");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_max must be at least 1")]
+    fn zero_batch_max_is_rejected() {
+        Batcher::new(0);
+    }
+}

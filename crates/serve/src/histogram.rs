@@ -1,0 +1,305 @@
+//! An HDR-style latency histogram: fixed memory, bounded relative error,
+//! mergeable across shards.
+//!
+//! Values (microseconds) are binned into power-of-two tiers of 32 linear
+//! sub-buckets each: values below 64 are recorded exactly, larger values
+//! with a relative error below 1/32. The whole histogram is ~2k buckets of
+//! `u64` regardless of how many samples are recorded, and two histograms
+//! recorded on different shards merge by adding counts — the merge of the
+//! shard histograms equals the histogram of the combined sample stream.
+
+/// log2 of the linear resolution: 32 sub-buckets per power-of-two tier.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per tier.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total buckets: values up to `u64::MAX` land in tier 58.
+const BUCKETS: usize = ((64 - SUB_BITS) as usize + 1) * SUB as usize;
+
+/// The bucket index of `value`.
+fn bucket_of(value: u64) -> usize {
+    if value < 2 * SUB {
+        value as usize
+    } else {
+        let msb = 63 - value.leading_zeros();
+        let tier = (msb - SUB_BITS) as u64;
+        let within = (value >> tier) - SUB;
+        ((tier + 1) * SUB + within) as usize
+    }
+}
+
+/// The smallest value mapping to bucket `index`, and the bucket's width.
+fn bucket_range(index: usize) -> (u64, u64) {
+    let index = index as u64;
+    if index < 2 * SUB {
+        (index, 1)
+    } else {
+        let tier = index / SUB - 1;
+        let within = index % SUB;
+        ((SUB + within) << tier, 1 << tier)
+    }
+}
+
+/// A fixed-size latency histogram with percentile estimation.
+///
+/// ```
+/// use sa_serve::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for us in 1..=100 {
+///     h.record(us);
+/// }
+/// assert_eq!(h.count(), 100);
+/// assert_eq!(h.percentile(50.0), 50);
+/// assert!(h.percentile(99.0) >= 99);
+/// ```
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one latency sample (in microseconds).
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// The number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The smallest recorded sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The largest recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The mean of the recorded samples, rounded down (0 if empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / u128::from(self.count)) as u64
+        }
+    }
+
+    /// An estimate of the `p`-th percentile (0 < p ≤ 100), interpolated
+    /// linearly inside the bucket holding the target rank and clamped to
+    /// the observed `[min, max]` range. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let target = target.min(self.count);
+        let mut cumulative = 0u64;
+        for (index, &bucket_count) in self.counts.iter().enumerate() {
+            if bucket_count == 0 {
+                continue;
+            }
+            if cumulative + bucket_count >= target {
+                let (floor, width) = bucket_range(index);
+                // Zero-based rank within the bucket, spread uniformly over
+                // the bucket's value range: exact (width-1) buckets always
+                // report their exact value.
+                let into = (target - cumulative - 1) as f64 / bucket_count as f64;
+                let estimate = floor + (into * width as f64).floor() as u64;
+                return estimate.clamp(self.min(), self.max);
+            }
+            cumulative += bucket_count;
+        }
+        self.max
+    }
+
+    /// Adds every sample of `other` into this histogram (shard merge).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The standard percentile summary, as `(p50, p90, p99, p999)`.
+    pub fn summary(&self) -> (u64, u64, u64, u64) {
+        (
+            self.percentile(50.0),
+            self.percentile(90.0),
+            self.percentile(99.0),
+            self.percentile(99.9),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_recorded_exactly() {
+        // One bucket per value below 2 * SUB: boundaries at 0, 63.
+        for value in [0u64, 1, 31, 32, 63] {
+            assert_eq!(bucket_of(value), value as usize);
+            let (floor, width) = bucket_range(bucket_of(value));
+            assert_eq!((floor, width), (value, 1));
+        }
+        let mut h = LatencyHistogram::new();
+        h.record(63);
+        assert_eq!(h.percentile(50.0), 63);
+        assert_eq!((h.min(), h.max()), (63, 63));
+    }
+
+    #[test]
+    fn bucket_boundaries_align_with_power_of_two_tiers() {
+        // 64 opens the first coarse tier (width 2): 64 and 65 share a
+        // bucket, 66 starts the next.
+        assert_eq!(bucket_of(63) + 1, bucket_of(64));
+        assert_eq!(bucket_of(64), bucket_of(65));
+        assert_eq!(bucket_of(65) + 1, bucket_of(66));
+        // Tier boundaries: 128 opens width-4 buckets.
+        assert_eq!(bucket_of(127) + 1, bucket_of(128));
+        assert_eq!(bucket_of(128), bucket_of(131));
+        assert_ne!(bucket_of(131), bucket_of(132));
+        // Floors and widths reconstruct the value range.
+        assert_eq!(bucket_range(bucket_of(64)), (64, 2));
+        assert_eq!(bucket_range(bucket_of(128)), (128, 4));
+        // Every representable value maps inside its own bucket range, and
+        // buckets tile contiguously across tier boundaries.
+        for value in (0..4096u64).chain([u64::MAX / 2, u64::MAX]) {
+            let (floor, width) = bucket_range(bucket_of(value));
+            assert!(floor <= value && value - floor < width, "value {value}");
+        }
+        assert!(bucket_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_the_sub_bucket_resolution() {
+        let mut h = LatencyHistogram::new();
+        for value in [100u64, 1000, 10_000, 100_000, 1_000_000] {
+            h = LatencyHistogram::new();
+            h.record(value);
+            let got = h.percentile(50.0);
+            let err = got.abs_diff(value) as f64 / value as f64;
+            assert!(err <= 1.0 / SUB as f64, "value {value} estimated {got}");
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_a_bucket() {
+        // 100 exact samples 1..=100: every percentile is the exact rank.
+        let mut h = LatencyHistogram::new();
+        for us in 1..=100 {
+            h.record(us);
+        }
+        assert_eq!(h.percentile(1.0), 1);
+        assert_eq!(h.percentile(50.0), 50);
+        assert_eq!(h.percentile(90.0), 90);
+        assert_eq!(h.percentile(100.0), 100);
+        assert_eq!(h.mean(), 50);
+        // All samples in one coarse bucket: interpolation moves with p but
+        // never leaves the observed range.
+        let mut coarse = LatencyHistogram::new();
+        for _ in 0..10 {
+            coarse.record(1000);
+        }
+        assert!(coarse.percentile(10.0) <= coarse.percentile(99.0));
+        for p in [10.0, 50.0, 99.0] {
+            let got = coarse.percentile(p);
+            assert_eq!(got, 1000, "p{p} left the observed range: {got}");
+        }
+    }
+
+    #[test]
+    fn empty_histograms_report_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!((h.min(), h.max(), h.mean()), (0, 0, 0));
+    }
+
+    #[test]
+    fn merging_shard_histograms_equals_recording_the_union() {
+        let samples_a = [3u64, 70, 500, 500, 12_000];
+        let samples_b = [1u64, 64, 65, 9_999, 1_000_000];
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut union = LatencyHistogram::new();
+        for &s in &samples_a {
+            a.record(s);
+            union.record(s);
+        }
+        for &s in &samples_b {
+            b.record(s);
+            union.record(s);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), union.count());
+        assert_eq!(
+            (a.min(), a.max(), a.mean()),
+            (union.min(), union.max(), union.mean())
+        );
+        for p in [10.0, 50.0, 90.0, 99.0, 99.9] {
+            assert_eq!(a.percentile(p), union.percentile(p), "p{p} differs");
+        }
+        assert_eq!(a.summary(), union.summary());
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_the_identity() {
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        let before = h.summary();
+        h.merge(&LatencyHistogram::new());
+        assert_eq!(h.summary(), before);
+        assert_eq!(h.count(), 1);
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&h);
+        assert_eq!(empty.summary(), before);
+    }
+}

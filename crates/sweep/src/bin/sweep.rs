@@ -6,6 +6,9 @@
 //!           [--backend scheduled|threaded[,BOTH]] [--seeds N|LIST]
 //!           [--campaign-seed S] [--workload SPEC] [--max-steps N]
 //!           [--shard I/N] [--threads N] [--out FILE] [--progress N]
+//! sweep serve [--n N] [--m M] [--k K] [--shards N] [--batch-max N]
+//!             [--clients N] [--rate N] [--duration N] [--clock MODE]
+//!             [--workload SPEC] [--seed S] [--max-steps N]
 //! sweep summarize FILE
 //! sweep diff OLD NEW
 //! sweep merge [--out FILE] SHARD...
@@ -23,12 +26,15 @@ use sa_sweep::{
     diff, merge_shards, parse_jsonl, run_campaign, AdversarySpec, BackendSpec, CampaignMode,
     CampaignSpec, EngineConfig, ParamsSpec, Summary, WorkloadSpec,
 };
-use set_agreement::runtime::SymmetryMode;
+use set_agreement::runtime::{ServeClock, ServeLoad, ServeOptions, SymmetryMode};
+use set_agreement::{Algorithm, Backend, ExecutionPlan, Executor};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage:
   sweep run [options]         expand and execute a campaign, emit JSONL
+  sweep serve [options]       run the set-agreement service once, print a
+                              latency and throughput report
   sweep summarize FILE        aggregate a result file; exit 1 on violations
   sweep diff OLD NEW          compare result files; exit 1 on regressions
   sweep merge [--out FILE] SHARD...
@@ -52,10 +58,14 @@ run options:
                        one OS thread per process on real shared memory; the
                        adversary axis collapses (the hardware schedules)
                        and records carry wall-clock time and steps/s
-  --mode MODE          `sample` (default) or `explore`: exhaustively model-
-                       check every interleaving of each (cell, algorithm)
-                       pair instead of sampling schedules (tiny cells only;
-                       the backend, adversary and seed axes are ignored)
+  --mode MODE          `sample` (default), `explore` or `serve`. `explore`
+                       exhaustively model-checks every interleaving of each
+                       (cell, algorithm) pair instead of sampling schedules
+                       (tiny cells only; the backend, adversary and seed
+                       axes are ignored). `serve` runs the batched service
+                       under the open-loop load generator and a virtual
+                       clock (the algorithm, adversary and backend axes are
+                       ignored; records carry latency percentiles and ops/s)
   --max-states N       state budget per exploration (default 2000000)
   --explore-threads N  worker threads per exploration: 0 (default) runs the
                        serial explorer, N >= 1 the work-stealing parallel
@@ -78,9 +88,27 @@ run options:
                        threaded backend splits it across the n threads
   --shard I/N          run only scenarios with index = I mod N (0 <= I < N);
                        indices are preserved, `sweep merge` reassembles
+  --shards N           serve mode: service worker threads (default 2); not
+                       part of scenario identity, output is byte-identical
+                       at any shard count
+  --batch-max N        serve mode: batch cutoff in proposals (default 8)
+  --clients N          serve mode: simulated clients (default 64)
+  --rate N             serve mode: proposals per virtual tick (default 8)
+  --duration N         serve mode: virtual ticks before the drain
+                       (default 1000)
   --threads N          worker threads (default: all CPUs)
   --out FILE           write JSONL here instead of stdout
   --progress N         progress line to stderr every N scenarios
+
+serve options (a one-off service run; the campaign keys above plus):
+  --n, --m, --k N      the cell (defaults 4/1/2); each batch solves
+                       (m, k)-agreement among its proposers
+  --clock MODE         `virtual` (default; deterministic, 1 tick = 1 ms) or
+                       `wall` (real time, no determinism claim)
+  --workload SPEC      the value stream: `distinct` (default), `uniform:V`,
+                       `random:UNIVERSE`
+  --seed S             load-generator seed (default 0)
+  --max-steps N        per-batch step budget (default 1000000)
 ";
 
 fn fail(message: impl std::fmt::Display) -> ExitCode {
@@ -92,6 +120,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("summarize") => cmd_summarize(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
@@ -217,6 +246,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
                         .parse()
                         .map_err(|_| format!("bad thread count {value:?}"))?;
                 }
+                "--shards" => spec.shards = parse_at_least_one(flag, value)?,
+                "--batch-max" => spec.batch_max = parse_at_least_one(flag, value)?,
+                "--clients" => spec.clients = parse_at_least_one(flag, value)?,
+                "--rate" => spec.rate = parse_at_least_one(flag, value)? as u64,
+                "--duration" => spec.duration = parse_at_least_one(flag, value)? as u64,
                 "--out" => out_path = Some(value.to_string()),
                 "--progress" => {
                     config.progress_every = value
@@ -296,9 +330,145 @@ fn cmd_run(args: &[String]) -> ExitCode {
                     outcome.threaded
                 );
             }
+            if outcome.served > 0 {
+                eprintln!(
+                    "sweep: {} scenarios ran as batched service runs ({} shards each, \
+                     virtual clock)",
+                    outcome.served, spec.shards
+                );
+            }
             ExitCode::SUCCESS
         }
         Err(e) => fail(format!("i/o error: {e}")),
+    }
+}
+
+fn parse_at_least_one(flag: &str, value: &str) -> Result<usize, String> {
+    match value.parse::<usize>() {
+        Ok(parsed) if parsed >= 1 => Ok(parsed),
+        Ok(parsed) => Err(format!("{flag} must be at least 1, got {parsed}")),
+        Err(_) => Err(format!("bad {flag} value {value:?}")),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let (mut n, mut m, mut k) = (4usize, 1usize, 2usize);
+    let mut options = ServeOptions::default();
+    let mut workload = WorkloadSpec::Distinct;
+    let mut max_steps = 1_000_000u64;
+
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        if flag == "--help" || flag == "-h" {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        let Some(value) = iter.next() else {
+            return fail(format!("{flag} needs a value"));
+        };
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--n" => n = parse_at_least_one(flag, value)?,
+                "--m" => m = parse_at_least_one(flag, value)?,
+                "--k" => k = parse_at_least_one(flag, value)?,
+                "--shards" => options.shards = parse_at_least_one(flag, value)?,
+                "--batch-max" => options.batch_max = parse_at_least_one(flag, value)?,
+                "--clients" => options.clients = parse_at_least_one(flag, value)?,
+                "--rate" => options.rate = parse_at_least_one(flag, value)? as u64,
+                "--duration" => options.duration_ticks = parse_at_least_one(flag, value)? as u64,
+                "--clock" => {
+                    options.clock = match value.as_str() {
+                        "virtual" => ServeClock::Virtual,
+                        "wall" => ServeClock::Wall,
+                        other => return Err(format!("bad clock {other:?} (want virtual or wall)")),
+                    };
+                }
+                "--workload" => {
+                    workload = WorkloadSpec::parse(value).map_err(|e| e.to_string())?;
+                }
+                "--seed" => {
+                    options.seed = value.parse().map_err(|_| format!("bad seed {value:?}"))?;
+                }
+                "--max-steps" => {
+                    max_steps = value
+                        .parse()
+                        .map_err(|_| format!("bad step budget {value:?}"))?;
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+            Ok(())
+        })();
+        if let Err(message) = result {
+            return fail(message);
+        }
+    }
+
+    let params = match sa_model::Params::new(n, m, k) {
+        Ok(params) => params,
+        Err(e) => return fail(format!("invalid cell n={n} m={m} k={k}: {e}")),
+    };
+    options.load = match workload {
+        WorkloadSpec::Distinct => ServeLoad::Distinct,
+        WorkloadSpec::Uniform(value) => ServeLoad::Uniform(value),
+        WorkloadSpec::Random { universe } => ServeLoad::Random { universe },
+    };
+
+    let plan = ExecutionPlan::new(params)
+        .algorithm(Algorithm::Repeated(1))
+        .max_steps(max_steps);
+    let report = Executor::new(Backend::Serve(options))
+        .execute(&plan)
+        .expect_served();
+
+    let (p50, p90, p99, p999) = report.histogram.summary();
+    println!(
+        "serve: n={n} m={m} k={k}, {} shards, batch-max {}, {} clients at {}/tick for {} ticks \
+         ({} clock)",
+        report.shards,
+        options.batch_max,
+        options.clients,
+        options.rate,
+        options.duration_ticks,
+        report.clock.label()
+    );
+    println!(
+        "serve: {} proposals in {} batches, {} validity violations, {} agreement violations, \
+         {} unfinished, max {} distinct outputs per batch, {}",
+        report.proposals,
+        report.batches,
+        report.validity_violations,
+        report.agreement_violations,
+        report.unfinished,
+        report.distinct_outputs_max,
+        if report.drained {
+            "drained"
+        } else {
+            "NOT DRAINED"
+        }
+    );
+    println!(
+        "latency: p50 {p50} us, p90 {p90} us, p99 {p99} us, p999 {p999} us \
+         (min {} us, max {} us, mean {:.1} us)",
+        report.histogram.min(),
+        report.histogram.max(),
+        report.histogram.mean()
+    );
+    println!(
+        "throughput: {} ops/s, {} steps/s ({} steps over {} us)",
+        report.ops_per_sec(),
+        report.steps_per_sec(),
+        report.steps,
+        report.duration_us
+    );
+    println!(
+        "decided fingerprint: {:#018x}",
+        report.decided_fingerprint()
+    );
+
+    if report.safety_violations() == 0 && report.drained && report.unfinished == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

@@ -13,7 +13,9 @@
 use crate::grid::{derive_seed, expand, ExpansionStats, ScenarioSpec};
 use crate::record::SweepRecord;
 use crate::spec::{BackendSpec, CampaignMode, CampaignSpec};
-use set_agreement::runtime::{ExploreConfig, ParallelExploreConfig, ThreadedConfig};
+use set_agreement::runtime::{
+    ExploreConfig, ParallelExploreConfig, ServeClock, ServeOptions, ThreadedConfig,
+};
 use set_agreement::{Backend, ExecutionPlan, Executor};
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -75,6 +77,9 @@ pub struct CampaignOutcome {
     /// Explore-mode records executed by the work-stealing parallel
     /// explorer (a subset of [`CampaignOutcome::explored`]).
     pub parallel_explored: u64,
+    /// Serve-mode records (batched service runs under the open-loop load
+    /// generator).
+    pub served: u64,
 }
 
 impl CampaignOutcome {
@@ -91,6 +96,30 @@ impl CampaignOutcome {
 /// Deterministic for the scheduled and explore backends (depends only on
 /// the spec); threaded records are reproducible up to interleaving.
 pub fn run_scenario(campaign: &str, spec: &ScenarioSpec) -> SweepRecord {
+    if spec.mode == CampaignMode::Serve {
+        // The service builds one fresh automaton set per batch, so the
+        // plan carries only the cell and the per-batch step budget. The
+        // campaign always serves under the virtual clock: that is what
+        // makes the record — latencies and throughput included — a pure
+        // function of the spec.
+        let options = ServeOptions {
+            shards: spec.shards,
+            batch_max: spec.batch_max,
+            clients: spec.clients,
+            rate: spec.rate,
+            duration_ticks: spec.duration,
+            clock: ServeClock::Virtual,
+            load: spec.serve_load,
+            seed: derive_seed(spec.derived_seed, "serve-load"),
+        };
+        let plan = ExecutionPlan::new(spec.params)
+            .algorithm(spec.algorithm)
+            .max_steps(spec.max_steps);
+        let report = Executor::new(Backend::Serve(options))
+            .execute(&plan)
+            .expect_served();
+        return SweepRecord::from_serve(campaign, spec, &report);
+    }
     let mut plan = ExecutionPlan::new(spec.params)
         .algorithm(spec.algorithm)
         .workload(spec.workload.clone())
@@ -125,6 +154,7 @@ pub fn run_scenario(campaign: &str, spec: &ScenarioSpec) -> SweepRecord {
             dedup: true,
             symmetry: spec.symmetry,
         }),
+        (CampaignMode::Serve, _) => unreachable!("serve scenarios are dispatched above"),
     };
     match Executor::new(backend).execute(&plan) {
         set_agreement::ExecutionReport::Scheduled(report) => {
@@ -135,6 +165,9 @@ pub fn run_scenario(campaign: &str, spec: &ScenarioSpec) -> SweepRecord {
         }
         set_agreement::ExecutionReport::Explored(report) => {
             SweepRecord::from_exploration(campaign, spec, &report)
+        }
+        set_agreement::ExecutionReport::Served(_) => {
+            unreachable!("serve scenarios return before the sampled/explore dispatch")
         }
     }
 }
@@ -209,6 +242,9 @@ pub fn run_campaign(
                 }
                 if record.backend == "threaded" {
                     outcome.threaded += 1;
+                }
+                if record.backend == "serve" {
+                    outcome.served += 1;
                 }
                 if record.mode == "explore" {
                     outcome.explored += 1;
@@ -521,6 +557,87 @@ mod tests {
                 assert_eq!(x.key(), y.key());
                 assert_eq!(x.safe(), y.safe());
             }
+        }
+    }
+
+    #[test]
+    fn serve_campaigns_run_clean_with_latency_records() {
+        let spec = CampaignSpec {
+            name: "serve".into(),
+            params: ParamsSpec::Explicit(vec![sa_model::Params::new(4, 1, 2).unwrap()]),
+            mode: crate::spec::CampaignMode::Serve,
+            seeds: vec![0, 1],
+            clients: 8,
+            rate: 3,
+            duration: 40,
+            batch_max: 4,
+            shards: 2,
+            ..CampaignSpec::default()
+        };
+        let (records, outcome) = run_campaign_collect(&spec, EngineConfig::default());
+        assert!(outcome.clean(), "{outcome:?}");
+        assert_eq!(outcome.served, 2, "one record per seed");
+        assert_eq!(outcome.progress_failures, 0);
+        for record in &records {
+            assert_eq!(record.mode, "serve");
+            assert_eq!(record.backend, "serve");
+            assert_eq!(record.adversary, "open-loop");
+            assert_eq!(record.stop, "drained");
+            assert_eq!(record.proposals, 3 * 40);
+            assert!(record.batches > 0);
+            assert!(record.decisions == record.proposals);
+            assert!(record.distinct_outputs_max <= record.k);
+            assert!(record.ops_per_sec > 0);
+            assert!(record.p50_us > 0 && record.p50_us <= record.p999_us);
+            assert!(record.decided_fingerprint != 0);
+            let line = record.to_json();
+            assert!(line.contains("\"backend\":\"serve\""));
+            assert!(line.contains("\"p99_us\":"));
+        }
+    }
+
+    #[test]
+    fn serve_output_is_byte_identical_at_any_shard_and_thread_count() {
+        let spec = CampaignSpec {
+            name: "serve-determinism".into(),
+            params: ParamsSpec::Explicit(vec![sa_model::Params::new(4, 1, 2).unwrap()]),
+            mode: crate::spec::CampaignMode::Serve,
+            seeds: vec![0, 1],
+            clients: 8,
+            rate: 3,
+            duration: 40,
+            batch_max: 4,
+            shards: 1,
+            ..CampaignSpec::default()
+        };
+        let run = |shards, threads| {
+            let mut bytes = Vec::new();
+            let spec = CampaignSpec {
+                shards,
+                ..spec.clone()
+            };
+            run_campaign(
+                &spec,
+                EngineConfig {
+                    threads,
+                    ..EngineConfig::default()
+                },
+                &mut bytes,
+            )
+            .unwrap();
+            bytes
+        };
+        let reference = run(1, 1);
+        assert!(!reference.is_empty());
+        // Neither the service's shard count nor the engine's worker count
+        // may change a single byte — latency and throughput included,
+        // because the virtual clock makes both pure functions of the spec.
+        for (shards, threads) in [(2, 1), (4, 2), (3, 4)] {
+            assert_eq!(
+                run(shards, threads),
+                reference,
+                "serve output drifted at shards={shards}, threads={threads}"
+            );
         }
     }
 

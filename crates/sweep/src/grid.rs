@@ -11,7 +11,7 @@ use crate::spec::{
     AdversarySpec, BackendSpec, CampaignMode, CampaignSpec, Survivors, WorkloadSpec,
 };
 use sa_model::Params;
-use set_agreement::runtime::{SymmetryMode, Workload};
+use set_agreement::runtime::{ServeLoad, SymmetryMode, Workload};
 use set_agreement::{Adversary, Algorithm};
 
 /// Mixes a campaign seed and a scenario's *identity* (its
@@ -93,6 +93,23 @@ pub struct ScenarioSpec {
     /// [`SymmetryMode::Off`] when sampling). Like `explore_threads`, not
     /// part of the scenario's identity.
     pub symmetry: SymmetryMode,
+    /// Service worker threads for serve scenarios (0 in other modes).
+    /// Like `explore_threads`, not part of the scenario's identity: serve
+    /// records are byte-identical at any shard count.
+    pub shards: usize,
+    /// Batch cutoff for serve scenarios (0 in other modes).
+    pub batch_max: usize,
+    /// Simulated clients for serve scenarios (0 in other modes).
+    pub clients: usize,
+    /// Proposals per virtual tick for serve scenarios (0 in other modes).
+    pub rate: u64,
+    /// Virtual ticks before the drain for serve scenarios (0 in other
+    /// modes).
+    pub duration: u64,
+    /// The campaign workload translated for the service's load generator
+    /// ([`ServeLoad::Distinct`] in other modes, where [`Self::workload`]
+    /// carries the inputs instead).
+    pub serve_load: ServeLoad,
 }
 
 impl ScenarioSpec {
@@ -111,6 +128,7 @@ impl ScenarioSpec {
             CampaignMode::Explore if self.explore_threads > 0 => "parallel-explore",
             CampaignMode::Explore => "explore",
             CampaignMode::Sample => self.backend.label(),
+            CampaignMode::Serve => "serve",
         }
     }
 }
@@ -258,6 +276,12 @@ fn instantiate_workload(
 /// collapse: exhaustive exploration quantifies over **all** schedules, so
 /// one scenario per applicable (cell, algorithm) pair is produced, labelled
 /// `exhaustive`.
+///
+/// In [`CampaignMode::Serve`], the algorithm, adversary and backend axes
+/// all collapse too: a service run always executes batches of the Figure 4
+/// repeated algorithm under the open-loop load generator. One scenario per
+/// cell × seed is produced (the seed pins the generator's value stream),
+/// labelled `open-loop`.
 pub fn expand(spec: &CampaignSpec) -> (Vec<ScenarioSpec>, ExpansionStats) {
     let mut scenarios = Vec::new();
     let mut stats = ExpansionStats::default();
@@ -266,6 +290,12 @@ pub fn expand(spec: &CampaignSpec) -> (Vec<ScenarioSpec>, ExpansionStats) {
         BackendSpec::Threaded => spec.seeds.len() as u64,
     };
     for params in spec.params.cells() {
+        if spec.mode == CampaignMode::Serve {
+            for &seed in &spec.seeds {
+                scenarios.push(serve_scenario(spec, scenarios.len() as u64, params, seed));
+            }
+            continue;
+        }
         for &algorithm in &spec.algorithms {
             if !algorithm.applicable(params) {
                 stats.skipped_inapplicable += match spec.mode {
@@ -273,6 +303,8 @@ pub fn expand(spec: &CampaignSpec) -> (Vec<ScenarioSpec>, ExpansionStats) {
                         spec.backends.iter().map(combinations_per_backend).sum()
                     }
                     CampaignMode::Explore => 1,
+                    // Serve never reaches the algorithm loop.
+                    CampaignMode::Serve => 0,
                 };
                 continue;
             }
@@ -316,6 +348,7 @@ pub fn expand(spec: &CampaignSpec) -> (Vec<ScenarioSpec>, ExpansionStats) {
                         algorithm,
                     ));
                 }
+                CampaignMode::Serve => unreachable!("serve collapses the algorithm axis"),
             }
         }
     }
@@ -379,6 +412,12 @@ fn sampled_scenario(
         max_states: spec.max_states,
         explore_threads: 0,
         symmetry: SymmetryMode::Off,
+        shards: 0,
+        batch_max: 0,
+        clients: 0,
+        rate: 0,
+        duration: 0,
+        serve_load: ServeLoad::Distinct,
     }
 }
 
@@ -431,6 +470,12 @@ fn threaded_scenario(
         max_states: spec.max_states,
         explore_threads: 0,
         symmetry: SymmetryMode::Off,
+        shards: 0,
+        batch_max: 0,
+        clients: 0,
+        rate: 0,
+        duration: 0,
+        serve_load: ServeLoad::Distinct,
     }
 }
 
@@ -476,6 +521,68 @@ fn explore_scenario(
         max_states: spec.max_states,
         explore_threads: spec.explore_threads,
         symmetry: spec.symmetry,
+        shards: 0,
+        batch_max: 0,
+        clients: 0,
+        rate: 0,
+        duration: 0,
+        serve_load: ServeLoad::Distinct,
+    }
+}
+
+/// A serve-mode scenario. The cell's `m` and `k` parameterise every batch's
+/// Figure 4 instance (`n` names the cell; batch width is dynamic, capped by
+/// `batch-max`). The algorithm, adversary and backend axes collapse — a
+/// service run is always repeated set agreement under the open-loop load
+/// generator — while seeds remain an axis pinning the generator's value
+/// stream. The shard count is deliberately *not* part of the identity:
+/// under the virtual clock the record is byte-identical at any shard count.
+fn serve_scenario(spec: &CampaignSpec, index: u64, params: Params, seed: u64) -> ScenarioSpec {
+    let identity = format!(
+        "n{} m{} k{} repeated serve seed{} {}",
+        params.n(),
+        params.m(),
+        params.k(),
+        seed,
+        spec.workload.label()
+    );
+    let derived_seed = derive_seed(spec.campaign_seed, &identity);
+    let workload = instantiate_workload(
+        spec.workload,
+        params,
+        1,
+        derive_seed(derived_seed, "workload"),
+    );
+    ScenarioSpec {
+        index,
+        params,
+        algorithm: Algorithm::Repeated(1),
+        mode: CampaignMode::Serve,
+        backend: BackendSpec::Scheduled,
+        adversary_label: "open-loop".into(),
+        adversary_spec: None,
+        adversary: None,
+        contention_steps: 0,
+        survivors: 0,
+        crashes: 0,
+        seed,
+        derived_seed,
+        workload,
+        workload_label: spec.workload.label(),
+        max_steps: spec.max_steps,
+        max_states: spec.max_states,
+        explore_threads: 0,
+        symmetry: SymmetryMode::Off,
+        shards: spec.shards,
+        batch_max: spec.batch_max,
+        clients: spec.clients,
+        rate: spec.rate,
+        duration: spec.duration,
+        serve_load: match spec.workload {
+            WorkloadSpec::Distinct => ServeLoad::Distinct,
+            WorkloadSpec::Uniform(value) => ServeLoad::Uniform(value),
+            WorkloadSpec::Random { universe } => ServeLoad::Random { universe },
+        },
     }
 }
 
@@ -787,6 +894,43 @@ mod tests {
             assert_eq!(s.seed, 0);
             assert_eq!(s.max_states, 1234);
             assert!(!s.progress_required());
+        }
+    }
+
+    #[test]
+    fn serve_mode_collapses_algorithm_adversary_and_backend_axes() {
+        let mut spec = small_spec();
+        spec.mode = CampaignMode::Serve;
+        let (scenarios, stats) = expand(&spec);
+        // 2 cells x 3 seeds; the algorithm, adversary and backend axes
+        // (2 x 2 x 1 in `small_spec`) all collapse.
+        assert_eq!(scenarios.len(), 2 * 3);
+        assert_eq!(stats.skipped_inapplicable, 0);
+        for s in &scenarios {
+            assert_eq!(s.mode, CampaignMode::Serve);
+            assert_eq!(s.backend_label(), "serve");
+            assert_eq!(s.adversary_label, "open-loop");
+            assert_eq!(s.algorithm, Algorithm::Repeated(1));
+            assert_eq!(s.batch_max, spec.batch_max);
+            assert_eq!(s.clients, spec.clients);
+            assert_eq!(s.rate, spec.rate);
+            assert_eq!(s.duration, spec.duration);
+            assert!(!s.progress_required());
+        }
+    }
+
+    #[test]
+    fn serve_identities_ignore_the_shard_count() {
+        let mut narrow = small_spec();
+        narrow.mode = CampaignMode::Serve;
+        let mut wide = narrow.clone();
+        wide.shards = 7;
+        let (a, _) = expand(&narrow);
+        let (b, _) = expand(&wide);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.derived_seed, y.derived_seed);
+            assert_eq!(y.shards, 7);
         }
     }
 

@@ -22,12 +22,17 @@
 //!   schedule, upgrading "sampled, 0 violations" to "exhaustively
 //!   verified"; `explore-threads = N` hands them to the work-stealing
 //!   parallel explorer, whose records (including memory statistics) are
-//!   byte-identical at any worker count.
+//!   byte-identical at any worker count. `mode = serve` campaigns run each
+//!   cell as a batched, sharded set-agreement service (`sa-serve`) under an
+//!   open-loop load generator and the virtual clock, recording latency
+//!   percentiles, `ops_per_sec` and a fingerprint of the decided-value
+//!   log — byte-identical at any shard count.
 //! * [`Summary`] / [`diff`] — per-cell aggregation (pass/fail counts, crash
 //!   accounting, exhaustive-vs-sampled coverage, max space used vs the
 //!   Figure 1 accounting, bound-violation flags) and a scenario-level
 //!   regression diff between two result files.
-//! * the `sweep` CLI binary — `sweep run`, `sweep summarize`, `sweep diff`.
+//! * the `sweep` CLI binary — `sweep run`, `sweep serve`, `sweep
+//!   summarize`, `sweep diff`.
 //!
 //! # Example
 //!

@@ -125,8 +125,27 @@ pub struct SweepRecord {
     /// for threaded records, whose output makes no byte-determinism claim).
     pub wall_us: u64,
     /// Aggregate throughput of a threaded run in shared-memory steps per
-    /// second (0 otherwise; encoded only for threaded records).
+    /// second (0 otherwise; encoded only for serve and threaded records).
     pub steps_per_sec: u64,
+    /// Proposals the service accepted (0 for non-serve records; this and
+    /// the seven fields below are encoded only for serve records).
+    pub proposals: u64,
+    /// Batches the service cut (= agreement instances executed).
+    pub batches: u64,
+    /// Median proposal latency in microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile proposal latency in microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile proposal latency in microseconds.
+    pub p99_us: u64,
+    /// 99.9th-percentile proposal latency in microseconds.
+    pub p999_us: u64,
+    /// Decided proposals per second (virtual-clock runs: deterministic).
+    pub ops_per_sec: u64,
+    /// FNV-1a fingerprint of the full decided-value log, in instance
+    /// order. Byte-comparing this field across runs at different shard
+    /// counts is the cheap form of comparing the logs themselves.
+    pub decided_fingerprint: u64,
 }
 
 impl SweepRecord {
@@ -188,6 +207,14 @@ impl SweepRecord {
             full_states_lower_bound: 0,
             wall_us: 0,
             steps_per_sec: 0,
+            proposals: 0,
+            batches: 0,
+            p50_us: 0,
+            p90_us: 0,
+            p99_us: 0,
+            p999_us: 0,
+            ops_per_sec: 0,
+            decided_fingerprint: 0,
         }
     }
 
@@ -254,6 +281,14 @@ impl SweepRecord {
             full_states_lower_bound: 0,
             wall_us: report.wall.as_micros() as u64,
             steps_per_sec: report.steps_per_sec() as u64,
+            proposals: 0,
+            batches: 0,
+            p50_us: 0,
+            p90_us: 0,
+            p99_us: 0,
+            p999_us: 0,
+            ops_per_sec: 0,
+            decided_fingerprint: 0,
         }
     }
 
@@ -328,6 +363,91 @@ impl SweepRecord {
             },
             wall_us: 0,
             steps_per_sec: 0,
+            proposals: 0,
+            batches: 0,
+            p50_us: 0,
+            p90_us: 0,
+            p99_us: 0,
+            p999_us: 0,
+            ops_per_sec: 0,
+            decided_fingerprint: 0,
+        }
+    }
+
+    /// Builds the record for one serve-mode scenario. Safety verdicts come
+    /// from the per-batch checks (validity against the batch's own inputs,
+    /// at most `k` distinct outputs per batch); the progress obligation is
+    /// the service-level one — every accepted proposal must be answered by
+    /// the drain. Latency percentiles come from the merged shard
+    /// histograms, and `decided_fingerprint` hashes the full decided-value
+    /// log so cross-shard-count equality is checkable from the JSONL alone.
+    pub fn from_serve(
+        campaign: &str,
+        spec: &ScenarioSpec,
+        report: &set_agreement::serve::ServeReport,
+    ) -> Self {
+        let (p50, p90, p99, p999) = report.histogram.summary();
+        SweepRecord {
+            campaign: campaign.to_string(),
+            scenario: spec.index,
+            n: spec.params.n(),
+            m: spec.params.m(),
+            k: spec.params.k(),
+            algorithm: spec.algorithm.label().to_string(),
+            instances: 1,
+            adversary: spec.adversary_label.clone(),
+            mode: spec.mode.label().to_string(),
+            backend: spec.backend_label().to_string(),
+            contention_steps: 0,
+            survivors: 0,
+            crashes: 0,
+            seed: spec.seed,
+            workload: spec.workload_label.clone(),
+            max_steps: spec.max_steps,
+            steps: report.steps,
+            stop: if report.drained {
+                "drained"
+            } else {
+                "step-limit"
+            }
+            .to_string(),
+            validity_ok: report.validity_violations == 0,
+            agreement_ok: report.agreement_violations == 0,
+            progress_required: true,
+            survivors_decided: report.drained && report.unfinished == 0,
+            decisions: report.decided.len() as u64,
+            distinct_outputs_max: report.distinct_outputs_max,
+            // Every algorithm step in a batch is one shared-memory
+            // operation on that batch's private instance.
+            total_ops: report.steps,
+            // Footprint accounting is per-instance and the service
+            // discards each batch's memory; the space story belongs to
+            // the sample and explore modes.
+            locations_written: 0,
+            registers_written: 0,
+            components_written: 0,
+            register_bound: spec.algorithm.register_bound(spec.params),
+            component_bound: spec.algorithm.component_bound(spec.params),
+            bound_ok: true,
+            explored_states: 0,
+            explored_depth: 0,
+            verified: false,
+            frontier_peak: 0,
+            seen_entries: 0,
+            approx_bytes: 0,
+            symmetry: "off".into(),
+            orbit_states: 0,
+            full_states_lower_bound: 0,
+            wall_us: report.duration_us,
+            steps_per_sec: report.steps_per_sec(),
+            proposals: report.proposals,
+            batches: report.batches,
+            p50_us: p50,
+            p90_us: p90,
+            p99_us: p99,
+            p999_us: p999,
+            ops_per_sec: report.ops_per_sec(),
+            decided_fingerprint: report.decided_fingerprint(),
         }
     }
 
@@ -362,9 +482,10 @@ impl SweepRecord {
     ///
     /// Backend-specific fields are encoded only where they carry
     /// information: `backend`, `wall_us` and `steps_per_sec` appear on
-    /// threaded records, `explored_depth` on explore-mode records. Scheduled
-    /// sampled output is therefore byte-identical to what pre-backend
-    /// releases emitted.
+    /// threaded and serve records, `explored_depth` on explore-mode records,
+    /// and the service measurements (`proposals` through
+    /// `decided_fingerprint`) on serve records. Scheduled sampled output is
+    /// therefore byte-identical to what pre-backend releases emitted.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(512);
         out.push('{');
@@ -385,7 +506,10 @@ impl SweepRecord {
         field(&mut out, "instances", &self.instances.to_string());
         field(&mut out, "adversary", &json_string(&self.adversary));
         field(&mut out, "mode", &json_string(&self.mode));
-        if self.backend == "threaded" || self.backend == "parallel-explore" {
+        if self.backend == "threaded"
+            || self.backend == "parallel-explore"
+            || self.backend == "serve"
+        {
             field(&mut out, "backend", &json_string(&self.backend));
         }
         field(
@@ -464,9 +588,23 @@ impl SweepRecord {
             );
         }
         field(&mut out, "verified", bool_str(self.verified));
-        if self.backend == "threaded" {
+        if self.backend == "threaded" || self.backend == "serve" {
             field(&mut out, "wall_us", &self.wall_us.to_string());
             field(&mut out, "steps_per_sec", &self.steps_per_sec.to_string());
+        }
+        if self.backend == "serve" {
+            field(&mut out, "proposals", &self.proposals.to_string());
+            field(&mut out, "batches", &self.batches.to_string());
+            field(&mut out, "p50_us", &self.p50_us.to_string());
+            field(&mut out, "p90_us", &self.p90_us.to_string());
+            field(&mut out, "p99_us", &self.p99_us.to_string());
+            field(&mut out, "p999_us", &self.p999_us.to_string());
+            field(&mut out, "ops_per_sec", &self.ops_per_sec.to_string());
+            field(
+                &mut out,
+                "decided_fingerprint",
+                &self.decided_fingerprint.to_string(),
+            );
         }
         out.push('}');
         out
@@ -483,11 +621,12 @@ impl SweepRecord {
         let fields = parse_flat_object(line)?;
         let mode = fields.string_or("mode", "sample")?;
         // Absent backend is implied by the mode: explore-mode records run
-        // on the explorer, everything else on the simulator.
-        let default_backend = if mode == "explore" {
-            "explore"
-        } else {
-            "scheduled"
+        // on the explorer, serve-mode records on the service, everything
+        // else on the simulator.
+        let default_backend = match mode.as_str() {
+            "explore" => "explore",
+            "serve" => "serve",
+            _ => "scheduled",
         };
         let record = SweepRecord {
             campaign: fields.string("campaign")?,
@@ -532,6 +671,14 @@ impl SweepRecord {
             full_states_lower_bound: fields.u64_or("full_states_lower_bound", 0)?,
             wall_us: fields.u64_or("wall_us", 0)?,
             steps_per_sec: fields.u64_or("steps_per_sec", 0)?,
+            proposals: fields.u64_or("proposals", 0)?,
+            batches: fields.u64_or("batches", 0)?,
+            p50_us: fields.u64_or("p50_us", 0)?,
+            p90_us: fields.u64_or("p90_us", 0)?,
+            p99_us: fields.u64_or("p99_us", 0)?,
+            p999_us: fields.u64_or("p999_us", 0)?,
+            ops_per_sec: fields.u64_or("ops_per_sec", 0)?,
+            decided_fingerprint: fields.u64_or("decided_fingerprint", 0)?,
         };
         Ok(record)
     }
@@ -856,6 +1003,14 @@ mod tests {
             full_states_lower_bound: 0,
             wall_us: 0,
             steps_per_sec: 0,
+            proposals: 0,
+            batches: 0,
+            p50_us: 0,
+            p90_us: 0,
+            p99_us: 0,
+            p999_us: 0,
+            ops_per_sec: 0,
+            decided_fingerprint: 0,
         }
     }
 
@@ -924,11 +1079,54 @@ mod tests {
     }
 
     #[test]
+    fn serve_records_round_trip_with_latency_and_throughput_fields() {
+        let mut record = sample();
+        record.algorithm = "figure4-repeated".into();
+        record.adversary = "open-loop".into();
+        record.mode = "serve".into();
+        record.backend = "serve".into();
+        record.stop = "drained".into();
+        record.wall_us = 1_000_000;
+        record.steps_per_sec = 2_500_000;
+        record.proposals = 100_000;
+        record.batches = 12_500;
+        record.p50_us = 1_050;
+        record.p90_us = 1_110;
+        record.p99_us = 1_160;
+        record.p999_us = 1_200;
+        record.ops_per_sec = 100_000;
+        record.decided_fingerprint = 0xDEAD_BEEF;
+        let line = record.to_json();
+        assert!(line.contains("\"backend\":\"serve\""), "{line}");
+        assert!(line.contains("\"p50_us\":1050"), "{line}");
+        assert!(line.contains("\"ops_per_sec\":100000"), "{line}");
+        assert!(
+            line.contains("\"decided_fingerprint\":3735928559"),
+            "{line}"
+        );
+        let parsed = SweepRecord::parse(&line).unwrap();
+        assert_eq!(parsed, record);
+        // A serve-mode line without an explicit backend implies the service.
+        let stripped = line.replace(",\"backend\":\"serve\"", "");
+        assert_eq!(SweepRecord::parse(&stripped).unwrap().backend, "serve");
+    }
+
+    #[test]
     fn scheduled_records_omit_backend_fields_for_byte_compatibility() {
         // A scheduled sampled record must encode exactly as before the
         // backend axis existed — no backend, wall-clock or depth fields.
         let line = sample().to_json();
-        for absent in ["backend", "wall_us", "steps_per_sec", "explored_depth"] {
+        for absent in [
+            "backend",
+            "wall_us",
+            "steps_per_sec",
+            "explored_depth",
+            "proposals",
+            "batches",
+            "p50_us",
+            "ops_per_sec",
+            "decided_fingerprint",
+        ] {
             assert!(!line.contains(absent), "{absent} leaked into {line}");
         }
         let parsed = SweepRecord::parse(&line).unwrap();

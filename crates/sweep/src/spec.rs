@@ -323,6 +323,13 @@ pub enum CampaignMode {
     /// ignoring the adversary and seed axes (exploration quantifies over
     /// all schedules). Feasible only for tiny cells.
     Explore,
+    /// Run each cell as a long-running batched agreement service under an
+    /// open-loop load generator (the `sa-serve` crate) on the
+    /// deterministic virtual clock, ignoring the algorithm, adversary and
+    /// backend axes: a service run is always batches of the Figure 4
+    /// repeated algorithm, and the serve keys (`shards`, `batch-max`,
+    /// `clients`, `rate`, `duration`) replace them.
+    Serve,
 }
 
 impl CampaignMode {
@@ -331,15 +338,19 @@ impl CampaignMode {
         match self {
             CampaignMode::Sample => "sample",
             CampaignMode::Explore => "explore",
+            CampaignMode::Serve => "serve",
         }
     }
 
-    /// Parses `sample` or `explore`.
+    /// Parses `sample`, `explore` or `serve`.
     pub fn parse(text: &str) -> Result<Self, SpecError> {
         match text {
             "sample" => Ok(CampaignMode::Sample),
             "explore" => Ok(CampaignMode::Explore),
-            _ => err(format!("unknown mode {text:?} (want sample or explore)")),
+            "serve" => Ok(CampaignMode::Serve),
+            _ => err(format!(
+                "unknown mode {text:?} (want sample, explore or serve)"
+            )),
         }
     }
 }
@@ -392,6 +403,22 @@ pub struct CampaignSpec {
     /// prune unsoundly. Off by default, which keeps record bytes identical
     /// to pre-symmetry releases.
     pub symmetry: SymmetryMode,
+    /// Service worker threads per [`CampaignMode::Serve`] scenario
+    /// (ignored in the other modes). Like `explore-threads`, a "how" knob:
+    /// under the virtual clock records are byte-identical at any shard
+    /// count, so shards are not part of a scenario's identity.
+    pub shards: usize,
+    /// Batch cutoff per [`CampaignMode::Serve`] scenario: a batch is cut
+    /// as soon as it holds this many proposals.
+    pub batch_max: usize,
+    /// Simulated clients per [`CampaignMode::Serve`] scenario.
+    pub clients: usize,
+    /// Open-loop proposals per virtual-clock tick per
+    /// [`CampaignMode::Serve`] scenario.
+    pub rate: u64,
+    /// Virtual-clock ticks (milliseconds of modelled time) each
+    /// [`CampaignMode::Serve`] scenario runs before its graceful drain.
+    pub duration: u64,
 }
 
 impl Default for CampaignSpec {
@@ -417,6 +444,11 @@ impl Default for CampaignSpec {
             max_states: 2_000_000,
             explore_threads: 0,
             symmetry: SymmetryMode::Off,
+            shards: 2,
+            batch_max: 8,
+            clients: 64,
+            rate: 8,
+            duration: 1000,
         }
     }
 }
@@ -511,9 +543,10 @@ impl CampaignSpec {
     /// make the backend a grid axis), `seeds`, `workload`, `max-steps`,
     /// `campaign-seed`, `mode` (`sample` or `explore`), `max-states`
     /// (exploration state budget), `explore-threads` (exploration worker
-    /// threads; 0 = serial explorer) and `symmetry` (`off` or
+    /// threads; 0 = serial explorer), `symmetry` (`off` or
     /// `process-ids`: deduplicate explored states up to process-id
-    /// orbits).
+    /// orbits), and the `mode = serve` service keys `shards`, `batch-max`,
+    /// `clients`, `rate` and `duration` (all at least 1).
     pub fn parse(text: &str) -> Result<Self, SpecError> {
         let mut spec = CampaignSpec::default();
         let (mut grid_n, mut grid_m, mut grid_k) = (None, None, None);
@@ -581,6 +614,11 @@ impl CampaignSpec {
                         ))
                     })?;
                 }
+                "shards" => spec.shards = parse_positive(key, value)?,
+                "batch-max" => spec.batch_max = parse_positive(key, value)?,
+                "clients" => spec.clients = parse_positive(key, value)?,
+                "rate" => spec.rate = parse_positive(key, value)? as u64,
+                "duration" => spec.duration = parse_positive(key, value)? as u64,
                 _ => return err(format!("unknown key {key:?}")),
             }
         }
@@ -612,6 +650,17 @@ impl CampaignSpec {
             return err("no seeds");
         }
         Ok(spec)
+    }
+}
+
+/// Parses a strictly positive integer (the serve keys reject 0: a service
+/// with no shards, empty batches, no clients, no load or no runtime is
+/// degenerate, and catching it at parse time beats a runtime panic).
+fn parse_positive(key: &str, value: &str) -> Result<usize, SpecError> {
+    match value.parse::<usize>() {
+        Ok(parsed) if parsed >= 1 => Ok(parsed),
+        Ok(_) => err(format!("{key} must be at least 1, got {value:?}")),
+        Err(_) => err(format!("bad {key} {value:?}")),
     }
 }
 
@@ -676,7 +725,12 @@ impl std::fmt::Display for CampaignSpec {
         writeln!(f, "mode = {}", self.mode.label())?;
         writeln!(f, "max-states = {}", self.max_states)?;
         writeln!(f, "explore-threads = {}", self.explore_threads)?;
-        writeln!(f, "symmetry = {}", self.symmetry.label())
+        writeln!(f, "symmetry = {}", self.symmetry.label())?;
+        writeln!(f, "shards = {}", self.shards)?;
+        writeln!(f, "batch-max = {}", self.batch_max)?;
+        writeln!(f, "clients = {}", self.clients)?;
+        writeln!(f, "rate = {}", self.rate)?;
+        writeln!(f, "duration = {}", self.duration)
     }
 }
 
@@ -822,6 +876,48 @@ mod tests {
         assert_eq!(spec.explore_threads, 8);
         assert_eq!(CampaignSpec::parse(&spec.to_string()).unwrap(), spec);
         assert!(CampaignSpec::parse("explore-threads = many").is_err());
+    }
+
+    #[test]
+    fn serve_keys_parse_round_trip_and_default() {
+        let spec = CampaignSpec::parse(
+            "mode = serve
+shards = 4
+batch-max = 6
+clients = 100
+rate = 12
+duration = 500",
+        )
+        .unwrap();
+        assert_eq!(spec.mode, CampaignMode::Serve);
+        assert_eq!((spec.shards, spec.batch_max, spec.clients), (4, 6, 100));
+        assert_eq!((spec.rate, spec.duration), (12, 500));
+        assert_eq!(CampaignSpec::parse(&spec.to_string()).unwrap(), spec);
+        let defaults = CampaignSpec::parse("").unwrap();
+        assert_eq!(
+            (defaults.shards, defaults.batch_max, defaults.clients),
+            (2, 8, 64)
+        );
+        assert_eq!((defaults.rate, defaults.duration), (8, 1000));
+    }
+
+    #[test]
+    fn malformed_serve_values_are_rejected() {
+        for bad in [
+            "shards = 0",
+            "batch-max = 0",
+            "clients = 0",
+            "rate = 0",
+            "duration = 0",
+            "shards = -1",
+            "shards = two",
+            "batch-max = 1.5",
+            "rate = fast",
+            "duration = forever",
+            "clients = ",
+        ] {
+            assert!(CampaignSpec::parse(bad).is_err(), "{bad:?} parsed");
+        }
     }
 
     #[test]

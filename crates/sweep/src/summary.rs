@@ -81,6 +81,19 @@ pub struct CellSummary {
     pub total_wall_us: u64,
     /// Total shared-memory steps across the cell's threaded runs.
     pub threaded_steps: u64,
+    /// Scenarios executed as batched service runs.
+    pub serve_runs: u64,
+    /// Total proposals accepted across the cell's service runs.
+    pub serve_proposals: u64,
+    /// Total batches cut across the cell's service runs.
+    pub serve_batches: u64,
+    /// Worst median proposal latency of any service run (microseconds).
+    pub max_p50_us: u64,
+    /// Worst 99th-percentile proposal latency of any service run
+    /// (microseconds).
+    pub max_p99_us: u64,
+    /// Peak decided-proposals-per-second of any service run.
+    pub max_ops_per_sec: u64,
     /// Maximum distinct base objects written by any scenario.
     pub max_locations_written: usize,
     /// The paper's register bound (identical across the cell).
@@ -138,6 +151,20 @@ pub struct Summary {
     pub total_wall_us: u64,
     /// Total shared-memory steps across all threaded records.
     pub threaded_steps: u64,
+    /// Records executed as batched service runs.
+    pub serve_runs: u64,
+    /// Total proposals accepted across all service runs.
+    pub serve_proposals: u64,
+    /// Total batches cut across all service runs.
+    pub serve_batches: u64,
+    /// Worst median proposal latency across all service runs
+    /// (microseconds).
+    pub max_p50_us: u64,
+    /// Worst 99th-percentile proposal latency across all service runs
+    /// (microseconds).
+    pub max_p99_us: u64,
+    /// Peak decided-proposals-per-second across all service runs.
+    pub max_ops_per_sec: u64,
 }
 
 impl Summary {
@@ -186,6 +213,20 @@ impl Summary {
                 summary.threaded_runs += 1;
                 summary.total_wall_us += record.wall_us;
                 summary.threaded_steps += record.steps;
+            }
+            if record.backend == "serve" {
+                cell.serve_runs += 1;
+                cell.serve_proposals += record.proposals;
+                cell.serve_batches += record.batches;
+                cell.max_p50_us = cell.max_p50_us.max(record.p50_us);
+                cell.max_p99_us = cell.max_p99_us.max(record.p99_us);
+                cell.max_ops_per_sec = cell.max_ops_per_sec.max(record.ops_per_sec);
+                summary.serve_runs += 1;
+                summary.serve_proposals += record.proposals;
+                summary.serve_batches += record.batches;
+                summary.max_p50_us = summary.max_p50_us.max(record.p50_us);
+                summary.max_p99_us = summary.max_p99_us.max(record.p99_us);
+                summary.max_ops_per_sec = summary.max_ops_per_sec.max(record.ops_per_sec);
             }
             if record.mode == "explore" {
                 cell.explored += 1;
@@ -262,6 +303,7 @@ impl Summary {
         let show_parallel = self.parallel_explored > 0;
         let show_symmetry = self.symmetry_reduced + self.symmetry_fallbacks > 0;
         let show_threaded = self.threaded_runs > 0;
+        let show_serve = self.serve_runs > 0;
         let mut out = String::new();
         let mut header = format!(
             "{:>3} {:>2} {:>2} {:<24} {:>5} {:>7} {:>7} {:>6} {:>9} {:>9} {:>7} {:>6} {:>6} {:<10}",
@@ -295,6 +337,9 @@ impl Summary {
         }
         if show_threaded {
             let _ = write!(header, " {:>8} {:>9}", "wall-ms", "steps/s");
+        }
+        if show_serve {
+            let _ = write!(header, " {:>8} {:>8} {:>9}", "p50-us", "p99-us", "ops/s");
         }
         let _ = writeln!(out, "{header}");
         for (key, cell) in &self.cells {
@@ -390,6 +435,17 @@ impl Summary {
                     let _ = write!(row, " {:>8} {:>9}", "-", "-");
                 }
             }
+            if show_serve {
+                if cell.serve_runs > 0 {
+                    let _ = write!(
+                        row,
+                        " {:>8} {:>8} {:>9}",
+                        cell.max_p50_us, cell.max_p99_us, cell.max_ops_per_sec
+                    );
+                } else {
+                    let _ = write!(row, " {:>8} {:>8} {:>9}", "-", "-", "-");
+                }
+            }
             let _ = writeln!(out, "{row}");
         }
         let _ = writeln!(
@@ -445,6 +501,19 @@ impl Summary {
                 self.threaded_runs,
                 self.threaded_steps,
                 self.total_wall_us as f64 / 1000.0
+            );
+        }
+        if self.serve_runs > 0 {
+            let _ = writeln!(
+                out,
+                "serve: {} service runs, {} proposals in {} batches, \
+                 worst p50 {} us, worst p99 {} us, peak {} ops/s",
+                self.serve_runs,
+                self.serve_proposals,
+                self.serve_batches,
+                self.max_p50_us,
+                self.max_p99_us,
+                self.max_ops_per_sec
             );
         }
         out
@@ -558,6 +627,12 @@ fn describe_changes(old: &SweepRecord, new: &SweepRecord) -> (String, bool) {
     if old.decisions != new.decisions {
         changes.push(format!("decisions {} -> {}", old.decisions, new.decisions));
     }
+    if old.decided_fingerprint != new.decided_fingerprint {
+        changes.push(format!(
+            "decided_fingerprint {:#x} -> {:#x}",
+            old.decided_fingerprint, new.decided_fingerprint
+        ));
+    }
     (changes.join(", "), regression)
 }
 
@@ -641,6 +716,14 @@ mod tests {
             full_states_lower_bound: 0,
             wall_us: 0,
             steps_per_sec: 0,
+            proposals: 0,
+            batches: 0,
+            p50_us: 0,
+            p90_us: 0,
+            p99_us: 0,
+            p999_us: 0,
+            ops_per_sec: 0,
+            decided_fingerprint: 0,
         }
     }
 
@@ -811,6 +894,76 @@ mod tests {
         // Campaigns without threaded records do not grow the columns.
         let plain = Summary::of(&[record(0)]).render();
         assert!(!plain.contains("wall-ms"), "{plain}");
+    }
+
+    #[test]
+    fn serve_cells_report_latency_percentiles_and_throughput() {
+        let mut served = record(0);
+        served.algorithm = "figure4-repeated".into();
+        served.adversary = "open-loop".into();
+        served.mode = "serve".into();
+        served.backend = "serve".into();
+        served.proposals = 4000;
+        served.batches = 500;
+        served.p50_us = 1_050;
+        served.p99_us = 1_180;
+        served.ops_per_sec = 40_000;
+        let mut slower = record(1);
+        slower.algorithm = "figure4-repeated".into();
+        slower.adversary = "open-loop".into();
+        slower.mode = "serve".into();
+        slower.backend = "serve".into();
+        slower.proposals = 4000;
+        slower.batches = 600;
+        slower.p50_us = 1_100;
+        slower.p99_us = 1_300;
+        slower.ops_per_sec = 38_000;
+        let mut sampled = record(2);
+        sampled.n = 8; // a different cell
+        let summary = Summary::of(&[served, slower, sampled]);
+        assert_eq!(summary.serve_runs, 2);
+        assert_eq!(summary.serve_proposals, 8000);
+        assert_eq!(summary.serve_batches, 1100);
+        assert_eq!(summary.max_p50_us, 1_100);
+        assert_eq!(summary.max_p99_us, 1_300);
+        assert_eq!(summary.max_ops_per_sec, 40_000);
+        let cell = summary.cells.values().next().unwrap();
+        assert_eq!(cell.serve_runs, 2);
+        assert_eq!(cell.max_p99_us, 1_300);
+        let rendered = summary.render();
+        assert!(rendered.contains("p50-us"), "{rendered}");
+        assert!(rendered.contains("p99-us"), "{rendered}");
+        assert!(rendered.contains("ops/s"), "{rendered}");
+        assert!(rendered.contains("1300"), "{rendered}");
+        assert!(
+            rendered.contains("serve: 2 service runs, 8000 proposals in 1100 batches"),
+            "{rendered}"
+        );
+        // The sampled cell fills the serve columns with dashes.
+        assert!(rendered.contains('-'), "{rendered}");
+        // Campaigns without serve records do not grow the columns.
+        let plain = Summary::of(&[record(0)]).render();
+        assert!(!plain.contains("p50-us"), "{plain}");
+        assert!(!plain.contains("serve:"), "{plain}");
+    }
+
+    #[test]
+    fn serve_diffs_flag_decided_log_changes() {
+        let mut old = record(0);
+        old.mode = "serve".into();
+        old.backend = "serve".into();
+        old.decided_fingerprint = 0x1111;
+        let mut new = old.clone();
+        new.decided_fingerprint = 0x2222;
+        let report = diff(&[old.clone()], &[new]);
+        assert_eq!(report.changed.len(), 1);
+        assert!(
+            report.changed[0].change.contains("decided_fingerprint"),
+            "{report:?}"
+        );
+        // Identical logs diff clean.
+        let same = diff(&[old.clone()], &[old]);
+        assert_eq!(same.unchanged, 1);
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //! renders to text that parses back to the identical value, for adversary
 //! labels (`AdversarySpec::label` / `parse`) and whole campaign files
 //! (`CampaignSpec`'s `Display` / `parse`) — including the `crash:` template
-//! and `mode = explore` forms — plus rejection tests for malformed `crash:`
-//! strings.
+//! and the `mode = explore` and `mode = serve` forms with the service keys
+//! (`shards`, `batch-max`, `clients`, `rate`, `duration`) — plus rejection
+//! tests for malformed `crash:` strings and malformed serve values.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -134,7 +135,11 @@ fn campaign() -> BoxedStrategy<CampaignSpec> {
                 Just(spec),
                 1u64..5_000_000,
                 any::<u32>(),
-                prop_oneof![Just(CampaignMode::Sample), Just(CampaignMode::Explore)],
+                prop_oneof![
+                    Just(CampaignMode::Sample),
+                    Just(CampaignMode::Explore),
+                    Just(CampaignMode::Serve),
+                ],
                 1u64..5_000_000,
             )
         })
@@ -145,6 +150,23 @@ fn campaign() -> BoxedStrategy<CampaignSpec> {
             spec.max_states = max_states;
             spec
         })
+        .prop_flat_map(|spec| {
+            (
+                Just(spec),
+                (1usize..32, 1usize..64, 1usize..512),
+                (1u64..100, 1u64..100_000),
+            )
+        })
+        .prop_map(
+            |(mut spec, (shards, batch_max, clients), (rate, duration))| {
+                spec.shards = shards;
+                spec.batch_max = batch_max;
+                spec.clients = clients;
+                spec.rate = rate;
+                spec.duration = duration;
+                spec
+            },
+        )
         .prop_flat_map(|spec| (Just(spec), vec(0usize..36, 1..12)))
         .prop_map(|(mut spec, name)| {
             spec.name = name
@@ -187,6 +209,38 @@ proptest! {
         let text = format!("crash:crash:{}:{}", spec.label(), crashes);
         prop_assert!(AdversarySpec::parse(&text).is_err(), "{} parsed", text);
     }
+
+    #[test]
+    fn malformed_serve_values_never_parse(
+        spec in campaign(),
+        key in prop_oneof![
+            Just("shards"),
+            Just("batch-max"),
+            Just("clients"),
+            Just("rate"),
+            Just("duration"),
+        ],
+        bad in prop_oneof![
+            // A service with no shards, no clients, empty batches, no load
+            // or no runtime is degenerate: zero is rejected, as is anything
+            // non-numeric, negative or fractional.
+            Just("0".to_string()),
+            (1i64..1000).prop_map(|v| format!("-{v}")),
+            Just("eight".to_string()),
+            (1u64..1000).prop_map(|v| format!("{v}.5")),
+            (1u64..1000).prop_map(|v| format!("{v}x")),
+        ],
+    ) {
+        // Later assignments win during parsing, so appending the malformed
+        // line to an otherwise valid spec isolates the value under test.
+        let text = format!("{spec}{key} = {bad}\n");
+        prop_assert!(
+            CampaignSpec::parse(&text).is_err(),
+            "serve key {} accepted malformed value {:?}",
+            key,
+            bad
+        );
+    }
 }
 
 #[test]
@@ -207,6 +261,28 @@ fn malformed_crash_strings_are_rejected() {
         assert!(
             AdversarySpec::parse(bad).is_err(),
             "malformed crash string {bad:?} parsed"
+        );
+    }
+}
+
+#[test]
+fn malformed_serve_lines_are_rejected() {
+    for bad in [
+        "shards = 0",
+        "shards = -2",
+        "batch-max = 0",
+        "batch-max = none",
+        "clients = 0",
+        "clients = 1e3",
+        "rate = 0",
+        "rate = 2.5",
+        "duration = 0",
+        "duration = forever",
+    ] {
+        let text = format!("name = x\nmode = serve\nparams = 4/1/2\n{bad}\n");
+        assert!(
+            CampaignSpec::parse(&text).is_err(),
+            "malformed serve line {bad:?} parsed"
         );
     }
 }

@@ -1,66 +1,86 @@
-//! Repeated set agreement as the backbone of a replicated ledger.
+//! Repeated set agreement as the backbone of a replicated ledger — served.
 //!
 //! The paper motivates the *repeated* problem with Herlihy's universal
 //! construction: a service is replicated by agreeing, round after round, on
 //! which commands to apply next. With k-set agreement up to `k` branches may
-//! survive each round — here we model a payment ledger where every replica
-//! proposes the transaction it received, and the round's agreed values are
-//! appended to the ledger (a k-branch "blocklace" rather than a chain).
+//! survive each round (a k-branch "blocklace" rather than a chain).
+//!
+//! This example runs the ledger the way a deployment would: transactions are
+//! submitted to the `sa-serve` service by a pool of clients, the service
+//! batches concurrent submissions into agreement rounds — one batch is one
+//! Figure 4 repeated-agreement instance — and every client gets back the
+//! round id and the value its round committed for it. The virtual clock
+//! makes the whole run (ledger contents, latency percentiles, throughput)
+//! deterministic.
 //!
 //! ```text
 //! cargo run --example replicated_ledger
 //! ```
 
-use set_agreement::model::Params;
-use set_agreement::runtime::Workload;
-use set_agreement::{Adversary, Algorithm, Scenario};
+use set_agreement::serve::{serve, ServeConfig};
+use set_agreement::{ServeClock, ServeLoad, ServeOptions};
+use std::collections::{BTreeMap, BTreeSet};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 6 replicas, 2-obstruction-free 2-set agreement: each round commits at
-    // most 2 transactions, and the system keeps making progress as long as at
-    // most 2 replicas stay active (e.g. after a network partition isolates
-    // the rest).
-    let params = Params::new(6, 2, 2)?;
-    let rounds = 5usize;
+fn main() {
+    // 16 clients submit payments at 8 per tick for 125 ticks — 1000
+    // transactions in all. The service cuts a round after at most 6
+    // concurrent submissions; each round solves 2-obstruction-free 2-set
+    // agreement among its submitters, so at most 2 transaction branches
+    // survive any round.
+    let (m, k) = (2, 2);
+    let mut config = ServeConfig::new(m, k);
+    config.options = ServeOptions {
+        shards: 2,
+        batch_max: 6,
+        clients: 16,
+        rate: 8,
+        duration_ticks: 125,
+        clock: ServeClock::Virtual,
+        load: ServeLoad::Distinct,
+        seed: 7,
+    };
+    let report = serve(&config);
 
-    // Transactions are encoded as (replica, round) amounts; replica p proposes
-    // transaction 1000·round + p in each round.
-    let workload = Workload::from_matrix(
-        (0..params.n())
-            .map(|p| (1..=rounds as u64).map(|t| 1000 * t + p as u64).collect())
-            .collect(),
-    );
-
-    let report = Scenario::new(params)
-        .algorithm(Algorithm::Repeated(rounds))
-        .workload(workload)
-        .adversary(Adversary::Obstruction {
-            contention_steps: 600,
-            survivors: 2,
-            seed: 7,
-        })
-        .max_steps(5_000_000)
-        .run();
-
-    println!("replicated ledger over {params}");
-    println!(
-        "rounds requested: {rounds}, steps executed: {}",
-        report.steps
-    );
-    let mut committed = 0;
-    for round in report.decisions.instances() {
-        let outputs = report.decisions.outputs(round);
-        committed += outputs.len();
-        println!(
-            "round {round}: committed {:?} ({} branch{})",
-            outputs,
-            outputs.len(),
-            if outputs.len() == 1 { "" } else { "es" }
-        );
-        assert!(outputs.len() <= params.k(), "round exceeded k branches");
+    // Rebuild the ledger from the decided-value log: one entry per round,
+    // holding the branch values that round committed.
+    let mut ledger: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    for entry in &report.decided {
+        ledger
+            .entry(entry.instance)
+            .or_default()
+            .insert(entry.value);
     }
-    println!("total transactions committed: {committed}");
-    println!("safety: {}", report.safety);
-    assert!(report.safety.is_safe());
-    Ok(())
+    for (round, branches) in ledger.iter().take(5) {
+        println!(
+            "round {round}: committed {branches:?} ({} branch{})",
+            branches.len(),
+            if branches.len() == 1 { "" } else { "es" }
+        );
+    }
+    if ledger.len() > 5 {
+        println!("... {} more rounds", ledger.len() - 5);
+    }
+    assert!(
+        ledger.values().all(|branches| branches.len() <= k),
+        "a round exceeded k branches"
+    );
+
+    println!(
+        "ledger: {} transactions committed across {} rounds ({} shards, batch-max {})",
+        report.proposals, report.batches, report.shards, config.options.batch_max
+    );
+    let (p50, p90, p99, p999) = report.histogram.summary();
+    println!(
+        "latency: p50 {p50} us, p90 {p90} us, p99 {p99} us, p999 {p999} us (mean {:.1} us)",
+        report.histogram.mean()
+    );
+    println!(
+        "throughput: {} transactions/s, {} agreement steps/s",
+        report.ops_per_sec(),
+        report.steps_per_sec()
+    );
+
+    assert_eq!(report.safety_violations(), 0, "safety violated");
+    assert!(report.drained && report.unfinished == 0, "proposals lost");
+    println!("safety: every round valid, no round over {k} branches, all clients answered");
 }

@@ -70,6 +70,7 @@ pub use sa_lowerbound as lowerbound;
 pub use sa_memory as memory;
 pub use sa_model as model;
 pub use sa_runtime as runtime;
+pub use sa_serve as serve;
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
@@ -86,12 +87,13 @@ pub mod prelude {
     pub use sa_model::{Automaton, Decision, DecisionSet, Params, ProcessId};
     pub use sa_runtime::{
         check_k_agreement, check_validity, ExploreConfig, InputLog, ObstructionScheduler,
-        ParallelExploreConfig, RoundRobin, RunConfig, Scheduler, SymmetryMode, ThreadedConfig,
-        Workload,
+        ParallelExploreConfig, RoundRobin, RunConfig, Scheduler, ServeClock, ServeLoad,
+        ServeOptions, SymmetryMode, ThreadedConfig, Workload,
     };
+    pub use sa_serve::{ServeConfig, ServeReport};
 }
 
-pub use sa_runtime::Backend;
+pub use sa_runtime::{Backend, ServeClock, ServeLoad, ServeOptions};
 
 use sa_core::{
     AnonymousSetAgreement, OneShotSetAgreement, RepeatedSetAgreement, SwmrEmulated, WideBaseline,
@@ -558,6 +560,9 @@ pub enum ExecutionReport {
     Threaded(ThreadedRunReport),
     /// A [`Backend::Explore`] exhaustive exploration.
     Explored(ExploreReport),
+    /// A [`Backend::Serve`] service run (boxed: the report carries the
+    /// full decided-value log and latency histogram).
+    Served(Box<sa_serve::ServeReport>),
 }
 
 impl ExecutionReport {
@@ -568,16 +573,18 @@ impl ExecutionReport {
             ExecutionReport::Threaded(_) => "threaded",
             ExecutionReport::Explored(r) if r.threads > 0 => "parallel-explore",
             ExecutionReport::Explored(_) => "explore",
+            ExecutionReport::Served(_) => "serve",
         }
     }
 
     /// `true` if validity and k-agreement held (for explorations: in every
-    /// configuration the search reached).
+    /// configuration the search reached; for service runs: in every batch).
     pub fn safe(&self) -> bool {
         match self {
             ExecutionReport::Scheduled(r) => r.safety.is_safe(),
             ExecutionReport::Threaded(r) => r.safety.is_safe(),
             ExecutionReport::Explored(r) => r.safe(),
+            ExecutionReport::Served(r) => r.safety_violations() == 0,
         }
     }
 
@@ -587,16 +594,19 @@ impl ExecutionReport {
             ExecutionReport::Scheduled(r) => r.steps,
             ExecutionReport::Threaded(r) => r.steps,
             ExecutionReport::Explored(_) => 0,
+            ExecutionReport::Served(r) => r.steps,
         }
     }
 
     /// Distinct base objects written (for explorations: the maximum over
-    /// all reachable states).
+    /// all reachable states; 0 for service runs, whose instances each use
+    /// private short-lived memory).
     pub fn locations_written(&self) -> usize {
         match self {
             ExecutionReport::Scheduled(r) => r.locations_written,
             ExecutionReport::Threaded(r) => r.locations_written,
             ExecutionReport::Explored(r) => r.max_locations_written,
+            ExecutionReport::Served(_) => 0,
         }
     }
 
@@ -620,6 +630,14 @@ impl ExecutionReport {
     pub fn as_explored(&self) -> Option<&ExploreReport> {
         match self {
             ExecutionReport::Explored(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The service report, if this was a [`Backend::Serve`] run.
+    pub fn as_served(&self) -> Option<&sa_serve::ServeReport> {
+        match self {
+            ExecutionReport::Served(r) => Some(r),
             _ => None,
         }
     }
@@ -666,6 +684,18 @@ impl ExecutionReport {
                 "expected an exploration report, got {:?}",
                 other.backend_label()
             ),
+        }
+    }
+
+    /// Unwraps a [`Backend::Serve`] report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another backend produced this report.
+    pub fn expect_served(self) -> sa_serve::ServeReport {
+        match self {
+            ExecutionReport::Served(r) => *r,
+            other => panic!("expected a service report, got {:?}", other.backend_label()),
         }
     }
 }
@@ -1066,6 +1096,19 @@ impl ExecutionBackend for Backend {
     }
 
     fn execute(&self, plan: &ExecutionPlan) -> ExecutionReport {
+        if let Backend::Serve(options) = self {
+            // The service builds its own automata, one fresh Figure 4
+            // instance per batch, so it bypasses the plan's automata
+            // construction; the plan contributes the cell (m, k) and the
+            // per-batch step budget.
+            let config = sa_serve::ServeConfig {
+                m: plan.params.m(),
+                k: plan.params.k(),
+                options: *options,
+                max_steps_per_batch: plan.max_steps,
+            };
+            return ExecutionReport::Served(Box::new(sa_serve::serve(&config)));
+        }
         plan.with_automata(BackendDriver { backend: self })
     }
 }
@@ -1107,6 +1150,12 @@ impl Executor {
     /// thread count.
     pub fn exploring_parallel(config: ParallelExploreConfig) -> Self {
         Executor::new(Backend::ParallelExplore(config))
+    }
+
+    /// An executor running the batched, sharded agreement service under an
+    /// open-loop load generator (see the `sa-serve` crate).
+    pub fn serving(options: ServeOptions) -> Self {
+        Executor::new(Backend::Serve(options))
     }
 
     /// An executor for a custom [`ExecutionBackend`] trait object.
@@ -1174,6 +1223,9 @@ impl AutomataDriver for BackendDriver<'_> {
             Backend::ParallelExplore(config) => ExecutionReport::Explored(
                 plan.run_parallel_exploration(automata, workload, *config),
             ),
+            // Serve runs are intercepted before automata construction in
+            // `<Backend as ExecutionBackend>::execute`.
+            Backend::Serve(_) => unreachable!("serve dispatches before automata construction"),
         }
     }
 }
