@@ -376,6 +376,17 @@ fn best_supported_value(
 impl Automaton for AnonymousSetAgreement {
     type Value = AnonValue;
 
+    fn approx_heap_bytes(&self) -> usize {
+        self.inputs.len() * std::mem::size_of::<InputValue>() + self.history.heap_bytes()
+    }
+
+    fn value_heap_bytes(value: &AnonValue) -> usize {
+        match value {
+            AnonValue::Cell(tuple) => tuple.history.heap_bytes(),
+            AnonValue::Outputs(history) => history.heap_bytes(),
+        }
+    }
+
     fn layout(&self) -> MemoryLayout {
         MemoryLayout::with_snapshot_and_registers(
             self.components,

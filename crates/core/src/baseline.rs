@@ -341,11 +341,44 @@ where
     }
 }
 
+fn record_heap_bytes<A: Automaton>(record: &FullInfoRecord<A::Value>) -> usize {
+    record.cells.len() * std::mem::size_of::<Option<EmulatedCell<A::Value>>>()
+        + record
+            .cells
+            .iter()
+            .flatten()
+            .map(|cell| A::value_heap_bytes(&cell.value))
+            .sum::<usize>()
+}
+
 impl<A: Automaton> Automaton for SwmrEmulated<A>
 where
     A::Value: Clone,
 {
     type Value = FullInfoRecord<A::Value>;
+
+    fn approx_heap_bytes(&self) -> usize {
+        let mut bytes = self.inner.approx_heap_bytes() + record_heap_bytes::<A>(&self.own_record);
+        // A scan in flight holds one or two collect vectors of full records.
+        if let EmulationPhase::ScanCollect {
+            current, previous, ..
+        } = &self.phase
+        {
+            for collect in std::iter::once(current).chain(previous.iter()) {
+                bytes += collect.len() * std::mem::size_of::<Option<FullInfoRecord<A::Value>>>();
+                bytes += collect
+                    .iter()
+                    .flatten()
+                    .map(record_heap_bytes::<A>)
+                    .sum::<usize>();
+            }
+        }
+        bytes
+    }
+
+    fn value_heap_bytes(value: &FullInfoRecord<A::Value>) -> usize {
+        record_heap_bytes::<A>(value)
+    }
 
     // `symmetry_class` deliberately keeps its `Opaque` default: this
     // emulation addresses its own single-writer register *by process id*

@@ -355,6 +355,14 @@ impl Automaton for RepeatedSetAgreement {
         SymmetryClass::IdCarrying
     }
 
+    fn approx_heap_bytes(&self) -> usize {
+        self.inputs.len() * std::mem::size_of::<InputValue>() + self.history.heap_bytes()
+    }
+
+    fn value_heap_bytes(value: &Tuple) -> usize {
+        value.history.heap_bytes()
+    }
+
     fn relabeled(&self, relabel: &IdRelabeling) -> Self {
         RepeatedSetAgreement {
             id: relabel.apply(self.id),

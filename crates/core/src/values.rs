@@ -59,6 +59,16 @@ impl History {
     pub fn as_slice(&self) -> &[InputValue] {
         &self.0
     }
+
+    /// A length-based estimate of the heap bytes behind this history: the
+    /// shared `Arc` slice (strong/weak counts plus one value per recorded
+    /// instance). Structural sharing means several holders may charge the
+    /// same allocation — deliberately conservative (an overcount), and a
+    /// pure function of the history's length, which is what the explorers'
+    /// deterministic memory accounting requires.
+    pub fn heap_bytes(&self) -> usize {
+        2 * std::mem::size_of::<usize>() + self.0.len() * std::mem::size_of::<InputValue>()
+    }
 }
 
 impl Default for History {

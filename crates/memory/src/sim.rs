@@ -204,6 +204,35 @@ impl<V: Clone + Eq + Debug> SimMemory<V> {
         }
     }
 
+    /// A length-based estimate of the heap bytes this memory owns: the
+    /// register and snapshot slot vectors plus, for every **occupied** slot,
+    /// the value's own heap footprint as reported by `value_heap` (the
+    /// `Automaton::value_heap_bytes` hook). Metrics and layout bookkeeping
+    /// are deliberately excluded — they are shared, not per-configuration.
+    ///
+    /// Computed from lengths, never capacities, so the result is a pure
+    /// function of the contents: that determinism is what lets the
+    /// explorers report identical byte estimates at any worker count.
+    pub fn approx_heap_bytes<F>(&self, mut value_heap: F) -> usize
+    where
+        F: FnMut(&V) -> usize,
+    {
+        let slot = std::mem::size_of::<Option<V>>();
+        let mut bytes = self.registers.len() * slot;
+        for snapshot in &self.snapshots {
+            bytes += std::mem::size_of::<Vec<Option<V>>>() + snapshot.len() * slot;
+        }
+        for value in self
+            .registers
+            .iter()
+            .chain(self.snapshots.iter().flatten())
+            .flatten()
+        {
+            bytes += value_heap(value);
+        }
+        bytes
+    }
+
     /// A copy of this memory with every stored value passed through `map`
     /// (locations keep their positions, metrics are cloned unchanged) — the
     /// materialized counterpart of [`SimMemory::hash_contents_mapped`],

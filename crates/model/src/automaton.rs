@@ -153,6 +153,37 @@ pub trait Automaton {
         let _ = relabel;
         value.clone()
     }
+
+    /// A **length-based** estimate of the heap bytes owned by this
+    /// automaton's local state beyond `size_of::<Self>()` — the deep-size
+    /// hook behind the explorers' memory accounting.
+    ///
+    /// The default of 0 is correct for automata whose state is entirely
+    /// inline (no `Vec`, `Arc` or other owned allocations). Automata with
+    /// heap-owning fields must override it, or the explorers' resident-byte
+    /// estimates undercount by the dominant term (the bug this hook fixes:
+    /// a 4/1/3 cell reported ~430 MB while actually peaking near 3.8 GB).
+    ///
+    /// Estimates must be computed from **lengths, never capacities**, so
+    /// they are pure functions of the configuration — that is what keeps
+    /// the explorers' reports byte-identical at any worker count.
+    fn approx_heap_bytes(&self) -> usize {
+        0
+    }
+
+    /// A length-based estimate of the heap bytes owned by one shared-memory
+    /// value beyond `size_of::<Self::Value>()`; the per-value counterpart
+    /// of [`Automaton::approx_heap_bytes`], applied by the explorers to
+    /// every occupied register and snapshot component. Same contract:
+    /// lengths, never capacities. The default of 0 is correct for inline
+    /// value types.
+    fn value_heap_bytes(value: &Self::Value) -> usize
+    where
+        Self: Sized,
+    {
+        let _ = value;
+        0
+    }
 }
 
 /// The result of driving an automaton through a single step against some
@@ -276,6 +307,18 @@ impl DecisionSet {
                 entry.insert(*p, *v);
             }
         }
+    }
+
+    /// A length-based estimate of the heap bytes this set owns: its BTree
+    /// nodes, charged per instance and per recorded decision. Part of the
+    /// explorers' deep-size accounting; like every such estimate it is a
+    /// pure function of the contents (lengths, never capacities).
+    pub fn approx_heap_bytes(&self) -> usize {
+        // A BTree entry costs its payload plus roughly three words of node
+        // bookkeeping amortized across the node's occupancy.
+        let per_instance = std::mem::size_of::<InstanceId>() + 24;
+        let per_decision = std::mem::size_of::<(crate::ProcessId, InputValue)>() + 24;
+        self.by_instance.len() * per_instance + self.len() * per_decision
     }
 
     /// A copy of this set with every process id written through `relabel`

@@ -357,6 +357,30 @@ where
         })
     }
 
+    /// A deterministic, length-based estimate of the bytes this
+    /// configuration occupies: the executor shell, the automata (inline
+    /// size plus each one's [`Automaton::approx_heap_bytes`]), the shared
+    /// memory contents (slots plus each occupied value's
+    /// [`Automaton::value_heap_bytes`]) and the decision set.
+    ///
+    /// This is the deep-size hook behind [`Exploration::approx_bytes`]
+    /// (crate::Exploration::approx_bytes) and the explorers' spill
+    /// triggers. It is computed from lengths, never capacities, so two
+    /// equal configurations always report the same bytes — regardless of
+    /// how they were produced, which worker produced them, or whether they
+    /// were round-tripped through a spill segment.
+    pub fn approx_deep_bytes(&self) -> u64 {
+        let mut bytes = std::mem::size_of::<Executor<A>>()
+            + self.automata.len() * std::mem::size_of::<A>()
+            + self.steps_per_process.len() * std::mem::size_of::<u64>();
+        for automaton in &self.automata {
+            bytes += automaton.approx_heap_bytes();
+        }
+        bytes += self.memory.approx_heap_bytes(|v| A::value_heap_bytes(v));
+        bytes += self.decisions.approx_heap_bytes();
+        bytes as u64
+    }
+
     /// The image of this configuration under a process-id relabeling,
     /// applied **consistently**: the automaton of old slot `p` moves to
     /// slot `relabel(p)` with its embedded ids rewritten

@@ -22,10 +22,14 @@
 //! [`parallel_explore`](crate::parallel_explore).
 
 use crate::executor::Executor;
+use crate::store::{
+    decode_frontier_record, encode_frontier_record, read_segment, KeyTable, SegmentKind,
+    SegmentWriter, SpillDir,
+};
 use sa_model::{Automaton, IdRelabeling, InstanceId, ProcessId, SymmetryClass};
-use std::collections::HashSet;
 use std::fmt::Debug;
 use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
 
 /// Whether an explorer deduplicates reachable configurations up to
 /// process-id symmetry.
@@ -83,6 +87,20 @@ pub struct ExploreConfig {
     /// falls back to [`SymmetryMode::Off`] for automata that do not opt
     /// in — see [`SymmetryMode::ProcessIds`]).
     pub symmetry: SymmetryMode,
+    /// Whether the explorer may spill frozen frontier chunks to disk when
+    /// the resident frontier exceeds [`max_resident_bytes`](Self::max_resident_bytes).
+    /// Spilled entries store only their schedule and orbit weight (the
+    /// executor state is reconstructed by deterministic replay), so the
+    /// search verdict and every statistic except
+    /// [`Exploration::spilled_entries`] are identical with spill on or off.
+    pub spill: bool,
+    /// A budget, in estimated deep bytes ([`Executor::approx_deep_bytes`]),
+    /// on the resident frontier. `0` means unlimited. When the budget is
+    /// exceeded: with [`spill`](Self::spill) the explorer moves the coldest
+    /// half of the frontier to disk and continues; without it the search
+    /// deterministically truncates, preserving the pending count in
+    /// [`Exploration::pending_at_exit`].
+    pub max_resident_bytes: u64,
 }
 
 impl Default for ExploreConfig {
@@ -92,6 +110,8 @@ impl Default for ExploreConfig {
             max_states: 2_000_000,
             dedup: true,
             symmetry: SymmetryMode::Off,
+            spill: false,
+            max_resident_bytes: 0,
         }
     }
 }
@@ -118,6 +138,30 @@ pub struct ExploredViolation {
     pub description: String,
 }
 
+/// What [`Exploration::frontier_peak`] measures — the two explorers keep
+/// fundamentally different frontiers, and the shared field name used to
+/// silently conflate them (a DFS stack depth is *not* comparable to a BFS
+/// level width when sizing a run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrontierSemantics {
+    /// The serial [`explore`](crate::explore): the deepest pending DFS
+    /// stack, counting in-memory and spilled entries alike.
+    DfsStackDepth,
+    /// [`parallel_explore`](crate::parallel_explore): the widest
+    /// breadth-first level awaiting expansion.
+    BfsLevelWidth,
+}
+
+impl FrontierSemantics {
+    /// A stable label used by records and summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FrontierSemantics::DfsStackDepth => "dfs-stack-depth",
+            FrontierSemantics::BfsLevelWidth => "bfs-level-width",
+        }
+    }
+}
+
 /// The result of a bounded exploration.
 #[derive(Debug, Clone)]
 pub struct Exploration {
@@ -136,17 +180,39 @@ pub struct Exploration {
     /// for the parallel explorer — both can be far below `max_depth` even
     /// when the state space is exhausted.
     pub max_depth_reached: u64,
-    /// Peak size of the frontier of states awaiting expansion: the deepest
-    /// DFS stack for [`explore`](crate::explore), the widest BFS level for
-    /// [`parallel_explore`](crate::parallel_explore).
+    /// Peak size of the frontier of states awaiting expansion; what a
+    /// "frontier entry" *is* differs per backend — see
+    /// [`frontier_semantics`](Self::frontier_semantics). Spilled entries
+    /// count: the peak is a property of the search, not of where the
+    /// entries happened to live.
     pub frontier_peak: u64,
+    /// What [`frontier_peak`](Self::frontier_peak) measures for the backend
+    /// that produced this report: the deepest DFS stack for the serial
+    /// explorer, the widest BFS level for the parallel one.
+    pub frontier_semantics: FrontierSemantics,
+    /// States that were discovered but still awaiting expansion when the
+    /// search stopped (0 when the space was exhausted). Together with
+    /// [`states_visited`](Self::states_visited) this accounts for **every**
+    /// discovered state: a truncated search loses nothing, which is what a
+    /// checkpoint-resume needs. The pre-fix explorer silently discarded the
+    /// state it had just popped when the budget ran out.
+    pub pending_at_exit: u64,
     /// Entries held by the dedup seen-set when the search stopped (0 with
     /// dedup disabled).
     pub seen_entries: u64,
     /// A rough, deterministic estimate of the bytes held by the explorer's
-    /// data structures at their peak: seen-set keys plus frontier states.
-    /// It is an accounting of the dominant terms, not a measurement.
+    /// data structures at their peak: the deep size of the peak frontier
+    /// (resident plus spilled, so the figure is spill-invariant) plus the
+    /// final seen-set table. Deep means heap payloads — register contents,
+    /// histories, decision maps — are charged per entry, not just the
+    /// struct shells; the pre-fix shallow accounting under-reported
+    /// history-heavy cells by an order of magnitude.
     pub approx_bytes: u64,
+    /// Cumulative number of frontier entries written to disk (0 unless
+    /// [`ExploreConfig::spill`] was on and the resident budget was
+    /// exceeded). The only statistic that legitimately differs between a
+    /// spilled and an in-core run of the same cell.
+    pub spilled_entries: u64,
     /// `true` if the search deduplicated up to process-id symmetry:
     /// [`SymmetryMode::ProcessIds`] was requested **and** every automaton
     /// opted in (see [`Automaton::symmetry_class`]). When `false` despite a
@@ -197,6 +263,12 @@ impl Exploration {
 pub struct StateKey([u64; 2]);
 
 impl StateKey {
+    /// Reassembles a key from [`parts`](Self::parts) output — used when
+    /// keys round-trip through on-disk seen-set shards.
+    pub fn from_parts(parts: [u64; 2]) -> StateKey {
+        StateKey(parts)
+    }
+
     /// The two independently salted halves of the key.
     pub fn parts(&self) -> [u64; 2] {
         self.0
@@ -604,21 +676,37 @@ where
     }
 }
 
-/// The deterministic rough byte estimate behind
-/// [`Exploration::approx_bytes`]: seen-set keys (plus table overhead) and
-/// peak frontier entries (state struct shell, per-process automata, and the
-/// schedule prefix).
-pub(crate) fn estimate_bytes<A: Automaton>(
-    processes: usize,
-    seen_entries: u64,
-    frontier_peak: u64,
-    depth: u64,
-) -> u64 {
-    let key_entry = (std::mem::size_of::<StateKey>() + std::mem::size_of::<u64>()) as u64;
-    let state_entry = (std::mem::size_of::<Executor<A>>() + processes * std::mem::size_of::<A>())
-        as u64
-        + depth * std::mem::size_of::<ProcessId>() as u64;
-    seen_entries * key_entry + frontier_peak * state_entry
+/// The deterministic deep-byte charge of one frontier entry: the executor's
+/// [`deep size`](Executor::approx_deep_bytes) (struct shells **plus** heap
+/// payloads — register contents, histories, decision maps) plus the schedule
+/// vector and the entry's bookkeeping words.
+///
+/// The pre-fix `estimate_bytes` charged only `size_of::<Executor<A>>()` per
+/// entry, blind to every heap allocation inside the state; a 4-process
+/// repeated-agreement cell reported ~430 MB while actually allocating
+/// ~3.8 GB. Length-based deep accounting keeps the figure a pure function
+/// of the search (never of capacities or discovery order), so it stays
+/// byte-identical across worker counts and spill modes.
+pub(crate) fn entry_bytes<A: Automaton>(state: &Executor<A>, schedule_len: usize) -> u64 {
+    state.approx_deep_bytes()
+        + (std::mem::size_of::<Vec<ProcessId>>()
+            + schedule_len * std::mem::size_of::<ProcessId>()
+            + 2 * std::mem::size_of::<u64>()) as u64
+}
+
+/// Reconstructs the executor reached by `schedule` from `initial` by
+/// deterministic replay — the reason spilled frontier records need to store
+/// no automaton or memory bytes at all.
+pub(crate) fn replay<A>(initial: &Executor<A>, schedule: &[ProcessId]) -> Executor<A>
+where
+    A: Automaton + Clone,
+    A::Value: Clone + Eq + Debug,
+{
+    let mut state = initial.clone();
+    for &process in schedule {
+        state.step(process);
+    }
+    state
 }
 
 /// Exhaustively explores every interleaving of the executor's processes up to
@@ -644,7 +732,7 @@ where
             SymmetryMode::Off
         },
     );
-    let mut seen: HashSet<StateKey> = HashSet::new();
+    let mut seen = KeyTable::new();
     let mut result = Exploration {
         states_visited: 0,
         paths: 0,
@@ -652,8 +740,11 @@ where
         truncated: false,
         max_depth_reached: 0,
         frontier_peak: 0,
+        frontier_semantics: FrontierSemantics::DfsStackDepth,
+        pending_at_exit: 0,
         seen_entries: 0,
         approx_bytes: 0,
+        spilled_entries: 0,
         symmetry_applied: plan.applied(),
         full_states_lower_bound: 0,
     };
@@ -669,27 +760,81 @@ where
         return result;
     }
     // Depth-first search over (executor state, schedule prefix, orbit
-    // weight). States are kept in their *original* labeling — canonical
-    // forms exist only inside the dedup keys — so witness schedules replay
-    // on the caller's executor as-is.
+    // weight, deep bytes). States are kept in their *original* labeling —
+    // canonical forms exist only inside the dedup keys — so witness
+    // schedules replay on the caller's executor as-is.
     let (initial_key, initial_orbit) = keyed(initial, &plan);
-    let mut stack: Vec<(Executor<A>, Vec<ProcessId>, u64)> =
-        vec![(initial.clone(), Vec::new(), initial_orbit)];
+    let initial_bytes = entry_bytes(initial, 0);
+    let mut stack: Vec<(Executor<A>, Vec<ProcessId>, u64, u64)> =
+        vec![(initial.clone(), Vec::new(), initial_orbit, initial_bytes)];
     result.frontier_peak = 1;
     if config.dedup {
         seen.insert(initial_key);
     }
+    // Byte accounting. `resident` tracks the deep bytes of in-memory
+    // frontier entries (what the cap polices); `spilled_logical` the deep
+    // bytes their spilled counterparts *would* occupy resident. Their sum —
+    // whose peak feeds `approx_bytes` — is conserved by spilling and
+    // reloading, so the reported figure is spill-invariant.
+    let cap = config.max_resident_bytes;
+    let mut resident: u64 = initial_bytes;
+    let mut spilled_logical: u64 = 0;
+    let mut logical_peak: u64 = resident;
+    // Spilled chunks form a LIFO of sealed segment files: the most recently
+    // frozen chunk is the deepest part of the stack, so it reloads first,
+    // preserving exact DFS order (and therefore every verdict and
+    // statistic) across spill boundaries.
+    let mut spill_dir: Option<SpillDir> = None;
+    let mut segments: Vec<(PathBuf, u64)> = Vec::new();
+    let mut spilled_pending: u64 = 0;
+    let mut spill_seq: u64 = 0;
     loop {
-        // Truncation means the budget ran out while work remained; visiting
-        // exactly `max_states` states and then finding the stack empty is an
-        // exhausted search.
-        let Some((state, schedule, orbit_lower)) = stack.pop() else {
-            break;
-        };
+        // Budget first, pop second: running out of budget must leave every
+        // pending state *pending* (counted in `pending_at_exit`, resumable
+        // from a checkpoint) — the pre-fix code popped first and silently
+        // discarded the popped state on truncation. Visiting exactly
+        // `max_states` states and then finding no pending work is still an
+        // exhausted search, not a truncated one.
         if result.states_visited >= config.max_states {
-            result.truncated = true;
+            let pending = stack.len() as u64 + spilled_pending;
+            if pending > 0 {
+                result.truncated = true;
+                result.pending_at_exit = pending;
+            }
             break;
         }
+        // A resident-byte budget without spill is a deterministic
+        // truncation — same accounting as exhausting the state budget.
+        if cap > 0 && !config.spill && resident > cap {
+            result.truncated = true;
+            result.pending_at_exit = stack.len() as u64 + spilled_pending;
+            break;
+        }
+        let Some((state, schedule, orbit_lower, bytes)) = stack.pop() else {
+            if spilled_pending == 0 {
+                break;
+            }
+            // Resident stack drained: thaw the most recently spilled chunk.
+            // Records were frozen bottom-to-top, so pushing them back in
+            // file order restores their exact relative order.
+            let (path, count) = segments.pop().expect("spilled work implies a segment");
+            let (_tag, records) = read_segment(&path, SegmentKind::FrontierLevel)
+                .expect("reading back a spilled frontier segment");
+            let _ = std::fs::remove_file(&path);
+            debug_assert_eq!(records.len() as u64, count);
+            for record in &records {
+                let (schedule, orbit) =
+                    decode_frontier_record(record).expect("decoding a spilled frontier record");
+                let state = replay(initial, &schedule);
+                let bytes = entry_bytes(&state, schedule.len());
+                resident += bytes;
+                spilled_logical = spilled_logical.saturating_sub(bytes);
+                stack.push((state, schedule, orbit, bytes));
+            }
+            spilled_pending -= count;
+            continue;
+        };
+        resident -= bytes;
         result.states_visited += 1;
         result.full_states_lower_bound = result.full_states_lower_bound.saturating_add(orbit_lower);
         result.max_depth_reached = result.max_depth_reached.max(schedule.len() as u64);
@@ -714,12 +859,7 @@ where
                     description,
                 });
                 result.seen_entries = seen.len() as u64;
-                result.approx_bytes = estimate_bytes::<A>(
-                    initial.process_count(),
-                    result.seen_entries,
-                    result.frontier_peak,
-                    result.max_depth_reached,
-                );
+                result.approx_bytes = logical_peak + seen_table_bytes(config, &seen);
                 return result;
             }
             let mut next_orbit = 1;
@@ -734,22 +874,63 @@ where
                 }
                 next_orbit = orbit;
             }
-            stack.push((next, next_schedule, next_orbit));
+            let next_bytes = entry_bytes(&next, next_schedule.len());
+            resident += next_bytes;
+            stack.push((next, next_schedule, next_orbit, next_bytes));
         }
-        result.frontier_peak = result.frontier_peak.max(stack.len() as u64);
+        result.frontier_peak = result
+            .frontier_peak
+            .max(stack.len() as u64 + spilled_pending);
+        logical_peak = logical_peak.max(resident + spilled_logical);
+        // Over budget with spill enabled: freeze the *bottom* half of the
+        // stack (the coldest entries — DFS will not revisit them until
+        // everything above is done) into a sealed segment of
+        // (schedule, orbit) records. No executor bytes hit the disk; thawed
+        // entries are rebuilt by replay.
+        if config.spill && cap > 0 && resident > cap && stack.len() >= 2 {
+            let dir = match &spill_dir {
+                Some(dir) => dir,
+                None => {
+                    spill_dir = Some(SpillDir::fresh().expect("creating the spill directory"));
+                    spill_dir.as_ref().expect("just created")
+                }
+            };
+            let path = dir.file(&format!("frontier-{spill_seq:08}.seg"));
+            let mut writer = SegmentWriter::create(&path, SegmentKind::FrontierLevel, spill_seq)
+                .expect("creating a frontier spill segment");
+            spill_seq += 1;
+            let half = stack.len() / 2;
+            for (_state, schedule, orbit, bytes) in stack.drain(..half) {
+                writer
+                    .append(&encode_frontier_record(&schedule, orbit))
+                    .expect("writing a frontier spill record");
+                resident -= bytes;
+                spilled_logical += bytes;
+            }
+            writer.finish().expect("sealing a frontier spill segment");
+            segments.push((path, half as u64));
+            spilled_pending += half as u64;
+            result.spilled_entries += half as u64;
+        }
     }
     if !plan.applied() {
         // Without reduction every visited state is its own orbit.
         result.full_states_lower_bound = result.states_visited;
     }
     result.seen_entries = seen.len() as u64;
-    result.approx_bytes = estimate_bytes::<A>(
-        initial.process_count(),
-        result.seen_entries,
-        result.frontier_peak,
-        result.max_depth_reached,
-    );
+    result.approx_bytes = logical_peak + seen_table_bytes(config, &seen);
     result
+}
+
+/// The deterministic byte charge of the seen-set table (0 with dedup off —
+/// no keys are stored). Computed from the entry count alone so the figure
+/// never depends on capacities or insertion order.
+fn seen_table_bytes(config: ExploreConfig, seen: &KeyTable) -> u64 {
+    if config.dedup {
+        KeyTable::bytes_for_len(seen.len() as u64)
+    } else {
+        0
+    }
 }
 
 /// Convenience predicate: fail whenever more than `k` distinct values have
@@ -1102,6 +1283,153 @@ mod tests {
             canonical_state_key(&canonical, &plan).0,
             canonical_state_key(&exec, &plan).0
         );
+    }
+
+    #[test]
+    fn state_budget_preserves_pending_work() {
+        // Budget of one state: the root is visited, its two children are
+        // discovered and must BOTH remain pending. The pre-fix explorer
+        // popped before checking the budget, so one discovered child was
+        // silently discarded — neither visited, nor pending, nor counted —
+        // which is unsound for checkpoint-resume accounting.
+        let exec = Executor::new(vec![ToyWriter::new(0, 1), ToyWriter::new(1, 2)]);
+        let config = ExploreConfig {
+            max_states: 1,
+            ..ExploreConfig::default()
+        };
+        let result = explore(&exec, config, agreement_predicate(2));
+        assert!(result.truncated);
+        assert_eq!(result.states_visited, 1);
+        assert_eq!(
+            result.pending_at_exit, 2,
+            "both children of the root stay pending"
+        );
+        assert_eq!(
+            result.frontier_semantics,
+            FrontierSemantics::DfsStackDepth,
+            "the serial explorer reports a DFS stack depth"
+        );
+
+        // An exhausted search has nothing pending.
+        let exhausted = explore(&exec, ExploreConfig::default(), agreement_predicate(2));
+        assert!(exhausted.verified());
+        assert_eq!(exhausted.pending_at_exit, 0);
+    }
+
+    #[test]
+    fn spill_mode_is_byte_identical_to_in_core() {
+        let exec = Executor::new(vec![
+            ToyWriter::new(0, 1),
+            ToyWriter::new(1, 2),
+            ToyWriter::new(2, 3),
+        ]);
+        let base = explore(&exec, ExploreConfig::default(), agreement_predicate(3));
+        assert!(base.verified());
+        assert_eq!(base.spilled_entries, 0);
+        // A 1-byte resident budget forces a spill after every expansion.
+        let spilled = explore(
+            &exec,
+            ExploreConfig {
+                spill: true,
+                max_resident_bytes: 1,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(3),
+        );
+        assert!(
+            spilled.spilled_entries > 0,
+            "the tiny cap must force spills"
+        );
+        assert!(spilled.verified());
+        assert_eq!(spilled.states_visited, base.states_visited);
+        assert_eq!(spilled.paths, base.paths);
+        assert_eq!(spilled.violation, base.violation);
+        assert_eq!(spilled.truncated, base.truncated);
+        assert_eq!(spilled.max_depth_reached, base.max_depth_reached);
+        assert_eq!(spilled.frontier_peak, base.frontier_peak);
+        assert_eq!(spilled.pending_at_exit, base.pending_at_exit);
+        assert_eq!(spilled.seen_entries, base.seen_entries);
+        assert_eq!(spilled.approx_bytes, base.approx_bytes);
+        assert_eq!(
+            spilled.full_states_lower_bound,
+            base.full_states_lower_bound
+        );
+    }
+
+    #[test]
+    fn spill_mode_finds_the_same_violation() {
+        let exec = Executor::new(vec![
+            RacyConsensus::new(ProcessId(0), 10),
+            RacyConsensus::new(ProcessId(1), 20),
+        ]);
+        let base = explore(&exec, ExploreConfig::default(), agreement_predicate(1));
+        let spilled = explore(
+            &exec,
+            ExploreConfig {
+                spill: true,
+                max_resident_bytes: 1,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(1),
+        );
+        assert_eq!(spilled.violation, base.violation, "witness must not change");
+        assert_eq!(spilled.states_visited, base.states_visited);
+    }
+
+    #[test]
+    fn memory_cap_without_spill_truncates_and_spill_rescues_it() {
+        let exec = Executor::new(vec![
+            ToyWriter::new(0, 1),
+            ToyWriter::new(1, 2),
+            ToyWriter::new(2, 3),
+        ]);
+        // Pick a cap below the cell's in-core peak but far above any single
+        // entry, so the capped run makes real progress before giving up.
+        let base = explore(&exec, ExploreConfig::default(), agreement_predicate(3));
+        let cap = base.approx_bytes / 4;
+        let capped_config = ExploreConfig {
+            max_resident_bytes: cap,
+            ..ExploreConfig::default()
+        };
+        let capped = explore(&exec, capped_config, agreement_predicate(3));
+        assert!(capped.truncated, "an in-core run over budget must truncate");
+        assert!(!capped.verified());
+        assert!(capped.pending_at_exit > 0);
+        // Deterministic: the same capped run yields the same report.
+        let again = explore(&exec, capped_config, agreement_predicate(3));
+        assert_eq!(capped.states_visited, again.states_visited);
+        assert_eq!(capped.pending_at_exit, again.pending_at_exit);
+        // The same budget with spill enabled exhausts the space.
+        let rescued = explore(
+            &exec,
+            ExploreConfig {
+                spill: true,
+                ..capped_config
+            },
+            agreement_predicate(3),
+        );
+        assert!(
+            rescued.verified(),
+            "spill must let the capped cell exhaust: {rescued:?}"
+        );
+        assert!(rescued.spilled_entries > 0);
+        assert_eq!(rescued.states_visited, base.states_visited);
+    }
+
+    #[test]
+    fn deep_byte_accounting_charges_heap_payloads() {
+        // ToyWriter states carry SimMemory registers: the deep estimate must
+        // exceed the shallow per-entry struct sizes the pre-fix accounting
+        // charged, and stay a pure function of the state.
+        let exec = Executor::new(vec![ToyWriter::new(0, 1), ToyWriter::new(1, 2)]);
+        let shallow = std::mem::size_of::<Executor<ToyWriter>>() as u64;
+        assert!(
+            exec.approx_deep_bytes() > shallow,
+            "deep size must charge heap payloads beyond the struct shell"
+        );
+        assert_eq!(exec.approx_deep_bytes(), exec.clone().approx_deep_bytes());
+        assert_eq!(entry_bytes(&exec, 3), entry_bytes(&exec, 3));
+        assert!(entry_bytes(&exec, 3) > entry_bytes(&exec, 0));
     }
 
     #[test]

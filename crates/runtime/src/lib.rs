@@ -47,6 +47,7 @@ mod explore;
 mod parallel;
 pub mod properties;
 mod schedule;
+pub mod store;
 mod threaded;
 pub mod toy;
 mod trace;
@@ -57,7 +58,7 @@ pub use executor::{
 };
 pub use explore::{
     agreement_predicate, canonical_state_key, explore, state_key, Exploration, ExploreConfig,
-    ExploredViolation, StateKey, SymmetryMode, SymmetryPlan,
+    ExploredViolation, FrontierSemantics, StateKey, SymmetryMode, SymmetryPlan,
 };
 pub use parallel::{parallel_explore, ParallelExploreConfig};
 pub use properties::{

@@ -55,13 +55,18 @@
 
 use crate::executor::Executor;
 use crate::explore::{
-    estimate_bytes, keyed, Exploration, ExploredViolation, StateKey, SymmetryMode, SymmetryPlan,
+    entry_bytes, keyed, replay, Exploration, ExploredViolation, FrontierSemantics, StateKey,
+    SymmetryMode, SymmetryPlan,
+};
+use crate::store::{
+    read_segment, KeyTable, ScheduleArena, SegmentKind, SegmentWriter, SpillDir, SCHEDULE_ROOT,
 };
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use sa_model::{Automaton, ProcessId};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::Hash;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -93,6 +98,21 @@ pub struct ParallelExploreConfig {
     /// Falls back to [`SymmetryMode::Off`] for automata that do not opt in
     /// (see [`SymmetryMode::ProcessIds`]).
     pub symmetry: SymmetryMode,
+    /// Whether the explorer may spill frozen BFS levels (and seen-set
+    /// shards) to disk when they exceed
+    /// [`max_resident_bytes`](Self::max_resident_bytes). Spilled level
+    /// records carry only a schedule-arena node and an orbit weight; the
+    /// executor states are rebuilt by deterministic replay, so the report
+    /// stays byte-identical with spill on or off — and still at any thread
+    /// count — except for [`Exploration::spilled_entries`].
+    pub spill: bool,
+    /// A budget, in estimated deep bytes, on a resident BFS level. `0`
+    /// means unlimited. Over budget: with [`spill`](Self::spill) the frozen
+    /// level moves to disk (and seen shards follow when their tables exceed
+    /// the same budget); without it the search deterministically truncates
+    /// at the level barrier, reporting the pending count in
+    /// [`Exploration::pending_at_exit`].
+    pub max_resident_bytes: u64,
 }
 
 impl Default for ParallelExploreConfig {
@@ -102,6 +122,8 @@ impl Default for ParallelExploreConfig {
             max_depth: 60,
             max_states: 2_000_000,
             symmetry: SymmetryMode::Off,
+            spill: false,
+            max_resident_bytes: 0,
         }
     }
 }
@@ -126,46 +148,79 @@ impl ParallelExploreConfig {
     }
 }
 
-/// A frontier entry: a reachable configuration, the schedule that produced
-/// it (the lexicographically smallest among its shortest schedules), and
-/// its orbit-size lower bound.
-type Entry<A> = (Executor<A>, Vec<ProcessId>, u64);
+/// A frontier entry awaiting expansion: the configuration (absent when the
+/// level was thawed from disk — workers rebuild it by replay), its
+/// schedule-arena node (the delta-encoded path that produced it, the
+/// lexicographically smallest among its shortest schedules), and its
+/// orbit-size lower bound.
+type Entry<A> = (Option<Executor<A>>, u32, u64);
 
 /// A successor discovered while expanding a level, before the barrier
-/// resolves it: the state, its (still mergeable) schedule, the orbit-size
-/// lower bound, and whether the predicate rejected it.
+/// resolves it: the state, its (still mergeable) schedule plus the
+/// `(parent, step)` delta the arena will commit, the orbit-size lower
+/// bound, the entry's deep-byte charge, and whether the predicate rejected
+/// it.
 ///
 /// With symmetry on, several *distinct* configurations of one orbit can be
 /// discovered under the same canonical key in one level; the barrier keeps
-/// the one whose schedule is lexicographically smallest (state and schedule
-/// are always replaced together, so the retained pair stays consistent and
-/// deterministic). All orbit members have relabel-identical futures and
-/// identical predicate verdicts, so which one expands cannot change any
-/// reported verdict — only the (deterministically chosen) witness labels.
+/// the one whose schedule is lexicographically smallest (state, schedule,
+/// delta, weight and bytes are always replaced together, so the retained
+/// tuple stays consistent and deterministic). All orbit members have
+/// relabel-identical futures and identical predicate verdicts, so which one
+/// expands cannot change any reported verdict — only the (deterministically
+/// chosen) witness labels.
 struct Discovered<A: Automaton> {
     state: Executor<A>,
     schedule: Vec<ProcessId>,
+    parent: u32,
+    step: ProcessId,
     orbit_lower: u64,
+    bytes: u64,
     violating: bool,
+}
+
+/// One seen-set shard: a live open-addressed key table plus the sealed
+/// segments its earlier generations were spilled to. Spilled keys are
+/// invisible to [`ShardedSeen::contains`] — workers may re-discover a
+/// spilled state, and the barrier filters those candidates against the
+/// on-disk generations before treating them as new. That deferral is sound:
+/// every spilled key belongs to a state whose level already completed
+/// without ending the search, so dropping its re-discovery changes no
+/// verdict and no statistic.
+struct SeenShard {
+    live: KeyTable,
+    spilled: Vec<PathBuf>,
+    spilled_count: u64,
 }
 
 /// The seen-set, sharded by key prefix so workers rarely contend on the
 /// same lock.
 struct ShardedSeen {
-    shards: Vec<Mutex<HashSet<StateKey>>>,
+    shards: Vec<Mutex<SeenShard>>,
 }
 
 impl ShardedSeen {
     fn new() -> Self {
         ShardedSeen {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(SeenShard {
+                        live: KeyTable::new(),
+                        spilled: Vec::new(),
+                        spilled_count: 0,
+                    })
+                })
+                .collect(),
         }
     }
 
+    /// `true` if the key is in the shard's **live** table. Spilled keys
+    /// report `false`; see [`SeenShard`] for why that is sound.
     fn contains(&self, key: &StateKey) -> bool {
         self.shards[key.shard(SHARDS)]
             .lock()
             .expect("seen shard poisoned")
+            .live
             .contains(key)
     }
 
@@ -173,15 +228,110 @@ impl ShardedSeen {
         self.shards[key.shard(SHARDS)]
             .lock()
             .expect("seen shard poisoned")
+            .live
             .insert(key)
     }
 
+    /// Total distinct keys committed, live and spilled.
     fn len(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("seen shard poisoned").len() as u64)
+            .map(|s| {
+                let shard = s.lock().expect("seen shard poisoned");
+                shard.live.len() as u64 + shard.spilled_count
+            })
             .sum()
     }
+
+    /// Deep bytes of the live tables (what a spill decision polices).
+    fn live_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("seen shard poisoned")
+                    .live
+                    .allocated_bytes()
+            })
+            .sum()
+    }
+
+    /// The deterministic byte charge of holding **every** committed key
+    /// resident, computed from per-shard counts alone — so the reported
+    /// figure is identical with spill on or off, at any thread count.
+    fn table_bytes_if_resident(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("seen shard poisoned");
+                KeyTable::bytes_for_len(shard.live.len() as u64 + shard.spilled_count)
+            })
+            .sum()
+    }
+
+    /// Moves every non-empty live table to a sealed on-disk generation.
+    fn spill_live(&self, dir: &SpillDir, generation: u64) {
+        for (index, shard) in self.shards.iter().enumerate() {
+            let mut shard = shard.lock().expect("seen shard poisoned");
+            if shard.live.is_empty() {
+                continue;
+            }
+            let path = dir.file(&format!("seen-{index:02}-{generation:08}.seg"));
+            let mut writer = SegmentWriter::create(&path, SegmentKind::SeenShard, generation)
+                .expect("creating a seen-shard spill segment");
+            for key in shard.live.iter() {
+                let parts = key.parts();
+                let mut record = [0u8; 16];
+                record[..8].copy_from_slice(&parts[0].to_le_bytes());
+                record[8..].copy_from_slice(&parts[1].to_le_bytes());
+                writer.append(&record).expect("writing a seen-shard key");
+            }
+            writer.finish().expect("sealing a seen-shard spill segment");
+            shard.spilled_count += shard.live.len() as u64;
+            shard.spilled.push(path);
+            shard.live = KeyTable::new();
+        }
+    }
+}
+
+/// Loads a shard's spilled generations back into one lookup table (used at
+/// barriers to filter re-discovered states).
+fn load_spilled_keys(paths: &[PathBuf]) -> KeyTable {
+    let mut table = KeyTable::new();
+    for path in paths {
+        let (_tag, records) =
+            read_segment(path, SegmentKind::SeenShard).expect("reading a seen-shard segment");
+        for record in records {
+            assert_eq!(record.len(), 16, "seen-shard records are 16-byte keys");
+            let lo = u64::from_le_bytes(record[..8].try_into().expect("8 bytes"));
+            let hi = u64::from_le_bytes(record[8..].try_into().expect("8 bytes"));
+            table.insert(StateKey::from_parts([lo, hi]));
+        }
+    }
+    table
+}
+
+/// A frozen BFS level: resident entries, or a sealed segment of
+/// `(arena node, orbit weight)` records awaiting thaw.
+enum PendingLevel<A: Automaton> {
+    Resident(Vec<Entry<A>>),
+    Spilled { path: PathBuf, count: u64 },
+}
+
+/// Encodes one spilled-level record: arena node then orbit weight, both LE.
+fn encode_level_record(node: u32, orbit_lower: u64) -> [u8; 12] {
+    let mut record = [0u8; 12];
+    record[..4].copy_from_slice(&node.to_le_bytes());
+    record[4..].copy_from_slice(&orbit_lower.to_le_bytes());
+    record
+}
+
+/// Decodes [`encode_level_record`] output.
+fn decode_level_record(record: &[u8]) -> (u32, u64) {
+    assert_eq!(record.len(), 12, "level records are 12 bytes");
+    let node = u32::from_le_bytes(record[..4].try_into().expect("4 bytes"));
+    let orbit = u64::from_le_bytes(record[4..].try_into().expect("8 bytes"));
+    (node, orbit)
 }
 
 /// Pulls the next task for a worker: local deque first, then the shared
@@ -231,7 +381,7 @@ pub fn parallel_explore<A, F>(
     predicate: F,
 ) -> Exploration
 where
-    A: Automaton + Clone + Hash + Send,
+    A: Automaton + Clone + Hash + Send + Sync,
     A::Value: Hash + Clone + Eq + Debug + Send + Sync,
     F: Fn(&Executor<A>) -> Option<String> + Sync,
 {
@@ -244,8 +394,11 @@ where
         truncated: false,
         max_depth_reached: 0,
         frontier_peak: 0,
+        frontier_semantics: FrontierSemantics::BfsLevelWidth,
+        pending_at_exit: 0,
         seen_entries: 0,
         approx_bytes: 0,
+        spilled_entries: 0,
         symmetry_applied: plan.applied(),
         full_states_lower_bound: 0,
     };
@@ -261,9 +414,41 @@ where
     let seen = ShardedSeen::new();
     let (initial_key, initial_orbit) = keyed(initial, &plan);
     seen.insert(initial_key);
-    let mut level: Vec<Entry<A>> = vec![(initial.clone(), Vec::new(), initial_orbit)];
+    // Delta-encoded schedules: every frontier entry references an arena
+    // node; the node chain materializes its schedule. The arena is only
+    // mutated at single-threaded barriers, so workers share it by
+    // reference while a level is in flight.
+    let mut arena = ScheduleArena::new();
+    let cap = config.max_resident_bytes;
+    let mut spill_dir: Option<SpillDir> = None;
+    let mut seen_spill_generation: u64 = 0;
+    let mut pending: PendingLevel<A> =
+        PendingLevel::Resident(vec![(Some(initial.clone()), SCHEDULE_ROOT, initial_orbit)]);
+    // Peak deep bytes of any single level — the frontier term of
+    // `approx_bytes`. Tracked from barrier sums (plus the root entry), so
+    // it is a pure function of the state space.
+    let mut level_bytes_peak: u64 = entry_bytes(initial, 0);
     let mut depth: u64 = 0;
     loop {
+        // Thaw a spilled level: records carry only (node, orbit); workers
+        // rebuild the executors by replaying the materialized schedules.
+        let level: Vec<Entry<A>> =
+            match std::mem::replace(&mut pending, PendingLevel::Resident(Vec::new())) {
+                PendingLevel::Resident(entries) => entries,
+                PendingLevel::Spilled { path, count } => {
+                    let (_tag, records) = read_segment(&path, SegmentKind::FrontierLevel)
+                        .expect("reading back a spilled level segment");
+                    let _ = std::fs::remove_file(&path);
+                    debug_assert_eq!(records.len() as u64, count);
+                    records
+                        .iter()
+                        .map(|record| {
+                            let (node, orbit) = decode_level_record(record);
+                            (None, node, orbit)
+                        })
+                        .collect()
+                }
+            };
         result.states_visited += level.len() as u64;
         for (_, _, orbit_lower) in &level {
             result.full_states_lower_bound =
@@ -281,7 +466,7 @@ where
         let terminal_paths = AtomicU64::new(0);
         let depth_cut = AtomicBool::new(false);
         let injector: Injector<Entry<A>> = Injector::new();
-        for entry in level.drain(..) {
+        for entry in level {
             injector.push(entry);
         }
         let workers: Vec<Worker<Entry<A>>> = (0..threads).map(|_| Worker::new_fifo()).collect();
@@ -296,8 +481,11 @@ where
                 let depth_cut = &depth_cut;
                 let predicate = &predicate;
                 let plan = &plan;
+                let arena = &arena;
                 scope.spawn(move || {
-                    while let Some((state, schedule, _)) = find_task(&local, injector, stealers) {
+                    while let Some((state, node, _)) = find_task(&local, injector, stealers) {
+                        let schedule = arena.materialize(node);
+                        let state = state.unwrap_or_else(|| replay(initial, &schedule));
                         let runnable = state.runnable();
                         if runnable.is_empty() {
                             terminal_paths.fetch_add(1, Ordering::Relaxed);
@@ -314,10 +502,14 @@ where
                             successor.step(process);
                             let (key, orbit_lower) = keyed(&successor, plan);
                             if seen.contains(&key) {
+                                // A spilled key reads as unseen here; the
+                                // barrier re-filters against the on-disk
+                                // generations before committing.
                                 continue;
                             }
                             let mut successor_schedule = schedule.clone();
                             successor_schedule.push(process);
+                            let bytes = entry_bytes(&successor, successor_schedule.len());
                             let mut shard =
                                 next[key.shard(SHARDS)].lock().expect("next shard poisoned");
                             match shard.entry(key) {
@@ -327,31 +519,35 @@ where
                                     // and the state it produced, which with
                                     // symmetry on may be a different member
                                     // of the same orbit — so the retained
-                                    // (state, schedule) pair never depends
-                                    // on timing.
+                                    // tuple never depends on timing.
                                     if successor_schedule < occupied.get().schedule {
                                         let kept = occupied.get_mut();
                                         kept.state = successor;
                                         kept.schedule = successor_schedule;
-                                        // The orbit weight belongs to the
-                                        // retained member (members of one
-                                        // orbit can carry different weights
-                                        // when merging crossed input
-                                        // classes), so it must travel with
-                                        // the state to stay deterministic.
+                                        kept.parent = node;
+                                        kept.step = process;
+                                        // The orbit weight (and byte charge)
+                                        // belong to the retained member, so
+                                        // they travel with the state to stay
+                                        // deterministic.
                                         kept.orbit_lower = orbit_lower;
+                                        kept.bytes = bytes;
                                     }
                                 }
                                 std::collections::hash_map::Entry::Vacant(vacant) => {
-                                    // First discovery: evaluate the predicate
-                                    // once per key (verdicts are identical
-                                    // across an orbit, so whichever member
-                                    // arrives first decides the same way).
+                                    // First discovery this level: evaluate
+                                    // the predicate once per key (verdicts
+                                    // are identical across an orbit, so
+                                    // whichever member arrives first decides
+                                    // the same way).
                                     let violating = predicate(&successor).is_some();
                                     vacant.insert(Discovered {
                                         state: successor,
                                         schedule: successor_schedule,
+                                        parent: node,
+                                        step: process,
                                         orbit_lower,
+                                        bytes,
                                         violating,
                                     });
                                 }
@@ -367,17 +563,39 @@ where
             break;
         }
 
-        // Barrier: freeze the next frontier, resolve violations, commit the
-        // discovered keys to the seen-set. Violation descriptions are
-        // (re)computed from the *retained* state, so the reported witness
-        // schedule and its description always describe the same
-        // configuration, whichever orbit member was discovered first.
+        // Barrier: filter candidates against spilled seen generations,
+        // commit the survivors' keys and arena deltas, resolve violations,
+        // freeze the next frontier. The spilled-filter runs FIRST: a
+        // re-discovered spilled key must vanish before violation handling,
+        // which keeps the output identical to a spill-off run (a seen key
+        // is never violating — its discovery level would have ended the
+        // search). Violation descriptions are (re)computed from the
+        // *retained* state, so the reported witness schedule and its
+        // description always describe the same configuration, whichever
+        // orbit member was discovered first.
         let mut violations: Vec<ExploredViolation> = Vec::new();
-        let mut next_level: Vec<Entry<A>> = Vec::new();
-        for shard in next {
-            let shard = shard.into_inner().expect("next shard poisoned");
-            for (key, discovered) in shard {
-                seen.insert(key);
+        let mut next_level: Vec<(Executor<A>, u32, u64, u64)> = Vec::new();
+        let mut next_level_bytes: u64 = 0;
+        for (index, shard) in next.into_iter().enumerate() {
+            let candidates = shard.into_inner().expect("next shard poisoned");
+            if candidates.is_empty() {
+                continue;
+            }
+            let spilled_paths = {
+                let shard = seen.shards[index].lock().expect("seen shard poisoned");
+                shard.spilled.clone()
+            };
+            let spilled_keys =
+                (!spilled_paths.is_empty()).then(|| load_spilled_keys(&spilled_paths));
+            for (key, discovered) in candidates {
+                if let Some(spilled) = &spilled_keys {
+                    if spilled.contains(&key) {
+                        continue;
+                    }
+                }
+                if !seen.insert(key) {
+                    continue;
+                }
                 if discovered.violating {
                     let description = predicate(&discovered.state).expect(
                         "the predicate rejected an orbit member of this state; verdicts \
@@ -388,10 +606,13 @@ where
                         description,
                     });
                 } else {
+                    let node = arena.push(discovered.parent, discovered.step);
+                    next_level_bytes += discovered.bytes;
                     next_level.push((
                         discovered.state,
-                        discovered.schedule,
+                        node,
                         discovered.orbit_lower,
+                        discovered.bytes,
                     ));
                 }
             }
@@ -406,22 +627,70 @@ where
         if next_level.is_empty() {
             break;
         }
+        level_bytes_peak = level_bytes_peak.max(next_level_bytes);
         if result.states_visited >= config.max_states {
             // Budget exhausted while work remains — at level granularity,
             // so the decision is a pure function of the state space.
             result.truncated = true;
+            result.pending_at_exit = next_level.len() as u64;
             break;
         }
-        level = next_level;
+        if cap > 0 && !config.spill && next_level_bytes > cap {
+            // Over the resident-byte budget with spill disabled: a
+            // deterministic truncation, decided at the barrier from the
+            // frozen level alone.
+            result.truncated = true;
+            result.pending_at_exit = next_level.len() as u64;
+            break;
+        }
+        if config.spill && cap > 0 && next_level_bytes > cap {
+            // Freeze the level to a sealed segment of (node, orbit)
+            // records; the executors are dropped here and rebuilt by
+            // replay when the level thaws.
+            let dir = match &spill_dir {
+                Some(dir) => dir,
+                None => {
+                    spill_dir = Some(SpillDir::fresh().expect("creating the spill directory"));
+                    spill_dir.as_ref().expect("just created")
+                }
+            };
+            let path = dir.file(&format!("level-{depth:08}.seg"));
+            let mut writer = SegmentWriter::create(&path, SegmentKind::FrontierLevel, depth)
+                .expect("creating a level spill segment");
+            let count = next_level.len() as u64;
+            for (_state, node, orbit, _bytes) in next_level.drain(..) {
+                writer
+                    .append(&encode_level_record(node, orbit))
+                    .expect("writing a level spill record");
+            }
+            writer.finish().expect("sealing a level spill segment");
+            result.spilled_entries += count;
+            pending = PendingLevel::Spilled { path, count };
+        } else {
+            pending = PendingLevel::Resident(
+                next_level
+                    .into_iter()
+                    .map(|(state, node, orbit, _bytes)| (Some(state), node, orbit))
+                    .collect(),
+            );
+        }
+        // Seen-set shards follow the same budget: once the live tables
+        // outgrow it, they move to sealed per-shard generations.
+        if config.spill && cap > 0 && seen.live_bytes() > cap {
+            let dir = match &spill_dir {
+                Some(dir) => dir,
+                None => {
+                    spill_dir = Some(SpillDir::fresh().expect("creating the spill directory"));
+                    spill_dir.as_ref().expect("just created")
+                }
+            };
+            seen.spill_live(dir, seen_spill_generation);
+            seen_spill_generation += 1;
+        }
         depth += 1;
     }
     result.seen_entries = seen.len();
-    result.approx_bytes = estimate_bytes::<A>(
-        initial.process_count(),
-        result.seen_entries,
-        result.frontier_peak,
-        result.max_depth_reached,
-    );
+    result.approx_bytes = level_bytes_peak + seen.table_bytes_if_resident();
     result
 }
 
@@ -689,6 +958,123 @@ mod tests {
             agreement_predicate(1)(&replay).is_some(),
             "the witness schedule must reproduce the violation"
         );
+    }
+
+    #[test]
+    fn frontier_semantics_distinguish_the_backends() {
+        // Regression for the conflated `frontier_peak` field: the serial
+        // explorer reports a DFS stack depth, the parallel one a BFS level
+        // width — same field, incomparable quantities, now labeled.
+        let exec = writers(3);
+        let serial = explore(&exec, ExploreConfig::default(), agreement_predicate(3));
+        let parallel = parallel_explore(
+            &exec,
+            ParallelExploreConfig::default(),
+            agreement_predicate(3),
+        );
+        assert_eq!(
+            serial.frontier_semantics,
+            crate::explore::FrontierSemantics::DfsStackDepth
+        );
+        assert_eq!(
+            parallel.frontier_semantics,
+            crate::explore::FrontierSemantics::BfsLevelWidth
+        );
+        assert_eq!(serial.frontier_semantics.label(), "dfs-stack-depth");
+        assert_eq!(parallel.frontier_semantics.label(), "bfs-level-width");
+    }
+
+    #[test]
+    fn spill_mode_is_byte_identical_at_any_worker_count() {
+        let exec = writers(3);
+        let base = parallel_explore(
+            &exec,
+            ParallelExploreConfig::with_threads(1),
+            agreement_predicate(3),
+        );
+        assert!(base.verified());
+        assert_eq!(base.spilled_entries, 0);
+        for threads in [1, 2, 8] {
+            let spilled = parallel_explore(
+                &exec,
+                ParallelExploreConfig {
+                    threads,
+                    spill: true,
+                    max_resident_bytes: 1,
+                    ..ParallelExploreConfig::default()
+                },
+                agreement_predicate(3),
+            );
+            assert!(
+                spilled.spilled_entries > 0,
+                "threads={threads}: the tiny cap must force level spills"
+            );
+            assert!(spilled.verified(), "threads={threads}: {spilled:?}");
+            assert_eq!(spilled.states_visited, base.states_visited);
+            assert_eq!(spilled.paths, base.paths);
+            assert_eq!(spilled.violation, base.violation);
+            assert_eq!(spilled.max_depth_reached, base.max_depth_reached);
+            assert_eq!(spilled.frontier_peak, base.frontier_peak);
+            assert_eq!(spilled.pending_at_exit, base.pending_at_exit);
+            assert_eq!(spilled.seen_entries, base.seen_entries);
+            assert_eq!(spilled.approx_bytes, base.approx_bytes);
+            assert_eq!(
+                spilled.full_states_lower_bound,
+                base.full_states_lower_bound
+            );
+        }
+    }
+
+    #[test]
+    fn spill_mode_finds_the_same_violation() {
+        let exec = racy();
+        let base = parallel_explore(
+            &exec,
+            ParallelExploreConfig::with_threads(2),
+            agreement_predicate(1),
+        );
+        let spilled = parallel_explore(
+            &exec,
+            ParallelExploreConfig {
+                threads: 2,
+                spill: true,
+                max_resident_bytes: 1,
+                ..ParallelExploreConfig::default()
+            },
+            agreement_predicate(1),
+        );
+        assert_eq!(spilled.violation, base.violation, "witness must not change");
+        assert_eq!(spilled.states_visited, base.states_visited);
+    }
+
+    #[test]
+    fn memory_cap_without_spill_truncates_and_spill_rescues_it() {
+        let exec = writers(3);
+        let capped = parallel_explore(
+            &exec,
+            ParallelExploreConfig {
+                max_resident_bytes: 1,
+                ..ParallelExploreConfig::default()
+            },
+            agreement_predicate(3),
+        );
+        assert!(capped.truncated, "over budget in-core must truncate");
+        assert!(!capped.verified());
+        assert!(capped.pending_at_exit > 0);
+        let rescued = parallel_explore(
+            &exec,
+            ParallelExploreConfig {
+                spill: true,
+                max_resident_bytes: 1,
+                ..ParallelExploreConfig::default()
+            },
+            agreement_predicate(3),
+        );
+        assert!(
+            rescued.verified(),
+            "spill must let the capped cell exhaust: {rescued:?}"
+        );
+        assert_eq!(rescued.pending_at_exit, 0);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Property battery for [`LatencyHistogram`]: the invariants the sharded
+//! service and the sweep records lean on, checked over generated sample
+//! streams instead of hand-picked ones.
+//!
+//! 1. **Shard merge is exact**: splitting a stream across any number of
+//!    shard histograms and merging them equals recording the whole stream
+//!    into one histogram — count, min, max, mean, every percentile.
+//! 2. **Percentiles are monotone in p**: for p ≤ q, `percentile(p) ≤
+//!    percentile(q)`.
+//! 3. **Percentiles stay in the observed range**: every estimate lies in
+//!    `[min, max]`, including for single-bucket and single-sample streams.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sa_serve::LatencyHistogram;
+
+/// Latency samples spanning the histogram's regimes: the exact sub-64
+/// buckets, the first coarse tiers, and values deep into the wide tiers
+/// (where relative error, not absolute, is bounded).
+fn sample() -> BoxedStrategy<u64> {
+    prop_oneof![
+        0u64..64,
+        64u64..4096,
+        4096u64..1_000_000,
+        1_000_000u64..=u64::MAX / 2,
+    ]
+    .boxed()
+}
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    vec(sample(), 1..200)
+}
+
+fn of(stream: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &s in stream {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn shard_merge_equals_the_combined_stream(
+        stream in samples(),
+        shard_count in 1usize..8,
+        assignment in vec(0usize..8, 1..200),
+    ) {
+        // Deal the stream across `shard_count` shard histograms using the
+        // generated assignment (cycled if shorter than the stream).
+        let mut shards = vec![LatencyHistogram::new(); shard_count];
+        for (i, &s) in stream.iter().enumerate() {
+            shards[assignment[i % assignment.len()] % shard_count].record(s);
+        }
+        let mut merged = LatencyHistogram::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        let combined = of(&stream);
+        prop_assert_eq!(merged.count(), combined.count());
+        prop_assert_eq!(merged.min(), combined.min());
+        prop_assert_eq!(merged.max(), combined.max());
+        prop_assert_eq!(merged.mean(), combined.mean());
+        for p in [0.1, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0] {
+            prop_assert_eq!(
+                merged.percentile(p),
+                combined.percentile(p),
+                "p{} differs between merge and combined stream",
+                p
+            );
+        }
+        prop_assert_eq!(merged.summary(), combined.summary());
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p(stream in samples()) {
+        let h = of(&stream);
+        let ps = [0.1, 1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 100.0];
+        for window in ps.windows(2) {
+            let (lo, hi) = (window[0], window[1]);
+            prop_assert!(
+                h.percentile(lo) <= h.percentile(hi),
+                "p{} = {} exceeds p{} = {}",
+                lo,
+                h.percentile(lo),
+                hi,
+                h.percentile(hi)
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_stay_within_the_observed_range(stream in samples()) {
+        let h = of(&stream);
+        let (lo, hi) = (h.min(), h.max());
+        prop_assert!(lo <= hi);
+        for p in [0.1, 1.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            let got = h.percentile(p);
+            prop_assert!(
+                got >= lo && got <= hi,
+                "p{} = {} left the observed range [{}, {}]",
+                p,
+                got,
+                lo,
+                hi
+            );
+        }
+    }
+
+    #[test]
+    fn merging_preserves_range_and_count_pairwise(
+        a in samples(),
+        b in samples(),
+    ) {
+        let mut merged = of(&a);
+        merged.merge(&of(&b));
+        let combined: Vec<u64> = a.iter().chain(&b).copied().collect();
+        let expected = of(&combined);
+        prop_assert_eq!(merged.count(), expected.count());
+        prop_assert_eq!(merged.min(), expected.min());
+        prop_assert_eq!(merged.max(), expected.max());
+        prop_assert_eq!(merged.summary(), expected.summary());
+    }
+}

@@ -6,6 +6,7 @@
 //!           [--backend scheduled|threaded[,BOTH]] [--seeds N|LIST]
 //!           [--campaign-seed S] [--workload SPEC] [--max-steps N]
 //!           [--shard I/N] [--threads N] [--out FILE] [--progress N]
+//!           [--spill on|off] [--max-resident-mb N] [--checkpoint DIR]
 //! sweep serve [--n N] [--m M] [--k K] [--shards N] [--batch-max N]
 //!             [--clients N] [--rate N] [--duration N] [--clock MODE]
 //!             [--workload SPEC] [--seed S] [--max-steps N]
@@ -96,6 +97,20 @@ run options:
   --rate N             serve mode: proposals per virtual tick (default 8)
   --duration N         serve mode: virtual ticks before the drain
                        (default 1000)
+  --spill on|off       explore mode: spill frozen frontier levels and
+                       seen-set shards to disk once the resident budget is
+                       exceeded (default off). Output is byte-identical with
+                       spill on or off — spilling trades wall-clock for
+                       memory, never verdicts
+  --max-resident-mb N  explore mode: resident-memory budget per exploration
+                       in MiB (0 = unlimited, the default). Without --spill
+                       the explorer truncates at the budget; with it, frozen
+                       work moves to disk and the search continues
+  --checkpoint DIR     journal each completed scenario to
+                       DIR/campaign.journal (synced before it reaches the
+                       sink). Rerunning with the same spec, shard and DIR
+                       resumes from the last completed scenario and emits a
+                       byte-identical stream; a different spec is rejected
   --threads N          worker threads (default: all CPUs)
   --out FILE           write JSONL here instead of stdout
   --progress N         progress line to stderr every N scenarios
@@ -240,6 +255,21 @@ fn cmd_run(args: &[String]) -> ExitCode {
                     spec.symmetry = SymmetryMode::parse(value).ok_or_else(|| {
                         format!("bad symmetry mode {value:?} (want off or process-ids)")
                     })?;
+                }
+                "--spill" => {
+                    spec.spill = match value {
+                        "on" => true,
+                        "off" => false,
+                        other => return Err(format!("bad spill mode {other:?} (want on or off)")),
+                    };
+                }
+                "--max-resident-mb" => {
+                    spec.max_resident_mb = value
+                        .parse()
+                        .map_err(|_| format!("bad resident budget {value:?}"))?;
+                }
+                "--checkpoint" => {
+                    config.checkpoint = Some(std::path::PathBuf::from(value));
                 }
                 "--threads" => {
                     config.threads = value

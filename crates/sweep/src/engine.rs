@@ -13,17 +13,19 @@
 use crate::grid::{derive_seed, expand, ExpansionStats, ScenarioSpec};
 use crate::record::SweepRecord;
 use crate::spec::{BackendSpec, CampaignMode, CampaignSpec};
+use set_agreement::runtime::store::{fnv1a64, Journal, SegmentKind};
 use set_agreement::runtime::{
     ExploreConfig, ParallelExploreConfig, ServeClock, ServeOptions, ThreadedConfig,
 };
 use set_agreement::{Backend, ExecutionPlan, Executor};
 use std::collections::BTreeMap;
 use std::io::Write;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 /// How the engine executes a campaign.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EngineConfig {
     /// Worker threads; 0 means one per available CPU.
     pub threads: usize,
@@ -35,6 +37,15 @@ pub struct EngineConfig {
     /// campaign-global indices, so a complete shard set reassembles into
     /// the unsharded stream with [`merge_shards`](crate::merge_shards).
     pub shard: Option<(u64, u64)>,
+    /// Crash-safe checkpoint directory. When set, every completed scenario's
+    /// record is appended (and synced) to `<dir>/campaign.journal` before it
+    /// reaches the sink, and a rerun with the same spec, shard and directory
+    /// replays journaled records verbatim instead of recomputing them — so a
+    /// killed campaign resumes from its last completed scenario and still
+    /// produces a byte-identical JSONL stream. The journal is tagged with a
+    /// hash of the spec text and shard selection; reusing a directory for a
+    /// different campaign is an error, not silent corruption.
+    pub checkpoint: Option<PathBuf>,
 }
 
 impl EngineConfig {
@@ -146,6 +157,8 @@ pub fn run_scenario(campaign: &str, spec: &ScenarioSpec) -> SweepRecord {
                 max_depth: spec.max_steps,
                 max_states: spec.max_states,
                 symmetry: spec.symmetry,
+                spill: spec.spill,
+                max_resident_bytes: spec.max_resident_mb * 1024 * 1024,
             })
         }
         (CampaignMode::Explore, _) => Backend::Explore(ExploreConfig {
@@ -153,6 +166,8 @@ pub fn run_scenario(campaign: &str, spec: &ScenarioSpec) -> SweepRecord {
             max_states: spec.max_states,
             dedup: true,
             symmetry: spec.symmetry,
+            spill: spec.spill,
+            max_resident_bytes: spec.max_resident_mb * 1024 * 1024,
         }),
         (CampaignMode::Serve, _) => unreachable!("serve scenarios are dispatched above"),
     };
@@ -197,7 +212,40 @@ pub fn run_campaign(
         expansion,
         ..CampaignOutcome::default()
     };
-    let threads = config.effective_threads().min(scenarios.len().max(1));
+
+    // Checkpoint resume: load the journal's completed records, keyed by
+    // campaign index. Workers skip completed scenarios entirely; the
+    // consumer replays the journaled line bytes verbatim, so the resumed
+    // stream is byte-identical to an uninterrupted run. The journal tag
+    // binds the directory to this exact campaign (spec text + shard).
+    let mut journal = None;
+    let mut completed: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    if let Some(dir) = &config.checkpoint {
+        std::fs::create_dir_all(dir)?;
+        let tag = checkpoint_tag(spec, config.shard);
+        let (entries, handle) = Journal::open(
+            &dir.join("campaign.journal"),
+            SegmentKind::CampaignJournal,
+            tag,
+        )?;
+        for entry in entries {
+            if entry.len() < 8 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "journal record shorter than its index prefix",
+                ));
+            }
+            let index = u64::from_le_bytes(entry[..8].try_into().unwrap());
+            completed.insert(index, entry[8..].to_vec());
+        }
+        journal = Some(handle);
+    }
+    let work: Vec<&ScenarioSpec> = scenarios
+        .iter()
+        .filter(|s| !completed.contains_key(&s.index))
+        .collect();
+
+    let threads = config.effective_threads().min(work.len().max(1));
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(u64, SweepRecord)>();
 
@@ -205,11 +253,11 @@ pub fn run_campaign(
         for _ in 0..threads {
             let tx = tx.clone();
             let cursor = &cursor;
-            let scenarios = &scenarios;
+            let work = &work;
             let name = &spec.name;
             scope.spawn(move || loop {
                 let next = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(scenario) = scenarios.get(next) else {
+                let Some(scenario) = work.get(next) else {
                     break;
                 };
                 let record = run_scenario(name, scenario);
@@ -223,13 +271,40 @@ pub fn run_campaign(
         // Reorder buffer: records arrive in completion order but leave in
         // scenario order, keeping the stream deterministic. Under sharding
         // the expected indices are the (sorted) filtered ones, not 0..len.
-        let mut pending: BTreeMap<u64, SweepRecord> = BTreeMap::new();
+        // Journaled records (resume) enter the buffer with their original
+        // line bytes; freshly computed ones are journaled — synced to disk
+        // — before the line reaches the sink, so a kill between the two
+        // never loses a completed scenario.
+        let mut pending: BTreeMap<u64, (SweepRecord, Option<Vec<u8>>)> = BTreeMap::new();
+        for (&index, line) in &completed {
+            let text = std::str::from_utf8(line).map_err(|_| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "journaled record is not UTF-8",
+                )
+            })?;
+            let mut records = crate::record::parse_jsonl(text).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("journaled record does not parse: {e}"),
+                )
+            })?;
+            if records.len() != 1 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "journal entry holds more than one record",
+                ));
+            }
+            pending.insert(index, (records.remove(0), Some(line.clone())));
+        }
         let mut expected = scenarios.iter().map(|s| s.index);
         let mut next_index = expected.next();
         let mut written = 0u64;
-        while let Ok((index, record)) = rx.recv() {
-            pending.insert(index, record);
-            while let Some(record) = next_index.and_then(|i| pending.remove(&i)) {
+        loop {
+            while let Some(index) = next_index {
+                let Some((record, journaled_line)) = pending.remove(&index) else {
+                    break;
+                };
                 outcome.records += 1;
                 if !record.safe() {
                     outcome.safety_violations += 1;
@@ -257,12 +332,33 @@ pub fn run_campaign(
                         outcome.unverified_explorations += 1;
                     }
                 }
-                writeln!(sink, "{}", record.to_json())?;
+                match journaled_line {
+                    Some(line) => {
+                        sink.write_all(&line)?;
+                        sink.write_all(b"\n")?;
+                    }
+                    None => {
+                        let line = record.to_json();
+                        if let Some(journal) = journal.as_mut() {
+                            let mut body = Vec::with_capacity(8 + line.len());
+                            body.extend_from_slice(&index.to_le_bytes());
+                            body.extend_from_slice(line.as_bytes());
+                            journal.append(&body)?;
+                        }
+                        writeln!(sink, "{line}")?;
+                    }
+                }
                 next_index = expected.next();
                 written += 1;
                 if config.progress_every > 0 && written.is_multiple_of(config.progress_every) {
                     eprintln!("sweep: {written}/{} scenarios done", scenarios.len());
                 }
+            }
+            match rx.recv() {
+                Ok((index, record)) => {
+                    pending.insert(index, (record, None));
+                }
+                Err(_) => break,
             }
         }
         debug_assert!(pending.is_empty(), "reorder buffer drained");
@@ -271,6 +367,18 @@ pub fn run_campaign(
 
     sink.flush()?;
     Ok(outcome)
+}
+
+/// The journal tag binding a checkpoint directory to one campaign: a hash
+/// of the spec's canonical text plus the shard selection. Opening the same
+/// directory with a different spec or shard fails loudly instead of
+/// splicing foreign records into the stream.
+fn checkpoint_tag(spec: &CampaignSpec, shard: Option<(u64, u64)>) -> u64 {
+    let mut text = spec.to_string();
+    if let Some((index, count)) = shard {
+        text.push_str(&format!("\nshard = {index}/{count}\n"));
+    }
+    fnv1a64(text.as_bytes())
 }
 
 /// Like [`run_campaign`] but collects the records instead of streaming

@@ -93,6 +93,15 @@ pub struct ScenarioSpec {
     /// [`SymmetryMode::Off`] when sampling). Like `explore_threads`, not
     /// part of the scenario's identity.
     pub symmetry: SymmetryMode,
+    /// Spill frozen frontier levels and seen-set shards to disk when the
+    /// explorer exceeds its resident budget (exhaustive scenarios only).
+    /// Like `explore_threads`, not part of the scenario's identity —
+    /// exploration output is byte-identical with spill on or off.
+    pub spill: bool,
+    /// Resident-memory budget in MiB for the explorer's spill decisions
+    /// (0 = unlimited; unused when sampling). Not part of the scenario's
+    /// identity.
+    pub max_resident_mb: u64,
     /// Service worker threads for serve scenarios (0 in other modes).
     /// Like `explore_threads`, not part of the scenario's identity: serve
     /// records are byte-identical at any shard count.
@@ -412,6 +421,8 @@ fn sampled_scenario(
         max_states: spec.max_states,
         explore_threads: 0,
         symmetry: SymmetryMode::Off,
+        spill: false,
+        max_resident_mb: 0,
         shards: 0,
         batch_max: 0,
         clients: 0,
@@ -470,6 +481,8 @@ fn threaded_scenario(
         max_states: spec.max_states,
         explore_threads: 0,
         symmetry: SymmetryMode::Off,
+        spill: false,
+        max_resident_mb: 0,
         shards: 0,
         batch_max: 0,
         clients: 0,
@@ -521,6 +534,8 @@ fn explore_scenario(
         max_states: spec.max_states,
         explore_threads: spec.explore_threads,
         symmetry: spec.symmetry,
+        spill: spec.spill,
+        max_resident_mb: spec.max_resident_mb,
         shards: 0,
         batch_max: 0,
         clients: 0,
@@ -573,6 +588,8 @@ fn serve_scenario(spec: &CampaignSpec, index: u64, params: Params, seed: u64) ->
         max_states: spec.max_states,
         explore_threads: 0,
         symmetry: SymmetryMode::Off,
+        spill: false,
+        max_resident_mb: 0,
         shards: spec.shards,
         batch_max: spec.batch_max,
         clients: spec.clients,

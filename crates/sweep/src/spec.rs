@@ -403,6 +403,19 @@ pub struct CampaignSpec {
     /// prune unsoundly. Off by default, which keeps record bytes identical
     /// to pre-symmetry releases.
     pub symmetry: SymmetryMode,
+    /// Whether explorations may spill frozen frontier chunks and seen-set
+    /// shards to disk when they exceed the resident-byte budget (ignored
+    /// in [`CampaignMode::Sample`]). A "how" knob like `explore-threads`:
+    /// records are byte-identical with spill on or off, so it is not part
+    /// of a scenario's identity.
+    pub spill: bool,
+    /// Resident-memory budget per exploration in MiB (ignored in
+    /// [`CampaignMode::Sample`]); 0 means unlimited. Over budget, a
+    /// spilling exploration moves cold state to disk and continues, a
+    /// non-spilling one deterministically truncates. Also a "how" knob —
+    /// except that a budget small enough to truncate a non-spilling cell
+    /// changes that cell's verdict, exactly like `max-states` does.
+    pub max_resident_mb: u64,
     /// Service worker threads per [`CampaignMode::Serve`] scenario
     /// (ignored in the other modes). Like `explore-threads`, a "how" knob:
     /// under the virtual clock records are byte-identical at any shard
@@ -444,6 +457,8 @@ impl Default for CampaignSpec {
             max_states: 2_000_000,
             explore_threads: 0,
             symmetry: SymmetryMode::Off,
+            spill: false,
+            max_resident_mb: 0,
             shards: 2,
             batch_max: 8,
             clients: 64,
@@ -545,8 +560,11 @@ impl CampaignSpec {
     /// (exploration state budget), `explore-threads` (exploration worker
     /// threads; 0 = serial explorer), `symmetry` (`off` or
     /// `process-ids`: deduplicate explored states up to process-id
-    /// orbits), and the `mode = serve` service keys `shards`, `batch-max`,
-    /// `clients`, `rate` and `duration` (all at least 1).
+    /// orbits), `spill` (`on` or `off`: let explorations move cold
+    /// frontier and seen-set state to disk under memory pressure),
+    /// `max-resident-mb` (resident-memory budget per exploration in MiB;
+    /// 0 = unlimited), and the `mode = serve` service keys `shards`,
+    /// `batch-max`, `clients`, `rate` and `duration` (all at least 1).
     pub fn parse(text: &str) -> Result<Self, SpecError> {
         let mut spec = CampaignSpec::default();
         let (mut grid_n, mut grid_m, mut grid_k) = (None, None, None);
@@ -613,6 +631,18 @@ impl CampaignSpec {
                             "unknown symmetry {value:?} (want off or process-ids)"
                         ))
                     })?;
+                }
+                "spill" => {
+                    spec.spill = match value {
+                        "on" => true,
+                        "off" => false,
+                        _ => return err(format!("unknown spill {value:?} (want on or off)")),
+                    };
+                }
+                "max-resident-mb" => {
+                    spec.max_resident_mb = value
+                        .parse()
+                        .map_err(|_| SpecError(format!("bad max-resident-mb {value:?}")))?;
                 }
                 "shards" => spec.shards = parse_positive(key, value)?,
                 "batch-max" => spec.batch_max = parse_positive(key, value)?,
@@ -726,6 +756,8 @@ impl std::fmt::Display for CampaignSpec {
         writeln!(f, "max-states = {}", self.max_states)?;
         writeln!(f, "explore-threads = {}", self.explore_threads)?;
         writeln!(f, "symmetry = {}", self.symmetry.label())?;
+        writeln!(f, "spill = {}", if self.spill { "on" } else { "off" })?;
+        writeln!(f, "max-resident-mb = {}", self.max_resident_mb)?;
         writeln!(f, "shards = {}", self.shards)?;
         writeln!(f, "batch-max = {}", self.batch_max)?;
         writeln!(f, "clients = {}", self.clients)?;
@@ -918,6 +950,26 @@ duration = 500",
         ] {
             assert!(CampaignSpec::parse(bad).is_err(), "{bad:?} parsed");
         }
+    }
+
+    #[test]
+    fn spill_knobs_parse_round_trip_and_default_off() {
+        let defaults = CampaignSpec::parse("").unwrap();
+        assert!(!defaults.spill);
+        assert_eq!(defaults.max_resident_mb, 0);
+        let spec = CampaignSpec::parse(
+            "mode = explore
+spill = on
+max-resident-mb = 512",
+        )
+        .unwrap();
+        assert!(spec.spill);
+        assert_eq!(spec.max_resident_mb, 512);
+        let reparsed = CampaignSpec::parse(&spec.to_string()).unwrap();
+        assert!(reparsed.spill);
+        assert_eq!(reparsed.max_resident_mb, 512);
+        assert!(CampaignSpec::parse("spill = maybe").is_err());
+        assert!(CampaignSpec::parse("max-resident-mb = lots").is_err());
     }
 
     #[test]

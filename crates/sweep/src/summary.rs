@@ -70,7 +70,10 @@ pub struct CellSummary {
     /// Maximum full-state lower bound of any symmetry-reduced exploration
     /// of this cell.
     pub max_full_states_lower_bound: u64,
-    /// Maximum peak frontier size of any parallel exploration of this cell.
+    /// Maximum peak BFS level width of any parallel exploration of this
+    /// cell. Parallel `frontier_peak` counts the widest level of the
+    /// level-synchronized search — the serial explorer's DFS stack depth is
+    /// a different quantity and is deliberately not aggregated here.
     pub max_frontier_peak: u64,
     /// Maximum estimated explorer memory (bytes) of any parallel
     /// exploration of this cell.
@@ -140,7 +143,9 @@ pub struct Summary {
     pub total_orbit_states: u64,
     /// Total full-state lower bound across all symmetry-reduced records.
     pub total_full_states_lower_bound: u64,
-    /// Maximum peak frontier size across all parallel explorations.
+    /// Maximum peak BFS level width across all parallel explorations
+    /// (the widest level of the level-synchronized search, not a DFS stack
+    /// depth).
     pub max_frontier_peak: u64,
     /// Maximum estimated explorer memory (bytes) across all parallel
     /// explorations.
@@ -293,7 +298,7 @@ impl Summary {
     /// Campaigns with explore-mode records gain `states`/`depth` columns
     /// (maximum states visited and maximum exploration depth per cell);
     /// campaigns with parallel-explore records additionally gain
-    /// `frontier`/`mem-MB` columns (peak BFS frontier and estimated peak
+    /// `frontier`/`mem-MB` columns (peak BFS level width and estimated peak
     /// explorer memory per cell); campaigns with threaded records gain
     /// `wall-ms`/`steps/s` columns
     /// (total wall clock, millisecond display of the microsecond totals, and
@@ -471,7 +476,7 @@ impl Summary {
             let _ = writeln!(
                 out,
                 "parallel explore: {} cells on the work-stealing explorer, \
-                 peak frontier {} states, ~{:.1} MB peak explorer memory",
+                 peak BFS level width {} states, ~{:.1} MB peak explorer memory",
                 self.parallel_explored,
                 self.max_frontier_peak,
                 self.max_approx_bytes as f64 / (1024.0 * 1024.0)
@@ -725,6 +730,43 @@ mod tests {
             ops_per_sec: 0,
             decided_fingerprint: 0,
         }
+    }
+
+    #[test]
+    fn parallel_frontier_stats_are_labelled_as_bfs_level_width() {
+        // Regression: `frontier_peak` used to be rendered with wording that
+        // conflated the serial explorer's DFS stack depth with the parallel
+        // explorer's widest BFS level. Only parallel records carry the
+        // statistic, and the summary must name the quantity it aggregates.
+        let mut parallel = record(0);
+        parallel.adversary = "exhaustive".into();
+        parallel.mode = "explore".into();
+        parallel.backend = "parallel-explore".into();
+        parallel.explored_states = 200;
+        parallel.frontier_peak = 44;
+        parallel.seen_entries = 200;
+        parallel.approx_bytes = 3 * 1024 * 1024;
+        parallel.verified = true;
+        let summary = Summary::of(&[parallel]);
+        assert_eq!(summary.max_frontier_peak, 44);
+        let rendered = summary.render();
+        assert!(
+            rendered.contains("peak BFS level width 44 states"),
+            "{rendered}"
+        );
+        assert!(!rendered.contains("peak frontier"), "{rendered}");
+
+        // Serial explore records carry no frontier statistic at all, so the
+        // aggregate stays zero instead of absorbing a DFS stack depth.
+        let mut serial = record(1);
+        serial.adversary = "exhaustive".into();
+        serial.mode = "explore".into();
+        serial.backend = "explore".into();
+        serial.explored_states = 200;
+        serial.verified = true;
+        let summary = Summary::of(&[serial]);
+        assert_eq!(summary.max_frontier_peak, 0);
+        assert!(!summary.render().contains("BFS level width"));
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Crash-safe campaign checkpointing: a campaign run with
+//! [`EngineConfig::checkpoint`] journals every completed scenario, and a
+//! rerun after a mid-flight kill resumes from the journal and still emits a
+//! JSONL stream byte-identical to an uninterrupted run. The "kill" here is
+//! simulated in-process by truncating the journal back to a prefix of
+//! completed records and appending a torn partial record — exactly the disk
+//! state a `kill -9` between two appends leaves behind.
+
+use sa_sweep::prelude::*;
+use set_agreement::Algorithm;
+use std::fs;
+use std::path::PathBuf;
+
+fn campaign() -> CampaignSpec {
+    CampaignSpec {
+        name: "checkpoint".into(),
+        params: ParamsSpec::Grid {
+            n: vec![4, 5],
+            m: vec![1, 2],
+            k: vec![2],
+        },
+        algorithms: vec![Algorithm::OneShot, Algorithm::FullInformation],
+        adversaries: vec![AdversarySpec::Obstruction {
+            contention_factor: 20,
+            survivors: Survivors::M,
+        }],
+        seeds: vec![0, 1],
+        workload: WorkloadSpec::Distinct,
+        max_steps: 200_000,
+        campaign_seed: 7,
+        ..CampaignSpec::default()
+    }
+}
+
+/// A unique scratch directory; removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(label: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "sa-sweep-checkpoint-{label}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        TempDir(dir)
+    }
+
+    fn journal(&self) -> PathBuf {
+        self.0.join("campaign.journal")
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run_with_checkpoint(spec: &CampaignSpec, dir: &TempDir, threads: usize) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    run_campaign(
+        spec,
+        EngineConfig {
+            threads,
+            checkpoint: Some(dir.0.clone()),
+            ..EngineConfig::default()
+        },
+        &mut bytes,
+    )
+    .expect("campaign run");
+    bytes
+}
+
+/// Truncates the journal back to its first `keep` records and appends a
+/// torn partial record, mimicking a writer killed mid-append.
+fn mangle_journal(path: &PathBuf, keep: usize) {
+    let contents = fs::read(path).expect("read journal");
+    assert!(contents.len() > 24, "journal must hold a header");
+    let mut valid = 24usize; // past the segment header
+    for _ in 0..keep {
+        let rest = &contents[valid..];
+        assert!(rest.len() >= 12, "journal holds fewer records than `keep`");
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        valid += 12 + len;
+    }
+    let mut mangled = contents[..valid].to_vec();
+    // A torn tail: a length prefix promising more bytes than follow.
+    mangled.extend_from_slice(&1000u32.to_le_bytes());
+    mangled.extend_from_slice(&[0xAB; 5]);
+    fs::write(path, mangled).expect("rewrite journal");
+}
+
+#[test]
+fn killed_campaign_resumes_byte_identically() {
+    let spec = campaign();
+
+    // Reference: plain uninterrupted run without any checkpointing.
+    let mut reference = Vec::new();
+    run_campaign(&spec, EngineConfig::default(), &mut reference).expect("reference run");
+    assert!(!reference.is_empty());
+    let records = reference.iter().filter(|&&b| b == b'\n').count();
+    assert!(records >= 4, "need enough records to kill mid-flight");
+
+    // A checkpointed run produces the same bytes and a full journal.
+    let dir = TempDir::new("resume");
+    let checkpointed = run_with_checkpoint(&spec, &dir, 4);
+    assert_eq!(checkpointed, reference, "checkpointing changed the stream");
+
+    // Simulate a kill after `records / 2` completed scenarios, torn tail
+    // included, then resume. The resumed stream must be byte-identical.
+    mangle_journal(&dir.journal(), records / 2);
+    let resumed = run_with_checkpoint(&spec, &dir, 4);
+    assert_eq!(resumed, reference, "resumed stream drifted");
+
+    // Resuming a *complete* journal recomputes nothing and still emits the
+    // identical stream.
+    let replayed = run_with_checkpoint(&spec, &dir, 1);
+    assert_eq!(replayed, reference, "full-journal replay drifted");
+}
+
+#[test]
+fn truncated_journal_reruns_only_missing_scenarios() {
+    let spec = campaign();
+    let dir = TempDir::new("partial");
+    let full = run_with_checkpoint(&spec, &dir, 2);
+    let records = full.iter().filter(|&&b| b == b'\n').count();
+
+    // Keep one completed record; the resume must recompute the rest and
+    // grow the journal back to one entry per scenario.
+    mangle_journal(&dir.journal(), 1);
+    let resumed = run_with_checkpoint(&spec, &dir, 2);
+    assert_eq!(resumed, full);
+    let contents = fs::read(dir.journal()).expect("read journal");
+    let mut offset = 24usize;
+    let mut count = 0usize;
+    while contents.len() - offset >= 12 {
+        let len = u32::from_le_bytes(contents[offset..offset + 4].try_into().unwrap()) as usize;
+        offset += 12 + len;
+        count += 1;
+    }
+    assert_eq!(offset, contents.len(), "journal ends on a record boundary");
+    assert_eq!(count, records, "one journal entry per scenario");
+}
+
+#[test]
+fn checkpoint_directory_rejects_a_different_campaign() {
+    let dir = TempDir::new("mismatch");
+    let spec = campaign();
+    run_with_checkpoint(&spec, &dir, 2);
+
+    let mut other = campaign();
+    other.campaign_seed = 8;
+    let mut bytes = Vec::new();
+    let err = run_campaign(
+        &other,
+        EngineConfig {
+            checkpoint: Some(dir.0.clone()),
+            ..EngineConfig::default()
+        },
+        &mut bytes,
+    )
+    .expect_err("a foreign journal must be rejected");
+    assert!(
+        err.to_string().contains("different campaign"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn sharded_checkpoints_are_kept_apart_by_the_tag() {
+    let spec = campaign();
+    let dir = TempDir::new("shard");
+    let mut bytes = Vec::new();
+    run_campaign(
+        &spec,
+        EngineConfig {
+            shard: Some((0, 2)),
+            checkpoint: Some(dir.0.clone()),
+            ..EngineConfig::default()
+        },
+        &mut bytes,
+    )
+    .expect("shard 0 run");
+
+    // The same directory cannot serve the other shard: its journal is
+    // tagged with the shard selection.
+    let mut other = Vec::new();
+    let err = run_campaign(
+        &spec,
+        EngineConfig {
+            shard: Some((1, 2)),
+            checkpoint: Some(dir.0.clone()),
+            ..EngineConfig::default()
+        },
+        &mut other,
+    )
+    .expect_err("shard 1 must not reuse shard 0's journal");
+    assert!(err.to_string().contains("different campaign"));
+}

@@ -114,6 +114,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_states: 1_000_000,
             dedup: true,
             symmetry,
+            ..ExploreConfig::default()
         };
         let full = explore(
             &anonymous,

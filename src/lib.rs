@@ -962,7 +962,7 @@ impl ExecutionPlan {
         config: ParallelExploreConfig,
     ) -> ExploreReport
     where
-        A: Automaton + Clone + Debug + Hash + Send,
+        A: Automaton + Clone + Debug + Hash + Send + Sync,
         A::Value: Clone + Eq + Debug + Hash + Send + Sync,
     {
         let executor = StepExecutor::new(automata);
@@ -1185,7 +1185,7 @@ trait AutomataDriver {
     /// Consumes the constructed automata.
     fn drive<A>(self, plan: &ExecutionPlan, automata: Vec<A>, workload: &Workload) -> Self::Output
     where
-        A: Automaton + Clone + Debug + Hash + Send,
+        A: Automaton + Clone + Debug + Hash + Send + Sync,
         A::Value: Clone + Eq + Debug + Hash + Send + Sync;
 }
 
@@ -1207,7 +1207,7 @@ impl AutomataDriver for BackendDriver<'_> {
         workload: &Workload,
     ) -> ExecutionReport
     where
-        A: Automaton + Clone + Debug + Hash + Send,
+        A: Automaton + Clone + Debug + Hash + Send + Sync,
         A::Value: Clone + Eq + Debug + Hash + Send + Sync,
     {
         match self.backend {

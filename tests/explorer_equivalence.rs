@@ -146,6 +146,7 @@ fn symmetry_quotient_preserves_verdicts_on_every_spec_cell() {
                 max_states: scenario.max_states,
                 dedup: true,
                 symmetry,
+                ..ExploreConfig::default()
             })
         };
         let off = explore_with(&scenario, serial(SymmetryMode::Off));
@@ -204,6 +205,7 @@ fn symmetry_quotient_preserves_verdicts_on_every_spec_cell() {
                     max_depth: scenario.max_steps,
                     max_states: scenario.max_states,
                     symmetry: SymmetryMode::ProcessIds,
+                    ..ParallelExploreConfig::default()
                 }),
             );
             assert!(parallel.symmetry_applied, "{cell} x{threads}");
@@ -251,6 +253,7 @@ fn uniform_workloads_reduce_id_carrying_cells_too() {
                 max_states: 1_000_000,
                 dedup: true,
                 symmetry,
+                ..ExploreConfig::default()
             }))
             .execute(&plan)
             .expect_explored()

@@ -315,6 +315,7 @@ fn witnesses_replay_with_symmetry_on_and_off() {
             max_states: 500_000,
             dedup: true,
             symmetry,
+            ..ExploreConfig::default()
         };
         let result = explore(&oneshot(), serial, agreement_predicate(1));
         assert_eq!(
@@ -331,6 +332,7 @@ fn witnesses_replay_with_symmetry_on_and_off() {
                 max_depth: 10_000,
                 max_states: 500_000,
                 symmetry,
+                ..ParallelExploreConfig::default()
             };
             let result = parallel_explore(&oneshot(), parallel, agreement_predicate(1));
             assert_witness_replays(
@@ -371,6 +373,7 @@ fn opaque_systems_fall_back_instead_of_pruning() {
         max_states: 20_000,
         dedup: true,
         symmetry: SymmetryMode::ProcessIds,
+        ..ExploreConfig::default()
     };
     let requested = explore(&executor, config, agreement_predicate(1));
     let plain = explore(
