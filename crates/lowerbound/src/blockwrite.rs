@@ -1,241 +1,30 @@
 //! Block writes, covering configurations and obliteration — the executable
 //! core of the Theorem 2 argument.
 //!
-//! The covering lower bound rests on one mechanical fact: if a set `P` of
-//! processes is *poised* to write to a set `A` of locations (it "covers"
-//! `A`), and another group `Q` runs a fragment that only writes inside `A`,
-//! then releasing `P`'s pending writes (a *block write*) leaves the shared
-//! memory in exactly the state it would have had if `Q`'s fragment had never
-//! happened. The fragment can therefore be spliced into the execution without
-//! any later process being able to tell — which is how the proof collects
-//! `k + 1` outputs from an algorithm that uses too few registers.
-//!
-//! This module provides those mechanics over real executors:
-//!
-//! * [`poised_write_location`] — what a process is about to write, if
-//!   anything (the observation the adversary of Figure 2 relies on).
-//! * [`run_until_poised_outside`] — advance a group until some member is
-//!   about to write outside a covered set (the loop body of Figure 2).
-//! * [`block_write`] — release one pending write of every covering process.
-//! * [`obliterates`] — check, by running both branches, that a fragment's
-//!   traces are erased by the block write.
-//! * [`splice_is_invisible`] — check that a later observer decides the same
-//!   values whether or not the fragment was spliced in.
+//! The mechanics themselves ([`poised_write_location`],
+//! [`run_until_poised_outside`], [`block_write`], [`obliterates`],
+//! [`splice_is_invisible`]) now live in `sa-search`'s [`goal`][sa_search::goal]
+//! module, where the adversary-search driver evaluates them per
+//! configuration; the hand-built constructions in this crate and the machine
+//! search share that single implementation, so a covering means exactly the
+//! same thing in both. This module re-exports them under their historical
+//! paths and keeps the original test battery as the executable specification
+//! of the mechanics (covering observation, block-write release, obliteration
+//! and splice invisibility) against the paper's own algorithms.
 
-use sa_memory::Location;
-use sa_model::{Automaton, Op, ProcessId};
-use sa_runtime::Executor;
-use std::collections::BTreeSet;
-use std::fmt::Debug;
-use std::hash::Hash;
-
-/// The location `process` is poised to write, or `None` if it is halted, or
-/// poised to a read, a scan or a local step.
-pub fn poised_write_location<A>(executor: &Executor<A>, process: ProcessId) -> Option<Location>
-where
-    A: Automaton,
-    A::Value: Clone + Eq + Debug,
-{
-    match executor.poised(process)? {
-        Op::Write { register, .. } => Some(Location::Register(register)),
-        Op::Update {
-            snapshot,
-            component,
-            ..
-        } => Some(Location::Component {
-            snapshot,
-            component,
-        }),
-        _ => None,
-    }
-}
-
-/// The locations covered by `processes` in the current configuration: the
-/// pending-write targets of those that are poised to write.
-pub fn covered_locations<A>(executor: &Executor<A>, processes: &[ProcessId]) -> BTreeSet<Location>
-where
-    A: Automaton,
-    A::Value: Clone + Eq + Debug,
-{
-    processes
-        .iter()
-        .filter_map(|p| poised_write_location(executor, *p))
-        .collect()
-}
-
-/// The outcome of [`run_until_poised_outside`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum GroupRun {
-    /// Some process of the group is poised to write to a location outside the
-    /// covered set (and has **not** performed that write yet).
-    PoisedOutside {
-        /// The process about to write.
-        process: ProcessId,
-        /// The location it is about to write.
-        location: Location,
-        /// Steps executed before it became poised.
-        steps: u64,
-    },
-    /// Every process of the group halted without ever being poised to write
-    /// outside the covered set.
-    Halted {
-        /// Steps executed.
-        steps: u64,
-    },
-    /// The step budget ran out first.
-    Exhausted {
-        /// Steps executed (equals the budget).
-        steps: u64,
-    },
-}
-
-/// Runs the processes of `group` (one at a time, in group order, exactly like
-/// the fragments of the Theorem 2 construction) until one of them is poised
-/// to write to a location **outside** `covered`, leaving it poised. Reads,
-/// scans, local steps and writes *inside* `covered` are allowed to proceed.
-pub fn run_until_poised_outside<A>(
-    executor: &mut Executor<A>,
-    group: &[ProcessId],
-    covered: &BTreeSet<Location>,
-    max_steps: u64,
-) -> GroupRun
-where
-    A: Automaton,
-    A::Value: Clone + Eq + Debug,
-{
-    let mut steps = 0;
-    loop {
-        // The next runnable process in group order.
-        let Some(process) = group
-            .iter()
-            .copied()
-            .find(|p| !executor.automaton(*p).is_halted())
-        else {
-            return GroupRun::Halted { steps };
-        };
-        if let Some(location) = poised_write_location(executor, process) {
-            if !covered.contains(&location) {
-                return GroupRun::PoisedOutside {
-                    process,
-                    location,
-                    steps,
-                };
-            }
-        }
-        if steps >= max_steps {
-            return GroupRun::Exhausted { steps };
-        }
-        executor.step(process);
-        steps += 1;
-    }
-}
-
-/// Performs a block write: every process of `writers` takes exactly one step,
-/// which must be a pending write (the caller established the covering). The
-/// set of locations written is returned.
-///
-/// # Panics
-///
-/// Panics if some writer is not poised to a write-like operation — that means
-/// the covering was not established and the caller's adversary is buggy.
-pub fn block_write<A>(executor: &mut Executor<A>, writers: &[ProcessId]) -> BTreeSet<Location>
-where
-    A: Automaton,
-    A::Value: Clone + Eq + Debug,
-{
-    let mut written = BTreeSet::new();
-    for process in writers {
-        let location = poised_write_location(executor, *process)
-            .unwrap_or_else(|| panic!("{process} is not poised to write; no covering established"));
-        executor.step(*process);
-        written.insert(location);
-    }
-    written
-}
-
-/// Checks the obliteration property at the current configuration: running the
-/// fragment `fragment` (a schedule over non-covering processes) and then
-/// releasing the block write of `coverers` leaves the shared memory in
-/// exactly the same state as releasing the block write alone.
-///
-/// This is the step of the Theorem 2 proof that makes spliced fragments
-/// invisible. It holds whenever the fragment writes only to locations covered
-/// by `coverers`; it fails (returns `false`) as soon as the fragment touches
-/// an uncovered location.
-pub fn obliterates<A>(
-    executor: &Executor<A>,
-    coverers: &[ProcessId],
-    fragment: &[ProcessId],
-) -> bool
-where
-    A: Automaton + Clone,
-    A::Value: Clone + Eq + Debug + Hash,
-{
-    // Branch 1: fragment, then block write.
-    let mut with_fragment = executor.clone();
-    for process in fragment {
-        if !with_fragment.automaton(*process).is_halted() {
-            with_fragment.step(*process);
-        }
-    }
-    block_write(&mut with_fragment, coverers);
-
-    // Branch 2: block write alone.
-    let mut without_fragment = executor.clone();
-    block_write(&mut without_fragment, coverers);
-
-    with_fragment.memory().content_fingerprint() == without_fragment.memory().content_fingerprint()
-}
-
-/// Checks that an observer cannot tell whether the fragment was spliced in:
-/// starting from the current configuration, run `fragment`, block-write the
-/// coverers, then let `observer` run alone to completion — and compare its
-/// decisions with the branch where the fragment never happened.
-///
-/// Returns `true` when the observer's decisions are identical in both
-/// branches (the splice is invisible).
-pub fn splice_is_invisible<A>(
-    executor: &Executor<A>,
-    coverers: &[ProcessId],
-    fragment: &[ProcessId],
-    observer: ProcessId,
-    max_steps: u64,
-) -> bool
-where
-    A: Automaton + Clone,
-    A::Value: Clone + Eq + Debug + Hash,
-{
-    let run_observer = |mut exec: Executor<A>| {
-        let mut steps = 0;
-        while !exec.automaton(observer).is_halted() && steps < max_steps {
-            exec.step(observer);
-            steps += 1;
-        }
-        let decisions = exec.decisions().clone();
-        (0u64..)
-            .map_while(|i| decisions.decision_of(observer, i + 1).map(|v| (i + 1, v)))
-            .collect::<Vec<_>>()
-    };
-
-    let mut with_fragment = executor.clone();
-    for process in fragment {
-        if !with_fragment.automaton(*process).is_halted() {
-            with_fragment.step(*process);
-        }
-    }
-    block_write(&mut with_fragment, coverers);
-
-    let mut without_fragment = executor.clone();
-    block_write(&mut without_fragment, coverers);
-
-    run_observer(with_fragment) == run_observer(without_fragment)
-}
+pub use sa_search::{
+    block_write, covered_locations, obliterates, poised_write_location, run_until_poised_outside,
+    splice_is_invisible, GroupRun,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use sa_core::OneShotSetAgreement;
-    use sa_model::Params;
+    use sa_memory::Location;
+    use sa_model::{Params, ProcessId};
+    use sa_runtime::Executor;
+    use std::collections::BTreeSet;
 
     /// A deficient width-1 instance: every process only ever writes component
     /// 0, so covering that single location covers everything.

@@ -25,13 +25,20 @@
 //! * [`exhaustive_violation`] — for tiny configurations, search **all**
 //!   interleavings for an agreement violation of an under-provisioned
 //!   variant using the bounded explorer.
+//! * [`hand_built_witness`] — the construction re-expressed as a replayable
+//!   [`Witness`] (schedule + goal + certificate): the group-sequential
+//!   schedule is recorded step by step, the best covering configuration
+//!   along it is certified, and the result is checked by the **same**
+//!   replay verifier (`sa-search`'s [`verify`]) that checks machine-found
+//!   witnesses — one verification path for both.
 
 use sa_core::{OneShotSetAgreement, RepeatedSetAgreement};
 use sa_model::{DecisionSet, Params, ProcessId};
 use sa_runtime::{
     agreement_predicate, explore, Executor, Exploration, ExploreConfig, RunConfig, RunReport,
-    Scheduler, SchedulerView,
+    Scheduler, SchedulerView, SearchGoal,
 };
+use sa_search::{goal_for, verify, Certificate, Witness};
 use std::fmt;
 
 /// The adversary schedule of the covering construction: processes are
@@ -221,6 +228,83 @@ pub fn minimal_resilient_width(params: Params, max_steps: u64) -> usize {
     params.snapshot_components()
 }
 
+/// Builds the Theorem 2 construction as a replayable [`Witness`]: runs the
+/// one-shot algorithm at `width` snapshot components under the
+/// group-sequential adversary, recording the exact schedule, and certifies
+/// the best `goal` configuration encountered along it (most registers
+/// charged, then widest covering, then shallowest — the same order the
+/// machine search uses).
+///
+/// The returned witness has already been checked by the shared replay
+/// verifier, so it is interchangeable with a machine-found one: same
+/// format, same certificate semantics, same verification path. Returns
+/// `None` when no configuration along the schedule exhibits the goal
+/// within `max_steps` (e.g. `BlockWrite` at width 1 before any write
+/// lands).
+///
+/// # Panics
+///
+/// Panics if the freshly recorded witness fails replay verification —
+/// that would mean the construction and the verifier disagree, which is a
+/// bug, not a caller error.
+pub fn hand_built_witness(
+    params: Params,
+    width: usize,
+    goal: SearchGoal,
+    max_steps: u64,
+) -> Option<Witness> {
+    let build = || -> Executor<OneShotSetAgreement> {
+        let automata: Vec<OneShotSetAgreement> = (0..params.n())
+            .map(|p| {
+                OneShotSetAgreement::deficient(params, ProcessId(p), 100 + p as u64, width)
+                    .expect("width is positive and ids are in range")
+            })
+            .collect();
+        Executor::new(automata)
+    };
+    let evaluator = goal_for::<OneShotSetAgreement>(goal);
+    let mut exec = build();
+    let mut scheduler = GroupSequentialScheduler::consecutive(params.n(), params.m());
+    let mut schedule: Vec<ProcessId> = Vec::new();
+    // best = (registers, registers_covered, schedule prefix, measure): the
+    // earliest prefix wins ties because later equal measures never replace
+    // an earlier one.
+    let mut best: Option<(usize, usize, usize, Certificate)> = None;
+    let mut consider = |depth: usize, exec: &Executor<OneShotSetAgreement>| {
+        if let Some(measure) = evaluator.evaluate(exec) {
+            let key = (measure.registers, measure.registers_covered);
+            if best.as_ref().is_none_or(|(r, c, _, _)| key > (*r, *c)) {
+                let cert = Certificate::from_measure(goal, depth as u64, measure);
+                best = Some((key.0, key.1, depth, cert));
+            }
+        }
+    };
+    consider(0, &exec);
+    while (schedule.len() as u64) < max_steps {
+        let runnable = exec.runnable();
+        let view = SchedulerView {
+            step: schedule.len() as u64,
+            runnable: &runnable,
+        };
+        let Some(process) = scheduler.next(&view) else {
+            break;
+        };
+        exec.step(process);
+        schedule.push(process);
+        consider(schedule.len(), &exec);
+    }
+    let (_, _, depth, certificate) = best?;
+    schedule.truncate(depth);
+    let witness = Witness {
+        goal,
+        schedule,
+        certificate,
+    };
+    verify(&build(), &witness)
+        .expect("a freshly recorded construction must replay to its own certificate");
+    Some(witness)
+}
+
 /// Exhaustively searches every interleaving (up to `config.max_depth` steps)
 /// of the one-shot algorithm instantiated with `width` components for a
 /// k-agreement violation. Only feasible for very small `(n, m, k)`.
@@ -362,6 +446,71 @@ mod tests {
         let params = Params::new(2, 1, 1).unwrap();
         let result = exhaustive_violation(params, 1, ExploreConfig::with_depth(40));
         assert!(result.violation.is_some(), "no violation found: {result:?}");
+    }
+
+    #[test]
+    fn hand_built_witnesses_reach_the_paper_register_count() {
+        // At the paper's width the group-sequential construction commits
+        // exactly n + 2m − k registers (written or covered) — the count the
+        // Theorem 2 argument charges — for both witness goals.
+        for (n, m, k) in [(2, 1, 1), (3, 1, 2), (3, 1, 1), (4, 1, 2)] {
+            let params = Params::new(n, m, k).unwrap();
+            let width = params.snapshot_components();
+            for goal in [SearchGoal::Covering, SearchGoal::BlockWrite] {
+                let witness = hand_built_witness(params, width, goal, 10_000)
+                    .unwrap_or_else(|| panic!("no {} witness for n={n} m={m} k={k}", goal.label()));
+                assert_eq!(
+                    witness.certificate.registers,
+                    width,
+                    "n={n} m={m} k={k} {}: {}",
+                    goal.label(),
+                    witness
+                );
+                assert_eq!(witness.schedule.len() as u64, witness.certificate.depth);
+            }
+        }
+    }
+
+    #[test]
+    fn hand_built_witnesses_replay_through_the_shared_verifier() {
+        let params = Params::new(3, 1, 1).unwrap();
+        let width = params.snapshot_components();
+        let witness = hand_built_witness(params, width, SearchGoal::BlockWrite, 10_000).unwrap();
+        let initial = |width: usize| {
+            let automata: Vec<OneShotSetAgreement> = (0..params.n())
+                .map(|p| {
+                    OneShotSetAgreement::deficient(params, ProcessId(p), 100 + p as u64, width)
+                        .unwrap()
+                })
+                .collect();
+            Executor::new(automata)
+        };
+        // The emitted witness re-verifies from a fresh initial configuration.
+        let replayed = verify(&initial(width), &witness).expect("hand-built witness must verify");
+        assert_eq!(replayed, witness.certificate);
+        // A tampered certificate is caught by the same path.
+        let mut tampered = witness.clone();
+        tampered.certificate.registers += 1;
+        assert!(matches!(
+            verify(&initial(width), &tampered),
+            Err(sa_search::VerifyError::CertificateMismatch { .. })
+        ));
+        // Replaying against the wrong initial configuration is caught too.
+        assert!(verify(&initial(1), &witness).is_err());
+    }
+
+    #[test]
+    fn hand_built_witness_is_none_before_any_write_lands() {
+        // With a zero step budget nothing has been written yet, so no
+        // covered location can already carry information: no block-write
+        // witness exists (while a bare covering does — all processes start
+        // poised to update component 0).
+        let params = Params::new(3, 1, 1).unwrap();
+        let width = params.snapshot_components();
+        assert!(hand_built_witness(params, width, SearchGoal::BlockWrite, 0).is_none());
+        let covering = hand_built_witness(params, width, SearchGoal::Covering, 0).unwrap();
+        assert_eq!(covering.certificate.depth, 0);
+        assert_eq!(covering.schedule, Vec::<ProcessId>::new());
     }
 
     #[test]

@@ -10,12 +10,16 @@
 //! * [`blockwrite`] — the mechanical core of **Theorem 2**: covering
 //!   configurations, block writes, the obliteration check (a block write
 //!   erases every trace of a fragment confined to the covered locations) and
-//!   the splice-invisibility check.
+//!   the splice-invisibility check (re-exported from `sa-search`, which
+//!   evaluates the same mechanics during adversary search).
 //! * [`covering`] — the covering attack of **Theorem 2** run against
 //!   deliberately under-provisioned instances of the paper's algorithms:
 //!   group-sequential adversary schedules, width sweeps, the empirical
-//!   "smallest resilient width", and exhaustive searches over all
-//!   interleavings for tiny configurations.
+//!   "smallest resilient width", exhaustive searches over all
+//!   interleavings for tiny configurations, and
+//!   [`hand_built_witness`](covering::hand_built_witness) — the
+//!   construction emitted as a replayable `sa-search` `Witness`, checked
+//!   by the same replay verifier as machine-found ones.
 //! * [`cloning`] — the cloning mechanism of **Lemma 9 / Theorem 10** for
 //!   anonymous algorithms: lockstep clone schedules, the executable
 //!   indistinguishability property, and the anonymous group-isolation
@@ -62,6 +66,6 @@ pub use blockwrite::{block_write, covered_locations, obliterates, splice_is_invi
 pub use bounds::{Bound, BoundsCell, Figure1, Naming, Setting, SweepRow};
 pub use cloning::{clone_attack, clones_behave_identically, LockstepScheduler, ProcessBehaviour};
 pub use covering::{
-    attack_one_shot, attack_repeated, minimal_resilient_width, AttackOutcome,
+    attack_one_shot, attack_repeated, hand_built_witness, minimal_resilient_width, AttackOutcome,
     GroupSequentialScheduler,
 };

@@ -10,7 +10,7 @@
 //! which is exactly what the Theorem 2 covering construction and the bounded
 //! explorer need.
 
-use crate::explore::ExploreConfig;
+use crate::explore::{ExploreConfig, SymmetryMode};
 use crate::parallel::ParallelExploreConfig;
 use crate::schedule::{Scheduler, SchedulerView};
 use crate::threaded::ThreadedConfig;
@@ -58,6 +58,12 @@ pub enum Backend {
     /// generator (implemented by the `sa-serve` crate; this variant only
     /// carries its knobs so the unified executor can dispatch to it).
     Serve(ServeOptions),
+    /// Goal-directed search over schedule space for lower-bound witness
+    /// structures — covering configurations and block-write extensions —
+    /// instead of safety violations (implemented by the `sa-search` crate;
+    /// this variant only carries its knobs so the unified executor can
+    /// dispatch to it).
+    AdversarySearch(SearchConfig),
 }
 
 impl Backend {
@@ -69,6 +75,84 @@ impl Backend {
             Backend::Explore(_) => "explore",
             Backend::ParallelExplore(_) => "parallel-explore",
             Backend::Serve(_) => "serve",
+            Backend::AdversarySearch(_) => "adversary-search",
+        }
+    }
+}
+
+/// The witness structure a [`Backend::AdversarySearch`] run hunts for.
+///
+/// Both goals come from the Theorem 2 lower-bound machinery: a *covering
+/// configuration* has `p` processes each poised to write, covering `p`
+/// pairwise-distinct locations; a *block write* additionally requires that
+/// every covered location already holds a value, so executing the poised
+/// writes back-to-back obliterates recorded information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SearchGoal {
+    /// A configuration where as many processes as possible are poised to
+    /// write pairwise-distinct locations.
+    #[default]
+    Covering,
+    /// A covering configuration whose covered locations have all been
+    /// written before, so the block write obliterates information.
+    BlockWrite,
+}
+
+impl SearchGoal {
+    /// A short identifier used in specs, records and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SearchGoal::Covering => "covering",
+            SearchGoal::BlockWrite => "block-write",
+        }
+    }
+
+    /// Parses a goal label; returns `None` for unknown names.
+    pub fn parse(text: &str) -> Option<SearchGoal> {
+        match text.trim() {
+            "covering" => Some(SearchGoal::Covering),
+            "block-write" => Some(SearchGoal::BlockWrite),
+            _ => None,
+        }
+    }
+
+    /// Every goal, in a fixed order (spec/CLI enumeration).
+    pub fn all() -> [SearchGoal; 2] {
+        [SearchGoal::Covering, SearchGoal::BlockWrite]
+    }
+}
+
+/// The knobs of a [`Backend::AdversarySearch`] run: which witness structure
+/// to hunt for, how hard, and over how many worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchConfig {
+    /// The witness structure being searched for.
+    pub goal: SearchGoal,
+    /// Stop as soon as a witness touching (written or covered) at least
+    /// this many locations is found; `0` searches the whole budgeted space
+    /// for the best witness.
+    pub target_registers: usize,
+    /// Maximum schedule depth (BFS radius) to search.
+    pub max_depth: u64,
+    /// Maximum number of distinct configurations to visit.
+    pub max_states: u64,
+    /// Worker threads expanding each BFS level (results are byte-identical
+    /// at any thread count).
+    pub threads: usize,
+    /// Canonicalize configurations up to process-id orbits before
+    /// deduplication, exactly as the exhaustive explorers do.
+    pub symmetry: SymmetryMode,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            goal: SearchGoal::Covering,
+            target_registers: 0,
+            max_depth: 64,
+            max_states: 1_000_000,
+            threads: 1,
+            symmetry: SymmetryMode::Off,
         }
     }
 }

@@ -54,7 +54,8 @@ mod trace;
 mod workload;
 
 pub use executor::{
-    Backend, Executor, RunConfig, RunReport, ServeClock, ServeLoad, ServeOptions, StopReason,
+    Backend, Executor, RunConfig, RunReport, SearchConfig, SearchGoal, ServeClock, ServeLoad,
+    ServeOptions, StopReason,
 };
 pub use explore::{
     agreement_predicate, canonical_state_key, explore, state_key, Exploration, ExploreConfig,

@@ -1,0 +1,265 @@
+//! The deterministic goal-directed search driver.
+//!
+//! A level-synchronized breadth-first search over schedule space, built on
+//! the same state machinery as the exhaustive explorers: configurations are
+//! deduplicated by their (optionally symmetry-canonicalized) 128-bit
+//! [`StateKey`], every first-visited configuration is evaluated against the
+//! configured [`WitnessGoal`](crate::goal::WitnessGoal), and the best
+//! witness is kept under a total order — most registers, then widest
+//! covering, then shallowest depth, then lexicographically smallest
+//! schedule. Levels are expanded in contiguous chunks across worker
+//! threads and merged back in submission order, so the report (and the
+//! campaign JSONL built from it) is **byte-identical at any thread count**;
+//! a serial search is simply the one-chunk case of the same merge.
+
+use crate::goal::{goal_for, GoalMeasure};
+use crate::witness::{verify, Certificate, Witness};
+use sa_model::{Automaton, ProcessId};
+use sa_runtime::{
+    canonical_state_key, state_key, Executor, SearchConfig, SearchGoal, StateKey, SymmetryPlan,
+};
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Why an adversary search stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchStop {
+    /// A witness with at least `target_registers` registers was found (the
+    /// level it was found in was finished first, so the result is the best
+    /// witness of that level).
+    TargetReached,
+    /// Every reachable configuration within the depth bound was visited.
+    StateSpaceExhausted,
+    /// A state or depth budget ran out while work remained.
+    Truncated,
+}
+
+impl SearchStop {
+    /// A short identifier used in records and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SearchStop::TargetReached => "target-reached",
+            SearchStop::StateSpaceExhausted => "state-space-exhausted",
+            SearchStop::Truncated => "truncated",
+        }
+    }
+}
+
+/// The result of one adversary search.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// The goal that was searched for.
+    pub goal: SearchGoal,
+    /// The register target (`0` = none: search the whole budgeted space).
+    pub target_registers: usize,
+    /// The worker threads the levels were expanded over.
+    pub threads: usize,
+    /// Distinct configurations visited (orbit representatives under
+    /// symmetry reduction).
+    pub states_visited: u64,
+    /// The deepest BFS level a first-visit configuration was found at.
+    pub max_depth_reached: u64,
+    /// `true` if a budget ran out while unexplored work remained.
+    pub truncated: bool,
+    /// `true` if the target register count was reached.
+    pub target_reached: bool,
+    /// `true` if configurations were canonicalized up to process-id orbits
+    /// before deduplication.
+    pub symmetry_applied: bool,
+    /// Why the search stopped.
+    pub stop: SearchStop,
+    /// The best witness found, if any.
+    pub witness: Option<Witness>,
+    /// `true` if the emitted witness (when there is one) replayed to an
+    /// identical certificate — the driver's own verification pass.
+    pub verified: bool,
+}
+
+/// A successor produced by expanding one frontier entry.
+struct Candidate<A: Automaton> {
+    key: StateKey,
+    state: Executor<A>,
+    schedule: Vec<ProcessId>,
+    hit: Option<GoalMeasure>,
+}
+
+/// The dedup key of a configuration under a plan: canonicalized when the
+/// plan applies non-trivially, the plain key otherwise (the same dispatch
+/// the exhaustive explorers use).
+fn keyed<A>(executor: &Executor<A>, plan: &SymmetryPlan) -> StateKey
+where
+    A: Automaton + Hash,
+    A::Value: Hash + Clone + Eq + Debug,
+{
+    if plan.applied() && !plan.is_trivial() {
+        canonical_state_key(executor, plan).0
+    } else {
+        state_key(executor)
+    }
+}
+
+/// `true` when `candidate` beats `best` under the witness order: most
+/// registers, then widest covering, then shallowest, then lexicographically
+/// smallest schedule.
+fn better(candidate: &Witness, best: &Witness) -> bool {
+    let c = &candidate.certificate;
+    let b = &best.certificate;
+    (
+        c.registers,
+        c.registers_covered,
+        std::cmp::Reverse(c.depth),
+        std::cmp::Reverse(candidate.schedule.clone()),
+    ) > (
+        b.registers,
+        b.registers_covered,
+        std::cmp::Reverse(b.depth),
+        std::cmp::Reverse(best.schedule.clone()),
+    )
+}
+
+/// Runs a goal-directed adversary search from `initial`.
+///
+/// The search visits configurations breadth-first up to
+/// [`SearchConfig::max_depth`] steps and [`SearchConfig::max_states`]
+/// distinct configurations, evaluating the goal on every first visit. With
+/// a non-zero [`SearchConfig::target_registers`] it stops at the end of the
+/// first level containing a witness with at least that many registers;
+/// otherwise it searches the whole budgeted space for the best witness.
+/// The emitted witness is replay-verified before the report is returned.
+pub fn search<A>(initial: &Executor<A>, config: SearchConfig) -> SearchReport
+where
+    A: Automaton + Clone + Hash + Send + Sync,
+    A::Value: Hash + Clone + Eq + Debug + Send + Sync,
+{
+    let plan = SymmetryPlan::for_executor(initial, config.symmetry);
+    let goal = goal_for::<A>(config.goal);
+    let threads = config.threads.max(1);
+
+    let mut seen: HashSet<StateKey> = HashSet::new();
+    let mut best: Option<Witness> = None;
+    let mut states_visited: u64 = 0;
+    let mut max_depth_reached: u64 = 0;
+    let mut truncated = false;
+
+    let consider = |best: &mut Option<Witness>, schedule: &[ProcessId], measure: GoalMeasure| {
+        let candidate = Witness {
+            goal: config.goal,
+            schedule: schedule.to_vec(),
+            certificate: Certificate::from_measure(config.goal, schedule.len() as u64, measure),
+        };
+        if best.as_ref().is_none_or(|b| better(&candidate, b)) {
+            *best = Some(candidate);
+        }
+    };
+
+    // Depth 0: the initial configuration is visited (and measured) too.
+    seen.insert(keyed(initial, &plan));
+    states_visited += 1;
+    if let Some(measure) = goal.evaluate(initial) {
+        consider(&mut best, &[], measure);
+    }
+
+    let mut frontier: Vec<(Executor<A>, Vec<ProcessId>)> = vec![(initial.clone(), Vec::new())];
+    let mut depth: u64 = 0;
+    let stop = loop {
+        let target_reached = config.target_registers > 0
+            && best
+                .as_ref()
+                .is_some_and(|w| w.certificate.registers >= config.target_registers);
+        if target_reached {
+            break SearchStop::TargetReached;
+        }
+        if frontier.is_empty() {
+            break SearchStop::StateSpaceExhausted;
+        }
+        if depth >= config.max_depth {
+            truncated = true;
+            break SearchStop::Truncated;
+        }
+
+        // Expand the level in contiguous chunks, merged back in submission
+        // order — the order is a pure function of the frontier, never of
+        // the thread count.
+        let chunk_count = threads.min(frontier.len());
+        let chunk_size = frontier.len().div_ceil(chunk_count);
+        let expand = |chunk: &[(Executor<A>, Vec<ProcessId>)]| -> Vec<Candidate<A>> {
+            let mut out = Vec::new();
+            for (state, schedule) in chunk {
+                for process in state.runnable() {
+                    let mut successor = state.clone();
+                    successor.step(process);
+                    let key = keyed(&successor, &plan);
+                    let hit = goal.evaluate(&successor);
+                    let mut next_schedule = Vec::with_capacity(schedule.len() + 1);
+                    next_schedule.extend_from_slice(schedule);
+                    next_schedule.push(process);
+                    out.push(Candidate {
+                        key,
+                        state: successor,
+                        schedule: next_schedule,
+                        hit,
+                    });
+                }
+            }
+            out
+        };
+        let merged: Vec<Vec<Candidate<A>>> = if chunk_count == 1 {
+            vec![expand(&frontier)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = frontier
+                    .chunks(chunk_size)
+                    .map(|chunk| scope.spawn(|| expand(chunk)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+        };
+
+        depth += 1;
+        let mut next: Vec<(Executor<A>, Vec<ProcessId>)> = Vec::new();
+        let mut budget_hit = false;
+        'merge: for chunk in merged {
+            for candidate in chunk {
+                if seen.contains(&candidate.key) {
+                    continue;
+                }
+                if states_visited >= config.max_states {
+                    budget_hit = true;
+                    break 'merge;
+                }
+                seen.insert(candidate.key);
+                states_visited += 1;
+                max_depth_reached = depth;
+                if let Some(measure) = candidate.hit {
+                    consider(&mut best, &candidate.schedule, measure);
+                }
+                next.push((candidate.state, candidate.schedule));
+            }
+        }
+        if budget_hit {
+            truncated = true;
+            break SearchStop::Truncated;
+        }
+        frontier = next;
+    };
+
+    let target_reached = stop == SearchStop::TargetReached;
+    let verified = match &best {
+        Some(witness) => verify(initial, witness).is_ok(),
+        None => true,
+    };
+    SearchReport {
+        goal: config.goal,
+        target_registers: config.target_registers,
+        threads,
+        states_visited,
+        max_depth_reached,
+        truncated,
+        target_reached,
+        symmetry_applied: plan.applied(),
+        stop,
+        witness: best,
+        verified,
+    }
+}

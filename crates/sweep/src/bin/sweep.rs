@@ -11,24 +11,31 @@
 //!             [--clients N] [--rate N] [--duration N] [--clock MODE]
 //!             [--workload SPEC] [--seed S] [--max-steps N]
 //! sweep summarize FILE
+//! sweep verify FILE
 //! sweep diff OLD NEW
 //! sweep merge [--out FILE] SHARD...
 //! ```
 //!
 //! `run` writes JSONL to `--out` (default stdout) and prints the outcome to
 //! stderr. `summarize` exits non-zero if the file contains safety or bound
-//! violations, or if an exhaustive exploration was truncated before its
-//! state space was exhausted — the CI gate. `diff` exits non-zero on
-//! regressions (a scenario newly unsafe, newly over its bound, or newly
-//! starving). `merge` reassembles shard files produced with `--shard` into
-//! the stream an unsharded run would have written.
+//! violations, if an exhaustive exploration was truncated before its
+//! state space was exhausted, or if an adversary search missed its register
+//! target — the CI gate. `verify` independently replays every witness in an
+//! adversary-search result file through the shared replay verifier. `diff`
+//! exits non-zero on regressions (a scenario newly unsafe, newly over its
+//! bound, newly starving, or a search finding a smaller witness). `merge`
+//! reassembles shard files produced with `--shard` into the stream an
+//! unsharded run would have written.
 
 use sa_sweep::{
     diff, merge_shards, parse_jsonl, run_campaign, AdversarySpec, BackendSpec, CampaignMode,
-    CampaignSpec, EngineConfig, ParamsSpec, Summary, WorkloadSpec,
+    CampaignSpec, EngineConfig, ParamsSpec, SearchTarget, Summary, WorkloadSpec,
 };
-use set_agreement::runtime::{ServeClock, ServeLoad, ServeOptions, SymmetryMode};
-use set_agreement::{Algorithm, Backend, ExecutionPlan, Executor};
+use set_agreement::runtime::{
+    SearchGoal, ServeClock, ServeLoad, ServeOptions, SymmetryMode, Workload,
+};
+use set_agreement::search::{Certificate, VerifyError, Witness};
+use set_agreement::{verify_witness, Algorithm, Backend, ExecutionPlan, Executor};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -37,6 +44,8 @@ usage:
   sweep serve [options]       run the set-agreement service once, print a
                               latency and throughput report
   sweep summarize FILE        aggregate a result file; exit 1 on violations
+  sweep verify FILE           replay every adversary-search witness in a
+                              result file; exit 1 if any fails verification
   sweep diff OLD NEW          compare result files; exit 1 on regressions
   sweep merge [--out FILE] SHARD...
                               merge sharded result files by scenario index
@@ -59,14 +68,22 @@ run options:
                        one OS thread per process on real shared memory; the
                        adversary axis collapses (the hardware schedules)
                        and records carry wall-clock time and steps/s
-  --mode MODE          `sample` (default), `explore` or `serve`. `explore`
+  --mode MODE          `sample` (default), `explore`, `serve` or
+                       `adversary-search`. `explore`
                        exhaustively model-checks every interleaving of each
                        (cell, algorithm) pair instead of sampling schedules
                        (tiny cells only; the backend, adversary and seed
                        axes are ignored). `serve` runs the batched service
                        under the open-loop load generator and a virtual
                        clock (the algorithm, adversary and backend axes are
-                       ignored; records carry latency percentiles and ops/s)
+                       ignored; records carry latency percentiles and ops/s).
+                       `adversary-search` drives a goal-directed BFS over
+                       schedule space hunting lower-bound witness structure
+                       (coverings, block writes) instead of violations; the
+                       backend, adversary and seed axes are ignored and the
+                       goal list becomes an axis. Records carry the best
+                       witness (schedule, registers, fingerprint), replay-
+                       verified before it is written
   --max-states N       state budget per exploration (default 2000000)
   --explore-threads N  worker threads per exploration: 0 (default) runs the
                        serial explorer, N >= 1 the work-stealing parallel
@@ -82,6 +99,16 @@ run options:
                        automata cannot establish the symmetry fall back to
                        plain exploration (symmetry = fallback-off in the
                        record) instead of pruning unsoundly
+  --goals LIST         adversary-search mode: comma list of witness goals to
+                       sweep, `covering` (default) and/or `block-write`
+  --target-registers T adversary-search mode: `auto` (default; the paper's
+                       n + 2m - k per cell), `none` (search the whole
+                       budgeted space), or an explicit register count. The
+                       search stops early once a witness touches T registers;
+                       falling short of a target is a rediscovery miss and
+                       fails `sweep summarize`
+  --search-depth N     adversary-search mode: schedule-depth budget per
+                       search (default 60)
   --seeds N|LIST       plain integer = that many seeds (0..N); or `1,5,9`
   --campaign-seed S    root seed mixed into every derived seed (default 0)
   --workload SPEC      `distinct` (default), `uniform:V`, `random:UNIVERSE`
@@ -137,6 +164,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("summarize") => cmd_summarize(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
@@ -268,6 +296,28 @@ fn cmd_run(args: &[String]) -> ExitCode {
                         .parse()
                         .map_err(|_| format!("bad resident budget {value:?}"))?;
                 }
+                "--goals" => {
+                    spec.goals = value
+                        .split(',')
+                        .map(|part| {
+                            SearchGoal::parse(part).ok_or_else(|| {
+                                format!(
+                                    "unknown goal {:?} (want covering or block-write)",
+                                    part.trim()
+                                )
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if spec.goals.is_empty() {
+                        return Err("no goals".into());
+                    }
+                }
+                "--target-registers" => {
+                    spec.target = SearchTarget::parse(value).map_err(|e| e.to_string())?;
+                }
+                "--search-depth" => {
+                    spec.search_depth = parse_at_least_one(flag, value)? as u64;
+                }
                 "--checkpoint" => {
                     config.checkpoint = Some(std::path::PathBuf::from(value));
                 }
@@ -365,6 +415,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
                     "sweep: {} scenarios ran as batched service runs ({} shards each, \
                      virtual clock)",
                     outcome.served, spec.shards
+                );
+            }
+            if outcome.searched > 0 {
+                eprintln!(
+                    "sweep: {} adversary searches ran, {} found a replay-verified witness",
+                    outcome.searched, outcome.witnesses_found
                 );
             }
             ExitCode::SUCCESS
@@ -594,8 +650,133 @@ fn cmd_summarize(args: &[String]) -> ExitCode {
     // The CI gate: safety and bound violations always fail; an explore
     // campaign additionally fails if any cell could not be exhausted
     // (claiming "exhaustively verified" after a truncated search would be
-    // wrong).
-    if summary.clean() && summary.exhaustiveness_gaps() == 0 {
+    // wrong); an adversary-search campaign fails if any search missed its
+    // register target (the machine failed to rediscover the paper's bound).
+    if summary.clean() && summary.exhaustiveness_gaps() == 0 && summary.rediscovery_misses() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Replays every adversary-search witness in a result file through the
+/// shared replay verifier, independently of the `verified` flag the engine
+/// wrote. The record carries everything needed to rebuild the run — cell,
+/// algorithm, workload label, goal, schedule — except the covering pairs,
+/// so the replayed certificate is compared through its fingerprint (which
+/// hashes the covering label along with every count).
+fn cmd_verify(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        return fail(format!("verify takes exactly one file\n{USAGE}"));
+    };
+    let records = match load_records(path) {
+        Ok(records) => records,
+        Err(message) => return fail(message),
+    };
+    let (mut replayed, mut failures, mut skipped) = (0u64, 0u64, 0u64);
+    for record in &records {
+        if record.mode != "adversary-search" || !record.witness_found {
+            continue;
+        }
+        let describe = |what: &str| {
+            format!(
+                "scenario {} ({} {}): {what}",
+                record.scenario,
+                record.key(),
+                record.goal
+            )
+        };
+        let Some(goal) = SearchGoal::parse(&record.goal) else {
+            return fail(describe(&format!("unknown goal {:?}", record.goal)));
+        };
+        let Some(schedule) = Witness::parse_schedule(&record.witness_schedule) else {
+            return fail(describe(&format!(
+                "unparseable schedule {:?}",
+                record.witness_schedule
+            )));
+        };
+        let params = match sa_model::Params::new(record.n, record.m, record.k) {
+            Ok(params) => params,
+            Err(e) => return fail(describe(&format!("invalid cell: {e}"))),
+        };
+        let Some(algorithm) = Algorithm::from_label(&record.algorithm, record.instances.max(1))
+        else {
+            return fail(describe(&format!(
+                "unknown algorithm {:?}",
+                record.algorithm
+            )));
+        };
+        let workload = match WorkloadSpec::parse(&record.workload) {
+            Ok(WorkloadSpec::Distinct) => Workload::all_distinct(params.n(), algorithm.instances()),
+            Ok(WorkloadSpec::Uniform(value)) => {
+                Workload::uniform(params.n(), algorithm.instances(), value)
+            }
+            // A random workload's inputs depend on a derived seed the
+            // record does not carry — the witness cannot be replayed from
+            // the file alone. Skip loudly rather than verify the wrong run.
+            Ok(WorkloadSpec::Random { .. }) => {
+                eprintln!(
+                    "sweep: {}",
+                    describe("random workload is not replayable from the record; skipped")
+                );
+                skipped += 1;
+                continue;
+            }
+            Err(e) => return fail(describe(&format!("bad workload: {e}"))),
+        };
+        let witness = Witness {
+            goal,
+            schedule,
+            certificate: Certificate {
+                goal,
+                depth: record.witness_depth,
+                covering: Vec::new(), // not in the record; checked via the fingerprint
+                registers_covered: record.registers_covered,
+                registers_written: record.registers_written,
+                registers: record.witness_registers,
+                fingerprint: record.witness_fingerprint,
+            },
+        };
+        let plan = ExecutionPlan::new(params)
+            .algorithm(algorithm)
+            .workload(workload);
+        let found = match verify_witness(&plan, &witness) {
+            Ok(found) => found,
+            // The claimed certificate's covering list is empty by
+            // construction, so a mismatch that agrees on the fingerprint is
+            // still a successful replay — the fingerprint hashes the real
+            // covering label.
+            Err(VerifyError::CertificateMismatch { found, .. }) => *found,
+            Err(e) => {
+                eprintln!("sweep: FAILED {}", describe(&e.to_string()));
+                failures += 1;
+                continue;
+            }
+        };
+        if found.fingerprint != record.witness_fingerprint
+            || found.registers != record.witness_registers
+            || found.registers_covered != record.registers_covered
+            || found.depth != record.witness_depth
+        {
+            eprintln!(
+                "sweep: FAILED {}",
+                describe(&format!(
+                    "replay measured [{found}], record claims fingerprint {:016x} with {} \
+                     registers",
+                    record.witness_fingerprint, record.witness_registers
+                ))
+            );
+            failures += 1;
+            continue;
+        }
+        replayed += 1;
+    }
+    println!(
+        "verify: {replayed} witnesses replay-verified, {failures} failed, {skipped} skipped \
+         ({} records)",
+        records.len()
+    );
+    if failures == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -15,7 +15,7 @@ use crate::record::SweepRecord;
 use crate::spec::{BackendSpec, CampaignMode, CampaignSpec};
 use set_agreement::runtime::store::{fnv1a64, Journal, SegmentKind};
 use set_agreement::runtime::{
-    ExploreConfig, ParallelExploreConfig, ServeClock, ServeOptions, ThreadedConfig,
+    ExploreConfig, ParallelExploreConfig, SearchConfig, ServeClock, ServeOptions, ThreadedConfig,
 };
 use set_agreement::{Backend, ExecutionPlan, Executor};
 use std::collections::BTreeMap;
@@ -91,6 +91,11 @@ pub struct CampaignOutcome {
     /// Serve-mode records (batched service runs under the open-loop load
     /// generator).
     pub served: u64,
+    /// Adversary-search records (goal-directed witness searches).
+    pub searched: u64,
+    /// Adversary-search records whose search found a replay-verified
+    /// witness.
+    pub witnesses_found: u64,
 }
 
 impl CampaignOutcome {
@@ -169,6 +174,14 @@ pub fn run_scenario(campaign: &str, spec: &ScenarioSpec) -> SweepRecord {
             spill: spec.spill,
             max_resident_bytes: spec.max_resident_mb * 1024 * 1024,
         }),
+        (CampaignMode::AdversarySearch, _) => Backend::AdversarySearch(SearchConfig {
+            goal: spec.goal,
+            target_registers: spec.target_registers,
+            max_depth: spec.search_depth,
+            max_states: spec.max_states,
+            threads: spec.explore_threads,
+            symmetry: spec.symmetry,
+        }),
         (CampaignMode::Serve, _) => unreachable!("serve scenarios are dispatched above"),
     };
     match Executor::new(backend).execute(&plan) {
@@ -180,6 +193,9 @@ pub fn run_scenario(campaign: &str, spec: &ScenarioSpec) -> SweepRecord {
         }
         set_agreement::ExecutionReport::Explored(report) => {
             SweepRecord::from_exploration(campaign, spec, &report)
+        }
+        set_agreement::ExecutionReport::Searched(report) => {
+            SweepRecord::from_search(campaign, spec, &report)
         }
         set_agreement::ExecutionReport::Served(_) => {
             unreachable!("serve scenarios return before the sampled/explore dispatch")
@@ -320,6 +336,12 @@ pub fn run_campaign(
                 }
                 if record.backend == "serve" {
                     outcome.served += 1;
+                }
+                if record.mode == "adversary-search" {
+                    outcome.searched += 1;
+                    if record.witness_found {
+                        outcome.witnesses_found += 1;
+                    }
                 }
                 if record.mode == "explore" {
                     outcome.explored += 1;
@@ -745,6 +767,85 @@ mod tests {
                 run(shards, threads),
                 reference,
                 "serve output drifted at shards={shards}, threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn adversary_search_campaigns_rediscover_the_bound() {
+        // n + 2m − k = 3 on the 2/1/1 cell: every goal on every algorithm
+        // must find a replay-verified witness touching exactly 3 registers.
+        let spec = CampaignSpec {
+            name: "search".into(),
+            params: ParamsSpec::Explicit(vec![sa_model::Params::new(2, 1, 1).unwrap()]),
+            algorithms: vec![Algorithm::OneShot, Algorithm::AnonymousOneShot],
+            mode: crate::spec::CampaignMode::AdversarySearch,
+            goals: set_agreement::runtime::SearchGoal::all().to_vec(),
+            search_depth: 40,
+            max_states: 500_000,
+            symmetry: set_agreement::runtime::SymmetryMode::ProcessIds,
+            ..CampaignSpec::default()
+        };
+        let (records, outcome) = run_campaign_collect(&spec, EngineConfig::default());
+        assert!(outcome.clean(), "{outcome:?}");
+        assert_eq!(outcome.searched, 4, "2 algorithms x 2 goals");
+        assert_eq!(outcome.witnesses_found, 4);
+        for record in &records {
+            assert_eq!(record.mode, "adversary-search");
+            assert_eq!(record.backend, "adversary-search");
+            assert_eq!(record.stop, "target-reached");
+            assert_eq!(record.target_registers, 3);
+            assert_eq!(record.witness_registers, 3, "{record:?}");
+            assert!(record.witness_found);
+            assert!(record.verified, "witness failed replay verification");
+            assert!(record.witness_depth > 0);
+            assert_ne!(record.witness_schedule, "-");
+            assert_ne!(record.witness_fingerprint, 0);
+            assert!(record.adversary.starts_with("adversary-search:"));
+        }
+    }
+
+    #[test]
+    fn adversary_search_output_is_byte_identical_at_any_thread_count() {
+        let spec = CampaignSpec {
+            name: "search-determinism".into(),
+            params: ParamsSpec::Explicit(vec![sa_model::Params::new(2, 1, 1).unwrap()]),
+            algorithms: vec![Algorithm::OneShot],
+            mode: crate::spec::CampaignMode::AdversarySearch,
+            goals: set_agreement::runtime::SearchGoal::all().to_vec(),
+            search_depth: 40,
+            max_states: 500_000,
+            explore_threads: 1,
+            ..CampaignSpec::default()
+        };
+        let run = |search_threads, engine_threads| {
+            let mut bytes = Vec::new();
+            let spec = CampaignSpec {
+                explore_threads: search_threads,
+                ..spec.clone()
+            };
+            run_campaign(
+                &spec,
+                EngineConfig {
+                    threads: engine_threads,
+                    ..EngineConfig::default()
+                },
+                &mut bytes,
+            )
+            .unwrap();
+            bytes
+        };
+        let reference = run(1, 1);
+        assert!(!reference.is_empty());
+        // Neither the search's worker count nor the engine's thread count
+        // may change a single byte of the stream — same invariant the
+        // parallel explorer upholds.
+        for (search_threads, engine_threads) in [(2, 1), (8, 2), (8, 4)] {
+            assert_eq!(
+                run(search_threads, engine_threads),
+                reference,
+                "search output drifted at search_threads={search_threads}, \
+                 engine threads={engine_threads}"
             );
         }
     }

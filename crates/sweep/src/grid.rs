@@ -11,7 +11,7 @@ use crate::spec::{
     AdversarySpec, BackendSpec, CampaignMode, CampaignSpec, Survivors, WorkloadSpec,
 };
 use sa_model::Params;
-use set_agreement::runtime::{ServeLoad, SymmetryMode, Workload};
+use set_agreement::runtime::{SearchGoal, ServeLoad, SymmetryMode, Workload};
 use set_agreement::{Adversary, Algorithm};
 
 /// Mixes a campaign seed and a scenario's *identity* (its
@@ -119,6 +119,17 @@ pub struct ScenarioSpec {
     /// ([`ServeLoad::Distinct`] in other modes, where [`Self::workload`]
     /// carries the inputs instead).
     pub serve_load: ServeLoad,
+    /// The witness goal an adversary-search scenario hunts for
+    /// ([`SearchGoal::Covering`] in other modes, where it is unused).
+    pub goal: SearchGoal,
+    /// The register count at which an adversary-search scenario stops early
+    /// (0 = no target, and always 0 in other modes). Resolved from the
+    /// spec's [`SearchTarget`](crate::spec::SearchTarget) per cell, so
+    /// `auto` has already become this cell's `n + 2m − k` here.
+    pub target_registers: usize,
+    /// Maximum schedule depth for adversary-search scenarios (0 in other
+    /// modes).
+    pub search_depth: u64,
 }
 
 impl ScenarioSpec {
@@ -131,13 +142,14 @@ impl ScenarioSpec {
 
     /// The execution-backend label recorded for this scenario: `scheduled`
     /// or `threaded` for sampled scenarios, `explore` or `parallel-explore`
-    /// for exhaustive ones.
+    /// for exhaustive ones, `adversary-search` for goal-directed searches.
     pub fn backend_label(&self) -> &'static str {
         match self.mode {
             CampaignMode::Explore if self.explore_threads > 0 => "parallel-explore",
             CampaignMode::Explore => "explore",
             CampaignMode::Sample => self.backend.label(),
             CampaignMode::Serve => "serve",
+            CampaignMode::AdversarySearch => "adversary-search",
         }
     }
 }
@@ -291,6 +303,12 @@ fn instantiate_workload(
 /// repeated algorithm under the open-loop load generator. One scenario per
 /// cell × seed is produced (the seed pins the generator's value stream),
 /// labelled `open-loop`.
+///
+/// In [`CampaignMode::AdversarySearch`], the backend, adversary and seed
+/// axes collapse exactly as in explore mode (the search quantifies over
+/// all schedules), but the goal list becomes an axis: one scenario per
+/// applicable (cell, algorithm, goal) triple, labelled
+/// `adversary-search:<goal>`.
 pub fn expand(spec: &CampaignSpec) -> (Vec<ScenarioSpec>, ExpansionStats) {
     let mut scenarios = Vec::new();
     let mut stats = ExpansionStats::default();
@@ -312,6 +330,7 @@ pub fn expand(spec: &CampaignSpec) -> (Vec<ScenarioSpec>, ExpansionStats) {
                         spec.backends.iter().map(combinations_per_backend).sum()
                     }
                     CampaignMode::Explore => 1,
+                    CampaignMode::AdversarySearch => spec.goals.len() as u64,
                     // Serve never reaches the algorithm loop.
                     CampaignMode::Serve => 0,
                 };
@@ -356,6 +375,17 @@ pub fn expand(spec: &CampaignSpec) -> (Vec<ScenarioSpec>, ExpansionStats) {
                         params,
                         algorithm,
                     ));
+                }
+                CampaignMode::AdversarySearch => {
+                    for &goal in &spec.goals {
+                        scenarios.push(search_scenario(
+                            spec,
+                            scenarios.len() as u64,
+                            params,
+                            algorithm,
+                            goal,
+                        ));
+                    }
                 }
                 CampaignMode::Serve => unreachable!("serve collapses the algorithm axis"),
             }
@@ -429,6 +459,9 @@ fn sampled_scenario(
         rate: 0,
         duration: 0,
         serve_load: ServeLoad::Distinct,
+        goal: SearchGoal::Covering,
+        target_registers: 0,
+        search_depth: 0,
     }
 }
 
@@ -489,6 +522,9 @@ fn threaded_scenario(
         rate: 0,
         duration: 0,
         serve_load: ServeLoad::Distinct,
+        goal: SearchGoal::Covering,
+        target_registers: 0,
+        search_depth: 0,
     }
 }
 
@@ -542,6 +578,9 @@ fn explore_scenario(
         rate: 0,
         duration: 0,
         serve_load: ServeLoad::Distinct,
+        goal: SearchGoal::Covering,
+        target_registers: 0,
+        search_depth: 0,
     }
 }
 
@@ -600,6 +639,75 @@ fn serve_scenario(spec: &CampaignSpec, index: u64, params: Params, seed: u64) ->
             WorkloadSpec::Uniform(value) => ServeLoad::Uniform(value),
             WorkloadSpec::Random { universe } => ServeLoad::Random { universe },
         },
+        goal: SearchGoal::Covering,
+        target_registers: 0,
+        search_depth: 0,
+    }
+}
+
+/// An adversary-search scenario. Like explore mode, the backend, adversary
+/// and seed axes collapse (the search quantifies over all schedules); the
+/// goal joins the identity instead, labelled `adversary-search:<goal>`.
+/// The spec's target is resolved to this cell's concrete register count
+/// here, so `auto` pins `n + 2m − k` into the scenario. `explore-threads`
+/// and `symmetry` carry over as the search's "how" knobs — results are
+/// byte-identical at any worker count, and symmetry canonicalization
+/// prunes orbits without changing the best witness.
+fn search_scenario(
+    spec: &CampaignSpec,
+    index: u64,
+    params: Params,
+    algorithm: Algorithm,
+    goal: SearchGoal,
+) -> ScenarioSpec {
+    let identity = format!(
+        "n{} m{} k{} {} x{} adversary-search:{} seed0 {}",
+        params.n(),
+        params.m(),
+        params.k(),
+        algorithm.label(),
+        algorithm.instances(),
+        goal.label(),
+        spec.workload.label()
+    );
+    let derived_seed = derive_seed(spec.campaign_seed, &identity);
+    let workload = instantiate_workload(
+        spec.workload,
+        params,
+        algorithm.instances(),
+        derive_seed(derived_seed, "workload"),
+    );
+    ScenarioSpec {
+        index,
+        params,
+        algorithm,
+        mode: CampaignMode::AdversarySearch,
+        backend: BackendSpec::Scheduled,
+        adversary_label: format!("adversary-search:{}", goal.label()),
+        adversary_spec: None,
+        adversary: None,
+        contention_steps: 0,
+        survivors: 0,
+        crashes: 0,
+        seed: 0,
+        derived_seed,
+        workload,
+        workload_label: spec.workload.label(),
+        max_steps: spec.max_steps,
+        max_states: spec.max_states,
+        explore_threads: spec.explore_threads,
+        symmetry: spec.symmetry,
+        spill: false,
+        max_resident_mb: 0,
+        shards: 0,
+        batch_max: 0,
+        clients: 0,
+        rate: 0,
+        duration: 0,
+        serve_load: ServeLoad::Distinct,
+        goal,
+        target_registers: spec.target.for_params(&params),
+        search_depth: spec.search_depth,
     }
 }
 
@@ -912,6 +1020,52 @@ mod tests {
             assert_eq!(s.max_states, 1234);
             assert!(!s.progress_required());
         }
+    }
+
+    #[test]
+    fn adversary_search_mode_collapses_axes_and_sweeps_goals() {
+        let mut spec = small_spec();
+        spec.mode = CampaignMode::AdversarySearch;
+        spec.goals = SearchGoal::all().to_vec();
+        spec.search_depth = 40;
+        let (scenarios, stats) = expand(&spec);
+        // 2 cells x 2 algorithms x 2 goals; adversaries, backends and
+        // seeds all collapse.
+        assert_eq!(scenarios.len(), 2 * 2 * 2);
+        assert_eq!(stats.scenarios, 8);
+        for s in &scenarios {
+            assert_eq!(s.mode, CampaignMode::AdversarySearch);
+            assert_eq!(s.backend_label(), "adversary-search");
+            assert_eq!(
+                s.adversary_label,
+                format!("adversary-search:{}", s.goal.label())
+            );
+            assert!(s.adversary.is_none() && s.adversary_spec.is_none());
+            assert_eq!(s.seed, 0);
+            assert_eq!(s.search_depth, 40);
+            // target = auto resolves the cell's n + 2m - k.
+            assert_eq!(s.target_registers, s.params.snapshot_components());
+            assert!(!s.progress_required());
+        }
+        // Both goals appear for every (cell, algorithm) pair, covering
+        // first (spec order).
+        assert_eq!(scenarios[0].goal, SearchGoal::Covering);
+        assert_eq!(scenarios[1].goal, SearchGoal::BlockWrite);
+        // Distinct goals get distinct identities, hence distinct seeds.
+        assert_ne!(scenarios[0].derived_seed, scenarios[1].derived_seed);
+    }
+
+    #[test]
+    fn search_targets_resolve_against_the_spec() {
+        use crate::spec::SearchTarget;
+        let mut spec = small_spec();
+        spec.mode = CampaignMode::AdversarySearch;
+        spec.target = SearchTarget::None;
+        let (scenarios, _) = expand(&spec);
+        assert!(scenarios.iter().all(|s| s.target_registers == 0));
+        spec.target = SearchTarget::Registers(5);
+        let (scenarios, _) = expand(&spec);
+        assert!(scenarios.iter().all(|s| s.target_registers == 5));
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub use grid::{derive_seed, expand, ExpansionStats, ScenarioSpec};
 pub use record::{merge_shards, parse_jsonl, ParseError, SweepRecord};
 pub use spec::{
     parse_algorithms, parse_seeds, parse_values, AdversarySpec, BackendSpec, CampaignMode,
-    CampaignSpec, ParamsSpec, SpecError, Survivors, WorkloadSpec,
+    CampaignSpec, ParamsSpec, SearchTarget, SpecError, Survivors, WorkloadSpec,
 };
 pub use summary::{diff, CellKey, CellSummary, DiffEntry, DiffReport, Summary};
 
@@ -79,7 +79,7 @@ pub use summary::{diff, CellKey, CellSummary, DiffEntry, DiffReport, Summary};
 pub mod prelude {
     pub use crate::{
         diff, expand, merge_shards, run_campaign, run_campaign_collect, AdversarySpec, BackendSpec,
-        CampaignMode, CampaignOutcome, CampaignSpec, EngineConfig, ParamsSpec, Summary, Survivors,
-        SweepRecord, WorkloadSpec,
+        CampaignMode, CampaignOutcome, CampaignSpec, EngineConfig, ParamsSpec, SearchTarget,
+        Summary, Survivors, SweepRecord, WorkloadSpec,
     };
 }

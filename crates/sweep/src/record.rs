@@ -146,6 +146,29 @@ pub struct SweepRecord {
     /// order. Byte-comparing this field across runs at different shard
     /// counts is the cheap form of comparing the logs themselves.
     pub decided_fingerprint: u64,
+    /// Witness goal of an adversary-search record (`covering` or
+    /// `block-write`; empty for other modes — this and the seven fields
+    /// below are encoded only for adversary-search records, so every other
+    /// mode's output stays byte-identical to pre-search releases).
+    pub goal: String,
+    /// Register target the search stops early at (0 = no target, search
+    /// the whole budgeted space).
+    pub target_registers: usize,
+    /// `true` if the search found any witness at all.
+    pub witness_found: bool,
+    /// Schedule length of the best witness (0 when none was found).
+    pub witness_depth: u64,
+    /// Distinct locations covered by pending writes in the best witness.
+    pub registers_covered: usize,
+    /// `|written ∪ covered|` of the best witness — the count compared
+    /// against the paper's `n + 2m − k`.
+    pub witness_registers: usize,
+    /// The best witness's schedule as a dotted label (`0.1.0`; `-` when no
+    /// witness was found) — enough to replay and re-verify it from the
+    /// JSONL alone.
+    pub witness_schedule: String,
+    /// FNV-1a fingerprint of the best witness's certificate.
+    pub witness_fingerprint: u64,
 }
 
 impl SweepRecord {
@@ -215,6 +238,14 @@ impl SweepRecord {
             p999_us: 0,
             ops_per_sec: 0,
             decided_fingerprint: 0,
+            goal: String::new(),
+            target_registers: 0,
+            witness_found: false,
+            witness_depth: 0,
+            registers_covered: 0,
+            witness_registers: 0,
+            witness_schedule: String::new(),
+            witness_fingerprint: 0,
         }
     }
 
@@ -289,6 +320,14 @@ impl SweepRecord {
             p999_us: 0,
             ops_per_sec: 0,
             decided_fingerprint: 0,
+            goal: String::new(),
+            target_registers: 0,
+            witness_found: false,
+            witness_depth: 0,
+            registers_covered: 0,
+            witness_registers: 0,
+            witness_schedule: String::new(),
+            witness_fingerprint: 0,
         }
     }
 
@@ -371,6 +410,14 @@ impl SweepRecord {
             p999_us: 0,
             ops_per_sec: 0,
             decided_fingerprint: 0,
+            goal: String::new(),
+            target_registers: 0,
+            witness_found: false,
+            witness_depth: 0,
+            registers_covered: 0,
+            witness_registers: 0,
+            witness_schedule: String::new(),
+            witness_fingerprint: 0,
         }
     }
 
@@ -448,6 +495,100 @@ impl SweepRecord {
             p999_us: p999,
             ops_per_sec: report.ops_per_sec(),
             decided_fingerprint: report.decided_fingerprint(),
+            goal: String::new(),
+            target_registers: 0,
+            witness_found: false,
+            witness_depth: 0,
+            registers_covered: 0,
+            witness_registers: 0,
+            witness_schedule: String::new(),
+            witness_fingerprint: 0,
+        }
+    }
+
+    /// Builds the record for one adversary-search scenario. Safety fields
+    /// are vacuously true (the search hunts witness structure, not
+    /// violations); `verified` means the best witness — if any — replayed
+    /// successfully through the shared verifier, and the witness fields
+    /// carry enough of the artifact (schedule, certificate measures,
+    /// fingerprint) to re-verify it from the JSONL alone.
+    pub fn from_search(
+        campaign: &str,
+        spec: &ScenarioSpec,
+        report: &set_agreement::search::SearchReport,
+    ) -> Self {
+        let witness = report.witness.as_ref();
+        let certificate = witness.map(|w| &w.certificate);
+        let witness_registers = certificate.map_or(0, |c| c.registers);
+        SweepRecord {
+            campaign: campaign.to_string(),
+            scenario: spec.index,
+            n: spec.params.n(),
+            m: spec.params.m(),
+            k: spec.params.k(),
+            algorithm: spec.algorithm.label().to_string(),
+            instances: spec.algorithm.instances(),
+            adversary: spec.adversary_label.clone(),
+            mode: spec.mode.label().to_string(),
+            backend: spec.backend_label().to_string(),
+            contention_steps: 0,
+            survivors: 0,
+            crashes: 0,
+            seed: spec.seed,
+            workload: spec.workload_label.clone(),
+            max_steps: spec.max_steps,
+            steps: 0,
+            stop: report.stop.label().to_string(),
+            validity_ok: true,
+            agreement_ok: true,
+            progress_required: false,
+            survivors_decided: true,
+            decisions: 0,
+            distinct_outputs_max: 0,
+            total_ops: 0,
+            // For a search, the space story *is* the witness: `written ∪
+            // covered` of the best configuration found.
+            locations_written: witness_registers,
+            registers_written: certificate.map_or(0, |c| c.registers_written),
+            components_written: 0,
+            register_bound: spec.algorithm.register_bound(spec.params),
+            component_bound: spec.algorithm.component_bound(spec.params),
+            bound_ok: true,
+            explored_states: report.states_visited,
+            explored_depth: report.max_depth_reached,
+            verified: report.verified,
+            frontier_peak: 0,
+            seen_entries: 0,
+            approx_bytes: 0,
+            symmetry: match (spec.symmetry, report.symmetry_applied) {
+                (SymmetryMode::Off, _) => "off".into(),
+                (SymmetryMode::ProcessIds, true) => "process-ids".into(),
+                (SymmetryMode::ProcessIds, false) => "fallback-off".into(),
+            },
+            orbit_states: if spec.symmetry == SymmetryMode::Off {
+                0
+            } else {
+                report.states_visited
+            },
+            full_states_lower_bound: 0,
+            wall_us: 0,
+            steps_per_sec: 0,
+            proposals: 0,
+            batches: 0,
+            p50_us: 0,
+            p90_us: 0,
+            p99_us: 0,
+            p999_us: 0,
+            ops_per_sec: 0,
+            decided_fingerprint: 0,
+            goal: report.goal.label().to_string(),
+            target_registers: report.target_registers,
+            witness_found: witness.is_some(),
+            witness_depth: certificate.map_or(0, |c| c.depth),
+            registers_covered: certificate.map_or(0, |c| c.registers_covered),
+            witness_registers,
+            witness_schedule: witness.map_or_else(|| "-".to_string(), |w| w.schedule_label()),
+            witness_fingerprint: certificate.map_or(0, |c| c.fingerprint),
         }
     }
 
@@ -482,10 +623,12 @@ impl SweepRecord {
     ///
     /// Backend-specific fields are encoded only where they carry
     /// information: `backend`, `wall_us` and `steps_per_sec` appear on
-    /// threaded and serve records, `explored_depth` on explore-mode records,
-    /// and the service measurements (`proposals` through
-    /// `decided_fingerprint`) on serve records. Scheduled sampled output is
-    /// therefore byte-identical to what pre-backend releases emitted.
+    /// threaded and serve records, `explored_depth` on explore-mode and
+    /// adversary-search records, the service measurements (`proposals`
+    /// through `decided_fingerprint`) on serve records, and the witness
+    /// fields (`goal` through `witness_fingerprint`) on adversary-search
+    /// records. Scheduled sampled output is therefore byte-identical to
+    /// what pre-backend releases emitted.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(512);
         out.push('{');
@@ -570,7 +713,7 @@ impl SweepRecord {
             "explored_states",
             &self.explored_states.to_string(),
         );
-        if self.mode == "explore" {
+        if self.mode == "explore" || self.mode == "adversary-search" {
             field(&mut out, "explored_depth", &self.explored_depth.to_string());
         }
         if self.backend == "parallel-explore" {
@@ -588,6 +731,36 @@ impl SweepRecord {
             );
         }
         field(&mut out, "verified", bool_str(self.verified));
+        if self.mode == "adversary-search" {
+            field(&mut out, "goal", &json_string(&self.goal));
+            field(
+                &mut out,
+                "target_registers",
+                &self.target_registers.to_string(),
+            );
+            field(&mut out, "witness_found", bool_str(self.witness_found));
+            field(&mut out, "witness_depth", &self.witness_depth.to_string());
+            field(
+                &mut out,
+                "registers_covered",
+                &self.registers_covered.to_string(),
+            );
+            field(
+                &mut out,
+                "witness_registers",
+                &self.witness_registers.to_string(),
+            );
+            field(
+                &mut out,
+                "witness_schedule",
+                &json_string(&self.witness_schedule),
+            );
+            field(
+                &mut out,
+                "witness_fingerprint",
+                &self.witness_fingerprint.to_string(),
+            );
+        }
         if self.backend == "threaded" || self.backend == "serve" {
             field(&mut out, "wall_us", &self.wall_us.to_string());
             field(&mut out, "steps_per_sec", &self.steps_per_sec.to_string());
@@ -613,10 +786,11 @@ impl SweepRecord {
     /// Decodes one JSON line produced by [`SweepRecord::to_json`].
     ///
     /// The fields introduced after the first release (`mode`, `crashes`,
-    /// `explored_states`, `verified`, and the backend fields `backend`,
-    /// `explored_depth`, `wall_us`, `steps_per_sec`) default to their
-    /// crash-free scheduled values when absent, so result files written by
-    /// older versions remain summarizable and diffable.
+    /// `explored_states`, `verified`, the backend fields `backend`,
+    /// `explored_depth`, `wall_us`, `steps_per_sec`, and the
+    /// adversary-search witness fields) default to their crash-free
+    /// scheduled values when absent, so result files written by older
+    /// versions remain summarizable and diffable.
     pub fn parse(line: &str) -> Result<Self, ParseError> {
         let fields = parse_flat_object(line)?;
         let mode = fields.string_or("mode", "sample")?;
@@ -626,6 +800,7 @@ impl SweepRecord {
         let default_backend = match mode.as_str() {
             "explore" => "explore",
             "serve" => "serve",
+            "adversary-search" => "adversary-search",
             _ => "scheduled",
         };
         let record = SweepRecord {
@@ -679,6 +854,14 @@ impl SweepRecord {
             p999_us: fields.u64_or("p999_us", 0)?,
             ops_per_sec: fields.u64_or("ops_per_sec", 0)?,
             decided_fingerprint: fields.u64_or("decided_fingerprint", 0)?,
+            goal: fields.string_or("goal", "")?,
+            target_registers: fields.u64_or("target_registers", 0)? as usize,
+            witness_found: fields.bool_or("witness_found", false)?,
+            witness_depth: fields.u64_or("witness_depth", 0)?,
+            registers_covered: fields.u64_or("registers_covered", 0)? as usize,
+            witness_registers: fields.u64_or("witness_registers", 0)? as usize,
+            witness_schedule: fields.string_or("witness_schedule", "")?,
+            witness_fingerprint: fields.u64_or("witness_fingerprint", 0)?,
         };
         Ok(record)
     }
@@ -1011,6 +1194,14 @@ mod tests {
             p999_us: 0,
             ops_per_sec: 0,
             decided_fingerprint: 0,
+            goal: String::new(),
+            target_registers: 0,
+            witness_found: false,
+            witness_depth: 0,
+            registers_covered: 0,
+            witness_registers: 0,
+            witness_schedule: String::new(),
+            witness_fingerprint: 0,
         }
     }
 
@@ -1109,6 +1300,66 @@ mod tests {
         // A serve-mode line without an explicit backend implies the service.
         let stripped = line.replace(",\"backend\":\"serve\"", "");
         assert_eq!(SweepRecord::parse(&stripped).unwrap().backend, "serve");
+    }
+
+    #[test]
+    fn adversary_search_records_round_trip_with_witness_fields() {
+        let mut record = sample();
+        record.adversary = "adversary-search:covering".into();
+        record.mode = "adversary-search".into();
+        record.backend = "adversary-search".into();
+        record.stop = "target-reached".into();
+        record.seed = 0;
+        record.explored_states = 321;
+        record.explored_depth = 6;
+        record.verified = true;
+        record.symmetry = "process-ids".into();
+        record.orbit_states = 321;
+        record.goal = "covering".into();
+        record.target_registers = 3;
+        record.witness_found = true;
+        record.witness_depth = 6;
+        record.registers_covered = 2;
+        record.witness_registers = 3;
+        record.witness_schedule = "0.1.0.1.2.2".into();
+        record.witness_fingerprint = 0xFEED;
+        let line = record.to_json();
+        assert!(line.contains("\"goal\":\"covering\""), "{line}");
+        assert!(line.contains("\"target_registers\":3"), "{line}");
+        assert!(
+            line.contains("\"witness_schedule\":\"0.1.0.1.2.2\""),
+            "{line}"
+        );
+        assert!(line.contains("\"witness_fingerprint\":65261"), "{line}");
+        let parsed = SweepRecord::parse(&line).unwrap();
+        assert_eq!(parsed, record);
+        // A search line without an explicit backend implies the search.
+        let stripped = line.replace(",\"backend\":\"adversary-search\"", "");
+        assert_eq!(stripped, line, "backend must be implied by the mode");
+        assert_eq!(parsed.backend, "adversary-search");
+    }
+
+    #[test]
+    fn non_search_records_omit_witness_fields_for_byte_compatibility() {
+        for line in [sample().to_json(), {
+            let mut explored = sample();
+            explored.mode = "explore".into();
+            explored.backend = "explore".into();
+            explored.to_json()
+        }] {
+            for absent in [
+                "\"goal\"",
+                "target_registers",
+                "witness_found",
+                "witness_depth",
+                "registers_covered",
+                "witness_registers",
+                "witness_schedule",
+                "witness_fingerprint",
+            ] {
+                assert!(!line.contains(absent), "{absent} leaked into {line}");
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! CLI accepts via `--spec`.
 
 use sa_model::Params;
-use set_agreement::runtime::SymmetryMode;
+use set_agreement::runtime::{SearchGoal, SymmetryMode};
 use set_agreement::Algorithm;
 
 /// Errors produced while building or parsing a campaign spec.
@@ -330,6 +330,14 @@ pub enum CampaignMode {
     /// repeated algorithm, and the serve keys (`shards`, `batch-max`,
     /// `clients`, `rate`, `duration`) replace them.
     Serve,
+    /// Run a goal-directed adversary search per (cell, algorithm, goal)
+    /// combination, hunting for lower-bound witness structures — covering
+    /// configurations and block-write extensions — instead of safety
+    /// violations (the `sa-search` crate). Like [`CampaignMode::Explore`]
+    /// it quantifies over all schedules, so the backend, adversary and
+    /// seed axes are ignored; the search keys (`goals`, `target-registers`,
+    /// `search-depth`) replace them.
+    AdversarySearch,
 }
 
 impl CampaignMode {
@@ -339,18 +347,73 @@ impl CampaignMode {
             CampaignMode::Sample => "sample",
             CampaignMode::Explore => "explore",
             CampaignMode::Serve => "serve",
+            CampaignMode::AdversarySearch => "adversary-search",
         }
     }
 
-    /// Parses `sample`, `explore` or `serve`.
+    /// Parses `sample`, `explore`, `serve` or `adversary-search`.
     pub fn parse(text: &str) -> Result<Self, SpecError> {
         match text {
             "sample" => Ok(CampaignMode::Sample),
             "explore" => Ok(CampaignMode::Explore),
             "serve" => Ok(CampaignMode::Serve),
+            "adversary-search" => Ok(CampaignMode::AdversarySearch),
             _ => err(format!(
-                "unknown mode {text:?} (want sample, explore or serve)"
+                "unknown mode {text:?} (want sample, explore, serve or adversary-search)"
             )),
+        }
+    }
+}
+
+/// The per-cell register target of a `mode = adversary-search` campaign:
+/// how many distinct registers (written or covered) a witness must touch
+/// for the search to stop early with `target-reached`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SearchTarget {
+    /// The paper's `n + 2m − k` lower bound, computed per cell — the
+    /// default, which makes every search a *rediscovery* of Theorem 2's
+    /// hand-built construction for its cell.
+    #[default]
+    Auto,
+    /// No target: search the whole budgeted space for the best witness.
+    None,
+    /// A fixed register count, identical for every cell.
+    Registers(usize),
+}
+
+impl SearchTarget {
+    /// A stable label for spec files (`auto`, `none`, or the count).
+    pub fn label(&self) -> String {
+        match self {
+            SearchTarget::Auto => "auto".into(),
+            SearchTarget::None => "none".into(),
+            SearchTarget::Registers(count) => count.to_string(),
+        }
+    }
+
+    /// Parses `auto`, `none`, or a strictly positive register count
+    /// (`none` already means "no target", so an explicit 0 is rejected as
+    /// ambiguous rather than silently aliased).
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        match text.trim() {
+            "auto" => Ok(SearchTarget::Auto),
+            "none" => Ok(SearchTarget::None),
+            count => match count.parse::<usize>() {
+                Ok(parsed) if parsed >= 1 => Ok(SearchTarget::Registers(parsed)),
+                _ => err(format!(
+                    "bad target-registers {text:?} (want auto, none, or a count >= 1)"
+                )),
+            },
+        }
+    }
+
+    /// The concrete register target for one cell: `n + 2m − k` under
+    /// [`SearchTarget::Auto`], 0 (no target) under [`SearchTarget::None`].
+    pub fn for_params(&self, params: &Params) -> usize {
+        match self {
+            SearchTarget::Auto => params.snapshot_components(),
+            SearchTarget::None => 0,
+            SearchTarget::Registers(count) => *count,
         }
     }
 }
@@ -416,6 +479,21 @@ pub struct CampaignSpec {
     /// except that a budget small enough to truncate a non-spilling cell
     /// changes that cell's verdict, exactly like `max-states` does.
     pub max_resident_mb: u64,
+    /// The witness goals a [`CampaignMode::AdversarySearch`] campaign hunts
+    /// for (ignored in the other modes). Like the adversary axis of a
+    /// sampled campaign, each listed goal produces one scenario per
+    /// (cell, algorithm) pair.
+    pub goals: Vec<SearchGoal>,
+    /// The per-cell register target of a [`CampaignMode::AdversarySearch`]
+    /// campaign (ignored in the other modes): `auto` (the default)
+    /// rediscovers the paper's `n + 2m − k` bound per cell, `none` searches
+    /// the whole budgeted space, a count fixes the target for every cell.
+    pub target: SearchTarget,
+    /// Maximum schedule depth (BFS radius) per
+    /// [`CampaignMode::AdversarySearch`] scenario (ignored in the other
+    /// modes). A "what" knob: a depth too small to reach the target
+    /// changes the verdict, exactly like `max-states` does.
+    pub search_depth: u64,
     /// Service worker threads per [`CampaignMode::Serve`] scenario
     /// (ignored in the other modes). Like `explore-threads`, a "how" knob:
     /// under the virtual clock records are byte-identical at any shard
@@ -459,6 +537,9 @@ impl Default for CampaignSpec {
             symmetry: SymmetryMode::Off,
             spill: false,
             max_resident_mb: 0,
+            goals: vec![SearchGoal::Covering],
+            target: SearchTarget::Auto,
+            search_depth: 60,
             shards: 2,
             batch_max: 8,
             clients: 64,
@@ -556,15 +637,19 @@ impl CampaignSpec {
     /// `k`, `params` (explicit `n/m/k` triples, `;`-separated), `algorithms`,
     /// `adversaries`, `backend` (`scheduled`, `threaded`, or a comma list to
     /// make the backend a grid axis), `seeds`, `workload`, `max-steps`,
-    /// `campaign-seed`, `mode` (`sample` or `explore`), `max-states`
+    /// `campaign-seed`, `mode` (`sample`, `explore`, `serve` or
+    /// `adversary-search`), `max-states`
     /// (exploration state budget), `explore-threads` (exploration worker
     /// threads; 0 = serial explorer), `symmetry` (`off` or
     /// `process-ids`: deduplicate explored states up to process-id
     /// orbits), `spill` (`on` or `off`: let explorations move cold
     /// frontier and seen-set state to disk under memory pressure),
     /// `max-resident-mb` (resident-memory budget per exploration in MiB;
-    /// 0 = unlimited), and the `mode = serve` service keys `shards`,
-    /// `batch-max`, `clients`, `rate` and `duration` (all at least 1).
+    /// 0 = unlimited), the `mode = adversary-search` keys `goals` (comma
+    /// list of `covering` / `block-write`), `target-registers` (`auto`,
+    /// `none`, or a count ≥ 1) and `search-depth` (≥ 1), and the
+    /// `mode = serve` service keys `shards`, `batch-max`, `clients`,
+    /// `rate` and `duration` (all at least 1).
     pub fn parse(text: &str) -> Result<Self, SpecError> {
         let mut spec = CampaignSpec::default();
         let (mut grid_n, mut grid_m, mut grid_k) = (None, None, None);
@@ -644,6 +729,21 @@ impl CampaignSpec {
                         .parse()
                         .map_err(|_| SpecError(format!("bad max-resident-mb {value:?}")))?;
                 }
+                "goals" => {
+                    spec.goals = value
+                        .split(',')
+                        .map(|part| {
+                            SearchGoal::parse(part).ok_or_else(|| {
+                                SpecError(format!(
+                                    "unknown goal {:?} (want covering or block-write)",
+                                    part.trim()
+                                ))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "target-registers" => spec.target = SearchTarget::parse(value)?,
+                "search-depth" => spec.search_depth = parse_positive(key, value)? as u64,
                 "shards" => spec.shards = parse_positive(key, value)?,
                 "batch-max" => spec.batch_max = parse_positive(key, value)?,
                 "clients" => spec.clients = parse_positive(key, value)?,
@@ -678,6 +778,9 @@ impl CampaignSpec {
         }
         if spec.seeds.is_empty() {
             return err("no seeds");
+        }
+        if spec.goals.is_empty() {
+            return err("no goals");
         }
         Ok(spec)
     }
@@ -758,6 +861,10 @@ impl std::fmt::Display for CampaignSpec {
         writeln!(f, "symmetry = {}", self.symmetry.label())?;
         writeln!(f, "spill = {}", if self.spill { "on" } else { "off" })?;
         writeln!(f, "max-resident-mb = {}", self.max_resident_mb)?;
+        let goals: Vec<&str> = self.goals.iter().map(|g| g.label()).collect();
+        writeln!(f, "goals = {}", goals.join(","))?;
+        writeln!(f, "target-registers = {}", self.target.label())?;
+        writeln!(f, "search-depth = {}", self.search_depth)?;
         writeln!(f, "shards = {}", self.shards)?;
         writeln!(f, "batch-max = {}", self.batch_max)?;
         writeln!(f, "clients = {}", self.clients)?;
@@ -947,6 +1054,54 @@ duration = 500",
             "rate = fast",
             "duration = forever",
             "clients = ",
+        ] {
+            assert!(CampaignSpec::parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn adversary_search_keys_parse_round_trip_and_default() {
+        let defaults = CampaignSpec::parse("").unwrap();
+        assert_eq!(defaults.goals, vec![SearchGoal::Covering]);
+        assert_eq!(defaults.target, SearchTarget::Auto);
+        assert_eq!(defaults.search_depth, 60);
+        let spec = CampaignSpec::parse(
+            "mode = adversary-search
+goals = covering, block-write
+target-registers = none
+search-depth = 24",
+        )
+        .unwrap();
+        assert_eq!(spec.mode, CampaignMode::AdversarySearch);
+        assert_eq!(spec.goals, SearchGoal::all().to_vec());
+        assert_eq!(spec.target, SearchTarget::None);
+        assert_eq!(spec.search_depth, 24);
+        assert_eq!(CampaignSpec::parse(&spec.to_string()).unwrap(), spec);
+        let fixed = CampaignSpec::parse("target-registers = 7").unwrap();
+        assert_eq!(fixed.target, SearchTarget::Registers(7));
+        assert_eq!(CampaignSpec::parse(&fixed.to_string()).unwrap(), fixed);
+    }
+
+    #[test]
+    fn search_targets_resolve_per_cell() {
+        let params = Params::new(3, 1, 2).unwrap();
+        assert_eq!(SearchTarget::Auto.for_params(&params), 3); // n + 2m - k
+        assert_eq!(SearchTarget::None.for_params(&params), 0);
+        assert_eq!(SearchTarget::Registers(9).for_params(&params), 9);
+    }
+
+    #[test]
+    fn malformed_adversary_search_values_are_rejected() {
+        for bad in [
+            "goals = nonsense",
+            "goals = covering, nonsense",
+            "goals = ",
+            "target-registers = 0",
+            "target-registers = -2",
+            "target-registers = bogus",
+            "search-depth = 0",
+            "search-depth = -3",
+            "search-depth = deep",
         ] {
             assert!(CampaignSpec::parse(bad).is_err(), "{bad:?} parsed");
         }

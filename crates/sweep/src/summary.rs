@@ -97,6 +97,23 @@ pub struct CellSummary {
     pub max_p99_us: u64,
     /// Peak decided-proposals-per-second of any service run.
     pub max_ops_per_sec: u64,
+    /// Scenarios executed as goal-directed adversary searches.
+    pub searched: u64,
+    /// Search scenarios that found a witness.
+    pub witnesses_found: u64,
+    /// Search scenarios with a register target whose best witness fell
+    /// short of it (a rediscovery miss — the machine failed to re-find the
+    /// paper's bound within its budgets).
+    pub search_misses: u64,
+    /// Largest register target any search of this cell chased (for the
+    /// rediscovery cells: `n + 2m − k`).
+    pub search_target: usize,
+    /// Deepest best-witness schedule of any search of this cell.
+    pub max_witness_depth: u64,
+    /// Widest covering (distinct covered locations) of any best witness.
+    pub max_registers_covered: usize,
+    /// Largest `written ∪ covered` of any best witness.
+    pub max_witness_registers: usize,
     /// Maximum distinct base objects written by any scenario.
     pub max_locations_written: usize,
     /// The paper's register bound (identical across the cell).
@@ -170,6 +187,15 @@ pub struct Summary {
     pub max_p99_us: u64,
     /// Peak decided-proposals-per-second across all service runs.
     pub max_ops_per_sec: u64,
+    /// Records executed as goal-directed adversary searches.
+    pub searched: u64,
+    /// Search records that found a witness.
+    pub witnesses_found: u64,
+    /// Found witnesses that replayed successfully through the verifier.
+    pub witnesses_verified: u64,
+    /// Search records whose best witness fell short of their register
+    /// target (see [`Summary::rediscovery_misses`]).
+    pub search_misses: u64,
 }
 
 impl Summary {
@@ -233,6 +259,30 @@ impl Summary {
                 summary.max_p99_us = summary.max_p99_us.max(record.p99_us);
                 summary.max_ops_per_sec = summary.max_ops_per_sec.max(record.ops_per_sec);
             }
+            if record.mode == "adversary-search" {
+                cell.searched += 1;
+                summary.searched += 1;
+                cell.search_target = cell.search_target.max(record.target_registers);
+                cell.max_witness_depth = cell.max_witness_depth.max(record.witness_depth);
+                cell.max_registers_covered =
+                    cell.max_registers_covered.max(record.registers_covered);
+                cell.max_witness_registers =
+                    cell.max_witness_registers.max(record.witness_registers);
+                cell.max_explored_states = cell.max_explored_states.max(record.explored_states);
+                cell.max_explored_depth = cell.max_explored_depth.max(record.explored_depth);
+                if record.witness_found {
+                    cell.witnesses_found += 1;
+                    summary.witnesses_found += 1;
+                    if record.verified {
+                        summary.witnesses_verified += 1;
+                    }
+                }
+                if record.target_registers > 0 && record.witness_registers < record.target_registers
+                {
+                    cell.search_misses += 1;
+                    summary.search_misses += 1;
+                }
+            }
             if record.mode == "explore" {
                 cell.explored += 1;
                 summary.explored += 1;
@@ -289,6 +339,15 @@ impl Summary {
         self.truncated_explorations
     }
 
+    /// Adversary-search records whose best witness fell short of their
+    /// register target — the machine failed to re-find the paper's
+    /// `n + 2m − k` structure within its budgets. Zero for campaigns
+    /// without search records; non-zero fails `sweep summarize` the same
+    /// way an exhaustiveness gap does.
+    pub fn rediscovery_misses(&self) -> u64 {
+        self.search_misses
+    }
+
     /// Renders the summary as an aligned text table. The `coverage` column
     /// distinguishes exhaustively verified cells (`exhaustive`: every
     /// reachable interleaving checked) from sampled ones (`sampled`: zero
@@ -302,13 +361,18 @@ impl Summary {
     /// explorer memory per cell); campaigns with threaded records gain
     /// `wall-ms`/`steps/s` columns
     /// (total wall clock, millisecond display of the microsecond totals, and
-    /// aggregate throughput per cell).
+    /// aggregate throughput per cell); campaigns with adversary-search
+    /// records gain `goals`/`target`/`w-regs`/`covered`/`w-depth` columns
+    /// (witnesses found per goal searched, the register target, and the best
+    /// witness's registers, covering width and depth per cell), with
+    /// `MISSED` in the coverage column flagging rediscovery misses.
     pub fn render(&self) -> String {
         let show_explore = self.explored > 0;
         let show_parallel = self.parallel_explored > 0;
         let show_symmetry = self.symmetry_reduced + self.symmetry_fallbacks > 0;
         let show_threaded = self.threaded_runs > 0;
         let show_serve = self.serve_runs > 0;
+        let show_searched = self.searched > 0;
         let mut out = String::new();
         let mut header = format!(
             "{:>3} {:>2} {:>2} {:<24} {:>5} {:>7} {:>7} {:>6} {:>9} {:>9} {:>7} {:>6} {:>6} {:<10}",
@@ -346,6 +410,13 @@ impl Summary {
         if show_serve {
             let _ = write!(header, " {:>8} {:>8} {:>9}", "p50-us", "p99-us", "ops/s");
         }
+        if show_searched {
+            let _ = write!(
+                header,
+                " {:>7} {:>6} {:>6} {:>7} {:>7}",
+                "goals", "target", "w-regs", "covered", "w-depth"
+            );
+        }
         let _ = writeln!(out, "{header}");
         for (key, cell) in &self.cells {
             let algorithm = if key.instances > 1 {
@@ -353,7 +424,16 @@ impl Summary {
             } else {
                 key.algorithm.clone()
             };
-            let coverage = if cell.explored == 0 {
+            let coverage = if cell.explored == 0 && cell.searched > 0 {
+                // A search cell: "searched" means every goal found its
+                // target (or chased none); MISSED is the loud rediscovery
+                // failure.
+                if cell.search_misses > 0 {
+                    "MISSED"
+                } else {
+                    "searched"
+                }
+            } else if cell.explored == 0 {
                 "sampled"
             } else if cell.explored_violations > 0 {
                 // The exploration found a real counterexample — loud and
@@ -451,6 +531,25 @@ impl Summary {
                     let _ = write!(row, " {:>8} {:>8} {:>9}", "-", "-", "-");
                 }
             }
+            if show_searched {
+                if cell.searched > 0 {
+                    let _ = write!(
+                        row,
+                        " {:>7} {:>6} {:>6} {:>7} {:>7}",
+                        format!("{}/{}", cell.witnesses_found, cell.searched),
+                        cell.search_target,
+                        cell.max_witness_registers,
+                        cell.max_registers_covered,
+                        cell.max_witness_depth
+                    );
+                } else {
+                    let _ = write!(
+                        row,
+                        " {:>7} {:>6} {:>6} {:>7} {:>7}",
+                        "-", "-", "-", "-", "-"
+                    );
+                }
+            }
             let _ = writeln!(out, "{row}");
         }
         let _ = writeln!(
@@ -519,6 +618,14 @@ impl Summary {
                 self.max_p50_us,
                 self.max_p99_us,
                 self.max_ops_per_sec
+            );
+        }
+        if self.searched > 0 {
+            let _ = writeln!(
+                out,
+                "adversary search: {} searches, {} witnesses found ({} replay-verified), \
+                 {} rediscovery misses",
+                self.searched, self.witnesses_found, self.witnesses_verified, self.search_misses
             );
         }
         out
@@ -638,6 +745,21 @@ fn describe_changes(old: &SweepRecord, new: &SweepRecord) -> (String, bool) {
             old.decided_fingerprint, new.decided_fingerprint
         ));
     }
+    if old.witness_registers != new.witness_registers {
+        changes.push(format!(
+            "witness_registers {} -> {}",
+            old.witness_registers, new.witness_registers
+        ));
+        // Finding a smaller witness than before means the search lost
+        // ground on the bound — gate on it like a safety change.
+        regression |= new.witness_registers < old.witness_registers;
+    }
+    if old.witness_fingerprint != new.witness_fingerprint {
+        changes.push(format!(
+            "witness_fingerprint {:#x} -> {:#x}",
+            old.witness_fingerprint, new.witness_fingerprint
+        ));
+    }
     (changes.join(", "), regression)
 }
 
@@ -729,7 +851,36 @@ mod tests {
             p999_us: 0,
             ops_per_sec: 0,
             decided_fingerprint: 0,
+            goal: String::new(),
+            target_registers: 0,
+            witness_found: false,
+            witness_depth: 0,
+            registers_covered: 0,
+            witness_registers: 0,
+            witness_schedule: String::new(),
+            witness_fingerprint: 0,
         }
+    }
+
+    fn search_record(seed: u64, goal: &str) -> SweepRecord {
+        let mut searched = record(seed);
+        searched.adversary = format!("adversary-search:{goal}");
+        searched.mode = "adversary-search".into();
+        searched.backend = "adversary-search".into();
+        searched.stop = "target-reached".into();
+        searched.seed = 0;
+        searched.explored_states = 300;
+        searched.explored_depth = 7;
+        searched.verified = true;
+        searched.goal = goal.into();
+        searched.target_registers = 7;
+        searched.witness_found = true;
+        searched.witness_depth = 7;
+        searched.registers_covered = 4;
+        searched.witness_registers = 7;
+        searched.witness_schedule = "0.1.2.0.1.2.3".into();
+        searched.witness_fingerprint = 0xBEEF;
+        searched
     }
 
     #[test]
@@ -987,6 +1138,89 @@ mod tests {
         let plain = Summary::of(&[record(0)]).render();
         assert!(!plain.contains("p50-us"), "{plain}");
         assert!(!plain.contains("serve:"), "{plain}");
+    }
+
+    #[test]
+    fn adversary_search_cells_report_witnesses_and_rediscovery() {
+        let covering = search_record(0, "covering");
+        let block_write = search_record(1, "block-write");
+        let mut sampled = record(2);
+        sampled.n = 8; // a different cell
+        let summary = Summary::of(&[covering, block_write, sampled]);
+        assert_eq!(summary.searched, 2);
+        assert_eq!(summary.witnesses_found, 2);
+        assert_eq!(summary.witnesses_verified, 2);
+        assert_eq!(summary.rediscovery_misses(), 0);
+        let cell = summary.cells.values().next().unwrap();
+        assert_eq!(cell.searched, 2);
+        assert_eq!(cell.witnesses_found, 2);
+        assert_eq!(cell.search_target, 7);
+        assert_eq!(cell.max_witness_registers, 7);
+        assert_eq!(cell.max_registers_covered, 4);
+        assert_eq!(cell.max_witness_depth, 7);
+        let rendered = summary.render();
+        for column in ["goals", "target", "w-regs", "covered", "w-depth"] {
+            assert!(rendered.contains(column), "{column} missing: {rendered}");
+        }
+        assert!(rendered.contains("2/2"), "{rendered}");
+        assert!(rendered.contains("searched"), "{rendered}");
+        assert!(
+            rendered.contains(
+                "adversary search: 2 searches, 2 witnesses found (2 replay-verified), \
+                 0 rediscovery misses"
+            ),
+            "{rendered}"
+        );
+        // The sampled cell fills the search columns with dashes.
+        assert!(rendered.contains('-'), "{rendered}");
+        // Search-free campaigns do not grow the columns.
+        let plain = Summary::of(&[record(0)]).render();
+        assert!(!plain.contains("w-regs"), "{plain}");
+        assert!(!plain.contains("adversary search:"), "{plain}");
+    }
+
+    #[test]
+    fn rediscovery_misses_are_loud_but_distinct_from_safety() {
+        // Best witness fell short of the target: a rediscovery miss. The
+        // campaign is still "clean" (no safety/bound violation) — the gate
+        // on misses is separate, like exhaustiveness gaps.
+        let mut short = search_record(0, "covering");
+        short.stop = "state-space-exhausted".into();
+        short.witness_registers = 5;
+        let summary = Summary::of(&[short]);
+        assert!(summary.clean());
+        assert_eq!(summary.rediscovery_misses(), 1);
+        let rendered = summary.render();
+        assert!(rendered.contains("MISSED"), "{rendered}");
+        assert!(rendered.contains("1 rediscovery misses"), "{rendered}");
+        // An untargeted probe search cannot miss.
+        let mut probe = search_record(0, "covering");
+        probe.target_registers = 0;
+        probe.witness_registers = 5;
+        assert_eq!(Summary::of(&[probe]).rediscovery_misses(), 0);
+    }
+
+    #[test]
+    fn search_diffs_flag_witness_regressions() {
+        let old = search_record(0, "covering");
+        let mut smaller = old.clone();
+        smaller.witness_registers = 5;
+        smaller.witness_fingerprint = 0x1234;
+        let report = diff(std::slice::from_ref(&old), &[smaller]);
+        assert_eq!(report.changed.len(), 1);
+        assert!(report.has_regressions(), "{report:?}");
+        assert!(
+            report.changed[0]
+                .change
+                .contains("witness_registers 7 -> 5"),
+            "{report:?}"
+        );
+        // A different but equally large witness is drift, not a regression.
+        let mut moved = old.clone();
+        moved.witness_fingerprint = 0x9999;
+        let report = diff(&[old], &[moved]);
+        assert_eq!(report.changed.len(), 1);
+        assert!(!report.has_regressions(), "{report:?}");
     }
 
     #[test]

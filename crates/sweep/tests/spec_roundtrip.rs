@@ -1,17 +1,21 @@
 //! Property tests for the spec syntax: every value the spec types can hold
 //! renders to text that parses back to the identical value, for adversary
 //! labels (`AdversarySpec::label` / `parse`) and whole campaign files
-//! (`CampaignSpec`'s `Display` / `parse`) — including the `crash:` template
-//! and the `mode = explore` and `mode = serve` forms with the service keys
-//! (`shards`, `batch-max`, `clients`, `rate`, `duration`) — plus rejection
-//! tests for malformed `crash:` strings and malformed serve values.
+//! (`CampaignSpec`'s `Display` / `parse`) — including the `crash:` template,
+//! the `mode = explore` and `mode = serve` forms with the service keys
+//! (`shards`, `batch-max`, `clients`, `rate`, `duration`), and the
+//! `mode = adversary-search` form with the search keys (`goals`,
+//! `target-registers`, `search-depth`) — plus rejection tests for malformed
+//! `crash:` strings, malformed serve values and malformed search values.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 use sa_model::Params;
 use sa_sweep::{
-    AdversarySpec, BackendSpec, CampaignMode, CampaignSpec, ParamsSpec, Survivors, WorkloadSpec,
+    AdversarySpec, BackendSpec, CampaignMode, CampaignSpec, ParamsSpec, SearchTarget, Survivors,
+    WorkloadSpec,
 };
+use set_agreement::runtime::SearchGoal;
 use set_agreement::Algorithm;
 
 fn base_adversary() -> BoxedStrategy<AdversarySpec> {
@@ -100,6 +104,25 @@ fn workload() -> BoxedStrategy<WorkloadSpec> {
     .boxed()
 }
 
+fn goals() -> BoxedStrategy<Vec<SearchGoal>> {
+    prop_oneof![
+        Just(vec![SearchGoal::Covering]),
+        Just(vec![SearchGoal::BlockWrite]),
+        Just(vec![SearchGoal::Covering, SearchGoal::BlockWrite]),
+        Just(vec![SearchGoal::BlockWrite, SearchGoal::Covering]),
+    ]
+    .boxed()
+}
+
+fn search_target() -> BoxedStrategy<SearchTarget> {
+    prop_oneof![
+        Just(SearchTarget::Auto),
+        Just(SearchTarget::None),
+        (1usize..40).prop_map(SearchTarget::Registers),
+    ]
+    .boxed()
+}
+
 fn backends() -> BoxedStrategy<Vec<BackendSpec>> {
     prop_oneof![
         Just(vec![BackendSpec::Scheduled]),
@@ -139,6 +162,7 @@ fn campaign() -> BoxedStrategy<CampaignSpec> {
                     Just(CampaignMode::Sample),
                     Just(CampaignMode::Explore),
                     Just(CampaignMode::Serve),
+                    Just(CampaignMode::AdversarySearch),
                 ],
                 1u64..5_000_000,
             )
@@ -167,6 +191,13 @@ fn campaign() -> BoxedStrategy<CampaignSpec> {
                 spec
             },
         )
+        .prop_flat_map(|spec| (Just(spec), goals(), search_target(), 1u64..500))
+        .prop_map(|(mut spec, goals, target, search_depth)| {
+            spec.goals = goals;
+            spec.target = target;
+            spec.search_depth = search_depth;
+            spec
+        })
         .prop_flat_map(|spec| (Just(spec), vec(0usize..36, 1..12)))
         .prop_map(|(mut spec, name)| {
             spec.name = name
@@ -241,6 +272,54 @@ proptest! {
             bad
         );
     }
+
+    #[test]
+    fn malformed_search_values_never_parse(
+        spec in campaign(),
+        key_and_bad in prop_oneof![
+            // A search with no goals, an unknown goal, a zero or negative
+            // depth, or a nonsense register target is degenerate: each key
+            // rejects anything outside its documented vocabulary.
+            Just("goals").prop_flat_map(|key| (
+                Just(key),
+                prop_oneof![
+                    Just("nonsense".to_string()),
+                    Just("covering, nonsense".to_string()),
+                    Just("".to_string()),
+                    (1u64..1000).prop_map(|v| v.to_string()),
+                ],
+            )),
+            Just("target-registers").prop_flat_map(|key| (
+                Just(key),
+                prop_oneof![
+                    Just("0".to_string()),
+                    (1i64..1000).prop_map(|v| format!("-{v}")),
+                    Just("bogus".to_string()),
+                    (1u64..1000).prop_map(|v| format!("{v}.5")),
+                ],
+            )),
+            Just("search-depth").prop_flat_map(|key| (
+                Just(key),
+                prop_oneof![
+                    Just("0".to_string()),
+                    (1i64..1000).prop_map(|v| format!("-{v}")),
+                    Just("deep".to_string()),
+                    (1u64..1000).prop_map(|v| format!("{v}.5")),
+                ],
+            )),
+        ],
+    ) {
+        // Later assignments win during parsing, so appending the malformed
+        // line to an otherwise valid spec isolates the value under test.
+        let (key, bad) = key_and_bad;
+        let text = format!("{spec}{key} = {bad}\n");
+        prop_assert!(
+            CampaignSpec::parse(&text).is_err(),
+            "search key {} accepted malformed value {:?}",
+            key,
+            bad
+        );
+    }
 }
 
 #[test]
@@ -283,6 +362,27 @@ fn malformed_serve_lines_are_rejected() {
         assert!(
             CampaignSpec::parse(&text).is_err(),
             "malformed serve line {bad:?} parsed"
+        );
+    }
+}
+
+#[test]
+fn malformed_search_lines_are_rejected() {
+    for bad in [
+        "goals = nonsense",
+        "goals = covering, nonsense",
+        "goals = ",
+        "target-registers = 0",
+        "target-registers = -2",
+        "target-registers = bogus",
+        "search-depth = 0",
+        "search-depth = -3",
+        "search-depth = deep",
+    ] {
+        let text = format!("name = x\nmode = adversary-search\nparams = 4/1/2\n{bad}\n");
+        assert!(
+            CampaignSpec::parse(&text).is_err(),
+            "malformed search line {bad:?} parsed"
         );
     }
 }

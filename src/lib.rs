@@ -15,6 +15,9 @@
 //!   a bounded exhaustive explorer — [`runtime`],
 //! * the bounds of Figure 1 and executable witnesses of both lower-bound
 //!   mechanisms — [`lowerbound`],
+//! * a goal-directed adversary search that *finds* covering and block-write
+//!   witnesses over schedule space, with a replayable witness format shared
+//!   with the hand-built constructions — [`search`],
 //! * this facade crate, which re-exports everything and adds the unified
 //!   execution API — [`ExecutionPlan`] → [`Executor`] → [`ExecutionReport`]
 //!   — used by the examples, benches and the sweep engine, plus the
@@ -28,8 +31,10 @@
 //!    [`Adversary`], workload and step budget;
 //! 2. **how** it runs — a [`Backend`]: the deterministic simulator
 //!    (`Scheduled`), real OS threads (`Threaded`), the bounded exhaustive
-//!    explorer (`Explore`), or its work-stealing counterpart
-//!    (`ParallelExplore`, byte-identical results at any thread count);
+//!    explorer (`Explore`), its work-stealing counterpart
+//!    (`ParallelExplore`, byte-identical results at any thread count), or
+//!    the goal-directed adversary search (`AdversarySearch`, also
+//!    byte-identical at any thread count);
 //! 3. **who fails** — crash failures are part of the *adversary*
 //!    ([`Adversary::Crash`]), not a backend, so they compose with any
 //!    scheduler.
@@ -70,6 +75,7 @@ pub use sa_lowerbound as lowerbound;
 pub use sa_memory as memory;
 pub use sa_model as model;
 pub use sa_runtime as runtime;
+pub use sa_search as search;
 pub use sa_serve as serve;
 
 /// The most commonly used items, for glob import in examples and tests.
@@ -87,13 +93,14 @@ pub mod prelude {
     pub use sa_model::{Automaton, Decision, DecisionSet, Params, ProcessId};
     pub use sa_runtime::{
         check_k_agreement, check_validity, ExploreConfig, InputLog, ObstructionScheduler,
-        ParallelExploreConfig, RoundRobin, RunConfig, Scheduler, ServeClock, ServeLoad,
-        ServeOptions, SymmetryMode, ThreadedConfig, Workload,
+        ParallelExploreConfig, RoundRobin, RunConfig, Scheduler, SearchConfig, SearchGoal,
+        ServeClock, ServeLoad, ServeOptions, SymmetryMode, ThreadedConfig, Workload,
     };
+    pub use sa_search::{Certificate, SearchReport, SearchStop, VerifyError, Witness};
     pub use sa_serve::{ServeConfig, ServeReport};
 }
 
-pub use sa_runtime::{Backend, ServeClock, ServeLoad, ServeOptions};
+pub use sa_runtime::{Backend, SearchConfig, SearchGoal, ServeClock, ServeLoad, ServeOptions};
 
 use sa_core::{
     AnonymousSetAgreement, OneShotSetAgreement, RepeatedSetAgreement, SwmrEmulated, WideBaseline,
@@ -563,6 +570,9 @@ pub enum ExecutionReport {
     /// A [`Backend::Serve`] service run (boxed: the report carries the
     /// full decided-value log and latency histogram).
     Served(Box<sa_serve::ServeReport>),
+    /// A [`Backend::AdversarySearch`] goal-directed search (boxed: the
+    /// report carries the full witness, schedule included).
+    Searched(Box<sa_search::SearchReport>),
 }
 
 impl ExecutionReport {
@@ -574,6 +584,7 @@ impl ExecutionReport {
             ExecutionReport::Explored(r) if r.threads > 0 => "parallel-explore",
             ExecutionReport::Explored(_) => "explore",
             ExecutionReport::Served(_) => "serve",
+            ExecutionReport::Searched(_) => "adversary-search",
         }
     }
 
@@ -585,6 +596,9 @@ impl ExecutionReport {
             ExecutionReport::Threaded(r) => r.safety.is_safe(),
             ExecutionReport::Explored(r) => r.safe(),
             ExecutionReport::Served(r) => r.safety_violations() == 0,
+            // A search hunts structure, not violations: the only thing
+            // that can go wrong is its witness failing to replay.
+            ExecutionReport::Searched(r) => r.verified,
         }
     }
 
@@ -595,11 +609,13 @@ impl ExecutionReport {
             ExecutionReport::Threaded(r) => r.steps,
             ExecutionReport::Explored(_) => 0,
             ExecutionReport::Served(r) => r.steps,
+            ExecutionReport::Searched(_) => 0,
         }
     }
 
     /// Distinct base objects written (for explorations: the maximum over
-    /// all reachable states; 0 for service runs, whose instances each use
+    /// all reachable states; for searches: the witness's `written ∪
+    /// covered` count; 0 for service runs, whose instances each use
     /// private short-lived memory).
     pub fn locations_written(&self) -> usize {
         match self {
@@ -607,6 +623,9 @@ impl ExecutionReport {
             ExecutionReport::Threaded(r) => r.locations_written,
             ExecutionReport::Explored(r) => r.max_locations_written,
             ExecutionReport::Served(_) => 0,
+            ExecutionReport::Searched(r) => {
+                r.witness.as_ref().map_or(0, |w| w.certificate.registers)
+            }
         }
     }
 
@@ -638,6 +657,14 @@ impl ExecutionReport {
     pub fn as_served(&self) -> Option<&sa_serve::ServeReport> {
         match self {
             ExecutionReport::Served(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The search report, if this was a [`Backend::AdversarySearch`] run.
+    pub fn as_searched(&self) -> Option<&sa_search::SearchReport> {
+        match self {
+            ExecutionReport::Searched(r) => Some(r),
             _ => None,
         }
     }
@@ -696,6 +723,18 @@ impl ExecutionReport {
         match self {
             ExecutionReport::Served(r) => *r,
             other => panic!("expected a service report, got {:?}", other.backend_label()),
+        }
+    }
+
+    /// Unwraps a [`Backend::AdversarySearch`] report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another backend produced this report.
+    pub fn expect_searched(self) -> sa_search::SearchReport {
+        match self {
+            ExecutionReport::Searched(r) => *r,
+            other => panic!("expected a search report, got {:?}", other.backend_label()),
         }
     }
 }
@@ -971,6 +1010,18 @@ impl ExecutionPlan {
         self.explore_report(result, probe, config.effective_threads())
     }
 
+    /// Goal-directed adversary search over the same schedule space the
+    /// explorers cover, hunting lower-bound witness structure instead of
+    /// safety violations.
+    fn run_search<A>(&self, automata: Vec<A>, config: SearchConfig) -> sa_search::SearchReport
+    where
+        A: Automaton + Clone + Hash + Send + Sync,
+        A::Value: Clone + Eq + Debug + Hash + Send + Sync,
+    {
+        let executor = StepExecutor::new(automata);
+        sa_search::search(&executor, config)
+    }
+
     fn explore_report(
         &self,
         result: sa_runtime::Exploration,
@@ -1158,6 +1209,13 @@ impl Executor {
         Executor::new(Backend::Serve(options))
     }
 
+    /// An executor running the goal-directed adversary search for
+    /// lower-bound witnesses (see the `sa-search` crate), with
+    /// byte-identical results at any thread count.
+    pub fn searching(config: SearchConfig) -> Self {
+        Executor::new(Backend::AdversarySearch(config))
+    }
+
     /// An executor for a custom [`ExecutionBackend`] trait object.
     pub fn with_backend(backend: Box<dyn ExecutionBackend>) -> Self {
         Executor { backend }
@@ -1223,10 +1281,47 @@ impl AutomataDriver for BackendDriver<'_> {
             Backend::ParallelExplore(config) => ExecutionReport::Explored(
                 plan.run_parallel_exploration(automata, workload, *config),
             ),
+            Backend::AdversarySearch(config) => {
+                ExecutionReport::Searched(Box::new(plan.run_search(automata, *config)))
+            }
             // Serve runs are intercepted before automata construction in
             // `<Backend as ExecutionBackend>::execute`.
             Backend::Serve(_) => unreachable!("serve dispatches before automata construction"),
         }
+    }
+}
+
+/// Replays a [`Witness`](sa_search::Witness) against the initial
+/// configuration of `plan` through the shared replay verifier — the path
+/// `sweep verify` and the campaign engine use, so hand-built, machine-found
+/// and persisted witnesses are all checked identically.
+///
+/// The plan contributes exactly what the search did: parameters, algorithm
+/// and workload. Its adversary, step budget and backend are irrelevant — a
+/// witness carries its own schedule.
+pub fn verify_witness(
+    plan: &ExecutionPlan,
+    witness: &sa_search::Witness,
+) -> Result<sa_search::Certificate, sa_search::VerifyError> {
+    plan.with_automata(VerifyDriver { witness })
+}
+
+/// Rank-2 driver behind [`verify_witness`]: rebuilds the plan's initial
+/// configuration and hands it to `sa_search::verify`.
+struct VerifyDriver<'a> {
+    witness: &'a sa_search::Witness,
+}
+
+impl AutomataDriver for VerifyDriver<'_> {
+    type Output = Result<sa_search::Certificate, sa_search::VerifyError>;
+
+    fn drive<A>(self, _plan: &ExecutionPlan, automata: Vec<A>, _workload: &Workload) -> Self::Output
+    where
+        A: Automaton + Clone + Debug + Hash + Send + Sync,
+        A::Value: Clone + Eq + Debug + Hash + Send + Sync,
+    {
+        let executor = StepExecutor::new(automata);
+        sa_search::verify(&executor, self.witness)
     }
 }
 
@@ -1620,6 +1715,59 @@ mod tests {
         assert!(parallel.verified());
         assert_eq!(parallel.threads, 2);
         assert_eq!(parallel.states_visited, explored.states_visited);
+
+        // n + 2m − k = 3 on this cell: the search must rediscover it.
+        let searched = Executor::searching(SearchConfig {
+            goal: SearchGoal::Covering,
+            target_registers: 3,
+            max_depth: 32,
+            max_states: 100_000,
+            threads: 2,
+            symmetry: sa_runtime::SymmetryMode::ProcessIds,
+        })
+        .execute(&plan);
+        assert_eq!(searched.backend_label(), "adversary-search");
+        assert!(searched.safe());
+        assert_eq!(searched.locations_written(), 3);
+        let witness = searched.as_searched().unwrap().witness.clone().unwrap();
+        assert!(verify_witness(&plan, &witness).is_ok());
+        let searched = searched.expect_searched();
+        assert!(searched.target_reached && searched.verified);
+        assert_eq!(searched.goal, SearchGoal::Covering);
+        assert_eq!(witness.certificate.registers, 3);
+    }
+
+    #[test]
+    fn adversary_search_is_identical_at_any_thread_count() {
+        let plan = ExecutionPlan::new(Params::new(2, 1, 1).unwrap()).algorithm(Algorithm::OneShot);
+        for goal in SearchGoal::all() {
+            let mut previous: Option<sa_search::SearchReport> = None;
+            for threads in [1, 2, 8] {
+                let report = Executor::searching(SearchConfig {
+                    goal,
+                    target_registers: 3,
+                    max_depth: 32,
+                    max_states: 100_000,
+                    threads,
+                    symmetry: sa_runtime::SymmetryMode::ProcessIds,
+                })
+                .execute(&plan)
+                .expect_searched();
+                assert!(report.target_reached, "{goal:?} threads={threads}");
+                assert!(report.verified, "{goal:?} threads={threads}");
+                let witness = report.witness.as_ref().expect("target reached");
+                assert!(verify_witness(&plan, witness).is_ok());
+                if let Some(previous) = &previous {
+                    // Same witness, same schedule, same certificate —
+                    // byte-identical results at any worker count.
+                    assert_eq!(report.witness, previous.witness);
+                    assert_eq!(report.states_visited, previous.states_visited);
+                    assert_eq!(report.max_depth_reached, previous.max_depth_reached);
+                    assert_eq!(report.stop, previous.stop);
+                }
+                previous = Some(report);
+            }
+        }
     }
 
     #[test]
