@@ -7,23 +7,13 @@
 //! per-process step counts, so experiments can report measured space
 //! alongside the paper's formulas.
 
-use sa_model::{OpKind, ProcessId, RegisterId, SnapshotId};
+use sa_model::{OpKind, ProcessId, SnapshotId};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// A writable location of the shared memory: either a plain register or one
-/// component of a snapshot object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum Location {
-    /// A plain MWMR register.
-    Register(RegisterId),
-    /// One component of a snapshot object.
-    Component {
-        /// The snapshot object.
-        snapshot: SnapshotId,
-        /// The component within the object.
-        component: usize,
-    },
-}
+// The location vocabulary lives in `sa-model` (it is shared with the
+// interference analysis and the covering adversary); re-exported here so the
+// memory crate's historical `sa_memory::Location` path keeps working.
+pub use sa_model::Location;
 
 /// Usage statistics of a shared memory over one execution.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -215,15 +205,5 @@ mod tests {
         assert_eq!(m.writes_to(Location::Register(9)), 0);
         assert_eq!(m.components_written(4), 0);
         assert!(m.writers_of(Location::Register(0)).is_empty());
-    }
-
-    #[test]
-    fn location_ordering_groups_registers_before_components() {
-        let a = Location::Register(5);
-        let b = Location::Component {
-            snapshot: 0,
-            component: 0,
-        };
-        assert!(a < b);
     }
 }

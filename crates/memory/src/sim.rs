@@ -122,6 +122,84 @@ impl<V: Clone + Eq + Debug> SimMemory<V> {
         &self.snapshots[snapshot]
     }
 
+    /// State-conditional refinement of the static independence relation:
+    /// `true` if `a` and `b` commute *from this memory's current contents*
+    /// even though their footprints overlap.
+    ///
+    /// The static relation (`sa_model::independence::independent`) must hold
+    /// in every state, so it deliberately ignores payloads — a `Scan`
+    /// conflicts with every update of the same snapshot. But the paper's
+    /// Theorem 2 reasons about writes that are reordered *invisibly*, and
+    /// that is a property of the current contents:
+    ///
+    /// * two writes (or two updates) of the **same value** to the **same
+    ///   cell** commute — both orders leave the cell identical and both
+    ///   responses are acknowledgements;
+    /// * a write/update whose value **equals what the cell already holds**
+    ///   is invisible to a concurrent read/scan of that location — the
+    ///   observer sees the same contents in either order.
+    ///
+    /// The result is a pure function of `(self, a, b)` and is symmetric in
+    /// `a`/`b`, so reduced explorations using it stay deterministic at any
+    /// worker count. Ops referring to locations outside the layout (or an
+    /// overwriting write to a still-`⊥` cell) conservatively return `false`.
+    /// Soundness is machine-checked: the sleep-set explorers assert (in
+    /// debug builds) that every pair kept by this refinement actually
+    /// commutes, and `sa-runtime`'s commutation checker audits it alongside
+    /// the static relation.
+    pub fn invisibly_independent(&self, a: &Op<V>, b: &Op<V>) -> bool {
+        // `true` if the op writes a value identical to what its target cell
+        // currently holds, making it invisible to any observer.
+        let invisible_write = |op: &Op<V>| match op {
+            Op::Write { register, value } => self.peek_register(*register) == Some(value),
+            Op::Update {
+                snapshot,
+                component,
+                value,
+            } => {
+                self.snapshots
+                    .get(*snapshot)
+                    .and_then(|cells| cells.get(*component))
+                    .and_then(|cell| cell.as_ref())
+                    == Some(value)
+            }
+            _ => false,
+        };
+        match (a, b) {
+            (
+                Op::Write {
+                    register: ra,
+                    value: va,
+                },
+                Op::Write {
+                    register: rb,
+                    value: vb,
+                },
+            ) => ra == rb && va == vb,
+            (
+                Op::Update {
+                    snapshot: sa,
+                    component: ca,
+                    value: va,
+                },
+                Op::Update {
+                    snapshot: sb,
+                    component: cb,
+                    value: vb,
+                },
+            ) => sa == sb && ca == cb && va == vb,
+            (w @ Op::Write { register: rw, .. }, Op::Read { register: rr })
+            | (Op::Read { register: rr }, w @ Op::Write { register: rw, .. }) => {
+                rw == rr && invisible_write(w)
+            }
+            (u @ Op::Update { snapshot: su, .. }, Op::Scan { snapshot: ss })
+            | (Op::Scan { snapshot: ss }, u @ Op::Update { snapshot: su, .. }) => {
+                su == ss && invisible_write(u)
+            }
+            _ => false,
+        }
+    }
+
     /// Overwrites the full contents of the memory with another memory's
     /// contents. Both must share the same layout. Used by the covering
     /// adversary when splicing execution fragments.
@@ -270,6 +348,52 @@ mod tests {
 
     fn layout() -> MemoryLayout {
         MemoryLayout::new(2, vec![3, 2])
+    }
+
+    #[test]
+    fn invisible_independence_follows_contents() {
+        let mut mem: SimMemory<u64> = SimMemory::for_layout(&layout());
+        let upd = |value| Op::Update {
+            snapshot: 0,
+            component: 1,
+            value,
+        };
+        let scan = Op::Scan { snapshot: 0 };
+        // Against ⊥ contents, an update is visible to a scan.
+        assert!(!mem.invisibly_independent(&upd(7), &scan));
+        mem.apply(ProcessId(0), upd(7)).unwrap();
+        // Re-writing the value the cell already holds is invisible; the
+        // relation is symmetric and flips off once the condition breaks.
+        assert!(mem.invisibly_independent(&upd(7), &scan));
+        assert!(mem.invisibly_independent(&scan, &upd(7)));
+        assert!(!mem.invisibly_independent(&upd(8), &scan));
+        // Same-cell same-value updates commute regardless of contents;
+        // differing values or differing cells do not qualify.
+        assert!(mem.invisibly_independent(&upd(9), &upd(9)));
+        assert!(!mem.invisibly_independent(&upd(9), &upd(10)));
+        let other_cell = Op::Update {
+            snapshot: 0,
+            component: 0,
+            value: 9,
+        };
+        assert!(!mem.invisibly_independent(&upd(9), &other_cell));
+
+        let write = |value| Op::Write { register: 0, value };
+        let read = Op::Read { register: 0 };
+        assert!(!mem.invisibly_independent(&write(3), &read));
+        mem.apply(ProcessId(1), write(3)).unwrap();
+        assert!(mem.invisibly_independent(&write(3), &read));
+        assert!(mem.invisibly_independent(&read, &write(3)));
+        assert!(!mem.invisibly_independent(&write(4), &read));
+        assert!(mem.invisibly_independent(&write(5), &write(5)));
+        assert!(!mem.invisibly_independent(&write(5), &write(6)));
+        // Out-of-layout targets and non-matching shapes are conservative.
+        let stray = Op::Write {
+            register: 99,
+            value: 3,
+        };
+        assert!(!mem.invisibly_independent(&stray, &Op::Read { register: 99 }));
+        assert!(!mem.invisibly_independent(&Op::Nop, &scan));
     }
 
     #[test]

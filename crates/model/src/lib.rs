@@ -16,6 +16,9 @@
 //!   paper's formal model (Section 2).
 //! * [`Decision`] — an output event `(instance, value)` of a `Propose`
 //!   operation.
+//! * [`Location`] / [`independent`] — the shared location vocabulary and the
+//!   static interference analysis over op footprints (module
+//!   [`independence`]) that feeds the explorers' partial-order reduction.
 //!
 //! The input domain of set agreement is the natural numbers (`D = IN` in the
 //! paper); we represent input values as [`InputValue`] (`u64`).
@@ -40,6 +43,7 @@
 mod automaton;
 mod error;
 mod ids;
+pub mod independence;
 mod layout;
 mod op;
 mod params;
@@ -48,6 +52,7 @@ mod symmetry;
 pub use automaton::{Automaton, Decision, DecisionSet, StepOutcome};
 pub use error::{LayoutError, ParamsError};
 pub use ids::{InputValue, InstanceId, ProcessId};
+pub use independence::{independent, Access, Footprint, Location};
 pub use layout::{MemoryLayout, RegisterId, SnapshotId};
 pub use op::{Op, OpKind, Response};
 pub use params::{ParamSweep, Params};

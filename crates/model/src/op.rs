@@ -1,5 +1,6 @@
 //! Shared-memory operations and responses.
 
+use crate::independence::{Access, Footprint, Location};
 use crate::layout::{RegisterId, SnapshotId};
 use std::fmt;
 
@@ -72,12 +73,49 @@ impl<V> Op<V> {
         matches!(self, Op::Read { .. } | Op::Scan { .. })
     }
 
+    /// The read and write access sets of this operation — the footprint the
+    /// interference analysis ([`crate::independence`]) reasons over.
+    ///
+    /// A read touches its register on the read side; a write or update
+    /// touches its cell on the write side; a scan reads its whole snapshot
+    /// object; `Nop` touches nothing. The footprint is a pure function of
+    /// the op (never of the memory contents), which is what makes the
+    /// derived independence relation state-independent.
+    pub fn footprint(&self) -> Footprint {
+        match self {
+            Op::Read { register } => Footprint {
+                read: Some(Access::Cell(Location::Register(*register))),
+                write: None,
+            },
+            Op::Write { register, .. } => Footprint {
+                read: None,
+                write: Some(Access::Cell(Location::Register(*register))),
+            },
+            Op::Update {
+                snapshot,
+                component,
+                ..
+            } => Footprint {
+                read: None,
+                write: Some(Access::Cell(Location::Component {
+                    snapshot: *snapshot,
+                    component: *component,
+                })),
+            },
+            Op::Scan { snapshot } => Footprint {
+                read: Some(Access::WholeSnapshot(*snapshot)),
+                write: None,
+            },
+            Op::Nop => Footprint::default(),
+        }
+    }
+
     /// For write-like operations, the *location* written: `(None, register)`
     /// for a register write, `(Some(snapshot), component)` for an update.
     /// Returns `None` for read-like operations and `Nop`.
-    ///
-    /// The Theorem 2 covering adversary uses this to discover which location
-    /// a process is poised to write.
+    #[deprecated(
+        note = "use `Op::footprint().write_cell()`, which speaks the shared `Location` vocabulary"
+    )]
     pub fn write_target(&self) -> Option<(Option<SnapshotId>, usize)> {
         match self {
             Op::Write { register, .. } => Some((None, *register)),
@@ -245,6 +283,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn write_target_identifies_poised_location() {
         let write = Op::Write {
             register: 3,
@@ -259,6 +298,18 @@ mod tests {
         assert_eq!(update.write_target(), Some((Some(1), 4)));
         assert_eq!(Op::<u64>::Scan { snapshot: 0 }.write_target(), None);
         assert_eq!(Op::<u64>::Nop.write_target(), None);
+        // The deprecated accessor and the footprint agree on every shape.
+        assert_eq!(
+            write.footprint().write_cell(),
+            Some(crate::Location::Register(3))
+        );
+        assert_eq!(
+            update.footprint().write_cell(),
+            Some(crate::Location::Component {
+                snapshot: 1,
+                component: 4
+            })
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! which is exactly what the Theorem 2 covering construction and the bounded
 //! explorer need.
 
-use crate::explore::{ExploreConfig, SymmetryMode};
+use crate::explore::{ExploreConfig, ReductionMode, SymmetryMode};
 use crate::parallel::ParallelExploreConfig;
 use crate::schedule::{Scheduler, SchedulerView};
 use crate::threaded::ThreadedConfig;
@@ -142,6 +142,10 @@ pub struct SearchConfig {
     /// Canonicalize configurations up to process-id orbits before
     /// deduplication, exactly as the exhaustive explorers do.
     pub symmetry: SymmetryMode,
+    /// Prune commuting interleavings with sleep sets, exactly as the
+    /// exhaustive explorers do. Verdicts are unaffected (sleep sets visit
+    /// every reachable configuration); only the expansion count shrinks.
+    pub reduction: ReductionMode,
 }
 
 impl Default for SearchConfig {
@@ -153,6 +157,7 @@ impl Default for SearchConfig {
             max_states: 1_000_000,
             threads: 1,
             symmetry: SymmetryMode::Off,
+            reduction: ReductionMode::Off,
         }
     }
 }
@@ -535,15 +540,7 @@ where
             };
             let step_number = self.steps;
             let wrote = if trace.is_some() {
-                self.poised(pick).and_then(|op| {
-                    op.write_target().map(|(snapshot, index)| match snapshot {
-                        None => sa_memory::Location::Register(index),
-                        Some(snapshot) => sa_memory::Location::Component {
-                            snapshot,
-                            component: index,
-                        },
-                    })
-                })
+                self.poised(pick).and_then(|op| op.footprint().write_cell())
             } else {
                 None
             };

@@ -26,7 +26,8 @@ use crate::store::{
     decode_frontier_record, encode_frontier_record, read_segment, KeyTable, SegmentKind,
     SegmentWriter, SpillDir,
 };
-use sa_model::{Automaton, IdRelabeling, InstanceId, ProcessId, SymmetryClass};
+use sa_model::{independent, Automaton, IdRelabeling, InstanceId, ProcessId, SymmetryClass};
+use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::{Hash, Hasher};
 use std::path::PathBuf;
@@ -70,6 +71,51 @@ impl SymmetryMode {
     }
 }
 
+/// Whether an explorer prunes commuting interleavings with sleep sets over
+/// the static independence relation ([`sa_model::independent`]).
+///
+/// Sleep-set reduction visits **every** reachable state the plain search
+/// visits — it only skips redundant *transitions* between them (the second
+/// order of an independent pair), so `states_visited` and every safety
+/// verdict are invariant while [`Exploration::expansions`] shrinks. It
+/// composes multiplicatively with [`SymmetryMode`]: sleep masks are kept in
+/// canonical process coordinates, making the combined search a sleep-set
+/// traversal of the symmetry quotient graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReductionMode {
+    /// Every enabled transition of every visited state is expanded — the
+    /// historical behavior.
+    #[default]
+    Off,
+    /// Per-configuration sleep sets: once a transition has been expanded
+    /// from a state, sibling orders that commute with it are skipped.
+    ///
+    /// This is **requested**, not guaranteed: the masks are a dedup-map
+    /// payload, so searches with dedup disabled (or more than 64 processes,
+    /// the mask width) fall back to [`Off`] rather than prune unsoundly —
+    /// [`Exploration::reduction_applied`] records what actually happened.
+    SleepSets,
+}
+
+impl ReductionMode {
+    /// A stable label used by records and CLIs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReductionMode::Off => "off",
+            ReductionMode::SleepSets => "sleep-set",
+        }
+    }
+
+    /// Parses [`ReductionMode::label`] output.
+    pub fn parse(text: &str) -> Option<ReductionMode> {
+        match text {
+            "off" => Some(ReductionMode::Off),
+            "sleep-set" => Some(ReductionMode::SleepSets),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration of a bounded exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExploreConfig {
@@ -87,6 +133,10 @@ pub struct ExploreConfig {
     /// falls back to [`SymmetryMode::Off`] for automata that do not opt
     /// in — see [`SymmetryMode::ProcessIds`]).
     pub symmetry: SymmetryMode,
+    /// Whether to prune commuting interleavings with sleep sets (requires
+    /// `dedup` and at most 64 processes; falls back to
+    /// [`ReductionMode::Off`] otherwise — see [`ReductionMode::SleepSets`]).
+    pub reduction: ReductionMode,
     /// Whether the explorer may spill frozen frontier chunks to disk when
     /// the resident frontier exceeds [`max_resident_bytes`](Self::max_resident_bytes).
     /// Spilled entries store only their schedule and orbit weight (the
@@ -110,6 +160,7 @@ impl Default for ExploreConfig {
             max_states: 2_000_000,
             dedup: true,
             symmetry: SymmetryMode::Off,
+            reduction: ReductionMode::Off,
             spill: false,
             max_resident_bytes: 0,
         }
@@ -228,6 +279,21 @@ pub struct Exploration {
     /// factor the quotient achieved. Exact up to 128-bit signature
     /// collisions between distinct slot states.
     pub full_states_lower_bound: u64,
+    /// `true` if the search pruned commuting interleavings with sleep sets:
+    /// [`ReductionMode::SleepSets`] was requested **and** its preconditions
+    /// held (dedup on, at most 64 processes). When `false` despite a
+    /// request, the search fell back to plain expansion — same verdicts, no
+    /// transition reduction.
+    pub reduction_applied: bool,
+    /// Number of successor configurations generated (one per expanded
+    /// transition). Sleep sets leave
+    /// [`states_visited`](Self::states_visited) untouched and shrink
+    /// **this** figure; the ratio `(expansions + sleep_pruned) / expansions`
+    /// is the transition-level reduction factor achieved.
+    pub expansions: u64,
+    /// Number of enabled transitions skipped because they were asleep at a
+    /// state's expansion (0 without [`ReductionMode::SleepSets`]).
+    pub sleep_pruned: u64,
 }
 
 impl Exploration {
@@ -486,11 +552,7 @@ impl SymmetryPlan {
             return IdRelabeling::identity(self.n);
         }
         let (order, _) = self.canonical_order(executor);
-        let mut map = vec![ProcessId(0); self.n];
-        for (new_slot, &old_slot) in order.iter().enumerate() {
-            map[old_slot] = ProcessId(new_slot);
-        }
-        IdRelabeling::from_map(map)
+        relabel_for_order(&order)
     }
 
     /// The canonical slot order (`order[new_slot] = old_slot`) plus the
@@ -628,20 +690,44 @@ where
         return (state_key(executor), 1);
     }
     let (order, orbit_lower) = plan.canonical_order(executor);
-    let mut map = vec![ProcessId(0); plan.n];
+    let relabel = relabel_for_order(&order);
+    (
+        canonical_key_for_order(executor, &order, &relabel),
+        orbit_lower,
+    )
+}
+
+/// The canonical relabeling (`old id → new id`) induced by a canonical slot
+/// order (`order[new_slot] = old_slot`).
+fn relabel_for_order(order: &[usize]) -> IdRelabeling {
+    let mut map = vec![ProcessId(0); order.len()];
     for (new_slot, &old_slot) in order.iter().enumerate() {
         map[old_slot] = ProcessId(new_slot);
     }
-    let relabel = IdRelabeling::from_map(map);
+    IdRelabeling::from_map(map)
+}
+
+/// Hashes the orbit representative selected by `order`/`relabel` into its
+/// [`StateKey`] — the shared tail of [`canonical_state_key`] and
+/// [`keyed_relabeled`].
+fn canonical_key_for_order<A>(
+    executor: &Executor<A>,
+    order: &[usize],
+    relabel: &IdRelabeling,
+) -> StateKey
+where
+    A: Automaton + Hash,
+    A::Value: Hash + Clone + Eq + Debug,
+{
     let mut hasher = SplitHasher::new();
-    for &old_slot in &order {
+    for &old_slot in order {
         executor
             .automaton(ProcessId(old_slot))
-            .hash_behavior(&relabel, &mut hasher);
+            .hash_behavior(relabel, &mut hasher);
     }
     executor
         .memory()
-        .hash_contents_mapped(&mut hasher, |value| A::relabel_value(value, &relabel));
+        .hash_contents_mapped(&mut hasher, |value| A::relabel_value(value, relabel));
     for instance in executor.decisions().instances() {
         instance.hash(&mut hasher);
         for (new_slot, &old_slot) in order.iter().enumerate() {
@@ -654,7 +740,7 @@ where
             }
         }
     }
-    (hasher.into_key(), orbit_lower)
+    hasher.into_key()
 }
 
 /// The dedup key (and visited-orbit weight) of a configuration under a
@@ -674,6 +760,149 @@ where
     } else {
         (state_key(executor), 1)
     }
+}
+
+/// [`keyed`], additionally returning the canonical relabeling that maps the
+/// configuration onto its orbit representative — what sleep-set reduction
+/// needs to store its masks in **canonical** process coordinates, where
+/// masks from different members of one orbit are comparable. The identity
+/// when the plan applies no (or only trivial) reduction. One
+/// `canonical_order` pass serves the key, the weight and the relabeling.
+pub fn keyed_relabeled<A>(
+    executor: &Executor<A>,
+    plan: &SymmetryPlan,
+) -> (StateKey, u64, IdRelabeling)
+where
+    A: Automaton + Hash,
+    A::Value: Hash + Clone + Eq + Debug,
+{
+    if plan.applied && !plan.is_trivial() {
+        let (order, orbit_lower) = plan.canonical_order(executor);
+        let relabel = relabel_for_order(&order);
+        let key = canonical_key_for_order(executor, &order, &relabel);
+        (key, orbit_lower, relabel)
+    } else {
+        (
+            state_key(executor),
+            1,
+            IdRelabeling::identity(executor.process_count()),
+        )
+    }
+}
+
+/// The bit mask of a process set. Sleep masks are `u64` bit sets indexed by
+/// process slot — the reason sleep-set reduction falls back to plain
+/// expansion beyond 64 processes.
+pub fn mask_of(processes: &[ProcessId]) -> u64 {
+    processes
+        .iter()
+        .fold(0u64, |mask, p| mask | (1u64 << p.index()))
+}
+
+/// The image of a process-set mask under a relabeling: bit `p` maps to bit
+/// `relabel(p)` (used to store sleep masks in canonical coordinates).
+pub fn relabel_mask(mask: u64, relabel: &IdRelabeling) -> u64 {
+    let mut out = 0u64;
+    let mut rest = mask;
+    while rest != 0 {
+        let p = rest.trailing_zeros() as usize;
+        out |= 1u64 << relabel.apply(ProcessId(p)).index();
+        rest &= rest - 1;
+    }
+    out
+}
+
+/// The preimage of a canonical-coordinate mask under a relabeling: bit `p`
+/// is set iff bit `relabel(p)` is set in `mask`. Scanning the domain avoids
+/// materializing the inverse map.
+pub fn unrelabel_mask(mask: u64, relabel: &IdRelabeling) -> u64 {
+    let mut out = 0u64;
+    for p in 0..relabel.len() {
+        if mask & (1u64 << relabel.apply(ProcessId(p)).index()) != 0 {
+            out |= 1u64 << p;
+        }
+    }
+    out
+}
+
+/// The sleep set inherited by the successor reached by stepping `process`
+/// from `state`: the members of `sleep` whose poised operations commute with
+/// the one `process` is about to perform (dependent members wake — their
+/// orders with `process` are now distinguishable and must be explored).
+///
+/// Commutation is judged by a three-tier interference analysis, every tier
+/// a pure (and, across the pair, symmetric) function of the configuration,
+/// so reduced output stays byte-identical at any worker count:
+///
+/// 1. the static footprint relation ([`independent`]) — free, holds in
+///    every state;
+/// 2. the invisible-write refinement
+///    ([`SimMemory::invisibly_independent`](sa_memory::SimMemory::invisibly_independent))
+///    — a value comparison against the current contents;
+/// 3. the dynamic commutation checker
+///    ([`orders_commute`](crate::orders_commute)) — executes both orders
+///    from this very configuration and keeps the pair asleep only if the
+///    successors collapse to one state key. This is the precise state-local
+///    diamond, so it also prunes pairs no footprint analysis can clear —
+///    e.g. an update racing a scan whose caller's behavior is insensitive
+///    to that one component.
+///
+/// Each tier is evaluated at exactly the state the pruning decision is made
+/// from, which is what the sleep-set induction needs: a per-state diamond,
+/// re-established here at every expansion. (Enabledness preservation, the
+/// other diamond leg, is structural — stepping one process never disables
+/// another in this model.)
+///
+/// Debug builds run the dynamic oracle on every pair the *cheap* tiers
+/// retain: if either analysis ever called a non-commuting pair independent,
+/// the very expansion that would prune unsoundly panics instead (see
+/// [`check_commutation`](crate::check_commutation) for the standalone
+/// campaign-level sweep). Tier 3 needs no audit — it is the oracle.
+pub fn successor_sleep<A>(state: &Executor<A>, process: ProcessId, sleep: u64) -> u64
+where
+    A: Automaton + Clone + Hash,
+    A::Value: Hash + Clone + Eq + Debug,
+{
+    if sleep == 0 {
+        return 0;
+    }
+    let Some(op) = state.poised(process) else {
+        return 0;
+    };
+    let mut kept = 0u64;
+    let mut rest = sleep;
+    while rest != 0 {
+        let q = ProcessId(rest.trailing_zeros() as usize);
+        rest &= rest - 1;
+        // A sleeping process with no poised op cannot be judged; waking it
+        // is always sound.
+        let Some(other) = state.poised(q) else {
+            continue;
+        };
+        if independent(&op, &other) || state.memory().invisibly_independent(&op, &other) {
+            kept |= 1u64 << q.index();
+            #[cfg(debug_assertions)]
+            debug_assert_commutes(state, process, q);
+        } else if crate::commutation::orders_commute(state, process, q) {
+            kept |= 1u64 << q.index();
+        }
+    }
+    kept
+}
+
+/// Debug oracle behind [`successor_sleep`]: executes both orders of a pair
+/// the interference analysis called independent and asserts identical
+/// successor state keys.
+#[cfg(debug_assertions)]
+fn debug_assert_commutes<A>(state: &Executor<A>, a: ProcessId, b: ProcessId)
+where
+    A: Automaton + Clone + Hash,
+    A::Value: Hash + Clone + Eq + Debug,
+{
+    debug_assert!(
+        crate::commutation::orders_commute(state, a, b),
+        "independent pair {a}/{b} does not commute — the interference analysis is unsound here"
+    );
 }
 
 /// The deterministic deep-byte charge of one frontier entry: the executor's
@@ -709,6 +938,54 @@ where
     state
 }
 
+/// One pending entry of the serial DFS. States are kept in their *original*
+/// labeling — canonical forms exist only inside the dedup keys — so witness
+/// schedules replay on the caller's executor as-is.
+struct DfsEntry<A: Automaton> {
+    state: Executor<A>,
+    schedule: Vec<ProcessId>,
+    orbit_lower: u64,
+    bytes: u64,
+    /// The sleep set this entry arrived with, in its own (original) process
+    /// labeling. Always 0 without sleep-set reduction.
+    sleep: u64,
+    /// `Some(owed)` marks a **revisit**: the state was already visited, but
+    /// an arrival with a smaller sleep set found the stored mask promised
+    /// too little — exactly the `owed` transitions must still be expanded.
+    /// Revisits are not re-counted in `states_visited`.
+    expand: Option<u64>,
+}
+
+/// The serial explorer's seen-set: a bare key table, or — under sleep-set
+/// reduction — a map from key to the canonical-coordinate sleep mask the
+/// state's expansion is accountable to (smaller mask ⇒ more transitions
+/// covered). The map is only ever probed by key, never iterated, so the
+/// std `HashMap`'s seeded hasher cannot leak nondeterminism into output.
+enum Seen {
+    Plain(KeyTable),
+    Masked(HashMap<StateKey, u64>),
+}
+
+impl Seen {
+    fn len(&self) -> u64 {
+        match self {
+            Seen::Plain(table) => table.len() as u64,
+            Seen::Masked(map) => map.len() as u64,
+        }
+    }
+
+    /// The deterministic byte charge of the seen structure: the key table
+    /// for its entry count, plus one mask word per entry when masked.
+    fn table_bytes(&self) -> u64 {
+        let len = self.len();
+        let masks = match self {
+            Seen::Plain(_) => 0,
+            Seen::Masked(_) => len * std::mem::size_of::<u64>() as u64,
+        };
+        KeyTable::bytes_for_len(len) + masks
+    }
+}
+
 /// Exhaustively explores every interleaving of the executor's processes up to
 /// the configured depth, checking `predicate` in every reachable
 /// configuration — **including the initial one**.
@@ -732,7 +1009,19 @@ where
             SymmetryMode::Off
         },
     );
-    let mut seen = KeyTable::new();
+    // Sleep masks live in the seen-map and in u64 bit sets, so reduction
+    // falls back (mirroring the symmetry fallback) when dedup is off or the
+    // system outgrows the mask width.
+    let n = initial.process_count();
+    let reduce = config.reduction == ReductionMode::SleepSets
+        && config.dedup
+        && n > 0
+        && n <= u64::BITS as usize;
+    let mut seen = if reduce {
+        Seen::Masked(HashMap::new())
+    } else {
+        Seen::Plain(KeyTable::new())
+    };
     let mut result = Exploration {
         states_visited: 0,
         paths: 0,
@@ -747,6 +1036,9 @@ where
         spilled_entries: 0,
         symmetry_applied: plan.applied(),
         full_states_lower_bound: 0,
+        reduction_applied: reduce,
+        expansions: 0,
+        sleep_pruned: 0,
     };
     // The initial configuration is reachable (by the empty schedule): a
     // predicate that rejects it must be reported, not silently skipped.
@@ -759,17 +1051,28 @@ where
         });
         return result;
     }
-    // Depth-first search over (executor state, schedule prefix, orbit
-    // weight, deep bytes). States are kept in their *original* labeling —
-    // canonical forms exist only inside the dedup keys — so witness
-    // schedules replay on the caller's executor as-is.
     let (initial_key, initial_orbit) = keyed(initial, &plan);
     let initial_bytes = entry_bytes(initial, 0);
-    let mut stack: Vec<(Executor<A>, Vec<ProcessId>, u64, u64)> =
-        vec![(initial.clone(), Vec::new(), initial_orbit, initial_bytes)];
+    let mut stack: Vec<DfsEntry<A>> = vec![DfsEntry {
+        state: initial.clone(),
+        schedule: Vec::new(),
+        orbit_lower: initial_orbit,
+        bytes: initial_bytes,
+        sleep: 0,
+        expand: None,
+    }];
     result.frontier_peak = 1;
-    if config.dedup {
-        seen.insert(initial_key);
+    match &mut seen {
+        Seen::Plain(table) => {
+            if config.dedup {
+                table.insert(initial_key);
+            }
+        }
+        // The root arrives with the empty sleep set, whose canonical image
+        // is itself.
+        Seen::Masked(map) => {
+            map.insert(initial_key, 0);
+        }
     }
     // Byte accounting. `resident` tracks the deep bytes of in-memory
     // frontier entries (what the cap polices); `spilled_logical` the deep
@@ -810,7 +1113,7 @@ where
             result.pending_at_exit = stack.len() as u64 + spilled_pending;
             break;
         }
-        let Some((state, schedule, orbit_lower, bytes)) = stack.pop() else {
+        let Some(entry) = stack.pop() else {
             if spilled_pending == 0 {
                 break;
             }
@@ -823,31 +1126,71 @@ where
             let _ = std::fs::remove_file(&path);
             debug_assert_eq!(records.len() as u64, count);
             for record in &records {
-                let (schedule, orbit) =
+                let (schedule, orbit, sleep, expand) =
                     decode_frontier_record(record).expect("decoding a spilled frontier record");
                 let state = replay(initial, &schedule);
                 let bytes = entry_bytes(&state, schedule.len());
                 resident += bytes;
                 spilled_logical = spilled_logical.saturating_sub(bytes);
-                stack.push((state, schedule, orbit, bytes));
+                stack.push(DfsEntry {
+                    state,
+                    schedule,
+                    orbit_lower: orbit,
+                    bytes,
+                    sleep,
+                    expand,
+                });
             }
             spilled_pending -= count;
             continue;
         };
+        let DfsEntry {
+            state,
+            schedule,
+            orbit_lower,
+            bytes,
+            sleep,
+            expand,
+        } = entry;
         resident -= bytes;
-        result.states_visited += 1;
-        result.full_states_lower_bound = result.full_states_lower_bound.saturating_add(orbit_lower);
-        result.max_depth_reached = result.max_depth_reached.max(schedule.len() as u64);
+        let is_revisit = expand.is_some();
+        if !is_revisit {
+            result.states_visited += 1;
+            result.full_states_lower_bound =
+                result.full_states_lower_bound.saturating_add(orbit_lower);
+            result.max_depth_reached = result.max_depth_reached.max(schedule.len() as u64);
+        }
         let runnable = state.runnable();
         if runnable.is_empty() || schedule.len() as u64 >= config.max_depth {
             if !runnable.is_empty() {
                 // Depth bound cut this path short.
                 result.truncated = true;
             }
-            result.paths += 1;
+            if !is_revisit {
+                result.paths += 1;
+            }
             continue;
         }
+        // Fresh entries expand everything enabled outside their sleep set;
+        // revisits expand exactly the transitions the stored mask still
+        // owed when they were pushed. (Enabledness is monotone — a process
+        // stays enabled until it steps — so sleeping and owed processes are
+        // always still runnable here.)
+        let runnable_mask = mask_of(&runnable);
+        let targets = match expand {
+            Some(owed) => owed,
+            None => runnable_mask & !sleep,
+        };
+        if reduce && !is_revisit {
+            result.sleep_pruned += (sleep & runnable_mask).count_ones() as u64;
+        }
+        let mut sleep_cur = sleep;
         for process in runnable {
+            let bit = 1u64 << process.index();
+            if targets & bit == 0 {
+                continue;
+            }
+            result.expansions += 1;
             let mut next = state.clone();
             next.step(process);
             let mut next_schedule = schedule.clone();
@@ -858,25 +1201,89 @@ where
                     schedule: next_schedule,
                     description,
                 });
-                result.seen_entries = seen.len() as u64;
+                result.seen_entries = seen.len();
                 result.approx_bytes = logical_peak + seen_table_bytes(config, &seen);
                 return result;
             }
-            let mut next_orbit = 1;
-            if config.dedup {
-                let (key, orbit) = keyed(&next, &plan);
-                if !seen.insert(key) {
-                    // Plain keys: an identical state was expanded. Canonical
-                    // keys: a configuration whose entire future is the
-                    // consistently relabeled image of an expanded one —
-                    // same verdicts, so pruning it is sound.
-                    continue;
+            // The successor sleeps on every still-independent member of the
+            // *current* sleep set — which grows by each transition expanded
+            // from this state, so later siblings sleep on earlier ones.
+            let child_sleep = if reduce {
+                successor_sleep(&state, process, sleep_cur)
+            } else {
+                0
+            };
+            match &mut seen {
+                Seen::Plain(table) => {
+                    let mut next_orbit = 1;
+                    if config.dedup {
+                        let (key, orbit) = keyed(&next, &plan);
+                        if !table.insert(key) {
+                            // Plain keys: an identical state was expanded.
+                            // Canonical keys: a configuration whose entire
+                            // future is the consistently relabeled image of
+                            // an expanded one — same verdicts, so pruning
+                            // it is sound.
+                            continue;
+                        }
+                        next_orbit = orbit;
+                    }
+                    let next_bytes = entry_bytes(&next, next_schedule.len());
+                    resident += next_bytes;
+                    stack.push(DfsEntry {
+                        state: next,
+                        schedule: next_schedule,
+                        orbit_lower: next_orbit,
+                        bytes: next_bytes,
+                        sleep: 0,
+                        expand: None,
+                    });
                 }
-                next_orbit = orbit;
+                Seen::Masked(map) => {
+                    // Masks are stored in canonical coordinates so arrivals
+                    // from different orbit members are comparable; the
+                    // entry keeps its own labeling, converting back on the
+                    // way out.
+                    let (key, orbit, relabel) = keyed_relabeled(&next, &plan);
+                    let canon_sleep = relabel_mask(child_sleep, &relabel);
+                    let push = match map.entry(key) {
+                        std::collections::hash_map::Entry::Vacant(vacant) => {
+                            vacant.insert(canon_sleep);
+                            Some((orbit, None))
+                        }
+                        std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                            // The state was visited with stored mask M: its
+                            // expansion covered enabled∖M. This arrival
+                            // needs enabled∖Z — anything in M∖Z is still
+                            // owed, so push a revisit for exactly that and
+                            // shrink the stored promise to M∩Z.
+                            let stored = *occupied.get();
+                            let owed = stored & !canon_sleep;
+                            if owed == 0 {
+                                None
+                            } else {
+                                occupied.insert(stored & canon_sleep);
+                                Some((0, Some(unrelabel_mask(owed, &relabel))))
+                            }
+                        }
+                    };
+                    if let Some((next_orbit, next_expand)) = push {
+                        let next_bytes = entry_bytes(&next, next_schedule.len());
+                        resident += next_bytes;
+                        stack.push(DfsEntry {
+                            state: next,
+                            schedule: next_schedule,
+                            orbit_lower: next_orbit,
+                            bytes: next_bytes,
+                            sleep: child_sleep,
+                            expand: next_expand,
+                        });
+                    }
+                }
             }
-            let next_bytes = entry_bytes(&next, next_schedule.len());
-            resident += next_bytes;
-            stack.push((next, next_schedule, next_orbit, next_bytes));
+            // The transition was expanded (or its target's coverage is
+            // promised elsewhere): later siblings may sleep on it.
+            sleep_cur |= bit;
         }
         result.frontier_peak = result
             .frontier_peak
@@ -900,12 +1307,17 @@ where
                 .expect("creating a frontier spill segment");
             spill_seq += 1;
             let half = stack.len() / 2;
-            for (_state, schedule, orbit, bytes) in stack.drain(..half) {
+            for entry in stack.drain(..half) {
                 writer
-                    .append(&encode_frontier_record(&schedule, orbit))
+                    .append(&encode_frontier_record(
+                        &entry.schedule,
+                        entry.orbit_lower,
+                        entry.sleep,
+                        entry.expand,
+                    ))
                     .expect("writing a frontier spill record");
-                resident -= bytes;
-                spilled_logical += bytes;
+                resident -= entry.bytes;
+                spilled_logical += entry.bytes;
             }
             writer.finish().expect("sealing a frontier spill segment");
             segments.push((path, half as u64));
@@ -914,20 +1326,20 @@ where
         }
     }
     if !plan.applied() {
-        // Without reduction every visited state is its own orbit.
+        // Without symmetry every visited state is its own orbit.
         result.full_states_lower_bound = result.states_visited;
     }
-    result.seen_entries = seen.len() as u64;
+    result.seen_entries = seen.len();
     result.approx_bytes = logical_peak + seen_table_bytes(config, &seen);
     result
 }
 
-/// The deterministic byte charge of the seen-set table (0 with dedup off —
-/// no keys are stored). Computed from the entry count alone so the figure
+/// The deterministic byte charge of the seen-set (0 with dedup off — no
+/// keys are stored). Computed from the entry count alone so the figure
 /// never depends on capacities or insertion order.
-fn seen_table_bytes(config: ExploreConfig, seen: &KeyTable) -> u64 {
+fn seen_table_bytes(config: ExploreConfig, seen: &Seen) -> u64 {
     if config.dedup {
-        KeyTable::bytes_for_len(seen.len() as u64)
+        seen.table_bytes()
     } else {
         0
     }
@@ -1444,5 +1856,191 @@ mod tests {
             (a.frontier_peak, a.seen_entries, a.approx_bytes),
             (b.frontier_peak, b.seen_entries, b.approx_bytes)
         );
+    }
+
+    #[test]
+    fn sleep_sets_preserve_states_and_reduce_expansions() {
+        // Three writers on distinct registers commute pairwise: sleep sets
+        // must prune redundant orders while still visiting every state —
+        // the soundness pin is states_visited invariance, the win is
+        // measured on expansions.
+        let exec = Executor::new(vec![
+            ToyWriter::new(0, 1),
+            ToyWriter::new(1, 2),
+            ToyWriter::new(2, 3),
+        ]);
+        let off = explore(&exec, ExploreConfig::default(), agreement_predicate(3));
+        let on = explore(
+            &exec,
+            ExploreConfig {
+                reduction: ReductionMode::SleepSets,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(3),
+        );
+        assert!(off.verified() && on.verified());
+        assert!(!off.reduction_applied);
+        assert!(on.reduction_applied);
+        assert_eq!(on.states_visited, off.states_visited);
+        assert_eq!(on.seen_entries, off.seen_entries);
+        assert!(
+            on.expansions < off.expansions,
+            "sleep sets must prune expansions: {} !< {}",
+            on.expansions,
+            off.expansions
+        );
+        assert!(on.sleep_pruned > 0);
+        assert_eq!(off.sleep_pruned, 0);
+        // Deterministic: the same reduced run yields the same report.
+        let again = explore(
+            &exec,
+            ExploreConfig {
+                reduction: ReductionMode::SleepSets,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(3),
+        );
+        assert_eq!(on.expansions, again.expansions);
+        assert_eq!(on.sleep_pruned, again.sleep_pruned);
+        assert_eq!(on.states_visited, again.states_visited);
+    }
+
+    #[test]
+    fn sleep_sets_keep_the_racy_verdict() {
+        // The dependent read/write pairs of RacyConsensus must never be
+        // pruned: the reduced search still finds the 1-agreement violation
+        // and visits the exact same set of states.
+        let exec = Executor::new(vec![
+            RacyConsensus::new(ProcessId(0), 10),
+            RacyConsensus::new(ProcessId(1), 20),
+        ]);
+        let off = explore(&exec, ExploreConfig::default(), agreement_predicate(1));
+        let on = explore(
+            &exec,
+            ExploreConfig {
+                reduction: ReductionMode::SleepSets,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(1),
+        );
+        assert!(on.reduction_applied);
+        assert!(!off.verified() && !on.verified(), "both must find the race");
+        // (states_visited at exit may differ: a violating search stops
+        // early, and pruning changes the order states are reached in. The
+        // invariance pin applies to exhausted spaces — see the other tests.)
+        let witness = on.violation.expect("the race must still be found");
+        assert!(witness.description.contains("exceeding k = 1"));
+        // The witness replays to a genuine violation of the same predicate.
+        let mut replayed = exec.clone();
+        for &p in &witness.schedule {
+            replayed.step(p);
+        }
+        assert!(agreement_predicate(1)(&replayed).is_some());
+    }
+
+    #[test]
+    fn sleep_sets_compose_with_symmetry() {
+        // Identical writers: symmetry quotients states, sleep sets prune
+        // orders of the quotient — the reductions multiply.
+        let exec = Executor::new(vec![
+            ToyWriter::new(0, 7),
+            ToyWriter::new(1, 7),
+            ToyWriter::new(2, 9),
+        ]);
+        let sym_only = explore(
+            &exec,
+            ExploreConfig {
+                symmetry: SymmetryMode::ProcessIds,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(3),
+        );
+        let both = explore(
+            &exec,
+            ExploreConfig {
+                symmetry: SymmetryMode::ProcessIds,
+                reduction: ReductionMode::SleepSets,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(3),
+        );
+        assert!(sym_only.verified() && both.verified());
+        assert!(both.symmetry_applied && both.reduction_applied);
+        assert_eq!(both.states_visited, sym_only.states_visited);
+        assert_eq!(
+            both.full_states_lower_bound,
+            sym_only.full_states_lower_bound
+        );
+        assert!(
+            both.expansions < sym_only.expansions,
+            "sleep sets must prune on top of the symmetry quotient: {} !< {}",
+            both.expansions,
+            sym_only.expansions
+        );
+    }
+
+    #[test]
+    fn sleep_sets_require_dedup() {
+        // Sleep-set promises live in the seen-map; without dedup the mode
+        // must fall back and report it, leaving the plain results intact.
+        let exec = Executor::new(vec![ToyWriter::new(0, 1), ToyWriter::new(1, 2)]);
+        let plain = explore(
+            &exec,
+            ExploreConfig {
+                dedup: false,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(2),
+        );
+        let requested = explore(
+            &exec,
+            ExploreConfig {
+                dedup: false,
+                reduction: ReductionMode::SleepSets,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(2),
+        );
+        assert!(!requested.reduction_applied);
+        assert_eq!(requested.states_visited, plain.states_visited);
+        assert_eq!(requested.expansions, plain.expansions);
+        assert_eq!(requested.sleep_pruned, 0);
+    }
+
+    #[test]
+    fn sleep_set_spill_is_byte_identical() {
+        // Frontier spilling under reduction serializes sleep masks and
+        // expansion promises through the record codec; draining them back
+        // must change nothing but spilled_entries.
+        let exec = Executor::new(vec![
+            ToyWriter::new(0, 1),
+            ToyWriter::new(1, 2),
+            ToyWriter::new(2, 3),
+        ]);
+        let config = ExploreConfig {
+            reduction: ReductionMode::SleepSets,
+            ..ExploreConfig::default()
+        };
+        let base = explore(&exec, config, agreement_predicate(3));
+        let spilled = explore(
+            &exec,
+            ExploreConfig {
+                spill: true,
+                max_resident_bytes: 1,
+                ..config
+            },
+            agreement_predicate(3),
+        );
+        assert!(
+            spilled.spilled_entries > 0,
+            "the tiny cap must force spills"
+        );
+        assert!(spilled.verified());
+        assert_eq!(spilled.states_visited, base.states_visited);
+        assert_eq!(spilled.expansions, base.expansions);
+        assert_eq!(spilled.sleep_pruned, base.sleep_pruned);
+        assert_eq!(spilled.paths, base.paths);
+        assert_eq!(spilled.max_depth_reached, base.max_depth_reached);
+        assert_eq!(spilled.seen_entries, base.seen_entries);
     }
 }

@@ -19,6 +19,9 @@
 //!   configurations.
 //! * [`parallel_explore`] — the same exhaustive check on a work-stealing
 //!   worker pool, byte-identical at any thread count.
+//! * [`check_commutation`] — the dynamic oracle auditing the static
+//!   independence relation ([`sa_model::independent`]) that feeds the
+//!   explorers' sleep-set partial-order reduction ([`ReductionMode`]).
 //! * [`run_threaded`] — runs the same automata on real OS threads against a
 //!   [`SharedMemory`](sa_memory::SharedMemory).
 //! * [`Workload`] — reproducible input generators.
@@ -42,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod commutation;
 mod executor;
 mod explore;
 mod parallel;
@@ -53,13 +57,17 @@ pub mod toy;
 mod trace;
 mod workload;
 
+pub use commutation::{
+    check_commutation, orders_commute, CommutationConfig, CommutationReport, CommutationViolation,
+};
 pub use executor::{
     Backend, Executor, RunConfig, RunReport, SearchConfig, SearchGoal, ServeClock, ServeLoad,
     ServeOptions, StopReason,
 };
 pub use explore::{
-    agreement_predicate, canonical_state_key, explore, state_key, Exploration, ExploreConfig,
-    ExploredViolation, FrontierSemantics, StateKey, SymmetryMode, SymmetryPlan,
+    agreement_predicate, canonical_state_key, explore, keyed_relabeled, mask_of, relabel_mask,
+    state_key, successor_sleep, unrelabel_mask, Exploration, ExploreConfig, ExploredViolation,
+    FrontierSemantics, ReductionMode, StateKey, SymmetryMode, SymmetryPlan,
 };
 pub use parallel::{parallel_explore, ParallelExploreConfig};
 pub use properties::{

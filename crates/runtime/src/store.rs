@@ -482,14 +482,27 @@ impl ScheduleArena {
     }
 }
 
+/// Bytes preceding the steps of a frontier record: orbit weight, sleep
+/// mask, revisit flag + owed mask, schedule length.
+const FRONTIER_RECORD_HEADER: usize = 8 + 8 + 1 + 8 + 4;
+
 /// Encodes one spilled frontier record: the orbit-size lower bound, the
-/// schedule length, then the schedule's steps as `u32`s. Configurations are
-/// **not** serialized — replaying the schedule from the initial executor
-/// reconstructs the configuration exactly, because the executor is
-/// deterministic.
-pub fn encode_frontier_record(schedule: &[ProcessId], orbit_lower: u64) -> Vec<u8> {
-    let mut record = Vec::with_capacity(12 + schedule.len() * 4);
+/// entry's sleep mask, its owed-revisit mask (flag byte then mask — see
+/// sleep-set reduction in the serial explorer), the schedule length, then
+/// the schedule's steps as `u32`s. Configurations are **not** serialized —
+/// replaying the schedule from the initial executor reconstructs the
+/// configuration exactly, because the executor is deterministic.
+pub fn encode_frontier_record(
+    schedule: &[ProcessId],
+    orbit_lower: u64,
+    sleep: u64,
+    expand: Option<u64>,
+) -> Vec<u8> {
+    let mut record = Vec::with_capacity(FRONTIER_RECORD_HEADER + schedule.len() * 4);
     record.extend_from_slice(&orbit_lower.to_le_bytes());
+    record.extend_from_slice(&sleep.to_le_bytes());
+    record.push(expand.is_some() as u8);
+    record.extend_from_slice(&expand.unwrap_or(0).to_le_bytes());
     record.extend_from_slice(&(schedule.len() as u32).to_le_bytes());
     for step in schedule {
         record.extend_from_slice(&(step.index() as u32).to_le_bytes());
@@ -498,22 +511,32 @@ pub fn encode_frontier_record(schedule: &[ProcessId], orbit_lower: u64) -> Vec<u
 }
 
 /// Decodes a record written by [`encode_frontier_record`].
-pub fn decode_frontier_record(record: &[u8]) -> io::Result<(Vec<ProcessId>, u64)> {
-    if record.len() < 12 {
+pub fn decode_frontier_record(
+    record: &[u8],
+) -> io::Result<(Vec<ProcessId>, u64, u64, Option<u64>)> {
+    if record.len() < FRONTIER_RECORD_HEADER {
         return Err(corrupt("frontier record too short"));
     }
     let orbit_lower = u64::from_le_bytes(record[..8].try_into().expect("8 bytes"));
-    let len = u32::from_le_bytes(record[8..12].try_into().expect("4 bytes")) as usize;
-    if record.len() != 12 + len * 4 {
+    let sleep = u64::from_le_bytes(record[8..16].try_into().expect("8 bytes"));
+    let expand = match record[16] {
+        0 => None,
+        1 => Some(u64::from_le_bytes(
+            record[17..25].try_into().expect("8 bytes"),
+        )),
+        _ => return Err(corrupt("frontier record revisit flag out of range")),
+    };
+    let len = u32::from_le_bytes(record[25..29].try_into().expect("4 bytes")) as usize;
+    if record.len() != FRONTIER_RECORD_HEADER + len * 4 {
         return Err(corrupt("frontier record length mismatch"));
     }
     let schedule = (0..len)
         .map(|i| {
-            let at = 12 + i * 4;
+            let at = FRONTIER_RECORD_HEADER + i * 4;
             ProcessId(u32::from_le_bytes(record[at..at + 4].try_into().expect("4 bytes")) as usize)
         })
         .collect();
-    Ok((schedule, orbit_lower))
+    Ok((schedule, orbit_lower, sleep, expand))
 }
 
 static SPILL_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -699,13 +722,21 @@ mod tests {
     #[test]
     fn frontier_records_roundtrip() {
         let schedule = vec![ProcessId(0), ProcessId(5), ProcessId(2)];
-        let record = encode_frontier_record(&schedule, 42);
-        let (decoded, orbit) = decode_frontier_record(&record).unwrap();
+        let record = encode_frontier_record(&schedule, 42, 0b101, Some(0b010));
+        let (decoded, orbit, sleep, expand) = decode_frontier_record(&record).unwrap();
         assert_eq!(decoded, schedule);
         assert_eq!(orbit, 42);
-        let empty = encode_frontier_record(&[], 1);
-        assert_eq!(decode_frontier_record(&empty).unwrap(), (Vec::new(), 1));
+        assert_eq!(sleep, 0b101);
+        assert_eq!(expand, Some(0b010));
+        let empty = encode_frontier_record(&[], 1, 0, None);
+        assert_eq!(
+            decode_frontier_record(&empty).unwrap(),
+            (Vec::new(), 1, 0, None)
+        );
         assert!(decode_frontier_record(&record[..5]).is_err());
+        let mut bad_flag = record.clone();
+        bad_flag[16] = 7;
+        assert!(decode_frontier_record(&bad_flag).is_err());
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! machine search evaluate witnesses through the *same* code.
 
 use sa_memory::Location;
-use sa_model::{Automaton, Op, ProcessId};
+use sa_model::{Automaton, ProcessId};
 use sa_runtime::{Executor, SearchGoal};
 use std::collections::BTreeSet;
 use std::fmt::Debug;
@@ -27,23 +27,18 @@ use std::hash::Hash;
 
 /// The location `process` is poised to write, or `None` if it is halted, or
 /// poised to a read, a scan or a local step.
+///
+/// Defined as the write cell of the poised op's
+/// [footprint](sa_model::Op::footprint) — the same static analysis that
+/// feeds the explorers' independence relation, so the lower-bound machinery
+/// and the partial-order reduction can never disagree about what a step
+/// writes.
 pub fn poised_write_location<A>(executor: &Executor<A>, process: ProcessId) -> Option<Location>
 where
     A: Automaton,
     A::Value: Clone + Eq + Debug,
 {
-    match executor.poised(process)? {
-        Op::Write { register, .. } => Some(Location::Register(register)),
-        Op::Update {
-            snapshot,
-            component,
-            ..
-        } => Some(Location::Component {
-            snapshot,
-            component,
-        }),
-        _ => None,
-    }
+    executor.poised(process)?.footprint().write_cell()
 }
 
 /// The locations covered by `processes` in the current configuration: the

@@ -14,6 +14,7 @@
 //! sweep verify FILE
 //! sweep diff OLD NEW
 //! sweep merge [--out FILE] SHARD...
+//! sweep lint [--allow FILE] ROOT...
 //! ```
 //!
 //! `run` writes JSONL to `--out` (default stdout) and prints the outcome to
@@ -28,11 +29,12 @@
 //! unsharded run would have written.
 
 use sa_sweep::{
-    diff, merge_shards, parse_jsonl, run_campaign, AdversarySpec, BackendSpec, CampaignMode,
-    CampaignSpec, EngineConfig, ParamsSpec, SearchTarget, Summary, WorkloadSpec,
+    diff, lint_source, merge_shards, parse_allowlist, parse_jsonl, run_campaign, AdversarySpec,
+    BackendSpec, CampaignMode, CampaignSpec, EngineConfig, ParamsSpec, SearchTarget, Summary,
+    WorkloadSpec,
 };
 use set_agreement::runtime::{
-    SearchGoal, ServeClock, ServeLoad, ServeOptions, SymmetryMode, Workload,
+    ReductionMode, SearchGoal, ServeClock, ServeLoad, ServeOptions, SymmetryMode, Workload,
 };
 use set_agreement::search::{Certificate, VerifyError, Witness};
 use set_agreement::{verify_witness, Algorithm, Backend, ExecutionPlan, Executor};
@@ -49,6 +51,13 @@ usage:
   sweep diff OLD NEW          compare result files; exit 1 on regressions
   sweep merge [--out FILE] SHARD...
                               merge sharded result files by scenario index
+  sweep lint [--allow FILE] ROOT...
+                              scan Rust sources under each ROOT for
+                              determinism hazards (iteration over hash-keyed
+                              collections, unstable std hashers, ambient
+                              clock reads, thread identity); exit 1 on any
+                              finding not suppressed by the `rule
+                              path-suffix` allowlist
 
 run options:
   --spec FILE          load a `key = value` campaign spec, then apply flags
@@ -99,6 +108,18 @@ run options:
                        automata cannot establish the symmetry fall back to
                        plain exploration (symmetry = fallback-off in the
                        record) instead of pruning unsoundly
+  --reduction MODE     `off` (default) or `sleep-set`: prune commuting
+                       sibling expansions with sleep sets, driven by a
+                       three-tier interference analysis (static op
+                       footprints, invisible-write refinement, dynamic
+                       commutation from the pruned state). Verdicts
+                       and visited states are identical to full exploration;
+                       records carry expansions / sleep_pruned, and the
+                       factor composes multiplicatively with --symmetry.
+                       Applies to explore and adversary-search modes; cells
+                       the explorer cannot reduce soundly (dedup off, more
+                       than 64 processes) fall back to plain exploration
+                       (reduction = fallback-off in the record)
   --goals LIST         adversary-search mode: comma list of witness goals to
                        sweep, `covering` (default) and/or `block-write`
   --target-registers T adversary-search mode: `auto` (default; the paper's
@@ -167,6 +188,7 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -282,6 +304,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 "--symmetry" => {
                     spec.symmetry = SymmetryMode::parse(value).ok_or_else(|| {
                         format!("bad symmetry mode {value:?} (want off or process-ids)")
+                    })?;
+                }
+                "--reduction" => {
+                    spec.reduction = ReductionMode::parse(value).ok_or_else(|| {
+                        format!("bad reduction mode {value:?} (want off or sleep-set)")
                     })?;
                 }
                 "--spill" => {
@@ -781,6 +808,111 @@ fn cmd_verify(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Scans `.rs` files under each root for determinism hazards. The walk is
+/// itself deterministic (directory entries sorted by name) so the finding
+/// order — and therefore the CI log — is stable across machines.
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut allow_path: Option<String> = None;
+    let mut roots: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--allow" => match iter.next() {
+                Some(path) => allow_path = Some(path.clone()),
+                None => return fail("--allow needs a value"),
+            },
+            flag if flag.starts_with("--") => {
+                return fail(format!("unknown flag {flag:?}\n{USAGE}"))
+            }
+            _ => roots.push(arg),
+        }
+    }
+    if roots.is_empty() {
+        return fail(format!("lint needs at least one root directory\n{USAGE}"));
+    }
+    let allow = match &allow_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => return fail(format!("cannot read {path}: {e}")),
+            };
+            match parse_allowlist(&text) {
+                Ok(allow) => allow,
+                Err(message) => return fail(format!("{path}: {message}")),
+            }
+        }
+        None => Vec::new(),
+    };
+    let mut sources = Vec::new();
+    for root in &roots {
+        if let Err(message) = collect_rust_sources(std::path::Path::new(root), &mut sources) {
+            return fail(message);
+        }
+    }
+    let (mut findings, mut suppressed, mut scanned) = (Vec::new(), 0u64, 0u64);
+    for path in &sources {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => return fail(format!("cannot read {}: {e}", path.display())),
+        };
+        let label = path.to_string_lossy();
+        let (file_findings, file_suppressed) = lint_source(&label, &text, &allow);
+        findings.extend(file_findings);
+        suppressed += file_suppressed;
+        scanned += 1;
+    }
+    for finding in &findings {
+        println!("{finding}");
+    }
+    println!(
+        "lint: {} files scanned, {} findings, {} suppressed by allowlist",
+        scanned,
+        findings.len(),
+        suppressed
+    );
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Collects every `.rs` file under `root`, depth-first with entries sorted
+/// by name, skipping `target` build directories.
+fn collect_rust_sources(
+    root: &std::path::Path,
+    out: &mut Vec<std::path::PathBuf>,
+) -> Result<(), String> {
+    let describe = |e: std::io::Error| format!("cannot walk {}: {e}", root.display());
+    if root.is_file() {
+        if root.extension().is_some_and(|ext| ext == "rs") {
+            out.push(root.to_path_buf());
+        }
+        return Ok(());
+    }
+    let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(root)
+        .map_err(describe)?
+        .map(|entry| entry.map(|e| e.path()))
+        .collect::<Result<_, _>>()
+        .map_err(describe)?;
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            if entry.file_name().is_some_and(|name| name == "target") {
+                continue;
+            }
+            collect_rust_sources(&entry, out)?;
+        } else if entry.extension().is_some_and(|ext| ext == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
 }
 
 fn cmd_diff(args: &[String]) -> ExitCode {

@@ -162,6 +162,7 @@ pub fn run_scenario(campaign: &str, spec: &ScenarioSpec) -> SweepRecord {
                 max_depth: spec.max_steps,
                 max_states: spec.max_states,
                 symmetry: spec.symmetry,
+                reduction: spec.reduction,
                 spill: spec.spill,
                 max_resident_bytes: spec.max_resident_mb * 1024 * 1024,
             })
@@ -171,6 +172,7 @@ pub fn run_scenario(campaign: &str, spec: &ScenarioSpec) -> SweepRecord {
             max_states: spec.max_states,
             dedup: true,
             symmetry: spec.symmetry,
+            reduction: spec.reduction,
             spill: spec.spill,
             max_resident_bytes: spec.max_resident_mb * 1024 * 1024,
         }),
@@ -181,6 +183,7 @@ pub fn run_scenario(campaign: &str, spec: &ScenarioSpec) -> SweepRecord {
             max_states: spec.max_states,
             threads: spec.explore_threads,
             symmetry: spec.symmetry,
+            reduction: spec.reduction,
         }),
         (CampaignMode::Serve, _) => unreachable!("serve scenarios are dispatched above"),
     };

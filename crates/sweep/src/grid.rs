@@ -11,7 +11,7 @@ use crate::spec::{
     AdversarySpec, BackendSpec, CampaignMode, CampaignSpec, Survivors, WorkloadSpec,
 };
 use sa_model::Params;
-use set_agreement::runtime::{SearchGoal, ServeLoad, SymmetryMode, Workload};
+use set_agreement::runtime::{ReductionMode, SearchGoal, ServeLoad, SymmetryMode, Workload};
 use set_agreement::{Adversary, Algorithm};
 
 /// Mixes a campaign seed and a scenario's *identity* (its
@@ -93,6 +93,11 @@ pub struct ScenarioSpec {
     /// [`SymmetryMode::Off`] when sampling). Like `explore_threads`, not
     /// part of the scenario's identity.
     pub symmetry: SymmetryMode,
+    /// Sleep-set partial-order reduction for exhaustive and search
+    /// scenarios (always [`ReductionMode::Off`] when sampling or serving).
+    /// Like `symmetry`, not part of the scenario's identity: it changes
+    /// how many expansions the explorer performs, never a verdict.
+    pub reduction: ReductionMode,
     /// Spill frozen frontier levels and seen-set shards to disk when the
     /// explorer exceeds its resident budget (exhaustive scenarios only).
     /// Like `explore_threads`, not part of the scenario's identity —
@@ -451,6 +456,7 @@ fn sampled_scenario(
         max_states: spec.max_states,
         explore_threads: 0,
         symmetry: SymmetryMode::Off,
+        reduction: ReductionMode::Off,
         spill: false,
         max_resident_mb: 0,
         shards: 0,
@@ -514,6 +520,7 @@ fn threaded_scenario(
         max_states: spec.max_states,
         explore_threads: 0,
         symmetry: SymmetryMode::Off,
+        reduction: ReductionMode::Off,
         spill: false,
         max_resident_mb: 0,
         shards: 0,
@@ -570,6 +577,7 @@ fn explore_scenario(
         max_states: spec.max_states,
         explore_threads: spec.explore_threads,
         symmetry: spec.symmetry,
+        reduction: spec.reduction,
         spill: spec.spill,
         max_resident_mb: spec.max_resident_mb,
         shards: 0,
@@ -627,6 +635,7 @@ fn serve_scenario(spec: &CampaignSpec, index: u64, params: Params, seed: u64) ->
         max_states: spec.max_states,
         explore_threads: 0,
         symmetry: SymmetryMode::Off,
+        reduction: ReductionMode::Off,
         spill: false,
         max_resident_mb: 0,
         shards: spec.shards,
@@ -649,10 +658,11 @@ fn serve_scenario(spec: &CampaignSpec, index: u64, params: Params, seed: u64) ->
 /// and seed axes collapse (the search quantifies over all schedules); the
 /// goal joins the identity instead, labelled `adversary-search:<goal>`.
 /// The spec's target is resolved to this cell's concrete register count
-/// here, so `auto` pins `n + 2m − k` into the scenario. `explore-threads`
-/// and `symmetry` carry over as the search's "how" knobs — results are
-/// byte-identical at any worker count, and symmetry canonicalization
-/// prunes orbits without changing the best witness.
+/// here, so `auto` pins `n + 2m − k` into the scenario. `explore-threads`,
+/// `symmetry` and `reduction` carry over as the search's "how" knobs —
+/// results are byte-identical at any worker count, symmetry
+/// canonicalization prunes orbits without changing the best witness, and
+/// sleep sets prune commuting expansions without changing the verdict.
 fn search_scenario(
     spec: &CampaignSpec,
     index: u64,
@@ -697,6 +707,7 @@ fn search_scenario(
         max_states: spec.max_states,
         explore_threads: spec.explore_threads,
         symmetry: spec.symmetry,
+        reduction: spec.reduction,
         spill: false,
         max_resident_mb: 0,
         shards: 0,

@@ -62,12 +62,14 @@
 
 mod engine;
 mod grid;
+mod lint;
 mod record;
 mod spec;
 mod summary;
 
 pub use engine::{run_campaign, run_campaign_collect, run_scenario, CampaignOutcome, EngineConfig};
 pub use grid::{derive_seed, expand, ExpansionStats, ScenarioSpec};
+pub use lint::{lint_source, parse_allowlist, AllowEntry, LintFinding};
 pub use record::{merge_shards, parse_jsonl, ParseError, SweepRecord};
 pub use spec::{
     parse_algorithms, parse_seeds, parse_values, AdversarySpec, BackendSpec, CampaignMode,

@@ -7,7 +7,7 @@
 //! `sweep summarize` and `sweep diff`.
 
 use crate::grid::ScenarioSpec;
-use set_agreement::runtime::{StopReason, SymmetryMode};
+use set_agreement::runtime::{ReductionMode, StopReason, SymmetryMode};
 use set_agreement::{ExploreReport, ScenarioReport, ThreadedRunReport};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -121,6 +121,23 @@ pub struct SweepRecord {
     /// is the achieved reduction factor. Encoded only when symmetry was
     /// requested.
     pub full_states_lower_bound: u64,
+    /// Partial-order-reduction status of an exploration or search: `off`
+    /// (not requested), `sleep-set` (requested and applied: commuting
+    /// sibling expansions were pruned) or `fallback-off` (requested, but
+    /// the explorer could not honor it — dedup off or more than 64
+    /// processes — so full expansion ran instead). Encoded, together with
+    /// the two expansion statistics below, only when the campaign
+    /// requested reduction — records of reduction-off campaigns stay
+    /// byte-identical to pre-reduction releases.
+    pub reduction: String,
+    /// Successor expansions the exploration or search performed (0 for
+    /// sampled records). Encoded only when reduction was requested;
+    /// `(expansions + sleep_pruned) / expansions` is the multiplicative
+    /// factor sleep sets achieved on top of symmetry.
+    pub expansions: u64,
+    /// Expansions skipped because a sleeping sibling order was provably
+    /// commuting. Encoded only when reduction was requested.
+    pub sleep_pruned: u64,
     /// Wall-clock microseconds of a threaded run (0 otherwise; encoded only
     /// for threaded records, whose output makes no byte-determinism claim).
     pub wall_us: u64,
@@ -228,6 +245,9 @@ impl SweepRecord {
             symmetry: "off".into(),
             orbit_states: 0,
             full_states_lower_bound: 0,
+            reduction: "off".into(),
+            expansions: 0,
+            sleep_pruned: 0,
             wall_us: 0,
             steps_per_sec: 0,
             proposals: 0,
@@ -310,6 +330,9 @@ impl SweepRecord {
             symmetry: "off".into(),
             orbit_states: 0,
             full_states_lower_bound: 0,
+            reduction: "off".into(),
+            expansions: 0,
+            sleep_pruned: 0,
             wall_us: report.wall.as_micros() as u64,
             steps_per_sec: report.steps_per_sec() as u64,
             proposals: 0,
@@ -400,6 +423,24 @@ impl SweepRecord {
             } else {
                 report.full_states_lower_bound
             },
+            reduction: match (spec.reduction, report.reduction_applied) {
+                (ReductionMode::Off, _) => "off".into(),
+                (ReductionMode::SleepSets, true) => "sleep-set".into(),
+                // Requested but not honorable (dedup off, > 64 processes):
+                // the explorer expanded fully rather than prune unsoundly,
+                // and the record says so.
+                (ReductionMode::SleepSets, false) => "fallback-off".into(),
+            },
+            expansions: if spec.reduction == ReductionMode::Off {
+                0
+            } else {
+                report.expansions
+            },
+            sleep_pruned: if spec.reduction == ReductionMode::Off {
+                0
+            } else {
+                report.sleep_pruned
+            },
             wall_us: 0,
             steps_per_sec: 0,
             proposals: 0,
@@ -485,6 +526,9 @@ impl SweepRecord {
             symmetry: "off".into(),
             orbit_states: 0,
             full_states_lower_bound: 0,
+            reduction: "off".into(),
+            expansions: 0,
+            sleep_pruned: 0,
             wall_us: report.duration_us,
             steps_per_sec: report.steps_per_sec(),
             proposals: report.proposals,
@@ -571,6 +615,21 @@ impl SweepRecord {
                 report.states_visited
             },
             full_states_lower_bound: 0,
+            reduction: match (spec.reduction, report.reduction_applied) {
+                (ReductionMode::Off, _) => "off".into(),
+                (ReductionMode::SleepSets, true) => "sleep-set".into(),
+                (ReductionMode::SleepSets, false) => "fallback-off".into(),
+            },
+            expansions: if spec.reduction == ReductionMode::Off {
+                0
+            } else {
+                report.expansions
+            },
+            sleep_pruned: if spec.reduction == ReductionMode::Off {
+                0
+            } else {
+                report.sleep_pruned
+            },
             wall_us: 0,
             steps_per_sec: 0,
             proposals: 0,
@@ -730,6 +789,11 @@ impl SweepRecord {
                 &self.full_states_lower_bound.to_string(),
             );
         }
+        if self.reduction != "off" {
+            field(&mut out, "reduction", &json_string(&self.reduction));
+            field(&mut out, "expansions", &self.expansions.to_string());
+            field(&mut out, "sleep_pruned", &self.sleep_pruned.to_string());
+        }
         field(&mut out, "verified", bool_str(self.verified));
         if self.mode == "adversary-search" {
             field(&mut out, "goal", &json_string(&self.goal));
@@ -844,6 +908,9 @@ impl SweepRecord {
             symmetry: fields.string_or("symmetry", "off")?,
             orbit_states: fields.u64_or("orbit_states", 0)?,
             full_states_lower_bound: fields.u64_or("full_states_lower_bound", 0)?,
+            reduction: fields.string_or("reduction", "off")?,
+            expansions: fields.u64_or("expansions", 0)?,
+            sleep_pruned: fields.u64_or("sleep_pruned", 0)?,
             wall_us: fields.u64_or("wall_us", 0)?,
             steps_per_sec: fields.u64_or("steps_per_sec", 0)?,
             proposals: fields.u64_or("proposals", 0)?,
@@ -1184,6 +1251,9 @@ mod tests {
             symmetry: "off".into(),
             orbit_states: 0,
             full_states_lower_bound: 0,
+            reduction: "off".into(),
+            expansions: 0,
+            sleep_pruned: 0,
             wall_us: 0,
             steps_per_sec: 0,
             proposals: 0,
@@ -1232,6 +1302,40 @@ mod tests {
         fallback.full_states_lower_bound = 111;
         let line = fallback.to_json();
         assert!(line.contains("\"symmetry\":\"fallback-off\""), "{line}");
+        assert_eq!(SweepRecord::parse(&line).unwrap(), fallback);
+    }
+
+    #[test]
+    fn reduction_records_round_trip_and_off_stays_byte_compatible() {
+        // Off: none of the three fields may leak into the line.
+        let line = sample().to_json();
+        for absent in ["reduction", "expansions", "sleep_pruned"] {
+            assert!(!line.contains(absent), "{absent} leaked into {line}");
+        }
+        // Requested + applied: all three round-trip, composed with symmetry.
+        let mut reduced = sample();
+        reduced.adversary = "exhaustive".into();
+        reduced.mode = "explore".into();
+        reduced.backend = "explore".into();
+        reduced.symmetry = "process-ids".into();
+        reduced.explored_states = 111;
+        reduced.orbit_states = 111;
+        reduced.full_states_lower_bound = 555;
+        reduced.reduction = "sleep-set".into();
+        reduced.expansions = 200;
+        reduced.sleep_pruned = 400;
+        reduced.verified = true;
+        let line = reduced.to_json();
+        assert!(line.contains("\"reduction\":\"sleep-set\""), "{line}");
+        assert!(line.contains("\"expansions\":200"), "{line}");
+        assert!(line.contains("\"sleep_pruned\":400"), "{line}");
+        assert_eq!(SweepRecord::parse(&line).unwrap(), reduced);
+        // Requested + fell back: visible as fallback-off, zero pruned.
+        let mut fallback = reduced;
+        fallback.reduction = "fallback-off".into();
+        fallback.sleep_pruned = 0;
+        let line = fallback.to_json();
+        assert!(line.contains("\"reduction\":\"fallback-off\""), "{line}");
         assert_eq!(SweepRecord::parse(&line).unwrap(), fallback);
     }
 

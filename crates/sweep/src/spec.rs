@@ -11,7 +11,7 @@
 //! CLI accepts via `--spec`.
 
 use sa_model::Params;
-use set_agreement::runtime::{SearchGoal, SymmetryMode};
+use set_agreement::runtime::{ReductionMode, SearchGoal, SymmetryMode};
 use set_agreement::Algorithm;
 
 /// Errors produced while building or parsing a campaign spec.
@@ -466,6 +466,18 @@ pub struct CampaignSpec {
     /// prune unsoundly. Off by default, which keeps record bytes identical
     /// to pre-symmetry releases.
     pub symmetry: SymmetryMode,
+    /// Partial-order reduction per exploration or adversary search (ignored
+    /// in [`CampaignMode::Sample`] and [`CampaignMode::Serve`]):
+    /// `sleep-set` prunes commuting sibling interleavings with per-state
+    /// sleep sets, which shrinks the expansion count without changing any
+    /// verdict or (on exhausted spaces) the visited-state count. Like
+    /// `symmetry` this is a "how" knob, not part of a scenario's identity,
+    /// and it composes with `symmetry`: the two reductions multiply.
+    /// Explorations that cannot honor the request (dedup off, more than 64
+    /// processes) fall back to full expansion rather than prune unsoundly.
+    /// Off by default, which keeps record bytes identical to pre-reduction
+    /// releases.
+    pub reduction: ReductionMode,
     /// Whether explorations may spill frozen frontier chunks and seen-set
     /// shards to disk when they exceed the resident-byte budget (ignored
     /// in [`CampaignMode::Sample`]). A "how" knob like `explore-threads`:
@@ -535,6 +547,7 @@ impl Default for CampaignSpec {
             max_states: 2_000_000,
             explore_threads: 0,
             symmetry: SymmetryMode::Off,
+            reduction: ReductionMode::Off,
             spill: false,
             max_resident_mb: 0,
             goals: vec![SearchGoal::Covering],
@@ -642,7 +655,9 @@ impl CampaignSpec {
     /// (exploration state budget), `explore-threads` (exploration worker
     /// threads; 0 = serial explorer), `symmetry` (`off` or
     /// `process-ids`: deduplicate explored states up to process-id
-    /// orbits), `spill` (`on` or `off`: let explorations move cold
+    /// orbits), `reduction` (`off` or `sleep-set`: prune commuting
+    /// interleavings with sleep-set partial-order reduction, composable
+    /// with `symmetry`), `spill` (`on` or `off`: let explorations move cold
     /// frontier and seen-set state to disk under memory pressure),
     /// `max-resident-mb` (resident-memory budget per exploration in MiB;
     /// 0 = unlimited), the `mode = adversary-search` keys `goals` (comma
@@ -714,6 +729,13 @@ impl CampaignSpec {
                     spec.symmetry = SymmetryMode::parse(value).ok_or_else(|| {
                         SpecError(format!(
                             "unknown symmetry {value:?} (want off or process-ids)"
+                        ))
+                    })?;
+                }
+                "reduction" => {
+                    spec.reduction = ReductionMode::parse(value).ok_or_else(|| {
+                        SpecError(format!(
+                            "unknown reduction {value:?} (want off or sleep-set)"
                         ))
                     })?;
                 }
@@ -859,6 +881,7 @@ impl std::fmt::Display for CampaignSpec {
         writeln!(f, "max-states = {}", self.max_states)?;
         writeln!(f, "explore-threads = {}", self.explore_threads)?;
         writeln!(f, "symmetry = {}", self.symmetry.label())?;
+        writeln!(f, "reduction = {}", self.reduction.label())?;
         writeln!(f, "spill = {}", if self.spill { "on" } else { "off" })?;
         writeln!(f, "max-resident-mb = {}", self.max_resident_mb)?;
         let goals: Vec<&str> = self.goals.iter().map(|g| g.label()).collect();
@@ -1138,6 +1161,24 @@ symmetry = process-ids",
         assert_eq!(spec.symmetry, SymmetryMode::ProcessIds);
         assert_eq!(CampaignSpec::parse(&spec.to_string()).unwrap(), spec);
         assert!(CampaignSpec::parse("symmetry = mirror").is_err());
+    }
+
+    #[test]
+    fn reduction_parses_round_trips_and_defaults_off() {
+        assert_eq!(
+            CampaignSpec::parse("").unwrap().reduction,
+            ReductionMode::Off
+        );
+        let spec = CampaignSpec::parse(
+            "mode = explore
+symmetry = process-ids
+reduction = sleep-set",
+        )
+        .unwrap();
+        assert_eq!(spec.reduction, ReductionMode::SleepSets);
+        assert_eq!(spec.symmetry, SymmetryMode::ProcessIds);
+        assert_eq!(CampaignSpec::parse(&spec.to_string()).unwrap(), spec);
+        assert!(CampaignSpec::parse("reduction = ample-set").is_err());
     }
 
     #[test]

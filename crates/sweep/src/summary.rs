@@ -70,6 +70,17 @@ pub struct CellSummary {
     /// Maximum full-state lower bound of any symmetry-reduced exploration
     /// of this cell.
     pub max_full_states_lower_bound: u64,
+    /// Explored or searched scenarios pruned by sleep sets
+    /// (`reduction = sleep-set` applied).
+    pub sleep_reduced: u64,
+    /// Scenarios that requested sleep sets but fell back to plain
+    /// exploration (`reduction = fallback-off`).
+    pub sleep_fallbacks: u64,
+    /// Total expansions performed across the cell's sleep-set scenarios.
+    pub total_expansions: u64,
+    /// Total commuting sibling expansions pruned by sleep sets across the
+    /// cell's scenarios.
+    pub total_sleep_pruned: u64,
     /// Maximum peak BFS level width of any parallel exploration of this
     /// cell. Parallel `frontier_peak` counts the widest level of the
     /// level-synchronized search — the serial explorer's DFS stack depth is
@@ -160,6 +171,15 @@ pub struct Summary {
     pub total_orbit_states: u64,
     /// Total full-state lower bound across all symmetry-reduced records.
     pub total_full_states_lower_bound: u64,
+    /// Explore or search records pruned by sleep sets.
+    pub sleep_reduced: u64,
+    /// Records that requested sleep sets but fell back.
+    pub sleep_fallbacks: u64,
+    /// Total expansions performed across all sleep-set records.
+    pub total_expansions: u64,
+    /// Total commuting sibling expansions pruned across all sleep-set
+    /// records.
+    pub total_sleep_pruned: u64,
     /// Maximum peak BFS level width across all parallel explorations
     /// (the widest level of the level-synchronized search, not a DFS stack
     /// depth).
@@ -258,6 +278,22 @@ impl Summary {
                 summary.max_p50_us = summary.max_p50_us.max(record.p50_us);
                 summary.max_p99_us = summary.max_p99_us.max(record.p99_us);
                 summary.max_ops_per_sec = summary.max_ops_per_sec.max(record.ops_per_sec);
+            }
+            if record.mode == "explore" || record.mode == "adversary-search" {
+                // Sleep sets apply to both exhaustive exploration and
+                // adversary search, so the aggregation sits outside the
+                // per-mode branches.
+                if record.reduction == "sleep-set" {
+                    cell.sleep_reduced += 1;
+                    cell.total_expansions += record.expansions;
+                    cell.total_sleep_pruned += record.sleep_pruned;
+                    summary.sleep_reduced += 1;
+                    summary.total_expansions += record.expansions;
+                    summary.total_sleep_pruned += record.sleep_pruned;
+                } else if record.reduction == "fallback-off" {
+                    cell.sleep_fallbacks += 1;
+                    summary.sleep_fallbacks += 1;
+                }
             }
             if record.mode == "adversary-search" {
                 cell.searched += 1;
@@ -358,7 +394,11 @@ impl Summary {
     /// (maximum states visited and maximum exploration depth per cell);
     /// campaigns with parallel-explore records additionally gain
     /// `frontier`/`mem-MB` columns (peak BFS level width and estimated peak
-    /// explorer memory per cell); campaigns with threaded records gain
+    /// explorer memory per cell); campaigns with sleep-set-reduced records
+    /// gain `expanded`/`pruned`/`por` columns (total expansions performed,
+    /// commuting sibling expansions pruned, and the multiplicative factor
+    /// `(expanded + pruned) / expanded` per cell — multiplicative on top of
+    /// any symmetry reduction); campaigns with threaded records gain
     /// `wall-ms`/`steps/s` columns
     /// (total wall clock, millisecond display of the microsecond totals, and
     /// aggregate throughput per cell); campaigns with adversary-search
@@ -370,6 +410,7 @@ impl Summary {
         let show_explore = self.explored > 0;
         let show_parallel = self.parallel_explored > 0;
         let show_symmetry = self.symmetry_reduced + self.symmetry_fallbacks > 0;
+        let show_reduction = self.sleep_reduced + self.sleep_fallbacks > 0;
         let show_threaded = self.threaded_runs > 0;
         let show_serve = self.serve_runs > 0;
         let show_searched = self.searched > 0;
@@ -403,6 +444,9 @@ impl Summary {
                 " {:>9} {:>11} {:>6}",
                 "orbits", "full-states", "red"
             );
+        }
+        if show_reduction {
+            let _ = write!(header, " {:>10} {:>10} {:>6}", "expanded", "pruned", "por");
         }
         if show_threaded {
             let _ = write!(header, " {:>8} {:>9}", "wall-ms", "steps/s");
@@ -507,6 +551,22 @@ impl Summary {
                     let _ = write!(row, " {:>9} {:>11} {:>6}", "-", "-", "-");
                 }
             }
+            if show_reduction {
+                if cell.sleep_reduced > 0 {
+                    let _ = write!(
+                        row,
+                        " {:>10} {:>10} {:>6}",
+                        cell.total_expansions,
+                        cell.total_sleep_pruned,
+                        por_factor(cell.total_expansions, cell.total_sleep_pruned)
+                            .map_or_else(|| "-".into(), |r| format!("{r:.1}x"))
+                    );
+                } else if cell.sleep_fallbacks > 0 {
+                    let _ = write!(row, " {:>10} {:>10} {:>6}", "-", "fallback", "-");
+                } else {
+                    let _ = write!(row, " {:>10} {:>10} {:>6}", "-", "-", "-");
+                }
+            }
             if show_threaded {
                 if cell.threaded_runs > 0 {
                     let _ = write!(
@@ -595,6 +655,19 @@ impl Summary {
                 self.total_full_states_lower_bound
             );
         }
+        if self.sleep_reduced + self.sleep_fallbacks > 0 {
+            let rate = por_factor(self.total_expansions, self.total_sleep_pruned)
+                .map_or_else(|| "-".into(), |r| format!("{r:.1}x"));
+            let _ = writeln!(
+                out,
+                "sleep sets: {} reduced runs ({} fell back), {} expansions with \
+                 {} commuting siblings pruned ({rate} reduction)",
+                self.sleep_reduced,
+                self.sleep_fallbacks,
+                self.total_expansions,
+                self.total_sleep_pruned
+            );
+        }
         if self.threaded_runs > 0 {
             let rate = steps_per_sec(self.threaded_steps, self.total_wall_us)
                 .map_or_else(|| "-".into(), |r| format!("~{r}"));
@@ -639,6 +712,16 @@ fn reduction_factor(full_states: u64, orbit_states: u64) -> Option<f64> {
         return None;
     }
     Some(full_states as f64 / orbit_states as f64)
+}
+
+/// The sleep-set reduction factor `(expansions + pruned) / expansions` —
+/// how much larger the expansion count would have been without pruning;
+/// `None` when no expansion was counted.
+fn por_factor(expansions: u64, pruned: u64) -> Option<f64> {
+    if expansions == 0 {
+        return None;
+    }
+    Some((expansions + pruned) as f64 / expansions as f64)
 }
 
 /// Aggregate steps-per-second over `wall_us` microseconds; `None` when the
@@ -841,6 +924,9 @@ mod tests {
             symmetry: "off".into(),
             orbit_states: 0,
             full_states_lower_bound: 0,
+            reduction: "off".into(),
+            expansions: 0,
+            sleep_pruned: 0,
             wall_us: 0,
             steps_per_sec: 0,
             proposals: 0,
@@ -954,6 +1040,54 @@ mod tests {
         // Symmetry-free campaigns do not grow the columns.
         let plain = Summary::of(&[record(0)]).render();
         assert!(!plain.contains("orbits"), "{plain}");
+    }
+
+    #[test]
+    fn sleep_set_reduced_cells_report_expansions_and_pruning() {
+        let mut reduced = record(0);
+        reduced.adversary = "exhaustive".into();
+        reduced.mode = "explore".into();
+        reduced.backend = "explore".into();
+        reduced.reduction = "sleep-set".into();
+        reduced.explored_states = 100;
+        reduced.expansions = 200;
+        reduced.sleep_pruned = 400;
+        reduced.verified = true;
+        let mut fallback = record(1);
+        fallback.n = 8; // a different cell
+        fallback.adversary = "exhaustive".into();
+        fallback.mode = "explore".into();
+        fallback.reduction = "fallback-off".into();
+        fallback.explored_states = 50;
+        fallback.verified = true;
+        let summary = Summary::of(&[reduced, fallback]);
+        assert_eq!(summary.sleep_reduced, 1);
+        assert_eq!(summary.sleep_fallbacks, 1);
+        assert_eq!(summary.total_expansions, 200);
+        assert_eq!(summary.total_sleep_pruned, 400);
+        let rendered = summary.render();
+        assert!(rendered.contains("expanded"), "{rendered}");
+        assert!(rendered.contains("pruned"), "{rendered}");
+        // (200 + 400) / 200 = 3.0x.
+        assert!(rendered.contains("3.0x"), "{rendered}");
+        assert!(rendered.contains("fallback"), "{rendered}");
+        assert!(
+            rendered.contains("sleep sets: 1 reduced runs (1 fell back)"),
+            "{rendered}"
+        );
+        // Search records carry the statistic too.
+        let mut searched = search_record(2, "covering");
+        searched.reduction = "sleep-set".into();
+        searched.expansions = 50;
+        searched.sleep_pruned = 150;
+        let summary = Summary::of(&[searched]);
+        assert_eq!(summary.sleep_reduced, 1);
+        assert_eq!(summary.total_expansions, 50);
+        assert!(summary.render().contains("4.0x"), "{}", summary.render());
+        // Reduction-free campaigns do not grow the columns.
+        let plain = Summary::of(&[record(0)]).render();
+        assert!(!plain.contains("expanded"), "{plain}");
+        assert!(!plain.contains("sleep sets:"), "{plain}");
     }
 
     #[test]

@@ -93,8 +93,8 @@ pub mod prelude {
     pub use sa_model::{Automaton, Decision, DecisionSet, Params, ProcessId};
     pub use sa_runtime::{
         check_k_agreement, check_validity, ExploreConfig, InputLog, ObstructionScheduler,
-        ParallelExploreConfig, RoundRobin, RunConfig, Scheduler, SearchConfig, SearchGoal,
-        ServeClock, ServeLoad, ServeOptions, SymmetryMode, ThreadedConfig, Workload,
+        ParallelExploreConfig, ReductionMode, RoundRobin, RunConfig, Scheduler, SearchConfig,
+        SearchGoal, ServeClock, ServeLoad, ServeOptions, SymmetryMode, ThreadedConfig, Workload,
     };
     pub use sa_search::{Certificate, SearchReport, SearchStop, VerifyError, Witness};
     pub use sa_serve::{ServeConfig, ServeReport};
@@ -472,6 +472,21 @@ pub struct ExploreReport {
     /// `full_states_lower_bound / orbit_states` is the reduction factor the
     /// quotient achieved; 1x without symmetry.
     pub full_states_lower_bound: u64,
+    /// `true` if the search pruned commuting interleavings with sleep sets:
+    /// [`ReductionMode::SleepSets`](sa_runtime::ReductionMode) was requested
+    /// **and** the explorer could honor it (dedup on, at most 64 processes).
+    /// Verdicts and `states_visited` are unaffected on exhausted spaces;
+    /// only [`expansions`](ExploreReport::expansions) shrinks.
+    pub reduction_applied: bool,
+    /// Successor expansions the search performed (state × enabled-process
+    /// pairs actually stepped). Without reduction this is the raw edge
+    /// count of the explored graph; sleep sets shrink it.
+    pub expansions: u64,
+    /// Expansions skipped because a sleeping sibling order was provably
+    /// commuting (0 without reduction).
+    /// `(expansions + sleep_pruned) / expansions` is the multiplicative
+    /// reduction factor on top of whatever symmetry already removed.
+    pub sleep_pruned: u64,
 }
 
 impl ExploreReport {
@@ -1048,6 +1063,9 @@ impl ExecutionPlan {
             symmetry_applied: result.symmetry_applied,
             orbit_states: result.states_visited,
             full_states_lower_bound: result.full_states_lower_bound,
+            reduction_applied: result.reduction_applied,
+            expansions: result.expansions,
+            sleep_pruned: result.sleep_pruned,
         }
     }
 }
@@ -1724,6 +1742,7 @@ mod tests {
             max_states: 100_000,
             threads: 2,
             symmetry: sa_runtime::SymmetryMode::ProcessIds,
+            reduction: sa_runtime::ReductionMode::Off,
         })
         .execute(&plan);
         assert_eq!(searched.backend_label(), "adversary-search");
@@ -1750,6 +1769,7 @@ mod tests {
                     max_states: 100_000,
                     threads,
                     symmetry: sa_runtime::SymmetryMode::ProcessIds,
+                    reduction: sa_runtime::ReductionMode::SleepSets,
                 })
                 .execute(&plan)
                 .expect_searched();
