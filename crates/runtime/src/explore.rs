@@ -23,10 +23,10 @@
 
 use crate::executor::Executor;
 use crate::store::{
-    decode_frontier_record, encode_frontier_record, read_segment, KeyTable, SegmentKind,
-    SegmentWriter, SpillDir,
+    decode_frontier_record, encode_frontier_record, read_segment, FrontierRecord, KeyTable,
+    SegmentKind, SegmentWriter, SpillDir,
 };
-use sa_model::{independent, Automaton, IdRelabeling, InstanceId, ProcessId, SymmetryClass};
+use sa_model::{independent, Automaton, IdRelabeling, InstanceId, Op, ProcessId, SymmetryClass};
 use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::{Hash, Hasher};
@@ -95,6 +95,26 @@ pub enum ReductionMode {
     /// the mask width) fall back to [`Off`] rather than prune unsoundly —
     /// [`Exploration::reduction_applied`] records what actually happened.
     SleepSets,
+    /// Persistent-set selective search: each state expands only a
+    /// provably sufficient subset of its enabled processes — a seed closed
+    /// under the static dependency relation (see [`persistent_set`]) — so
+    /// whole successor *states* are cut, not just redundant transitions.
+    /// Subsumes [`SleepSets`]: sleep masks still prune the second order of
+    /// commuting pairs within the persistent subset.
+    ///
+    /// The serial explorer pairs the selection with Flanagan–Godefroid
+    /// dynamic backtracking: on discovering (while expanding a transition)
+    /// a static dependency with an earlier transition of the DFS path, the
+    /// stepping process is added to that ancestor's backtrack set, which
+    /// re-establishes the persistent-set condition the cheap seed may have
+    /// missed. The breadth-first explorer and the adversary search, which
+    /// keep no path to backtrack over, apply the cut only at states where
+    /// it is locally provable (every non-member halts after its poised
+    /// op — see [`persistent_set_applies`]).
+    ///
+    /// Same fallback contract as [`SleepSets`]: dedup off or more than 64
+    /// processes falls back to [`Off`].
+    PersistentSets,
 }
 
 impl ReductionMode {
@@ -103,6 +123,7 @@ impl ReductionMode {
         match self {
             ReductionMode::Off => "off",
             ReductionMode::SleepSets => "sleep-set",
+            ReductionMode::PersistentSets => "persistent-set",
         }
     }
 
@@ -111,6 +132,7 @@ impl ReductionMode {
         match text {
             "off" => Some(ReductionMode::Off),
             "sleep-set" => Some(ReductionMode::SleepSets),
+            "persistent-set" => Some(ReductionMode::PersistentSets),
             _ => None,
         }
     }
@@ -294,6 +316,16 @@ pub struct Exploration {
     /// Number of enabled transitions skipped because they were asleep at a
     /// state's expansion (0 without [`ReductionMode::SleepSets`]).
     pub sleep_pruned: u64,
+    /// Number of transitions expanded out of persistent/backtrack sets —
+    /// i.e. from states where the persistent-set selection restricted the
+    /// expansion (0 without [`ReductionMode::PersistentSets`]).
+    pub persistent_expanded: u64,
+    /// Number of enabled transitions the persistent-set selection left
+    /// permanently unexpanded — each the root of a successor subtree the
+    /// selective search proved redundant, which is how this mode cuts
+    /// *states* rather than transitions (0 without
+    /// [`ReductionMode::PersistentSets`]).
+    pub states_cut: u64,
 }
 
 impl Exploration {
@@ -790,23 +822,54 @@ where
     }
 }
 
-/// The bit mask of a process set. Sleep masks are `u64` bit sets indexed by
-/// process slot — the reason sleep-set reduction falls back to plain
-/// expansion beyond 64 processes.
-pub fn mask_of(processes: &[ProcessId]) -> u64 {
+/// One process's bit in a `u64` process mask, checked: `None` for
+/// `p.index() >= 64`. The single chokepoint every mask builder below goes
+/// through — `1u64 << p.index()` alone is a masked shift in release builds,
+/// so a 65th process would silently alias process 1 instead of triggering
+/// the documented >64-process fallback.
+pub fn checked_bit_of(process: ProcessId) -> Option<u64> {
+    1u64.checked_shl(process.index() as u32)
+}
+
+/// The bit mask of a process set, checked: `None` if any process index is
+/// outside the 64-bit mask width. Callers that have already established the
+/// fallback precondition (`n <= 64`) use [`mask_of`].
+pub fn checked_mask_of(processes: &[ProcessId]) -> Option<u64> {
     processes
         .iter()
-        .fold(0u64, |mask, p| mask | (1u64 << p.index()))
+        .try_fold(0u64, |mask, p| Some(mask | checked_bit_of(*p)?))
+}
+
+/// The bit mask of a process set. Sleep masks are `u64` bit sets indexed by
+/// process slot — the reason sleep-set and persistent-set reduction fall
+/// back to plain expansion beyond 64 processes.
+///
+/// # Panics
+///
+/// Panics if a process index is outside the mask width: the explorers gate
+/// reduction on `n <= 64`, so an out-of-range index here is a bug, and the
+/// pre-fix wrapping shift would have aliased process `p` with `p - 64` in
+/// sleep/backtrack masks instead of failing. Use [`checked_mask_of`] when
+/// the precondition is not already established.
+pub fn mask_of(processes: &[ProcessId]) -> u64 {
+    checked_mask_of(processes)
+        .expect("process index outside the 64-bit mask width; reduction must fall back at n > 64")
 }
 
 /// The image of a process-set mask under a relabeling: bit `p` maps to bit
 /// `relabel(p)` (used to store sleep masks in canonical coordinates).
+///
+/// # Panics
+///
+/// Panics if the relabeling maps a set bit outside the 64-bit mask width
+/// (see [`mask_of`]).
 pub fn relabel_mask(mask: u64, relabel: &IdRelabeling) -> u64 {
     let mut out = 0u64;
     let mut rest = mask;
     while rest != 0 {
         let p = rest.trailing_zeros() as usize;
-        out |= 1u64 << relabel.apply(ProcessId(p)).index();
+        out |= checked_bit_of(relabel.apply(ProcessId(p)))
+            .expect("relabeled process index outside the 64-bit mask width");
         rest &= rest - 1;
     }
     out
@@ -815,10 +878,17 @@ pub fn relabel_mask(mask: u64, relabel: &IdRelabeling) -> u64 {
 /// The preimage of a canonical-coordinate mask under a relabeling: bit `p`
 /// is set iff bit `relabel(p)` is set in `mask`. Scanning the domain avoids
 /// materializing the inverse map.
+///
+/// # Panics
+///
+/// Panics if the relabeling maps a domain slot outside the 64-bit mask
+/// width (see [`mask_of`]).
 pub fn unrelabel_mask(mask: u64, relabel: &IdRelabeling) -> u64 {
     let mut out = 0u64;
     for p in 0..relabel.len() {
-        if mask & (1u64 << relabel.apply(ProcessId(p)).index()) != 0 {
+        let image = checked_bit_of(relabel.apply(ProcessId(p)))
+            .expect("relabeled process index outside the 64-bit mask width");
+        if mask & image != 0 {
             out |= 1u64 << p;
         }
     }
@@ -888,6 +958,103 @@ where
         }
     }
     kept
+}
+
+/// The persistent subset of `runnable` at `state`: seeded from the lowest-
+/// indexed enabled process and closed under the **static** dependency
+/// relation over poised operations — a process joins the set when its
+/// poised op fails [`independent`] against any member's poised op, until a
+/// fixpoint.
+///
+/// Static (footprint) independence holds in *every* state, so members'
+/// pending operations stay independent of non-members' poised operations no
+/// matter which non-members step in between — the part of the persistent-set
+/// condition a state-conditional relation could not deliver. What the
+/// closure cannot see is a non-member's *future* operations becoming
+/// dependent after it steps; the two consumers each close that hole their
+/// own way: the serial DFS with Flanagan–Godefroid dynamic backtracking
+/// (the missed process is added to the ancestor's backtrack set the moment
+/// the dependency materializes), the breadth-first engines by applying the
+/// cut only where [`persistent_set_applies`] proves non-members have no
+/// future operations at all.
+///
+/// A process with no poised op cannot conflict and never joins. The result
+/// is a pure function of the configuration, so reduced output stays
+/// byte-identical at any worker count.
+pub fn persistent_set<A>(state: &Executor<A>, runnable: &[ProcessId]) -> u64
+where
+    A: Automaton,
+    A::Value: Clone + Eq + Debug,
+{
+    let Some(seed) = runnable.first() else {
+        return 0;
+    };
+    persistent_closure(state, runnable, *seed)
+}
+
+/// The static-dependency closure of `{seed}` over `runnable` — the engine
+/// behind [`persistent_set`], with the seed chosen by the caller (the DFS
+/// seeds from the lowest *non-sleeping* enabled process so a sleep-filtered
+/// backtrack set never starts empty).
+fn persistent_closure<A>(state: &Executor<A>, runnable: &[ProcessId], seed: ProcessId) -> u64
+where
+    A: Automaton,
+    A::Value: Clone + Eq + Debug,
+{
+    let mut set = mask_of(&[seed]);
+    loop {
+        let mut grew = false;
+        for q in runnable {
+            let q_bit = mask_of(&[*q]);
+            if set & q_bit != 0 {
+                continue;
+            }
+            let Some(q_op) = state.poised(*q) else {
+                continue;
+            };
+            let mut members = set;
+            while members != 0 {
+                let p = ProcessId(members.trailing_zeros() as usize);
+                members &= members - 1;
+                let Some(p_op) = state.poised(p) else {
+                    continue;
+                };
+                if !independent(&p_op, &q_op) {
+                    set |= q_bit;
+                    grew = true;
+                    break;
+                }
+            }
+        }
+        if !grew {
+            return set;
+        }
+    }
+}
+
+/// `true` when expanding only `set` (a [`persistent_set`] result) from
+/// `state` is sound *without* dynamic backtracking: every enabled process
+/// outside the set halts after its poised operation. Then any sequence of
+/// non-member steps consists solely of their poised ops — each statically
+/// independent of every member op by the closure — so the set is persistent
+/// by definition, with no future operation left to conflict. The
+/// breadth-first explorer and the adversary search, which keep no DFS path
+/// to hang backtrack sets on, gate their state cuts on exactly this check;
+/// the serial DFS needs no gate because its backtracking re-adds whatever
+/// a non-member's future turns out to need.
+pub fn persistent_set_applies<A>(state: &Executor<A>, set: u64, runnable: &[ProcessId]) -> bool
+where
+    A: Automaton + Clone,
+    A::Value: Clone + Eq + Debug,
+{
+    runnable.iter().all(|q| {
+        if set & mask_of(&[*q]) != 0 {
+            return true;
+        }
+        let mut stepped = state.clone();
+        stepped.step(*q);
+        stepped.automaton(*q).is_halted()
+    })
 }
 
 /// Debug oracle behind [`successor_sleep`]: executes both orders of a pair
@@ -999,6 +1166,18 @@ where
     A::Value: Hash + Clone + Eq + Debug,
     F: FnMut(&Executor<A>) -> Option<String>,
 {
+    // Persistent-set selective search restructures the DFS around a path
+    // stack with per-frame backtrack sets; it lives in its own driver. The
+    // fallback preconditions are the sleep-set ones (the masks share the
+    // same dedup-map plumbing).
+    let n = initial.process_count();
+    if config.reduction == ReductionMode::PersistentSets
+        && config.dedup
+        && n > 0
+        && n <= u64::BITS as usize
+    {
+        return explore_dpor(initial, config, predicate);
+    }
     // Symmetry reduction needs the seen-set (it *is* a dedup strategy), so
     // dedup-off searches fall back to plain enumeration.
     let plan = SymmetryPlan::for_executor(
@@ -1012,7 +1191,6 @@ where
     // Sleep masks live in the seen-map and in u64 bit sets, so reduction
     // falls back (mirroring the symmetry fallback) when dedup is off or the
     // system outgrows the mask width.
-    let n = initial.process_count();
     let reduce = config.reduction == ReductionMode::SleepSets
         && config.dedup
         && n > 0
@@ -1039,6 +1217,8 @@ where
         reduction_applied: reduce,
         expansions: 0,
         sleep_pruned: 0,
+        persistent_expanded: 0,
+        states_cut: 0,
     };
     // The initial configuration is reachable (by the empty schedule): a
     // predicate that rejects it must be reported, not silently skipped.
@@ -1126,19 +1306,19 @@ where
             let _ = std::fs::remove_file(&path);
             debug_assert_eq!(records.len() as u64, count);
             for record in &records {
-                let (schedule, orbit, sleep, expand) =
-                    decode_frontier_record(record).expect("decoding a spilled frontier record");
-                let state = replay(initial, &schedule);
-                let bytes = entry_bytes(&state, schedule.len());
+                let frozen = decode_frontier_record(record, initial.process_count())
+                    .expect("decoding a spilled frontier record");
+                let state = replay(initial, &frozen.schedule);
+                let bytes = entry_bytes(&state, frozen.schedule.len());
                 resident += bytes;
                 spilled_logical = spilled_logical.saturating_sub(bytes);
                 stack.push(DfsEntry {
                     state,
-                    schedule,
-                    orbit_lower: orbit,
+                    schedule: frozen.schedule,
+                    orbit_lower: frozen.orbit_lower,
                     bytes,
-                    sleep,
-                    expand,
+                    sleep: frozen.sleep,
+                    expand: frozen.expand,
                 });
             }
             spilled_pending -= count;
@@ -1309,12 +1489,14 @@ where
             let half = stack.len() / 2;
             for entry in stack.drain(..half) {
                 writer
-                    .append(&encode_frontier_record(
-                        &entry.schedule,
-                        entry.orbit_lower,
-                        entry.sleep,
-                        entry.expand,
-                    ))
+                    .append(&encode_frontier_record(&FrontierRecord {
+                        schedule: entry.schedule,
+                        orbit_lower: entry.orbit_lower,
+                        sleep: entry.sleep,
+                        expand: entry.expand,
+                        backtrack: 0,
+                        done: 0,
+                    }))
                     .expect("writing a frontier spill record");
                 resident -= entry.bytes;
                 spilled_logical += entry.bytes;
@@ -1331,6 +1513,429 @@ where
     }
     result.seen_entries = seen.len();
     result.approx_bytes = logical_peak + seen_table_bytes(config, &seen);
+    result
+}
+
+/// One frame of the persistent-set DFS path stack. Unlike [`DfsEntry`]
+/// (siblings coexist on the stack), the stack here *is* the current
+/// schedule: frame `i` holds the state reached by the first `i` steps, and
+/// expands one transition at a time from its backtrack set, so
+/// Flanagan–Godefroid race detection can add processes to an ancestor's
+/// `backtrack` **after** the ancestor was first expanded.
+struct DporFrame<A: Automaton> {
+    /// `None` while the frame is frozen in a spill segment; rebuilt by
+    /// replay on thaw. The masks below stay resident so race additions can
+    /// target frozen frames without touching disk.
+    state: Option<Executor<A>>,
+    schedule: Vec<ProcessId>,
+    /// The operation most recently executed *from* this frame along the
+    /// current path — the anchor races are detected against.
+    taken_op: Option<Op<A::Value>>,
+    /// The process that executed `taken_op`.
+    taken: ProcessId,
+    bytes: u64,
+    /// Enabled processes at this frame, in its own labeling.
+    runnable_mask: u64,
+    /// The sleep set this frame arrived with (own labeling).
+    sleep: u64,
+    /// Processes promised an expansion: the sleep-filtered persistent set at
+    /// creation, grown by dynamic backtracking when a deeper transition
+    /// races with an op outside it.
+    backtrack: u64,
+    /// Processes already expanded from this frame.
+    done: u64,
+    /// `false` for owed-revisit frames, which re-expand transitions a
+    /// smaller-sleep arrival found uncovered and are not re-counted.
+    fresh: bool,
+    /// Canonical dedup key and the relabeling that produced it, kept so
+    /// backtrack growth can shrink the stored promise mask in canonical
+    /// coordinates.
+    key: StateKey,
+    relabel: IdRelabeling,
+}
+
+/// The serial persistent-set explorer: a path-stack DFS with
+/// Flanagan–Godefroid dynamic backtracking, dispatched to by [`explore`]
+/// under [`ReductionMode::PersistentSets`] (dedup on, ≤ 64 processes).
+///
+/// Each fresh state's initial backtrack set is the sleep-filtered
+/// [static persistent set](persistent_set); whenever a newly generated
+/// transition's op is *dependent* with the op an ancestor frame executed,
+/// the new process is added to that ancestor's backtrack set — re-adding
+/// exactly the schedules the static closure could not prove redundant.
+/// Dedup uses the sleep-set promise discipline: the stored mask per
+/// canonical key is the set of enabled transitions **not** promised an
+/// expansion (it shrinks as backtrack sets grow), and an arrival whose
+/// sleep set leaves part of the stored mask uncovered pushes an owed
+/// revisit for exactly that part. Race detection also runs for dedup-pruned
+/// successors, so promises made by a pruned subtree's representative are
+/// tightened the moment a race is visible at the prune point.
+///
+/// All decisions are pure functions of the configuration, and every
+/// statistic is accounted at frame creation or completion — never at spill
+/// boundaries — so output is byte-identical with spill on or off.
+fn explore_dpor<A, F>(initial: &Executor<A>, config: ExploreConfig, mut predicate: F) -> Exploration
+where
+    A: Automaton + Clone + Hash,
+    A::Value: Hash + Clone + Eq + Debug,
+    F: FnMut(&Executor<A>) -> Option<String>,
+{
+    let plan = SymmetryPlan::for_executor(initial, config.symmetry);
+    let mut result = Exploration {
+        states_visited: 0,
+        paths: 0,
+        violation: None,
+        truncated: false,
+        max_depth_reached: 0,
+        frontier_peak: 0,
+        frontier_semantics: FrontierSemantics::DfsStackDepth,
+        pending_at_exit: 0,
+        seen_entries: 0,
+        approx_bytes: 0,
+        spilled_entries: 0,
+        symmetry_applied: plan.applied(),
+        full_states_lower_bound: 0,
+        reduction_applied: true,
+        expansions: 0,
+        sleep_pruned: 0,
+        persistent_expanded: 0,
+        states_cut: 0,
+    };
+    if let Some(description) = predicate(initial) {
+        result.states_visited = 1;
+        result.full_states_lower_bound = 1;
+        result.violation = Some(ExploredViolation {
+            schedule: Vec::new(),
+            description,
+        });
+        return result;
+    }
+    // Seen-map: canonical key → mask of enabled transitions NOT promised an
+    // expansion (canonical coordinates). Same discipline as the sleep-set
+    // explorer, except promises also shrink when backtracking grows.
+    let mut map: HashMap<StateKey, u64> = HashMap::new();
+    let mut frames: Vec<DporFrame<A>> = Vec::new();
+    // Byte accounting mirrors `explore`: resident + spilled_logical is
+    // conserved by freezing/thawing, so `approx_bytes` is spill-invariant.
+    let cap = config.max_resident_bytes;
+    let mut resident: u64 = 0;
+    let mut spilled_logical: u64 = 0;
+    let mut logical_peak: u64 = 0;
+    let mut spill_dir: Option<SpillDir> = None;
+    // Each segment freezes the frames `[start, start + count)` of the path
+    // stack — always the coldest prefix of the still-resident frames — and
+    // thaws only once the DFS has popped back down to its top frame.
+    let mut segments: Vec<(PathBuf, usize, usize)> = Vec::new();
+    let mut spill_seq: u64 = 0;
+    let mut frozen_below: usize = 0;
+
+    // Creates (and accounts) a frame for `state` reached by `schedule`,
+    // arriving with `sleep`; `owed` is `Some(mask)` for revisit frames.
+    // Returns the frame; the caller pushes it.
+    let make_frame = |state: Executor<A>,
+                      schedule: Vec<ProcessId>,
+                      sleep: u64,
+                      owed: Option<u64>,
+                      key: StateKey,
+                      orbit: u64,
+                      relabel: IdRelabeling,
+                      result: &mut Exploration,
+                      map: &mut HashMap<StateKey, u64>|
+     -> DporFrame<A> {
+        let runnable = state.runnable();
+        let runnable_mask = mask_of(&runnable);
+        let fresh = owed.is_none();
+        if fresh {
+            result.states_visited += 1;
+            result.full_states_lower_bound = result.full_states_lower_bound.saturating_add(orbit);
+            result.max_depth_reached = result.max_depth_reached.max(schedule.len() as u64);
+            result.sleep_pruned += (sleep & runnable_mask).count_ones() as u64;
+        }
+        let backtrack = match owed {
+            Some(owed) => owed,
+            None if schedule.len() as u64 >= config.max_depth => 0,
+            None => {
+                // Seed from the lowest non-sleeping enabled process; the
+                // closure still ranges over everything enabled, but sleeping
+                // members are filtered out of the promise (their coverage is
+                // owned by the path that put them to sleep).
+                let seeded = runnable
+                    .iter()
+                    .find(|q| sleep & mask_of(&[**q]) == 0)
+                    .map(|seed| persistent_closure(&state, &runnable, *seed))
+                    .unwrap_or(0);
+                seeded & !sleep
+            }
+        };
+        if fresh {
+            // Promise: everything enabled outside the (sleep-filtered)
+            // backtrack set is *not* covered here. Sleeping transitions are
+            // never promised (mirroring the sleep-set explorer's stored Z).
+            map.insert(key, relabel_mask(runnable_mask & !backtrack, &relabel));
+        }
+        let bytes = entry_bytes(&state, schedule.len());
+        DporFrame {
+            state: Some(state),
+            schedule,
+            taken_op: None,
+            taken: ProcessId(0),
+            bytes,
+            runnable_mask,
+            sleep,
+            backtrack,
+            done: 0,
+            fresh,
+            key,
+            relabel,
+        }
+    };
+
+    let (root_key, root_orbit, root_relabel) = keyed_relabeled(initial, &plan);
+    let root = make_frame(
+        initial.clone(),
+        Vec::new(),
+        0,
+        None,
+        root_key,
+        root_orbit,
+        root_relabel,
+        &mut result,
+        &mut map,
+    );
+    resident += root.bytes;
+    logical_peak = logical_peak.max(resident);
+    frames.push(root);
+    result.frontier_peak = 1;
+
+    loop {
+        if cap > 0 && !config.spill && resident > cap {
+            result.truncated = true;
+            result.pending_at_exit =
+                frames.iter().filter(|f| f.backtrack & !f.done != 0).count() as u64;
+            break;
+        }
+        let Some(top) = frames.len().checked_sub(1) else {
+            break;
+        };
+        if frames[top].state.is_none() {
+            // The DFS popped back down into a frozen range: thaw the most
+            // recently sealed segment (it covers exactly the frames up to
+            // and including the current top) and rebuild states by replay.
+            let (path, start, count) = segments.pop().expect("frozen frame implies a segment");
+            debug_assert_eq!(start + count, frames.len());
+            let (_tag, records) = read_segment(&path, SegmentKind::FrontierLevel)
+                .expect("reading back a spilled DPOR segment");
+            let _ = std::fs::remove_file(&path);
+            debug_assert_eq!(records.len(), count);
+            for (offset, record) in records.iter().enumerate() {
+                let frozen = decode_frontier_record(record, initial.process_count())
+                    .expect("decoding a spilled DPOR record");
+                let frame = &mut frames[start + offset];
+                // Resident masks are authoritative — they may have grown by
+                // race additions since the freeze — so merge by union.
+                frame.backtrack |= frozen.backtrack;
+                frame.done |= frozen.done;
+                let state = replay(initial, &frozen.schedule);
+                resident += frame.bytes;
+                spilled_logical = spilled_logical.saturating_sub(frame.bytes);
+                frame.schedule = frozen.schedule;
+                frame.state = Some(state);
+            }
+            frozen_below = segments.last().map_or(0, |(_, s, c)| s + c);
+            continue;
+        }
+        let todo = frames[top].backtrack & !frames[top].done;
+        if todo == 0 {
+            let frame = frames.pop().expect("top frame exists");
+            resident -= frame.bytes;
+            if frame.fresh {
+                let at_bound = frame.schedule.len() as u64 >= config.max_depth;
+                if frame.runnable_mask == 0 || at_bound {
+                    result.paths += 1;
+                    if frame.runnable_mask != 0 {
+                        result.truncated = true;
+                    }
+                } else {
+                    // Enabled, unslept, never expanded: the roots of the
+                    // subtrees the persistent set proved redundant.
+                    result.states_cut +=
+                        (frame.runnable_mask & !frame.done & !frame.sleep).count_ones() as u64;
+                }
+            }
+            continue;
+        }
+        let bit = todo & todo.wrapping_neg();
+        let process = ProcessId(bit.trailing_zeros() as usize);
+        frames[top].done |= bit;
+        if frames[top].sleep & bit != 0 {
+            // A race addition may name a sleeping process; its orders are
+            // covered by the path that put it to sleep.
+            continue;
+        }
+        let state = frames[top].state.as_ref().expect("top frame is thawed");
+        let taken_op = state.poised(process);
+        let mut next = state.clone();
+        next.step(process);
+        let mut next_schedule = frames[top].schedule.clone();
+        next_schedule.push(process);
+        frames[top].taken_op = taken_op;
+        frames[top].taken = process;
+        result.expansions += 1;
+        result.persistent_expanded += 1;
+        if let Some(description) = predicate(&next) {
+            result.max_depth_reached = result.max_depth_reached.max(next_schedule.len() as u64);
+            result.violation = Some(ExploredViolation {
+                schedule: next_schedule,
+                description,
+            });
+            result.seen_entries = map.len() as u64;
+            result.approx_bytes = logical_peak
+                + KeyTable::bytes_for_len(map.len() as u64)
+                + map.len() as u64 * std::mem::size_of::<u64>() as u64;
+            return result;
+        }
+        // Flanagan–Godefroid race detection, run for EVERY generated
+        // successor (pushed or dedup-pruned): each process enabled at the
+        // successor is raced against the ops executed along the current
+        // path — frame `top`'s op is the one just taken. The *last*
+        // dependent frame gains the process in its backtrack set. No
+        // happens-before check beyond program order is attempted (skipping
+        // one only errs toward more exploration), and program order needs
+        // no explicit test: if `q`'s own last op is dependent with its next
+        // one, the frame that executed it has `q` in `done` and the scan
+        // stops there; if independent (a no-op prelude, say), the scan
+        // correctly ranges past it to older conflicting frames.
+        let next_runnable = next.runnable();
+        for q in &next_runnable {
+            let q_bit = mask_of(&[*q]);
+            let q_op = next.poised(*q);
+            for j in (0..frames.len()).rev() {
+                // An op we cannot judge is treated as dependent.
+                let dependent = match (&frames[j].taken_op, &q_op) {
+                    (Some(t), Some(o)) => !independent(t, o),
+                    _ => true,
+                };
+                if !dependent {
+                    continue;
+                }
+                if frames[j].backtrack & q_bit == 0
+                    && frames[j].done & q_bit == 0
+                    && frames[j].sleep & q_bit == 0
+                {
+                    debug_assert!(
+                        frames[j].runnable_mask & q_bit != 0,
+                        "enabledness is monotone: a process enabled deeper is enabled here"
+                    );
+                    frames[j].backtrack |= q_bit;
+                    // The frame now promises this transition too.
+                    if let Some(stored) = map.get_mut(&frames[j].key) {
+                        *stored &= !relabel_mask(q_bit, &frames[j].relabel);
+                    }
+                }
+                break;
+            }
+        }
+        let (key, orbit, relabel) = keyed_relabeled(&next, &plan);
+        // The successor sleeps on still-independent previously expanded
+        // siblings (done ∖ {bit}) and inherited sleepers, exactly as in the
+        // sleep-set explorer.
+        let sibling_base = frames[top].sleep | (frames[top].done & !bit);
+        let state = frames[top].state.as_ref().expect("top frame is thawed");
+        let child_sleep = successor_sleep(state, process, sibling_base);
+        let canon_sleep = relabel_mask(child_sleep, &relabel);
+        let push = match map.entry(key) {
+            std::collections::hash_map::Entry::Vacant(_) => {
+                // Budget check exactly where a new state would be counted:
+                // a space of exactly `max_states` states drains every
+                // backtrack set and exits exhausted, not truncated.
+                if result.states_visited >= config.max_states {
+                    result.truncated = true;
+                    result.pending_at_exit =
+                        frames.iter().filter(|f| f.backtrack & !f.done != 0).count() as u64 + 1;
+                    break;
+                }
+                Some(None)
+            }
+            std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                let stored = *occupied.get();
+                let owed = stored & !canon_sleep;
+                if owed == 0 {
+                    None
+                } else {
+                    occupied.insert(stored & canon_sleep);
+                    Some(Some(unrelabel_mask(owed, &relabel)))
+                }
+            }
+        };
+        if let Some(owed) = push {
+            let frame = make_frame(
+                next,
+                next_schedule,
+                child_sleep,
+                owed,
+                key,
+                orbit,
+                relabel,
+                &mut result,
+                &mut map,
+            );
+            resident += frame.bytes;
+            frames.push(frame);
+        }
+        result.frontier_peak = result.frontier_peak.max(frames.len() as u64);
+        logical_peak = logical_peak.max(resident + spilled_logical);
+        // Over the resident cap with spill on: freeze the coldest half of
+        // the still-resident frames (never the top — it is about to be
+        // expanded). Masks stay resident so race additions keep working;
+        // only the executor and schedule bytes leave memory.
+        if config.spill && cap > 0 && resident > cap {
+            let live = frames.len() - frozen_below;
+            if live >= 2 {
+                let dir = match &spill_dir {
+                    Some(dir) => dir,
+                    None => {
+                        spill_dir = Some(SpillDir::fresh().expect("creating the spill directory"));
+                        spill_dir.as_ref().expect("just created")
+                    }
+                };
+                let path = dir.file(&format!("dpor-{spill_seq:08}.seg"));
+                let mut writer =
+                    SegmentWriter::create(&path, SegmentKind::FrontierLevel, spill_seq)
+                        .expect("creating a DPOR spill segment");
+                spill_seq += 1;
+                let start = frozen_below;
+                let count = live / 2;
+                for frame in &mut frames[start..start + count] {
+                    writer
+                        .append(&encode_frontier_record(&FrontierRecord {
+                            schedule: std::mem::take(&mut frame.schedule),
+                            orbit_lower: 0,
+                            sleep: frame.sleep,
+                            // The flagged mask doubles as the fresh/revisit
+                            // marker across the spill boundary.
+                            expand: (!frame.fresh).then_some(0),
+                            backtrack: frame.backtrack,
+                            done: frame.done,
+                        }))
+                        .expect("writing a DPOR spill record");
+                    frame.state = None;
+                    resident -= frame.bytes;
+                    spilled_logical += frame.bytes;
+                }
+                writer.finish().expect("sealing a DPOR spill segment");
+                segments.push((path, start, count));
+                frozen_below = start + count;
+                result.spilled_entries += count as u64;
+            }
+        }
+    }
+    if !plan.applied() {
+        result.full_states_lower_bound = result.states_visited;
+    }
+    result.seen_entries = map.len() as u64;
+    result.approx_bytes = logical_peak
+        + KeyTable::bytes_for_len(map.len() as u64)
+        + map.len() as u64 * std::mem::size_of::<u64>() as u64;
     result
 }
 
@@ -2039,6 +2644,192 @@ mod tests {
         assert_eq!(spilled.states_visited, base.states_visited);
         assert_eq!(spilled.expansions, base.expansions);
         assert_eq!(spilled.sleep_pruned, base.sleep_pruned);
+        assert_eq!(spilled.paths, base.paths);
+        assert_eq!(spilled.max_depth_reached, base.max_depth_reached);
+        assert_eq!(spilled.seen_entries, base.seen_entries);
+    }
+
+    #[test]
+    fn persistent_sets_cut_states_below_sleep_sets() {
+        // Three writers on distinct registers commute pairwise: a singleton
+        // persistent set is dependency-closed, so the DPOR search explores
+        // one interleaving where sleep sets still walk the whole product
+        // lattice — the win is measured on *states*, not just expansions.
+        let exec = Executor::new(vec![
+            ToyWriter::new(0, 1),
+            ToyWriter::new(1, 2),
+            ToyWriter::new(2, 3),
+        ]);
+        let sleep = explore(
+            &exec,
+            ExploreConfig {
+                reduction: ReductionMode::SleepSets,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(3),
+        );
+        let dpor = explore(
+            &exec,
+            ExploreConfig {
+                reduction: ReductionMode::PersistentSets,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(3),
+        );
+        assert!(sleep.verified() && dpor.verified());
+        assert!(dpor.reduction_applied);
+        assert!(
+            dpor.states_visited < sleep.states_visited,
+            "persistent sets must cut states: {} !< {}",
+            dpor.states_visited,
+            sleep.states_visited
+        );
+        assert!(dpor.states_cut > 0);
+        assert!(dpor.persistent_expanded > 0);
+        assert_eq!(sleep.persistent_expanded, 0);
+        assert_eq!(sleep.states_cut, 0);
+        // Deterministic: the same reduced run yields the same report.
+        let again = explore(
+            &exec,
+            ExploreConfig {
+                reduction: ReductionMode::PersistentSets,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(3),
+        );
+        assert_eq!(dpor.states_visited, again.states_visited);
+        assert_eq!(dpor.expansions, again.expansions);
+        assert_eq!(dpor.states_cut, again.states_cut);
+        assert_eq!(dpor.persistent_expanded, again.persistent_expanded);
+    }
+
+    #[test]
+    fn persistent_sets_keep_the_racy_verdict() {
+        // RacyConsensus's read/write pairs are dependent: the backtrack sets
+        // must grow until the violating interleaving is scheduled, and the
+        // witness must replay to a genuine violation.
+        let exec = Executor::new(vec![
+            RacyConsensus::new(ProcessId(0), 10),
+            RacyConsensus::new(ProcessId(1), 20),
+        ]);
+        let off = explore(&exec, ExploreConfig::default(), agreement_predicate(1));
+        let on = explore(
+            &exec,
+            ExploreConfig {
+                reduction: ReductionMode::PersistentSets,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(1),
+        );
+        assert!(on.reduction_applied);
+        assert!(!off.verified() && !on.verified(), "both must find the race");
+        let witness = on.violation.expect("the race must still be found");
+        assert!(witness.description.contains("exceeding k = 1"));
+        let mut replayed = exec.clone();
+        for &p in &witness.schedule {
+            replayed.step(p);
+        }
+        assert!(agreement_predicate(1)(&replayed).is_some());
+    }
+
+    #[test]
+    fn persistent_sets_compose_with_symmetry() {
+        // Symmetry quotients states, persistent sets then cut redundant
+        // interleavings of the quotient; the verified verdict must survive
+        // the composition.
+        let exec = Executor::new(vec![
+            ToyWriter::new(0, 7),
+            ToyWriter::new(1, 7),
+            ToyWriter::new(2, 9),
+        ]);
+        let sym_only = explore(
+            &exec,
+            ExploreConfig {
+                symmetry: SymmetryMode::ProcessIds,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(3),
+        );
+        let both = explore(
+            &exec,
+            ExploreConfig {
+                symmetry: SymmetryMode::ProcessIds,
+                reduction: ReductionMode::PersistentSets,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(3),
+        );
+        assert!(sym_only.verified() && both.verified());
+        assert!(both.symmetry_applied && both.reduction_applied);
+        assert!(
+            both.states_visited < sym_only.states_visited,
+            "persistent sets must cut orbit states too: {} !< {}",
+            both.states_visited,
+            sym_only.states_visited
+        );
+    }
+
+    #[test]
+    fn persistent_sets_require_dedup() {
+        // The DPOR seen-map carries the backtrack promises; without dedup
+        // the mode must fall back and report it.
+        let exec = Executor::new(vec![ToyWriter::new(0, 1), ToyWriter::new(1, 2)]);
+        let plain = explore(
+            &exec,
+            ExploreConfig {
+                dedup: false,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(2),
+        );
+        let requested = explore(
+            &exec,
+            ExploreConfig {
+                dedup: false,
+                reduction: ReductionMode::PersistentSets,
+                ..ExploreConfig::default()
+            },
+            agreement_predicate(2),
+        );
+        assert!(!requested.reduction_applied);
+        assert_eq!(requested.states_visited, plain.states_visited);
+        assert_eq!(requested.expansions, plain.expansions);
+        assert_eq!(requested.states_cut, 0);
+        assert_eq!(requested.persistent_expanded, 0);
+    }
+
+    #[test]
+    fn persistent_set_spill_is_byte_identical() {
+        // DPOR frames spill their schedules through the frontier record
+        // codec with the backtrack/done masks threaded alongside; draining
+        // them back must change nothing but spilled_entries.
+        let exec = Executor::new(vec![
+            RacyConsensus::new(ProcessId(0), 10),
+            RacyConsensus::new(ProcessId(1), 10),
+        ]);
+        let config = ExploreConfig {
+            reduction: ReductionMode::PersistentSets,
+            ..ExploreConfig::default()
+        };
+        let base = explore(&exec, config, agreement_predicate(2));
+        let spilled = explore(
+            &exec,
+            ExploreConfig {
+                spill: true,
+                max_resident_bytes: 1,
+                ..config
+            },
+            agreement_predicate(2),
+        );
+        assert!(
+            spilled.spilled_entries > 0,
+            "the tiny cap must force spills"
+        );
+        assert!(base.verified() && spilled.verified());
+        assert_eq!(spilled.states_visited, base.states_visited);
+        assert_eq!(spilled.expansions, base.expansions);
+        assert_eq!(spilled.states_cut, base.states_cut);
+        assert_eq!(spilled.persistent_expanded, base.persistent_expanded);
         assert_eq!(spilled.paths, base.paths);
         assert_eq!(spilled.max_depth_reached, base.max_depth_reached);
         assert_eq!(spilled.seen_entries, base.seen_entries);

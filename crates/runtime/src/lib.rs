@@ -65,8 +65,9 @@ pub use executor::{
     ServeOptions, StopReason,
 };
 pub use explore::{
-    agreement_predicate, canonical_state_key, explore, keyed_relabeled, mask_of, relabel_mask,
-    state_key, successor_sleep, unrelabel_mask, Exploration, ExploreConfig, ExploredViolation,
+    agreement_predicate, canonical_state_key, checked_bit_of, checked_mask_of, explore,
+    keyed_relabeled, mask_of, persistent_set, persistent_set_applies, relabel_mask, state_key,
+    successor_sleep, unrelabel_mask, Exploration, ExploreConfig, ExploredViolation,
     FrontierSemantics, ReductionMode, StateKey, SymmetryMode, SymmetryPlan,
 };
 pub use parallel::{parallel_explore, ParallelExploreConfig};

@@ -61,9 +61,9 @@
 
 use crate::executor::Executor;
 use crate::explore::{
-    entry_bytes, keyed, keyed_relabeled, mask_of, relabel_mask, replay, successor_sleep,
-    unrelabel_mask, Exploration, ExploredViolation, FrontierSemantics, ReductionMode, StateKey,
-    SymmetryMode, SymmetryPlan,
+    entry_bytes, keyed, keyed_relabeled, mask_of, persistent_set, persistent_set_applies,
+    relabel_mask, replay, successor_sleep, unrelabel_mask, Exploration, ExploredViolation,
+    FrontierSemantics, ReductionMode, StateKey, SymmetryMode, SymmetryPlan,
 };
 use crate::store::{
     read_segment, KeyTable, ScheduleArena, SegmentKind, SegmentWriter, SpillDir, SCHEDULE_ROOT,
@@ -504,7 +504,21 @@ where
     // Sleep masks are u64 bit sets riding the (always-on) seen-set, so
     // reduction falls back only when the system outgrows the mask width.
     let n = initial.process_count();
-    let reduce = config.reduction == ReductionMode::SleepSets && n > 0 && n <= u64::BITS as usize;
+    let reduce = matches!(
+        config.reduction,
+        ReductionMode::SleepSets | ReductionMode::PersistentSets
+    ) && n > 0
+        && n <= u64::BITS as usize;
+    // Persistent-set cuts ride on top of the sleep discipline. With no DFS
+    // path to hang backtrack sets on, the cut is applied only at states
+    // where it is locally provable ([`persistent_set_applies`]): there the
+    // non-members have no future operations, so pset-first expansion covers
+    // every behavior (the state graph is acyclic — each step advances a
+    // bounded program — and violations are stable), and the stored promise
+    // mask can stay the plain sleep mask. Both the set and the gate are
+    // pure functions of the configuration, keeping reports byte-identical
+    // at any worker count.
+    let persistent = reduce && config.reduction == ReductionMode::PersistentSets;
     let mut result = Exploration {
         states_visited: 0,
         paths: 0,
@@ -522,6 +536,8 @@ where
         reduction_applied: reduce,
         expansions: 0,
         sleep_pruned: 0,
+        persistent_expanded: 0,
+        states_cut: 0,
     };
     if let Some(description) = predicate(initial) {
         result.states_visited = 1;
@@ -608,6 +624,8 @@ where
         let terminal_paths = AtomicU64::new(0);
         let expansions = AtomicU64::new(0);
         let sleep_pruned = AtomicU64::new(0);
+        let persistent_expanded = AtomicU64::new(0);
+        let states_cut = AtomicU64::new(0);
         let depth_cut = AtomicBool::new(false);
         let injector: Injector<Entry<A>> = Injector::new();
         for entry in level {
@@ -624,6 +642,8 @@ where
                 let terminal_paths = &terminal_paths;
                 let expansions = &expansions;
                 let sleep_pruned = &sleep_pruned;
+                let persistent_expanded = &persistent_expanded;
+                let states_cut = &states_cut;
                 let depth_cut = &depth_cut;
                 let predicate = &predicate;
                 let plan = &plan;
@@ -662,12 +682,31 @@ where
                         // transitions. (Enabledness is monotone, so both
                         // masks only name still-runnable processes.)
                         let runnable_mask = mask_of(&runnable);
-                        let targets = expand.unwrap_or(runnable_mask & !sleep);
+                        let mut targets = expand.unwrap_or(runnable_mask & !sleep);
                         if reduce && !is_revisit {
                             sleep_pruned.fetch_add(
                                 (sleep & runnable_mask).count_ones() as u64,
                                 Ordering::Relaxed,
                             );
+                            // Fresh states under persistent-set reduction
+                            // narrow their expansion to the persistent
+                            // subset where the cut is locally provable;
+                            // owed revisits always expand exactly what was
+                            // demanded. Both checks are pure, so the
+                            // narrowed mask is worker-count-invariant.
+                            if persistent {
+                                let pset = persistent_set(&state, &runnable);
+                                if persistent_set_applies(&state, pset, &runnable) {
+                                    let cut = targets & !pset;
+                                    if cut != 0 {
+                                        states_cut
+                                            .fetch_add(cut.count_ones() as u64, Ordering::Relaxed);
+                                        targets &= pset;
+                                    }
+                                    persistent_expanded
+                                        .fetch_add(targets.count_ones() as u64, Ordering::Relaxed);
+                                }
+                            }
                         }
                         let mut sleep_cur = sleep;
                         for process in runnable {
@@ -782,6 +821,8 @@ where
         result.paths += terminal_paths.load(Ordering::Relaxed);
         result.expansions += expansions.load(Ordering::Relaxed);
         result.sleep_pruned += sleep_pruned.load(Ordering::Relaxed);
+        result.persistent_expanded += persistent_expanded.load(Ordering::Relaxed);
+        result.states_cut += states_cut.load(Ordering::Relaxed);
         if at_depth_limit {
             result.truncated |= depth_cut.load(Ordering::Relaxed);
             break;

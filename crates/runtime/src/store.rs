@@ -433,12 +433,16 @@ impl ScheduleArena {
     ///
     /// # Panics
     ///
-    /// Panics if the arena outgrows `u32` node ids (4 billion frontier
-    /// entries is past any in-memory budget this explorer runs under).
+    /// Panics with `schedule arena overflow` if the arena outgrows `u32`
+    /// node ids (4 billion frontier entries is past any in-memory budget
+    /// this explorer runs under) — or if a step's process index does: a
+    /// pathological index must fail loudly here, not alias a small one
+    /// after a silent `as u32` truncation.
     pub fn push(&mut self, parent: u32, step: ProcessId) -> u32 {
         let id = u32::try_from(self.nodes.len()).expect("schedule arena overflow");
         assert!(id != SCHEDULE_ROOT, "schedule arena overflow");
-        self.nodes.push((parent, step.index() as u32));
+        let step = u32::try_from(step.index()).expect("schedule arena overflow");
+        self.nodes.push((parent, step));
         id
     }
 
@@ -483,39 +487,69 @@ impl ScheduleArena {
 }
 
 /// Bytes preceding the steps of a frontier record: orbit weight, sleep
-/// mask, revisit flag + owed mask, schedule length.
-const FRONTIER_RECORD_HEADER: usize = 8 + 8 + 1 + 8 + 4;
+/// mask, revisit flag + owed mask, backtrack mask, done mask, schedule
+/// length.
+const FRONTIER_RECORD_HEADER: usize = 8 + 8 + 1 + 8 + 8 + 8 + 4;
+
+/// One spilled frontier entry of the serial explorer, as serialized by
+/// [`encode_frontier_record`]. Configurations are **not** part of the
+/// record — replaying the schedule from the initial executor reconstructs
+/// them exactly, because the executor is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FrontierRecord {
+    /// The schedule reaching the entry's configuration.
+    pub schedule: Vec<ProcessId>,
+    /// The orbit-size lower bound of the configuration.
+    pub orbit_lower: u64,
+    /// The sleep mask the entry arrived with (its own labeling).
+    pub sleep: u64,
+    /// `Some(owed)` for an owed-revisit entry (see sleep-set reduction).
+    pub expand: Option<u64>,
+    /// The DPOR backtrack set at freeze time (0 outside persistent-set
+    /// runs). Additions made while the frame is on disk are merged back by
+    /// union when it thaws.
+    pub backtrack: u64,
+    /// The DPOR done set at freeze time (0 outside persistent-set runs).
+    pub done: u64,
+}
 
 /// Encodes one spilled frontier record: the orbit-size lower bound, the
 /// entry's sleep mask, its owed-revisit mask (flag byte then mask — see
-/// sleep-set reduction in the serial explorer), the schedule length, then
-/// the schedule's steps as `u32`s. Configurations are **not** serialized —
-/// replaying the schedule from the initial executor reconstructs the
-/// configuration exactly, because the executor is deterministic.
-pub fn encode_frontier_record(
-    schedule: &[ProcessId],
-    orbit_lower: u64,
-    sleep: u64,
-    expand: Option<u64>,
-) -> Vec<u8> {
-    let mut record = Vec::with_capacity(FRONTIER_RECORD_HEADER + schedule.len() * 4);
-    record.extend_from_slice(&orbit_lower.to_le_bytes());
-    record.extend_from_slice(&sleep.to_le_bytes());
-    record.push(expand.is_some() as u8);
-    record.extend_from_slice(&expand.unwrap_or(0).to_le_bytes());
-    record.extend_from_slice(&(schedule.len() as u32).to_le_bytes());
-    for step in schedule {
-        record.extend_from_slice(&(step.index() as u32).to_le_bytes());
+/// sleep-set reduction in the serial explorer), the DPOR backtrack and done
+/// sets, the schedule length, then the schedule's steps as `u32`s.
+///
+/// # Panics
+///
+/// Panics with `schedule arena overflow` if a step's process index
+/// outgrows the record's `u32` step width — the same contract as
+/// [`ScheduleArena::push`], and for the same reason: silently truncating
+/// would alias a pathological index with a small one.
+pub fn encode_frontier_record(entry: &FrontierRecord) -> Vec<u8> {
+    let mut record = Vec::with_capacity(FRONTIER_RECORD_HEADER + entry.schedule.len() * 4);
+    record.extend_from_slice(&entry.orbit_lower.to_le_bytes());
+    record.extend_from_slice(&entry.sleep.to_le_bytes());
+    record.push(entry.expand.is_some() as u8);
+    record.extend_from_slice(&entry.expand.unwrap_or(0).to_le_bytes());
+    record.extend_from_slice(&entry.backtrack.to_le_bytes());
+    record.extend_from_slice(&entry.done.to_le_bytes());
+    record.extend_from_slice(&(entry.schedule.len() as u32).to_le_bytes());
+    for step in &entry.schedule {
+        let step = u32::try_from(step.index()).expect("schedule arena overflow");
+        record.extend_from_slice(&step.to_le_bytes());
     }
     record
 }
 
 /// Decodes a record written by [`encode_frontier_record`].
-pub fn decode_frontier_record(
-    record: &[u8],
-) -> io::Result<(Vec<ProcessId>, u64, u64, Option<u64>)> {
+///
+/// Step indices are validated against the cell's `process_count` before a
+/// `ProcessId` is built from them: the bytes come from disk, and a
+/// corrupt-but-checksum-colliding (or hand-edited) segment must surface as
+/// a clean `corrupt segment` error here instead of an out-of-range process
+/// id that panics deep inside replay.
+pub fn decode_frontier_record(record: &[u8], process_count: usize) -> io::Result<FrontierRecord> {
     if record.len() < FRONTIER_RECORD_HEADER {
-        return Err(corrupt("frontier record too short"));
+        return Err(corrupt("corrupt segment: frontier record too short"));
     }
     let orbit_lower = u64::from_le_bytes(record[..8].try_into().expect("8 bytes"));
     let sleep = u64::from_le_bytes(record[8..16].try_into().expect("8 bytes"));
@@ -524,19 +558,32 @@ pub fn decode_frontier_record(
         1 => Some(u64::from_le_bytes(
             record[17..25].try_into().expect("8 bytes"),
         )),
-        _ => return Err(corrupt("frontier record revisit flag out of range")),
+        _ => return Err(corrupt("corrupt segment: revisit flag out of range")),
     };
-    let len = u32::from_le_bytes(record[25..29].try_into().expect("4 bytes")) as usize;
+    let backtrack = u64::from_le_bytes(record[25..33].try_into().expect("8 bytes"));
+    let done = u64::from_le_bytes(record[33..41].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(record[41..45].try_into().expect("4 bytes")) as usize;
     if record.len() != FRONTIER_RECORD_HEADER + len * 4 {
-        return Err(corrupt("frontier record length mismatch"));
+        return Err(corrupt("corrupt segment: frontier record length mismatch"));
     }
     let schedule = (0..len)
         .map(|i| {
             let at = FRONTIER_RECORD_HEADER + i * 4;
-            ProcessId(u32::from_le_bytes(record[at..at + 4].try_into().expect("4 bytes")) as usize)
+            let step = u32::from_le_bytes(record[at..at + 4].try_into().expect("4 bytes")) as usize;
+            if step >= process_count {
+                return Err(corrupt("corrupt segment: schedule step out of range"));
+            }
+            Ok(ProcessId(step))
         })
-        .collect();
-    Ok((schedule, orbit_lower, sleep, expand))
+        .collect::<io::Result<Vec<ProcessId>>>()?;
+    Ok(FrontierRecord {
+        schedule,
+        orbit_lower,
+        sleep,
+        expand,
+        backtrack,
+        done,
+    })
 }
 
 static SPILL_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -721,22 +768,55 @@ mod tests {
 
     #[test]
     fn frontier_records_roundtrip() {
-        let schedule = vec![ProcessId(0), ProcessId(5), ProcessId(2)];
-        let record = encode_frontier_record(&schedule, 42, 0b101, Some(0b010));
-        let (decoded, orbit, sleep, expand) = decode_frontier_record(&record).unwrap();
-        assert_eq!(decoded, schedule);
-        assert_eq!(orbit, 42);
-        assert_eq!(sleep, 0b101);
-        assert_eq!(expand, Some(0b010));
-        let empty = encode_frontier_record(&[], 1, 0, None);
+        let entry = FrontierRecord {
+            schedule: vec![ProcessId(0), ProcessId(5), ProcessId(2)],
+            orbit_lower: 42,
+            sleep: 0b101,
+            expand: Some(0b010),
+            backtrack: 0b110,
+            done: 0b100,
+        };
+        let record = encode_frontier_record(&entry);
+        assert_eq!(decode_frontier_record(&record, 6).unwrap(), entry);
+        let empty = FrontierRecord::default();
         assert_eq!(
-            decode_frontier_record(&empty).unwrap(),
-            (Vec::new(), 1, 0, None)
+            decode_frontier_record(&encode_frontier_record(&empty), 1).unwrap(),
+            empty
         );
-        assert!(decode_frontier_record(&record[..5]).is_err());
+        assert!(decode_frontier_record(&record[..5], 6).is_err());
         let mut bad_flag = record.clone();
         bad_flag[16] = 7;
-        assert!(decode_frontier_record(&bad_flag).is_err());
+        assert!(decode_frontier_record(&bad_flag, 6).is_err());
+    }
+
+    #[test]
+    fn doctored_segment_steps_fail_as_corrupt_not_panic() {
+        // A sealed segment whose checksum is intact but whose step bytes
+        // name a process the cell does not have: the decoder must refuse
+        // with a clean `corrupt segment` io::Error instead of building an
+        // out-of-range ProcessId that panics deep inside replay. The
+        // pre-fix decoder did `ProcessId(step as usize)` on whatever the
+        // disk said.
+        let entry = FrontierRecord {
+            schedule: vec![ProcessId(1), ProcessId(999)],
+            orbit_lower: 1,
+            ..FrontierRecord::default()
+        };
+        let path = temp_path("doctored-frontier");
+        let mut writer = SegmentWriter::create(&path, SegmentKind::FrontierLevel, 0).unwrap();
+        writer.append(&encode_frontier_record(&entry)).unwrap();
+        writer.finish().unwrap();
+        let (_tag, records) = read_segment(&path, SegmentKind::FrontierLevel).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        // A 1000-process cell accepts the record; a 3-process cell must not.
+        assert!(decode_frontier_record(&records[0], 1000).is_ok());
+        let err = decode_frontier_record(&records[0], 3).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("corrupt segment"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -26,8 +26,9 @@ use crate::goal::{goal_for, GoalMeasure};
 use crate::witness::{verify, Certificate, Witness};
 use sa_model::{Automaton, IdRelabeling, ProcessId};
 use sa_runtime::{
-    canonical_state_key, keyed_relabeled, mask_of, relabel_mask, state_key, successor_sleep,
-    unrelabel_mask, Executor, ReductionMode, SearchConfig, SearchGoal, StateKey, SymmetryPlan,
+    canonical_state_key, keyed_relabeled, mask_of, persistent_set, persistent_set_applies,
+    relabel_mask, state_key, successor_sleep, unrelabel_mask, Executor, ReductionMode,
+    SearchConfig, SearchGoal, StateKey, SymmetryPlan,
 };
 use std::collections::{HashMap, HashSet};
 use std::fmt::Debug;
@@ -86,6 +87,13 @@ pub struct SearchReport {
     pub expansions: u64,
     /// Expansions skipped because the stepping process was asleep.
     pub sleep_pruned: u64,
+    /// Expansions performed at states where the persistent-set cut applied
+    /// (0 unless [`ReductionMode::PersistentSets`] was active).
+    pub persistent_expanded: u64,
+    /// Enabled transitions left permanently unexpanded by persistent-set
+    /// selection — roots of subtrees proven redundant (0 without
+    /// persistent-set reduction).
+    pub states_cut: u64,
     /// Why the search stopped.
     pub stop: SearchStop,
     /// The best witness found, if any.
@@ -94,6 +102,10 @@ pub struct SearchReport {
     /// identical certificate — the driver's own verification pass.
     pub verified: bool,
 }
+
+/// One expansion chunk's output: candidates plus the chunk's expansion,
+/// sleep-pruned, persistent-expanded and states-cut counters.
+type ChunkExpansion<A> = (Vec<Candidate<A>>, u64, u64, u64, u64);
 
 /// A successor produced by expanding one frontier entry. `sleep_canon` is
 /// the successor's sleep set in canonical coordinates (so masks from
@@ -169,7 +181,18 @@ where
     let goal = goal_for::<A>(config.goal);
     let threads = config.threads.max(1);
     let n = initial.process_count();
-    let reduce = config.reduction == ReductionMode::SleepSets && n > 0 && n <= u64::BITS as usize;
+    let reduce = matches!(
+        config.reduction,
+        ReductionMode::SleepSets | ReductionMode::PersistentSets
+    ) && n > 0
+        && n <= u64::BITS as usize;
+    // Persistent-set cuts on top of the sleep discipline: with no DFS path
+    // to backtrack over, the cut is taken only at states where it is
+    // locally provable (every non-member halts after its poised op — see
+    // `persistent_set_applies`), where pset-first expansion covers every
+    // behavior of the acyclic state graph. Both checks are pure functions
+    // of the configuration, preserving thread-count byte-identity.
+    let persistent = reduce && config.reduction == ReductionMode::PersistentSets;
 
     // Exactly one of these is used: a plain seen-set without reduction, a
     // stored-sleep-mask map (Godefroid's state-matching promises) with it.
@@ -180,6 +203,8 @@ where
     let mut max_depth_reached: u64 = 0;
     let mut expansions: u64 = 0;
     let mut sleep_pruned: u64 = 0;
+    let mut persistent_expanded: u64 = 0;
+    let mut states_cut: u64 = 0;
     let mut truncated = false;
 
     let consider = |best: &mut Option<Witness>, schedule: &[ProcessId], measure: GoalMeasure| {
@@ -232,10 +257,12 @@ where
         // the thread count.
         let chunk_count = threads.min(frontier.len());
         let chunk_size = frontier.len().div_ceil(chunk_count);
-        let expand = |chunk: &[Frontier<A>]| -> (Vec<Candidate<A>>, u64, u64) {
+        let expand = |chunk: &[Frontier<A>]| -> ChunkExpansion<A> {
             let mut out = Vec::new();
             let mut stepped: u64 = 0;
             let mut pruned: u64 = 0;
+            let mut pset_stepped: u64 = 0;
+            let mut cut: u64 = 0;
             for entry in chunk {
                 let runnable = entry.state.runnable();
                 if reduce && entry.expand.is_none() {
@@ -243,7 +270,16 @@ where
                 }
                 // A fresh entry expands everything outside its sleep set; a
                 // revisit expands exactly the owed targets of its promise.
-                let targets = entry.expand.unwrap_or(!entry.sleep);
+                let mut targets = entry.expand.unwrap_or(!entry.sleep);
+                if persistent && entry.expand.is_none() {
+                    let pset = persistent_set(&entry.state, &runnable);
+                    if persistent_set_applies(&entry.state, pset, &runnable) {
+                        let enabled = mask_of(&runnable) & targets;
+                        cut += (enabled & !pset).count_ones() as u64;
+                        pset_stepped += (enabled & pset).count_ones() as u64;
+                        targets &= pset;
+                    }
+                }
                 let mut sleep_cur = entry.sleep;
                 for process in runnable {
                     if targets & (1u64 << process.index()) == 0 {
@@ -276,9 +312,9 @@ where
                     });
                 }
             }
-            (out, stepped, pruned)
+            (out, stepped, pruned, pset_stepped, cut)
         };
-        let merged: Vec<(Vec<Candidate<A>>, u64, u64)> = if chunk_count == 1 {
+        let merged: Vec<ChunkExpansion<A>> = if chunk_count == 1 {
             vec![expand(&frontier)]
         } else {
             std::thread::scope(|scope| {
@@ -293,9 +329,11 @@ where
         depth += 1;
         let mut next: Vec<Frontier<A>> = Vec::new();
         let mut budget_hit = false;
-        'merge: for (chunk, stepped, pruned) in merged {
+        'merge: for (chunk, stepped, pruned, pset_stepped, cut) in merged {
             expansions += stepped;
             sleep_pruned += pruned;
+            persistent_expanded += pset_stepped;
+            states_cut += cut;
             for candidate in chunk {
                 if reduce {
                     if let Some(&stored) = masks.get(&candidate.key) {
@@ -367,6 +405,8 @@ where
         reduction_applied: reduce,
         expansions,
         sleep_pruned,
+        persistent_expanded,
+        states_cut,
         stop,
         witness: best,
         verified,

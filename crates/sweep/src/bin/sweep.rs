@@ -108,13 +108,19 @@ run options:
                        automata cannot establish the symmetry fall back to
                        plain exploration (symmetry = fallback-off in the
                        record) instead of pruning unsoundly
-  --reduction MODE     `off` (default) or `sleep-set`: prune commuting
-                       sibling expansions with sleep sets, driven by a
-                       three-tier interference analysis (static op
-                       footprints, invisible-write refinement, dynamic
-                       commutation from the pruned state). Verdicts
-                       and visited states are identical to full exploration;
-                       records carry expansions / sleep_pruned, and the
+  --reduction MODE     `off` (default), `sleep-set` or `persistent-set`.
+                       Sleep sets prune commuting sibling expansions,
+                       driven by a three-tier interference analysis (static
+                       op footprints, invisible-write refinement, dynamic
+                       commutation from the pruned state); verdicts and
+                       visited states are identical to full exploration.
+                       Persistent sets additionally restrict expansion to a
+                       dependency-closed subset of enabled processes (with
+                       dynamic DPOR backtracking in the serial explorer),
+                       cutting visited states, not just transitions;
+                       verdicts stay identical and records additionally
+                       carry persistent_expanded / states_cut. Records
+                       carry expansions / sleep_pruned, and the reduction
                        factor composes multiplicatively with --symmetry.
                        Applies to explore and adversary-search modes; cells
                        the explorer cannot reduce soundly (dedup off, more
@@ -308,7 +314,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 }
                 "--reduction" => {
                     spec.reduction = ReductionMode::parse(value).ok_or_else(|| {
-                        format!("bad reduction mode {value:?} (want off or sleep-set)")
+                        format!(
+                            "bad reduction mode {value:?} (want off, sleep-set or persistent-set)"
+                        )
                     })?;
                 }
                 "--spill" => {

@@ -138,6 +138,16 @@ pub struct SweepRecord {
     /// Expansions skipped because a sleeping sibling order was provably
     /// commuting. Encoded only when reduction was requested.
     pub sleep_pruned: u64,
+    /// Expansions performed from persistent/backtrack sets (the serial
+    /// explorer counts every DPOR expansion; the breadth-first engines
+    /// count expansions at states where the cut applied). Encoded only
+    /// when `persistent-set` reduction was requested, so records of other
+    /// campaigns stay byte-identical to earlier releases.
+    pub persistent_expanded: u64,
+    /// Enabled transitions left permanently unexpanded by persistent-set
+    /// selection — the roots of subtrees the reduction proved redundant.
+    /// Encoded only when `persistent-set` reduction was requested.
+    pub states_cut: u64,
     /// Wall-clock microseconds of a threaded run (0 otherwise; encoded only
     /// for threaded records, whose output makes no byte-determinism claim).
     pub wall_us: u64,
@@ -248,6 +258,8 @@ impl SweepRecord {
             reduction: "off".into(),
             expansions: 0,
             sleep_pruned: 0,
+            persistent_expanded: 0,
+            states_cut: 0,
             wall_us: 0,
             steps_per_sec: 0,
             proposals: 0,
@@ -333,6 +345,8 @@ impl SweepRecord {
             reduction: "off".into(),
             expansions: 0,
             sleep_pruned: 0,
+            persistent_expanded: 0,
+            states_cut: 0,
             wall_us: report.wall.as_micros() as u64,
             steps_per_sec: report.steps_per_sec() as u64,
             proposals: 0,
@@ -426,10 +440,13 @@ impl SweepRecord {
             reduction: match (spec.reduction, report.reduction_applied) {
                 (ReductionMode::Off, _) => "off".into(),
                 (ReductionMode::SleepSets, true) => "sleep-set".into(),
+                (ReductionMode::PersistentSets, true) => "persistent-set".into(),
                 // Requested but not honorable (dedup off, > 64 processes):
                 // the explorer expanded fully rather than prune unsoundly,
                 // and the record says so.
-                (ReductionMode::SleepSets, false) => "fallback-off".into(),
+                (ReductionMode::SleepSets | ReductionMode::PersistentSets, false) => {
+                    "fallback-off".into()
+                }
             },
             expansions: if spec.reduction == ReductionMode::Off {
                 0
@@ -440,6 +457,16 @@ impl SweepRecord {
                 0
             } else {
                 report.sleep_pruned
+            },
+            persistent_expanded: if spec.reduction == ReductionMode::PersistentSets {
+                report.persistent_expanded
+            } else {
+                0
+            },
+            states_cut: if spec.reduction == ReductionMode::PersistentSets {
+                report.states_cut
+            } else {
+                0
             },
             wall_us: 0,
             steps_per_sec: 0,
@@ -529,6 +556,8 @@ impl SweepRecord {
             reduction: "off".into(),
             expansions: 0,
             sleep_pruned: 0,
+            persistent_expanded: 0,
+            states_cut: 0,
             wall_us: report.duration_us,
             steps_per_sec: report.steps_per_sec(),
             proposals: report.proposals,
@@ -618,7 +647,10 @@ impl SweepRecord {
             reduction: match (spec.reduction, report.reduction_applied) {
                 (ReductionMode::Off, _) => "off".into(),
                 (ReductionMode::SleepSets, true) => "sleep-set".into(),
-                (ReductionMode::SleepSets, false) => "fallback-off".into(),
+                (ReductionMode::PersistentSets, true) => "persistent-set".into(),
+                (ReductionMode::SleepSets | ReductionMode::PersistentSets, false) => {
+                    "fallback-off".into()
+                }
             },
             expansions: if spec.reduction == ReductionMode::Off {
                 0
@@ -629,6 +661,16 @@ impl SweepRecord {
                 0
             } else {
                 report.sleep_pruned
+            },
+            persistent_expanded: if spec.reduction == ReductionMode::PersistentSets {
+                report.persistent_expanded
+            } else {
+                0
+            },
+            states_cut: if spec.reduction == ReductionMode::PersistentSets {
+                report.states_cut
+            } else {
+                0
             },
             wall_us: 0,
             steps_per_sec: 0,
@@ -794,6 +836,17 @@ impl SweepRecord {
             field(&mut out, "expansions", &self.expansions.to_string());
             field(&mut out, "sleep_pruned", &self.sleep_pruned.to_string());
         }
+        // Emitted only when the persistent-set tier actually ran, so
+        // sleep-set (and fallback) records stay byte-identical to earlier
+        // releases.
+        if self.reduction == "persistent-set" {
+            field(
+                &mut out,
+                "persistent_expanded",
+                &self.persistent_expanded.to_string(),
+            );
+            field(&mut out, "states_cut", &self.states_cut.to_string());
+        }
         field(&mut out, "verified", bool_str(self.verified));
         if self.mode == "adversary-search" {
             field(&mut out, "goal", &json_string(&self.goal));
@@ -911,6 +964,8 @@ impl SweepRecord {
             reduction: fields.string_or("reduction", "off")?,
             expansions: fields.u64_or("expansions", 0)?,
             sleep_pruned: fields.u64_or("sleep_pruned", 0)?,
+            persistent_expanded: fields.u64_or("persistent_expanded", 0)?,
+            states_cut: fields.u64_or("states_cut", 0)?,
             wall_us: fields.u64_or("wall_us", 0)?,
             steps_per_sec: fields.u64_or("steps_per_sec", 0)?,
             proposals: fields.u64_or("proposals", 0)?,
@@ -1254,6 +1309,8 @@ mod tests {
             reduction: "off".into(),
             expansions: 0,
             sleep_pruned: 0,
+            persistent_expanded: 0,
+            states_cut: 0,
             wall_us: 0,
             steps_per_sec: 0,
             proposals: 0,
@@ -1330,13 +1387,28 @@ mod tests {
         assert!(line.contains("\"expansions\":200"), "{line}");
         assert!(line.contains("\"sleep_pruned\":400"), "{line}");
         assert_eq!(SweepRecord::parse(&line).unwrap(), reduced);
+        // Sleep-set records stay byte-identical to before the persistent-set
+        // tier existed: the DPOR-only fields must not leak into them.
+        for absent in ["persistent_expanded", "states_cut"] {
+            assert!(!line.contains(absent), "{absent} leaked into {line}");
+        }
         // Requested + fell back: visible as fallback-off, zero pruned.
-        let mut fallback = reduced;
+        let mut fallback = reduced.clone();
         fallback.reduction = "fallback-off".into();
         fallback.sleep_pruned = 0;
         let line = fallback.to_json();
         assert!(line.contains("\"reduction\":\"fallback-off\""), "{line}");
         assert_eq!(SweepRecord::parse(&line).unwrap(), fallback);
+        // Persistent sets: the two DPOR fields are emitted and round-trip.
+        let mut dpor = reduced;
+        dpor.reduction = "persistent-set".into();
+        dpor.persistent_expanded = 150;
+        dpor.states_cut = 37;
+        let line = dpor.to_json();
+        assert!(line.contains("\"reduction\":\"persistent-set\""), "{line}");
+        assert!(line.contains("\"persistent_expanded\":150"), "{line}");
+        assert!(line.contains("\"states_cut\":37"), "{line}");
+        assert_eq!(SweepRecord::parse(&line).unwrap(), dpor);
     }
 
     #[test]

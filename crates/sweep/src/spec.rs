@@ -470,7 +470,10 @@ pub struct CampaignSpec {
     /// in [`CampaignMode::Sample`] and [`CampaignMode::Serve`]):
     /// `sleep-set` prunes commuting sibling interleavings with per-state
     /// sleep sets, which shrinks the expansion count without changing any
-    /// verdict or (on exhausted spaces) the visited-state count. Like
+    /// verdict or (on exhausted spaces) the visited-state count;
+    /// `persistent-set` adds persistent-set selective search with dynamic
+    /// (Flanagan–Godefroid) backtracking in the serial explorer, cutting
+    /// whole redundant *states* while preserving every verdict. Like
     /// `symmetry` this is a "how" knob, not part of a scenario's identity,
     /// and it composes with `symmetry`: the two reductions multiply.
     /// Explorations that cannot honor the request (dedup off, more than 64
@@ -655,9 +658,10 @@ impl CampaignSpec {
     /// (exploration state budget), `explore-threads` (exploration worker
     /// threads; 0 = serial explorer), `symmetry` (`off` or
     /// `process-ids`: deduplicate explored states up to process-id
-    /// orbits), `reduction` (`off` or `sleep-set`: prune commuting
-    /// interleavings with sleep-set partial-order reduction, composable
-    /// with `symmetry`), `spill` (`on` or `off`: let explorations move cold
+    /// orbits), `reduction` (`off`, `sleep-set` or `persistent-set`: prune
+    /// commuting interleavings — and, for `persistent-set`, whole redundant
+    /// states — with partial-order reduction, composable with `symmetry`),
+    /// `spill` (`on` or `off`: let explorations move cold
     /// frontier and seen-set state to disk under memory pressure),
     /// `max-resident-mb` (resident-memory budget per exploration in MiB;
     /// 0 = unlimited), the `mode = adversary-search` keys `goals` (comma
@@ -735,7 +739,7 @@ impl CampaignSpec {
                 "reduction" => {
                     spec.reduction = ReductionMode::parse(value).ok_or_else(|| {
                         SpecError(format!(
-                            "unknown reduction {value:?} (want off or sleep-set)"
+                            "unknown reduction {value:?} (want off, sleep-set or persistent-set)"
                         ))
                     })?;
                 }
@@ -1178,6 +1182,13 @@ reduction = sleep-set",
         assert_eq!(spec.reduction, ReductionMode::SleepSets);
         assert_eq!(spec.symmetry, SymmetryMode::ProcessIds);
         assert_eq!(CampaignSpec::parse(&spec.to_string()).unwrap(), spec);
+        let dpor = CampaignSpec::parse(
+            "mode = explore
+reduction = persistent-set",
+        )
+        .unwrap();
+        assert_eq!(dpor.reduction, ReductionMode::PersistentSets);
+        assert_eq!(CampaignSpec::parse(&dpor.to_string()).unwrap(), dpor);
         assert!(CampaignSpec::parse("reduction = ample-set").is_err());
     }
 

@@ -81,6 +81,16 @@ pub struct CellSummary {
     /// Total commuting sibling expansions pruned by sleep sets across the
     /// cell's scenarios.
     pub total_sleep_pruned: u64,
+    /// Explored or searched scenarios reduced by persistent sets
+    /// (`reduction = persistent-set` applied).
+    pub persistent_reduced: u64,
+    /// Total expansions drawn from persistent (or DPOR backtrack) sets
+    /// across the cell's persistent-set scenarios.
+    pub total_persistent_expanded: u64,
+    /// Total enabled transitions left permanently unexpanded by persistent
+    /// sets across the cell's scenarios — each one prunes a whole subtree,
+    /// cutting states rather than just sibling transitions.
+    pub total_states_cut: u64,
     /// Maximum peak BFS level width of any parallel exploration of this
     /// cell. Parallel `frontier_peak` counts the widest level of the
     /// level-synchronized search — the serial explorer's DFS stack depth is
@@ -180,6 +190,14 @@ pub struct Summary {
     /// Total commuting sibling expansions pruned across all sleep-set
     /// records.
     pub total_sleep_pruned: u64,
+    /// Explore or search records reduced by persistent sets.
+    pub persistent_reduced: u64,
+    /// Total expansions drawn from persistent (or DPOR backtrack) sets
+    /// across all persistent-set records.
+    pub total_persistent_expanded: u64,
+    /// Total enabled transitions left permanently unexpanded by persistent
+    /// sets across all persistent-set records.
+    pub total_states_cut: u64,
     /// Maximum peak BFS level width across all parallel explorations
     /// (the widest level of the level-synchronized search, not a DFS stack
     /// depth).
@@ -290,6 +308,17 @@ impl Summary {
                     summary.sleep_reduced += 1;
                     summary.total_expansions += record.expansions;
                     summary.total_sleep_pruned += record.sleep_pruned;
+                } else if record.reduction == "persistent-set" {
+                    cell.persistent_reduced += 1;
+                    cell.total_expansions += record.expansions;
+                    cell.total_sleep_pruned += record.sleep_pruned;
+                    cell.total_persistent_expanded += record.persistent_expanded;
+                    cell.total_states_cut += record.states_cut;
+                    summary.persistent_reduced += 1;
+                    summary.total_expansions += record.expansions;
+                    summary.total_sleep_pruned += record.sleep_pruned;
+                    summary.total_persistent_expanded += record.persistent_expanded;
+                    summary.total_states_cut += record.states_cut;
                 } else if record.reduction == "fallback-off" {
                     cell.sleep_fallbacks += 1;
                     summary.sleep_fallbacks += 1;
@@ -410,7 +439,8 @@ impl Summary {
         let show_explore = self.explored > 0;
         let show_parallel = self.parallel_explored > 0;
         let show_symmetry = self.symmetry_reduced + self.symmetry_fallbacks > 0;
-        let show_reduction = self.sleep_reduced + self.sleep_fallbacks > 0;
+        let show_reduction =
+            self.sleep_reduced + self.persistent_reduced + self.sleep_fallbacks > 0;
         let show_threaded = self.threaded_runs > 0;
         let show_serve = self.serve_runs > 0;
         let show_searched = self.searched > 0;
@@ -552,7 +582,7 @@ impl Summary {
                 }
             }
             if show_reduction {
-                if cell.sleep_reduced > 0 {
+                if cell.sleep_reduced + cell.persistent_reduced > 0 {
                     let _ = write!(
                         row,
                         " {:>10} {:>10} {:>6}",
@@ -655,17 +685,26 @@ impl Summary {
                 self.total_full_states_lower_bound
             );
         }
-        if self.sleep_reduced + self.sleep_fallbacks > 0 {
+        if self.sleep_reduced + self.persistent_reduced + self.sleep_fallbacks > 0 {
             let rate = por_factor(self.total_expansions, self.total_sleep_pruned)
                 .map_or_else(|| "-".into(), |r| format!("{r:.1}x"));
             let _ = writeln!(
                 out,
                 "sleep sets: {} reduced runs ({} fell back), {} expansions with \
                  {} commuting siblings pruned ({rate} reduction)",
-                self.sleep_reduced,
+                self.sleep_reduced + self.persistent_reduced,
                 self.sleep_fallbacks,
                 self.total_expansions,
                 self.total_sleep_pruned
+            );
+        }
+        if self.persistent_reduced > 0 {
+            let _ = writeln!(
+                out,
+                "persistent sets: {} reduced runs, {} expansions drawn from \
+                 persistent/backtrack sets, {} enabled transitions cut \
+                 (whole subtrees, not just commuting siblings)",
+                self.persistent_reduced, self.total_persistent_expanded, self.total_states_cut
             );
         }
         if self.threaded_runs > 0 {
@@ -927,6 +966,8 @@ mod tests {
             reduction: "off".into(),
             expansions: 0,
             sleep_pruned: 0,
+            persistent_expanded: 0,
+            states_cut: 0,
             wall_us: 0,
             steps_per_sec: 0,
             proposals: 0,

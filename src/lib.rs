@@ -487,6 +487,16 @@ pub struct ExploreReport {
     /// `(expansions + sleep_pruned) / expansions` is the multiplicative
     /// reduction factor on top of whatever symmetry already removed.
     pub sleep_pruned: u64,
+    /// Expansions performed from persistent/backtrack sets under
+    /// [`ReductionMode::PersistentSets`](sa_runtime::ReductionMode) (0
+    /// otherwise): every DPOR expansion for the serial explorer, the
+    /// expansions at cut states for the breadth-first one.
+    pub persistent_expanded: u64,
+    /// Enabled transitions persistent-set selection left permanently
+    /// unexpanded — roots of subtrees proven redundant (0 without
+    /// persistent-set reduction). Unlike sleep sets, this cut removes
+    /// *states*, so `states_visited` shrinks with it.
+    pub states_cut: u64,
 }
 
 impl ExploreReport {
@@ -1066,6 +1076,8 @@ impl ExecutionPlan {
             reduction_applied: result.reduction_applied,
             expansions: result.expansions,
             sleep_pruned: result.sleep_pruned,
+            persistent_expanded: result.persistent_expanded,
+            states_cut: result.states_cut,
         }
     }
 }

@@ -15,12 +15,22 @@
 //!    `campaigns/exhaustive.spec`, for `ReductionMode::SleepSets` crossed
 //!    with `SymmetryMode` on/off: the same verdicts, the same visited state
 //!    counts, and (with reduction on) a non-zero pruning count.
+//! 4. **Persistent-set soundness**: the per-state persistent sets the
+//!    selective search expands are dependency-closed on random reachable
+//!    configurations (proptest over random automata and schedule prefixes),
+//!    and `ReductionMode::PersistentSets` reproduces the full exploration's
+//!    verdicts — and violation witnesses, trivially `None == None` on these
+//!    verified cells — over every `exhaustive.spec` cell, crossed with
+//!    `SymmetryMode` on/off and the serial/parallel explorer backends.
+//!    Unlike sleep sets, persistent sets cut *states*, so `explored_states`
+//!    is pinned as `reduced ≤ full`, not as equality.
 
 use proptest::prelude::*;
 use sa_sweep::{run_campaign_collect, CampaignSpec, EngineConfig, SweepRecord};
 use set_agreement::memory::SimMemory;
-use set_agreement::model::{independent, MemoryLayout, Op, ProcessId};
-use set_agreement::runtime::{ReductionMode, SymmetryMode};
+use set_agreement::model::{independent, Automaton, MemoryLayout, Op, ProcessId};
+use set_agreement::runtime::toy::{RacyConsensus, ToyWriter};
+use set_agreement::runtime::{mask_of, persistent_set, Executor, ReductionMode, SymmetryMode};
 
 const REGISTERS: usize = 2;
 const WIDTH: usize = 3;
@@ -290,4 +300,179 @@ fn reduced_matches_full_without_symmetry() {
 #[test]
 fn reduced_matches_full_with_symmetry() {
     assert_reduced_matches_full(SymmetryMode::ProcessIds);
+}
+
+/// Layer 4 invariant: the set the selective search expands must be
+/// dependency-closed — a persistent member with a poised op statically
+/// dependent on some enabled non-member's poised op would let that
+/// non-member invalidate the persistence argument.
+fn assert_dependency_closed<A>(exec: &Executor<A>)
+where
+    A: Automaton,
+    A::Value: Clone + Eq + std::fmt::Debug,
+{
+    let runnable = exec.runnable();
+    if runnable.is_empty() {
+        return;
+    }
+    let pset = persistent_set(exec, &runnable);
+    assert_ne!(
+        pset, 0,
+        "a nonempty enabled set must yield a nonempty persistent set"
+    );
+    assert_eq!(
+        pset & !mask_of(&runnable),
+        0,
+        "the persistent set must stay within the enabled set"
+    );
+    for p in &runnable {
+        if pset & mask_of(&[*p]) == 0 {
+            continue;
+        }
+        let p_op = exec.poised(*p);
+        for q in &runnable {
+            if pset & mask_of(&[*q]) != 0 {
+                continue;
+            }
+            let dependent = match (&p_op, &exec.poised(*q)) {
+                (Some(a), Some(b)) => !independent(a, b),
+                _ => true,
+            };
+            assert!(
+                !dependent,
+                "persistent member {p:?} conflicts with excluded {q:?}: \
+                 the set is not dependency-closed"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Layer 4a: persistent sets are dependency-closed on random reachable
+    /// writer configurations — overlapping registers make the closure
+    /// non-trivial (dependent writers must be pulled in together).
+    #[test]
+    fn persistent_sets_are_dependency_closed_for_writers(
+        specs in proptest::collection::vec((0usize..3, 0u64..4), 2..=4),
+        schedule in proptest::collection::vec(0usize..4, 0..8),
+    ) {
+        let automata: Vec<ToyWriter> = specs
+            .into_iter()
+            .map(|(register, value)| ToyWriter::new(register, value))
+            .collect();
+        let mut exec = Executor::new(automata);
+        for pick in schedule {
+            let runnable = exec.runnable();
+            if runnable.is_empty() {
+                break;
+            }
+            exec.step(runnable[pick % runnable.len()]);
+        }
+        assert_dependency_closed(&exec);
+    }
+
+    /// Layer 4b: the same closure invariant on random reachable
+    /// read/write-racing consensus configurations, whose poised ops change
+    /// shape (write then read) along the execution.
+    #[test]
+    fn persistent_sets_are_dependency_closed_for_racers(
+        values in proptest::collection::vec(0u64..5, 2..=4),
+        schedule in proptest::collection::vec(0usize..4, 0..8),
+    ) {
+        let automata: Vec<RacyConsensus> = values
+            .into_iter()
+            .enumerate()
+            .map(|(id, value)| RacyConsensus::new(ProcessId(id), value))
+            .collect();
+        let mut exec = Executor::new(automata);
+        for pick in schedule {
+            let runnable = exec.runnable();
+            if runnable.is_empty() {
+                break;
+            }
+            exec.step(runnable[pick % runnable.len()]);
+        }
+        assert_dependency_closed(&exec);
+    }
+}
+
+/// Layer 4 worker: runs the exhaustive campaign with reduction off and with
+/// persistent sets under one symmetry mode and explorer backend, and asserts
+/// verdict equivalence on every cell. `explored_states` is pinned as
+/// `reduced ≤ full` — cutting states is the point of the mode.
+fn assert_persistent_matches_full(symmetry: SymmetryMode, explore_threads: usize) {
+    let mut off = exhaustive_spec();
+    off.symmetry = symmetry;
+    off.reduction = ReductionMode::Off;
+    off.explore_threads = explore_threads;
+    let (full, full_outcome) = run_campaign_collect(&off, EngineConfig::default());
+
+    let mut on = off.clone();
+    on.reduction = ReductionMode::PersistentSets;
+    let (reduced, reduced_outcome) = run_campaign_collect(&on, EngineConfig::default());
+
+    assert_eq!(full_outcome.clean(), reduced_outcome.clean());
+    assert_eq!(full.len(), reduced.len(), "cell list must not change");
+    let mut total_persistent_expanded = 0;
+    for (f, r) in full.iter().zip(&reduced) {
+        let cell = |rec: &SweepRecord| {
+            (
+                rec.n,
+                rec.m,
+                rec.k,
+                rec.algorithm.clone(),
+                rec.instances,
+                rec.scenario,
+            )
+        };
+        assert_eq!(cell(f), cell(r), "records must pair up cell-for-cell");
+        // The verdict: same safety outcome, same exhaustiveness, same stop
+        // reason — and on these verified cells the violation witnesses are
+        // identical trivially (none on either side).
+        assert_eq!(f.validity_ok, r.validity_ok, "{:?}", cell(f));
+        assert_eq!(f.agreement_ok, r.agreement_ok, "{:?}", cell(f));
+        assert_eq!(f.verified, r.verified, "{:?}", cell(f));
+        assert_eq!(f.stop, r.stop, "{:?}", cell(f));
+        assert!(
+            r.explored_states <= f.explored_states,
+            "persistent sets may never visit new states: {} > {} on {:?}",
+            r.explored_states,
+            f.explored_states,
+            cell(f)
+        );
+        assert_eq!(f.reduction, "off");
+        assert_eq!(r.reduction, "persistent-set");
+        total_persistent_expanded += r.persistent_expanded;
+    }
+    if explore_threads == 0 {
+        // Serial DPOR draws every expansion from a backtrack set; the
+        // parallel explorer only counts gated states, which these tiny
+        // cells may never produce.
+        assert!(
+            total_persistent_expanded > 0,
+            "the DPOR search must report its persistent expansions"
+        );
+    }
+}
+
+#[test]
+fn persistent_matches_full_serial_without_symmetry() {
+    assert_persistent_matches_full(SymmetryMode::Off, 0);
+}
+
+#[test]
+fn persistent_matches_full_serial_with_symmetry() {
+    assert_persistent_matches_full(SymmetryMode::ProcessIds, 0);
+}
+
+#[test]
+fn persistent_matches_full_parallel_without_symmetry() {
+    assert_persistent_matches_full(SymmetryMode::Off, 2);
+}
+
+#[test]
+fn persistent_matches_full_parallel_with_symmetry() {
+    assert_persistent_matches_full(SymmetryMode::ProcessIds, 2);
 }
